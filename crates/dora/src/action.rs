@@ -1,0 +1,236 @@
+//! Actions, rendezvous points and transaction flow graphs.
+//!
+//! DORA breaks each transaction into **actions** — pieces of transaction
+//! logic that each touch data of a single logical partition — separated by
+//! **rendezvous points (RVPs)** wherever a data dependency forces
+//! serialization. The resulting directed graph of actions and RVPs is the
+//! transaction's **flow graph**. Actions of the same phase run in parallel
+//! on their partitions' worker threads; the last action to report at an RVP
+//! either enqueues the next phase or decides commit/abort.
+
+use dora_storage::db::Database;
+use dora_storage::error::StorageResult;
+use dora_storage::trace::WorkerCtx;
+use dora_storage::types::{TableId, TxnId, Value};
+
+use crate::local_lock::LockClass;
+
+/// The executable body of an action. It receives the shared database, the
+/// storage transaction id (shared by all actions of the transaction) and the
+/// executing worker's context, and returns the values it wants to hand to
+/// the next phase through the RVP.
+pub type ActionBody =
+    Box<dyn FnOnce(&Database, TxnId, &WorkerCtx) -> StorageResult<Vec<Value>> + Send>;
+
+/// A phase generator: invoked by the last action of the previous phase (at
+/// the RVP) with the outputs of that phase, it produces the actions of the
+/// next phase. Returning an empty vector ends the transaction successfully.
+pub type PhaseGen = Box<dyn FnOnce(&[Vec<Value>]) -> StorageResult<Vec<ActionSpec>> + Send>;
+
+/// Specification of one action before it is enqueued.
+pub struct ActionSpec {
+    /// Table whose partition the action is routed to.
+    pub table: TableId,
+    /// Routing-key values the action touches, each with its access intent.
+    /// The action is routed by the first key. All keys must belong to the
+    /// same logical partition (the flow-graph builder is responsible for
+    /// splitting work that spans partitions into separate actions).
+    pub keys: Vec<(i64, LockClass)>,
+    /// Whether the access is aligned with the table's routing field. A
+    /// non-aligned ("secondary") action cannot be routed by key; it is sent
+    /// to an arbitrary partition, executed without local key locks, and
+    /// counted by the alignment monitor. Only read-only logic may be
+    /// non-aligned.
+    pub aligned: bool,
+    /// The action body.
+    pub body: ActionBody,
+}
+
+impl ActionSpec {
+    /// A partition-aligned action reading a single routing key.
+    pub fn read(
+        table: TableId,
+        key: i64,
+        body: impl FnOnce(&Database, TxnId, &WorkerCtx) -> StorageResult<Vec<Value>> + Send + 'static,
+    ) -> Self {
+        ActionSpec {
+            table,
+            keys: vec![(key, LockClass::Read)],
+            aligned: true,
+            body: Box::new(body),
+        }
+    }
+
+    /// A partition-aligned action that may modify a single routing key.
+    pub fn write(
+        table: TableId,
+        key: i64,
+        body: impl FnOnce(&Database, TxnId, &WorkerCtx) -> StorageResult<Vec<Value>> + Send + 'static,
+    ) -> Self {
+        ActionSpec {
+            table,
+            keys: vec![(key, LockClass::Write)],
+            aligned: true,
+            body: Box::new(body),
+        }
+    }
+
+    /// A partition-aligned action over several routing keys of the same
+    /// partition (e.g. a range of order lines of one order).
+    pub fn multi(
+        table: TableId,
+        keys: Vec<(i64, LockClass)>,
+        body: impl FnOnce(&Database, TxnId, &WorkerCtx) -> StorageResult<Vec<Value>> + Send + 'static,
+    ) -> Self {
+        ActionSpec {
+            table,
+            keys,
+            aligned: true,
+            body: Box::new(body),
+        }
+    }
+
+    /// A non-partition-aligned (secondary), read-only action: the table is
+    /// being probed by a field other than its routing field.
+    pub fn secondary(
+        table: TableId,
+        body: impl FnOnce(&Database, TxnId, &WorkerCtx) -> StorageResult<Vec<Value>> + Send + 'static,
+    ) -> Self {
+        ActionSpec {
+            table,
+            keys: Vec::new(),
+            aligned: false,
+            body: Box::new(body),
+        }
+    }
+
+    /// Whether the action writes any key.
+    pub fn is_write(&self) -> bool {
+        self.keys.iter().any(|(_, c)| *c == LockClass::Write)
+    }
+}
+
+impl std::fmt::Debug for ActionSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActionSpec")
+            .field("table", &self.table)
+            .field("keys", &self.keys)
+            .field("aligned", &self.aligned)
+            .finish()
+    }
+}
+
+/// A transaction flow graph: the actions of the first phase plus a generator
+/// per subsequent phase (each generator corresponds to one RVP).
+pub struct FlowGraph {
+    /// Transaction name (for statistics and the designer tools).
+    pub name: &'static str,
+    /// Actions of the first phase.
+    pub first: Vec<ActionSpec>,
+    /// Generators for subsequent phases, applied in order.
+    pub next: Vec<PhaseGen>,
+}
+
+impl FlowGraph {
+    /// Creates a flow graph with a single phase.
+    pub fn new(name: &'static str, first: Vec<ActionSpec>) -> Self {
+        FlowGraph {
+            name,
+            first,
+            next: Vec::new(),
+        }
+    }
+
+    /// Appends a phase separated from the previous one by an RVP. The
+    /// generator receives the previous phase's outputs (one vector per
+    /// action, in completion order).
+    pub fn then(
+        mut self,
+        gen: impl FnOnce(&[Vec<Value>]) -> StorageResult<Vec<ActionSpec>> + Send + 'static,
+    ) -> Self {
+        self.next.push(Box::new(gen));
+        self
+    }
+
+    /// Number of phases (1 + number of RVP-separated follow-up phases).
+    pub fn phase_count(&self) -> usize {
+        1 + self.next.len()
+    }
+
+    /// Number of actions in the first phase.
+    pub fn first_phase_len(&self) -> usize {
+        self.first.len()
+    }
+
+    /// Number of rendezvous points in the graph. Every inter-phase boundary
+    /// is an RVP, and the terminal commit/abort decision is one as well.
+    pub fn rvp_count(&self) -> usize {
+        self.next.len() + 1
+    }
+}
+
+impl std::fmt::Debug for FlowGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowGraph")
+            .field("name", &self.name)
+            .field("first", &self.first)
+            .field("later_phases", &self.next.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn action_constructors_set_intents() {
+        let r = ActionSpec::read(1, 5, |_, _, _| Ok(vec![]));
+        assert_eq!(r.keys, vec![(5, LockClass::Read)]);
+        assert!(r.aligned);
+        assert!(!r.is_write());
+
+        let w = ActionSpec::write(1, 5, |_, _, _| Ok(vec![]));
+        assert!(w.is_write());
+
+        let m = ActionSpec::multi(
+            2,
+            vec![(1, LockClass::Read), (2, LockClass::Write)],
+            |_, _, _| Ok(vec![]),
+        );
+        assert!(m.is_write());
+        assert_eq!(m.keys.len(), 2);
+
+        let s = ActionSpec::secondary(3, |_, _, _| Ok(vec![]));
+        assert!(!s.aligned);
+        assert!(s.keys.is_empty());
+        assert!(!s.is_write());
+    }
+
+    #[test]
+    fn flow_graph_phases_and_rvps() {
+        let g = FlowGraph::new(
+            "two-phase",
+            vec![ActionSpec::read(1, 1, |_, _, _| Ok(vec![Value::Int(7)]))],
+        )
+        .then(|outputs| {
+            assert_eq!(outputs.len(), 1);
+            Ok(vec![ActionSpec::write(2, 9, |_, _, _| Ok(vec![]))])
+        });
+        assert_eq!(g.phase_count(), 2);
+        assert_eq!(g.rvp_count(), 2);
+        assert_eq!(g.first_phase_len(), 1);
+        assert_eq!(g.name, "two-phase");
+        let single = FlowGraph::new("single", vec![]);
+        assert_eq!(single.phase_count(), 1);
+        assert_eq!(single.rvp_count(), 1);
+    }
+
+    #[test]
+    fn debug_output_is_informative() {
+        let g = FlowGraph::new("t", vec![ActionSpec::read(4, 2, |_, _, _| Ok(vec![]))]);
+        let s = format!("{g:?}");
+        assert!(s.contains("\"t\""));
+        assert!(s.contains("table: 4"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Partition-local lock tables.
+//!
+//! Every DORA worker thread owns one `LocalLockTable`. Because the table is
+//! accessed *only* by its owning thread, it needs no latching at all — this
+//! is the heart of the paper's argument: by making accesses predictable
+//! (thread-to-data), the lock state for a partition's records can live in a
+//! plain, uncontended data structure, and the centralized lock manager's
+//! critical sections disappear from the execution path.
+//!
+//! The table only allows an action to run when it has no conflicting
+//! accesses with actions of other in-flight transactions; an action that
+//! can execute legally here can also execute legally in the scope of the
+//! whole database, because every access to these keys is routed to this
+//! worker.
+
+use std::collections::HashMap;
+
+use dora_storage::types::{TableId, TxnId};
+
+/// Access intent declared by an action for one key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum LockClass {
+    /// The action only reads the key.
+    Read,
+    /// The action may modify the key.
+    Write,
+}
+
+impl LockClass {
+    /// Whether two concurrent accesses of these classes conflict.
+    pub fn conflicts(self, other: LockClass) -> bool {
+        matches!(
+            (self, other),
+            (LockClass::Write, _) | (_, LockClass::Write)
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct KeyState {
+    /// Transactions currently holding the key in read mode.
+    readers: Vec<TxnId>,
+    /// Transaction currently holding the key in write mode, if any.
+    writer: Option<TxnId>,
+}
+
+impl KeyState {
+    fn is_free(&self) -> bool {
+        self.readers.is_empty() && self.writer.is_none()
+    }
+}
+
+/// Statistics for one local lock table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LocalLockStats {
+    /// Lock acquisitions granted.
+    pub acquired: u64,
+    /// Acquisition attempts rejected because of a conflict (action deferred).
+    pub conflicts: u64,
+    /// Locks released.
+    pub released: u64,
+}
+
+/// A single worker's private lock table. **Not** thread-safe by design — it
+/// must only ever be touched by its owning worker thread.
+#[derive(Debug, Default)]
+pub struct LocalLockTable {
+    keys: HashMap<(TableId, i64), KeyState>,
+    stats: LocalLockStats,
+}
+
+impl LocalLockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` if `txn` could acquire every `(table, key, class)` in
+    /// `requests` simultaneously (ignoring locks it already holds).
+    pub fn can_acquire(&self, txn: TxnId, requests: &[(TableId, i64, LockClass)]) -> bool {
+        requests.iter().all(|&(table, key, class)| {
+            match self.keys.get(&(table, key)) {
+                None => true,
+                Some(state) => {
+                    let other_writer = state.writer.is_some_and(|w| w != txn);
+                    let other_readers = state.readers.iter().any(|&r| r != txn);
+                    match class {
+                        LockClass::Read => !other_writer,
+                        LockClass::Write => !other_writer && !other_readers,
+                    }
+                }
+            }
+        })
+    }
+
+    /// Atomically acquires all requests for `txn`, or none of them.
+    /// Returns `true` on success.
+    pub fn try_acquire(&mut self, txn: TxnId, requests: &[(TableId, i64, LockClass)]) -> bool {
+        if !self.can_acquire(txn, requests) {
+            self.stats.conflicts += 1;
+            return false;
+        }
+        for &(table, key, class) in requests {
+            let state = self.keys.entry((table, key)).or_default();
+            match class {
+                LockClass::Read => {
+                    if !state.readers.contains(&txn) {
+                        state.readers.push(txn);
+                    }
+                }
+                LockClass::Write => {
+                    // A transaction upgrading its own read keeps a single
+                    // write entry.
+                    state.readers.retain(|&r| r != txn);
+                    state.writer = Some(txn);
+                }
+            }
+            self.stats.acquired += 1;
+        }
+        true
+    }
+
+    /// Releases every lock held by `txn` (called when the transaction
+    /// finishes system-wide). Returns the number of released entries.
+    pub fn release_all(&mut self, txn: TxnId) -> usize {
+        let mut released = 0;
+        self.keys.retain(|_, state| {
+            let before = state.readers.len() + usize::from(state.writer.is_some());
+            state.readers.retain(|&r| r != txn);
+            if state.writer == Some(txn) {
+                state.writer = None;
+            }
+            let after = state.readers.len() + usize::from(state.writer.is_some());
+            released += before - after;
+            !state.is_free()
+        });
+        self.stats.released += released as u64;
+        released
+    }
+
+    /// Number of keys with at least one holder.
+    pub fn locked_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> LocalLockStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_class_conflicts() {
+        assert!(!LockClass::Read.conflicts(LockClass::Read));
+        assert!(LockClass::Read.conflicts(LockClass::Write));
+        assert!(LockClass::Write.conflicts(LockClass::Read));
+        assert!(LockClass::Write.conflicts(LockClass::Write));
+    }
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let mut t = LocalLockTable::new();
+        assert!(t.try_acquire(1, &[(5, 10, LockClass::Read)]));
+        assert!(t.try_acquire(2, &[(5, 10, LockClass::Read)]));
+        // Writer blocked by readers.
+        assert!(!t.try_acquire(3, &[(5, 10, LockClass::Write)]));
+        // Different key is free.
+        assert!(t.try_acquire(3, &[(5, 11, LockClass::Write)]));
+        // Reader blocked by writer.
+        assert!(!t.try_acquire(4, &[(5, 11, LockClass::Read)]));
+        assert_eq!(t.locked_keys(), 2);
+        assert_eq!(t.stats().conflicts, 2);
+    }
+
+    #[test]
+    fn acquisition_is_all_or_nothing() {
+        let mut t = LocalLockTable::new();
+        assert!(t.try_acquire(1, &[(1, 1, LockClass::Write)]));
+        // txn 2 wants keys 1 (held) and 2 (free): must get neither.
+        assert!(!t.try_acquire(2, &[(1, 2, LockClass::Write), (1, 1, LockClass::Write)]));
+        assert!(t.try_acquire(3, &[(1, 2, LockClass::Write)]), "key 2 must still be free");
+    }
+
+    #[test]
+    fn same_txn_reacquires_and_upgrades() {
+        let mut t = LocalLockTable::new();
+        assert!(t.try_acquire(1, &[(1, 5, LockClass::Read)]));
+        assert!(t.try_acquire(1, &[(1, 5, LockClass::Read)]));
+        // Upgrade own read to write while no one else holds it.
+        assert!(t.try_acquire(1, &[(1, 5, LockClass::Write)]));
+        // Other readers are now excluded.
+        assert!(!t.try_acquire(2, &[(1, 5, LockClass::Read)]));
+        // With another reader present, upgrade must fail.
+        let mut t2 = LocalLockTable::new();
+        assert!(t2.try_acquire(1, &[(1, 5, LockClass::Read)]));
+        assert!(t2.try_acquire(2, &[(1, 5, LockClass::Read)]));
+        assert!(!t2.try_acquire(1, &[(1, 5, LockClass::Write)]));
+    }
+
+    #[test]
+    fn release_unblocks_waiters() {
+        let mut t = LocalLockTable::new();
+        assert!(t.try_acquire(1, &[(1, 1, LockClass::Write), (1, 2, LockClass::Write)]));
+        assert!(!t.try_acquire(2, &[(1, 1, LockClass::Write)]));
+        assert_eq!(t.release_all(1), 2);
+        assert!(t.try_acquire(2, &[(1, 1, LockClass::Write)]));
+        assert_eq!(t.locked_keys(), 1);
+        // Releasing a transaction with no locks is a no-op.
+        assert_eq!(t.release_all(99), 0);
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut t = LocalLockTable::new();
+        t.try_acquire(1, &[(1, 1, LockClass::Read), (1, 2, LockClass::Write)]);
+        t.try_acquire(2, &[(1, 2, LockClass::Read)]);
+        t.release_all(1);
+        let s = t.stats();
+        assert_eq!(s.acquired, 2);
+        assert_eq!(s.conflicts, 1);
+        assert_eq!(s.released, 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Invariant: at any time a key has at most one writer, and never a
+        /// writer together with a foreign reader.
+        #[test]
+        fn writer_exclusivity_invariant(ops in proptest::collection::vec(
+            (1u64..6, 0i64..8, any::<bool>(), any::<bool>()), 1..200)) {
+            let mut table = LocalLockTable::new();
+            for (txn, key, write, release) in ops {
+                if release {
+                    table.release_all(txn);
+                } else {
+                    let class = if write { LockClass::Write } else { LockClass::Read };
+                    let _ = table.try_acquire(txn, &[(1, key, class)]);
+                }
+                // Check the invariant over the internal map.
+                for state in table.keys.values() {
+                    if let Some(w) = state.writer {
+                        prop_assert!(state.readers.iter().all(|&r| r == w),
+                            "foreign reader coexists with a writer");
+                    }
+                }
+            }
+        }
+    }
+}

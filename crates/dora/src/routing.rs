@@ -1,0 +1,319 @@
+//! Logical partitioning: routing rules and the routing table.
+//!
+//! DORA decomposes the database into *logical* partitions enforced by a set
+//! of routing rules, one per table. A routing rule names the routing field
+//! and a sorted list of range boundaries; each resulting key range is owned
+//! by exactly one worker thread (micro-engine). Partitions are purely
+//! logical — nothing moves on disk when the boundaries change — so the load
+//! balancer can re-partition cheaply at run time.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use dora_storage::types::TableId;
+
+/// Identifier of a partition owner: the index of a worker thread.
+pub type PartitionId = usize;
+
+/// A routing rule for one table: routing field + range boundaries + owners.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingRule {
+    /// Table the rule applies to.
+    pub table: TableId,
+    /// Column position of the routing field (must be an integer column).
+    pub field: usize,
+    /// Sorted, exclusive upper boundaries between ranges. With `n` workers
+    /// there are `n - 1` boundaries; range `i` covers
+    /// `[boundaries[i-1], boundaries[i])` (unbounded at the ends).
+    pub boundaries: Vec<i64>,
+    /// Owner worker of each range; `owners.len() == boundaries.len() + 1`.
+    pub owners: Vec<PartitionId>,
+}
+
+impl RoutingRule {
+    /// Builds a rule that splits `[key_min, key_max]` into `partitions`
+    /// equal ranges assigned round-robin to `workers` worker threads.
+    pub fn uniform(
+        table: TableId,
+        field: usize,
+        key_min: i64,
+        key_max: i64,
+        partitions: usize,
+        workers: usize,
+    ) -> Self {
+        assert!(partitions > 0 && workers > 0);
+        assert!(key_max >= key_min);
+        let span = (key_max - key_min + 1).max(1);
+        let mut boundaries = Vec::with_capacity(partitions.saturating_sub(1));
+        for i in 1..partitions {
+            boundaries.push(key_min + (span * i as i64) / partitions as i64);
+        }
+        let owners = (0..partitions).map(|i| i % workers).collect();
+        RoutingRule {
+            table,
+            field,
+            boundaries,
+            owners,
+        }
+    }
+
+    /// Number of ranges.
+    pub fn range_count(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Index of the range covering `key`.
+    pub fn range_of(&self, key: i64) -> usize {
+        self.boundaries.partition_point(|&b| b <= key)
+    }
+
+    /// Worker that owns `key`.
+    pub fn owner_of(&self, key: i64) -> PartitionId {
+        self.owners[self.range_of(key)]
+    }
+
+    /// Replaces the boundaries, keeping the same owner list length by
+    /// reassigning ranges round-robin over the previous set of distinct
+    /// owners. Used by the load balancer when it recomputes an even split.
+    pub fn set_boundaries(&mut self, boundaries: Vec<i64>) {
+        assert!(boundaries.windows(2).all(|w| w[0] <= w[1]), "boundaries must be sorted");
+        let workers = self.distinct_owners();
+        let nworkers = workers.len().max(1);
+        self.owners = (0..boundaries.len() + 1)
+            .map(|i| workers.get(i % nworkers).copied().unwrap_or(0))
+            .collect();
+        self.boundaries = boundaries;
+    }
+
+    /// The distinct workers that own at least one range, in first-seen order.
+    pub fn distinct_owners(&self) -> Vec<PartitionId> {
+        let mut seen = Vec::new();
+        for &o in &self.owners {
+            if !seen.contains(&o) {
+                seen.push(o);
+            }
+        }
+        seen
+    }
+
+    /// Splits range `idx` at `split_key`, assigning the new right half to
+    /// `new_owner`. Used when a single range becomes a hot spot.
+    pub fn split_range(&mut self, idx: usize, split_key: i64, new_owner: PartitionId) {
+        assert!(idx < self.owners.len());
+        self.boundaries.insert(idx, split_key);
+        self.owners.insert(idx + 1, new_owner);
+    }
+
+    /// Merges range `idx` with the range to its right (they become one range
+    /// owned by the owner of the left range). Used to coalesce idle ranges.
+    pub fn merge_with_next(&mut self, idx: usize) {
+        assert!(idx + 1 < self.owners.len(), "no next range to merge with");
+        self.boundaries.remove(idx);
+        self.owners.remove(idx + 1);
+    }
+}
+
+/// The complete routing configuration: one rule per routed table.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoutingTable {
+    rules: HashMap<TableId, RoutingRule>,
+}
+
+impl RoutingTable {
+    /// Creates an empty routing table.
+    pub fn new() -> Self {
+        RoutingTable {
+            rules: HashMap::new(),
+        }
+    }
+
+    /// Adds or replaces the rule for a table.
+    pub fn set_rule(&mut self, rule: RoutingRule) {
+        self.rules.insert(rule.table, rule);
+    }
+
+    /// The rule for a table, if routed.
+    pub fn rule(&self, table: TableId) -> Option<&RoutingRule> {
+        self.rules.get(&table)
+    }
+
+    /// Mutable access to the rule for a table.
+    pub fn rule_mut(&mut self, table: TableId) -> Option<&mut RoutingRule> {
+        self.rules.get_mut(&table)
+    }
+
+    /// Worker owning `key` of `table`. Unrouted tables fall back to worker 0
+    /// (they behave like a single-partition table).
+    pub fn owner_of(&self, table: TableId, key: i64) -> PartitionId {
+        self.rules
+            .get(&table)
+            .map(|r| r.owner_of(key))
+            .unwrap_or(0)
+    }
+
+    /// Whether routing the given column of the table would be
+    /// partition-aligned (i.e. the column *is* the routing field).
+    pub fn is_aligned(&self, table: TableId, column: usize) -> bool {
+        self.rules
+            .get(&table)
+            .map(|r| r.field == column)
+            .unwrap_or(false)
+    }
+
+    /// All routed tables.
+    pub fn tables(&self) -> Vec<TableId> {
+        let mut t: Vec<TableId> = self.rules.keys().copied().collect();
+        t.sort_unstable();
+        t
+    }
+
+    /// Number of routed tables.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no table is routed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_rule_covers_domain_evenly() {
+        let r = RoutingRule::uniform(1, 0, 0, 99, 4, 4);
+        assert_eq!(r.range_count(), 4);
+        assert_eq!(r.boundaries, vec![25, 50, 75]);
+        assert_eq!(r.owner_of(0), 0);
+        assert_eq!(r.owner_of(24), 0);
+        assert_eq!(r.owner_of(25), 1);
+        assert_eq!(r.owner_of(60), 2);
+        assert_eq!(r.owner_of(99), 3);
+        // Keys outside the declared domain still route deterministically.
+        assert_eq!(r.owner_of(-5), 0);
+        assert_eq!(r.owner_of(1000), 3);
+    }
+
+    #[test]
+    fn more_partitions_than_workers_round_robin() {
+        let r = RoutingRule::uniform(1, 0, 0, 79, 8, 4);
+        assert_eq!(r.range_count(), 8);
+        assert_eq!(r.distinct_owners(), vec![0, 1, 2, 3]);
+        assert_eq!(r.owner_of(0), 0);
+        assert_eq!(r.owner_of(45), (45 / 10) % 4);
+    }
+
+    #[test]
+    fn split_and_merge() {
+        let mut r = RoutingRule::uniform(1, 0, 0, 99, 2, 2);
+        assert_eq!(r.boundaries, vec![50]);
+        // Worker 0's range [0, 50) is hot around 20: split it.
+        r.split_range(0, 20, 1);
+        assert_eq!(r.boundaries, vec![20, 50]);
+        assert_eq!(r.owner_of(10), 0);
+        assert_eq!(r.owner_of(30), 1);
+        assert_eq!(r.owner_of(70), 1);
+        // Merge the last two back.
+        r.merge_with_next(1);
+        assert_eq!(r.boundaries, vec![20]);
+        assert_eq!(r.owner_of(70), 1);
+    }
+
+    #[test]
+    fn set_boundaries_reassigns_round_robin() {
+        let mut r = RoutingRule::uniform(1, 0, 0, 99, 4, 4);
+        r.set_boundaries(vec![10, 20, 30]);
+        assert_eq!(r.range_count(), 4);
+        assert_eq!(r.distinct_owners().len(), 4);
+        assert_eq!(r.owner_of(5), 0);
+        assert_eq!(r.owner_of(15), 1);
+        assert_eq!(r.owner_of(25), 2);
+        assert_eq!(r.owner_of(95), 3);
+    }
+
+    #[test]
+    fn routing_table_lookup_and_alignment() {
+        let mut rt = RoutingTable::new();
+        rt.set_rule(RoutingRule::uniform(7, 0, 0, 999, 4, 4));
+        rt.set_rule(RoutingRule::uniform(8, 2, 0, 999, 4, 4));
+        assert_eq!(rt.len(), 2);
+        assert!(!rt.is_empty());
+        assert_eq!(rt.tables(), vec![7, 8]);
+        assert_eq!(rt.owner_of(7, 600), 2);
+        // Unrouted table routes to worker 0.
+        assert_eq!(rt.owner_of(99, 600), 0);
+        assert!(rt.is_aligned(7, 0));
+        assert!(!rt.is_aligned(7, 1));
+        assert!(rt.is_aligned(8, 2));
+        assert!(!rt.is_aligned(99, 0));
+        // Rules can be mutated in place.
+        rt.rule_mut(7).unwrap().split_range(0, 100, 1);
+        assert_eq!(rt.rule(7).unwrap().range_count(), 5);
+    }
+
+    #[test]
+    fn every_key_has_exactly_one_owner() {
+        let r = RoutingRule::uniform(1, 0, 0, 9999, 7, 3);
+        for key in (0..10_000).step_by(13) {
+            let owner = r.owner_of(key);
+            assert!(owner < 3);
+            // Owner is stable.
+            assert_eq!(owner, r.owner_of(key));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Routing is a total function: every key maps to exactly one range
+        /// whose owner is a valid worker, and range boundaries are honored.
+        #[test]
+        fn routing_is_total_and_consistent(
+            key in -10_000i64..10_000,
+            partitions in 1usize..16,
+            workers in 1usize..8,
+        ) {
+            let r = RoutingRule::uniform(1, 0, 0, 999, partitions, workers);
+            let range = r.range_of(key);
+            prop_assert!(range < r.range_count());
+            prop_assert!(r.owner_of(key) < workers);
+            if range > 0 {
+                prop_assert!(key >= r.boundaries[range - 1]);
+            }
+            if range < r.boundaries.len() {
+                prop_assert!(key < r.boundaries[range]);
+            }
+        }
+
+        /// Splitting a range never changes the owner of keys outside it and
+        /// keys inside it map to either the old or the new owner.
+        #[test]
+        fn split_preserves_other_ranges(split_key in 1i64..998) {
+            let mut r = RoutingRule::uniform(1, 0, 0, 999, 4, 4);
+            let idx = r.range_of(split_key);
+            let old_owner = r.owners[idx];
+            let mut expected: Vec<(i64, PartitionId)> = Vec::new();
+            for k in (0..1000).step_by(37) {
+                expected.push((k, r.owner_of(k)));
+            }
+            r.split_range(idx, split_key, 99);
+            for (k, owner) in expected {
+                let now = r.owner_of(k);
+                let in_split_range = r.range_of(k) == idx + 1 || r.range_of(k) == idx;
+                if in_split_range {
+                    prop_assert!(now == owner || now == 99 || now == old_owner);
+                } else {
+                    prop_assert_eq!(now, owner);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # dora-engine-conv
+//!
+//! The **conventional** OLTP execution engine used as the baseline
+//! throughout the paper: work is assigned thread-to-transaction, every
+//! record access goes through the centralized lock manager of the shared
+//! storage substrate, and scalability is ultimately limited by the critical
+//! sections executed inside that lock manager.
+//!
+//! The engine exposes the same "submit a transaction, get an outcome"
+//! surface as the DORA engine in `dora-core`, so the workload drivers and
+//! the benchmark harness can drive both systems identically — which is
+//! exactly how the demo's side-by-side "Live Systems" comparison works.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod stats;
+
+pub use engine::{ConvEngine, ConvEngineConfig, TxnBody, TxnOutcome, TxnRequest, CONV_POLICY};
+pub use stats::{EngineStats, EngineStatsSnapshot, WorkerStats, WorkerStatsSnapshot};

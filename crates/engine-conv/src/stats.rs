@@ -1,0 +1,112 @@
+//! Execution-engine statistics shared by the monitoring panel and the
+//! benchmark harness.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Per-worker counters (one instance per worker thread; written only by its
+/// owner, read by the monitor).
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Transactions (or actions) executed by this worker.
+    pub executed: AtomicU64,
+    /// Nanoseconds spent executing work (as opposed to waiting for input).
+    pub busy_ns: AtomicU64,
+}
+
+/// Snapshot of one worker's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerStatsSnapshot {
+    /// Transactions (or actions) executed by this worker.
+    pub executed: u64,
+    /// Nanoseconds spent executing work.
+    pub busy_ns: u64,
+}
+
+impl WorkerStats {
+    /// Snapshot of the counters.
+    pub fn snapshot(&self) -> WorkerStatsSnapshot {
+        WorkerStatsSnapshot {
+            executed: self.executed.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Engine-wide counters.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    /// Transactions committed.
+    pub committed: AtomicU64,
+    /// Transactions aborted (after exhausting retries or non-retryable).
+    pub aborted: AtomicU64,
+    /// Retries caused by deadlocks or lock timeouts.
+    pub retries: AtomicU64,
+}
+
+/// Snapshot of engine-wide counters plus per-worker breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineStatsSnapshot {
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted.
+    pub aborted: u64,
+    /// Deadlock/timeout retries.
+    pub retries: u64,
+    /// Per-worker counters.
+    pub workers: Vec<WorkerStatsSnapshot>,
+}
+
+impl EngineStatsSnapshot {
+    /// Utilization per worker over a wall-clock window of `window_ns`:
+    /// busy time divided by the window, clamped to `[0, 1]`.
+    pub fn utilization(&self, window_ns: u64) -> Vec<f64> {
+        self.workers
+            .iter()
+            .map(|w| {
+                if window_ns == 0 {
+                    0.0
+                } else {
+                    (w.busy_ns as f64 / window_ns as f64).min(1.0)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_copy_counters() {
+        let w = WorkerStats::default();
+        w.executed.store(5, Ordering::Relaxed);
+        w.busy_ns.store(100, Ordering::Relaxed);
+        assert_eq!(
+            w.snapshot(),
+            WorkerStatsSnapshot {
+                executed: 5,
+                busy_ns: 100
+            }
+        );
+    }
+
+    #[test]
+    fn utilization_is_clamped() {
+        let snap = EngineStatsSnapshot {
+            committed: 0,
+            aborted: 0,
+            retries: 0,
+            workers: vec![
+                WorkerStatsSnapshot { executed: 1, busy_ns: 50 },
+                WorkerStatsSnapshot { executed: 1, busy_ns: 500 },
+            ],
+        };
+        let u = snap.utilization(100);
+        assert!((u[0] - 0.5).abs() < 1e-9);
+        assert!((u[1] - 1.0).abs() < 1e-9);
+        assert_eq!(snap.utilization(0), vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,553 @@
+//! B+-tree access method.
+//!
+//! The storage manager's ordered access method, used for every primary and
+//! secondary index. Keys are composite [`Key`] values; entries map a key to
+//! a [`RecordId`] in the table's heap file. Duplicate keys are allowed (for
+//! non-unique secondary indexes); uniqueness is enforced one level up by the
+//! database facade.
+//!
+//! Concurrency: the tree is guarded by a single reader-writer latch. The
+//! paper's scalability argument concerns the *lock manager*, not index
+//! latching (Shore-MT already fixed index latching), so a coarse latch keeps
+//! this substrate simple while preserving the contention profile that
+//! matters: reads (the vast majority of index traffic in TATP/TPC-C probes)
+//! proceed in parallel.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::RwLock;
+
+use crate::types::{Key, RecordId, Value};
+
+/// Maximum number of entries/keys per node before it splits.
+const DEFAULT_ORDER: usize = 64;
+
+enum Node {
+    Leaf {
+        entries: Vec<(Key, RecordId)>,
+    },
+    Internal {
+        keys: Vec<Key>,
+        children: Vec<Node>,
+    },
+}
+
+impl Node {
+    fn new_leaf() -> Node {
+        Node::Leaf {
+            entries: Vec::new(),
+        }
+    }
+}
+
+/// A B+-tree index over composite keys.
+pub struct BPlusTree {
+    root: RwLock<Node>,
+    order: usize,
+    len: AtomicUsize,
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BPlusTree {
+    /// Creates an empty tree with the default node order.
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// Creates an empty tree with a custom node order (minimum 4); small
+    /// orders are useful in tests to force deep trees.
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 4, "order must be at least 4");
+        BPlusTree {
+            root: RwLock::new(Node::new_leaf()),
+            order,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of entries in the tree.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts an entry. Duplicate keys are allowed.
+    pub fn insert(&self, key: Key, rid: RecordId) {
+        let mut root = self.root.write();
+        if let Some((sep, right)) = Self::insert_rec(&mut root, key, rid, self.order) {
+            // Root split: grow the tree by one level.
+            let old_root = std::mem::replace(&mut *root, Node::new_leaf());
+            *root = Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            };
+        }
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Removes one entry matching `(key, rid)`. Returns true if found.
+    ///
+    /// Underflowing nodes are not rebalanced (lazy deletion, as in many
+    /// production trees); the tree stays correct, only possibly less dense.
+    pub fn remove(&self, key: &[Value], rid: RecordId) -> bool {
+        let mut root = self.root.write();
+        let removed = Self::remove_rec(&mut root, key, rid);
+        if removed {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Returns every record id stored under `key`.
+    pub fn get(&self, key: &[Value]) -> Vec<RecordId> {
+        let mut out = Vec::new();
+        let root = self.root.read();
+        Self::visit_from(&root, Some(key), &mut |k, rid| {
+            match k.as_slice().cmp(key) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => {
+                    out.push(*rid);
+                    true
+                }
+                std::cmp::Ordering::Greater => false,
+            }
+        });
+        out
+    }
+
+    /// Returns the first record id stored under `key` (useful for unique
+    /// indexes).
+    pub fn get_first(&self, key: &[Value]) -> Option<RecordId> {
+        self.get(key).into_iter().next()
+    }
+
+    /// True when at least one entry exists under `key`.
+    pub fn contains_key(&self, key: &[Value]) -> bool {
+        self.get_first(key).is_some()
+    }
+
+    /// Returns all entries with `lo <= key <= hi`, in key order.
+    pub fn range(&self, lo: &[Value], hi: &[Value]) -> Vec<(Key, RecordId)> {
+        let mut out = Vec::new();
+        let root = self.root.read();
+        Self::visit_from(&root, Some(lo), &mut |k, rid| {
+            if k.as_slice().cmp(hi) == std::cmp::Ordering::Greater {
+                false
+            } else {
+                if k.as_slice().cmp(lo) != std::cmp::Ordering::Less {
+                    out.push((k.clone(), *rid));
+                }
+                true
+            }
+        });
+        out
+    }
+
+    /// Returns all entries whose key starts with `prefix`, in key order.
+    /// Used for composite-key probes such as "all call-forwarding rows of a
+    /// subscriber".
+    pub fn scan_prefix(&self, prefix: &[Value]) -> Vec<(Key, RecordId)> {
+        let mut out = Vec::new();
+        let root = self.root.read();
+        Self::visit_from(&root, Some(prefix), &mut |k, rid| {
+            if k.len() >= prefix.len() && &k[..prefix.len()] == prefix {
+                out.push((k.clone(), *rid));
+                true
+            } else {
+                // Keys are sorted: once past the prefix region, stop.
+                k.as_slice().cmp(prefix) == std::cmp::Ordering::Less
+            }
+        });
+        out
+    }
+
+    /// Returns every entry in key order (used by loaders/verification).
+    pub fn scan_all(&self) -> Vec<(Key, RecordId)> {
+        let mut out = Vec::new();
+        let root = self.root.read();
+        Self::visit_from(&root, None, &mut |k, rid| {
+            out.push((k.clone(), *rid));
+            true
+        });
+        out
+    }
+
+    /// Height of the tree (1 for a lone leaf). Exposed for tests and the
+    /// physical-design advisor's cost model.
+    pub fn height(&self) -> usize {
+        let root = self.root.read();
+        let mut h = 1;
+        let mut node = &*root;
+        loop {
+            match node {
+                Node::Leaf { .. } => return h,
+                Node::Internal { children, .. } => {
+                    h += 1;
+                    node = &children[0];
+                }
+            }
+        }
+    }
+
+    // --- internal recursion ---------------------------------------------
+
+    fn child_index(keys: &[Key], key: &[Value]) -> usize {
+        // Entries equal to a separator live in the right child.
+        keys.partition_point(|k| k.as_slice() <= key)
+    }
+
+    fn insert_rec(node: &mut Node, key: Key, rid: RecordId, order: usize) -> Option<(Key, Node)> {
+        match node {
+            Node::Leaf { entries } => {
+                let pos = entries.partition_point(|(k, _)| k.as_slice() <= key.as_slice());
+                entries.insert(pos, (key, rid));
+                if entries.len() > order {
+                    let mid = entries.len() / 2;
+                    let right_entries = entries.split_off(mid);
+                    let sep = right_entries[0].0.clone();
+                    Some((
+                        sep,
+                        Node::Leaf {
+                            entries: right_entries,
+                        },
+                    ))
+                } else {
+                    None
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = Self::child_index(keys, &key);
+                let split = Self::insert_rec(&mut children[idx], key, rid, order);
+                if let Some((sep, right)) = split {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                    if keys.len() > order {
+                        let mid = keys.len() / 2;
+                        let promoted = keys[mid].clone();
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // drop the promoted key from the left node
+                        let right_children = children.split_off(mid + 1);
+                        return Some((
+                            promoted,
+                            Node::Internal {
+                                keys: right_keys,
+                                children: right_children,
+                            },
+                        ));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    fn remove_rec(node: &mut Node, key: &[Value], rid: RecordId) -> bool {
+        match node {
+            Node::Leaf { entries } => {
+                if let Some(pos) = entries
+                    .iter()
+                    .position(|(k, r)| k.as_slice() == key && *r == rid)
+                {
+                    entries.remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
+            Node::Internal { keys, children } => {
+                // Duplicates of `key` may straddle one or more separators
+                // equal to `key`, so every child whose key range can contain
+                // `key` must be searched: from the first separator >= key
+                // (strict lower bound) through the canonical child.
+                let first = keys.partition_point(|k| k.as_slice() < key);
+                let last = Self::child_index(keys, key);
+                for idx in first..=last {
+                    if Self::remove_rec(&mut children[idx], key, rid) {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// In-order visit of entries with key >= `lo` (or all when `lo` is
+    /// `None`). The visitor returns `false` to stop the traversal; the
+    /// function returns `false` when the traversal was stopped.
+    fn visit_from(
+        node: &Node,
+        lo: Option<&[Value]>,
+        f: &mut impl FnMut(&Key, &RecordId) -> bool,
+    ) -> bool {
+        match node {
+            Node::Leaf { entries } => {
+                let start = match lo {
+                    Some(lo) => entries.partition_point(|(k, _)| k.as_slice() < lo),
+                    None => 0,
+                };
+                for (k, rid) in &entries[start..] {
+                    if !f(k, rid) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Node::Internal { keys, children } => {
+                // Use a strict bound so that duplicates equal to a separator
+                // that were left in the separator's left child (possible
+                // after a split in the middle of a duplicate run) are still
+                // visited.
+                let start = match lo {
+                    Some(lo) => keys.partition_point(|k| k.as_slice() < lo),
+                    None => 0,
+                };
+                for child in &children[start.min(children.len() - 1)..] {
+                    if !Self::visit_from(child, lo, f) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(v: i64) -> Key {
+        vec![Value::BigInt(v)]
+    }
+
+    fn rid(n: u64) -> RecordId {
+        RecordId::new(n, 0)
+    }
+
+    #[test]
+    fn insert_and_get_single_level() {
+        let t = BPlusTree::new();
+        t.insert(k(5), rid(5));
+        t.insert(k(1), rid(1));
+        t.insert(k(9), rid(9));
+        assert_eq!(t.get(&k(5)), vec![rid(5)]);
+        assert_eq!(t.get(&k(2)), Vec::<RecordId>::new());
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!(t.contains_key(&k(1)));
+        assert!(!t.contains_key(&k(2)));
+    }
+
+    #[test]
+    fn splits_produce_correct_lookups() {
+        let t = BPlusTree::with_order(4);
+        for i in 0..1000i64 {
+            t.insert(k(i), rid(i as u64));
+        }
+        assert!(t.height() > 2, "tree should have split multiple levels");
+        for i in 0..1000i64 {
+            assert_eq!(t.get(&k(i)), vec![rid(i as u64)], "key {i}");
+        }
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn reverse_and_random_insert_order() {
+        let t = BPlusTree::with_order(4);
+        let mut keys: Vec<i64> = (0..500).collect();
+        // Deterministic shuffle.
+        keys.sort_by_key(|v| (v * 2654435761i64) % 500);
+        for &i in &keys {
+            t.insert(k(i), rid(i as u64));
+        }
+        let all = t.scan_all();
+        assert_eq!(all.len(), 500);
+        // scan_all returns sorted order
+        for w in all.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_supported() {
+        let t = BPlusTree::with_order(4);
+        for i in 0..50u64 {
+            t.insert(k(7), rid(i));
+        }
+        t.insert(k(6), rid(100));
+        t.insert(k(8), rid(101));
+        let got = t.get(&k(7));
+        assert_eq!(got.len(), 50);
+        assert_eq!(t.get(&k(6)), vec![rid(100)]);
+    }
+
+    #[test]
+    fn remove_specific_duplicate() {
+        let t = BPlusTree::with_order(4);
+        for i in 0..20u64 {
+            t.insert(k(3), rid(i));
+        }
+        assert!(t.remove(&k(3), rid(10)));
+        assert!(!t.remove(&k(3), rid(10)));
+        assert_eq!(t.get(&k(3)).len(), 19);
+        assert!(!t.get(&k(3)).contains(&rid(10)));
+        assert_eq!(t.len(), 19);
+    }
+
+    #[test]
+    fn remove_across_deep_tree() {
+        let t = BPlusTree::with_order(4);
+        for i in 0..300i64 {
+            t.insert(k(i), rid(i as u64));
+        }
+        for i in (0..300i64).step_by(3) {
+            assert!(t.remove(&k(i), rid(i as u64)), "remove {i}");
+        }
+        for i in 0..300i64 {
+            let expect = if i % 3 == 0 { 0 } else { 1 };
+            assert_eq!(t.get(&k(i)).len(), expect, "key {i}");
+        }
+    }
+
+    #[test]
+    fn range_scan_inclusive() {
+        let t = BPlusTree::with_order(4);
+        for i in 0..100i64 {
+            t.insert(k(i), rid(i as u64));
+        }
+        let r = t.range(&k(10), &k(20));
+        assert_eq!(r.len(), 11);
+        assert_eq!(r.first().unwrap().0, k(10));
+        assert_eq!(r.last().unwrap().0, k(20));
+        // Empty range
+        assert!(t.range(&k(200), &k(300)).is_empty());
+        // Single point
+        assert_eq!(t.range(&k(5), &k(5)).len(), 1);
+    }
+
+    #[test]
+    fn composite_key_prefix_scan() {
+        let t = BPlusTree::with_order(4);
+        // (s_id, sf_type, start_time) like TATP call_forwarding.
+        for s_id in 0..20i64 {
+            for sf in 1..=4i32 {
+                for st in [0i32, 8, 16] {
+                    t.insert(
+                        vec![Value::BigInt(s_id), Value::Int(sf), Value::Int(st)],
+                        rid((s_id * 100 + sf as i64 * 10 + st as i64) as u64),
+                    );
+                }
+            }
+        }
+        let p = t.scan_prefix(&[Value::BigInt(7)]);
+        assert_eq!(p.len(), 12);
+        assert!(p.iter().all(|(key, _)| key[0] == Value::BigInt(7)));
+        let p2 = t.scan_prefix(&[Value::BigInt(7), Value::Int(2)]);
+        assert_eq!(p2.len(), 3);
+        let p3 = t.scan_prefix(&[Value::BigInt(999)]);
+        assert!(p3.is_empty());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        use std::sync::Arc;
+        let t = Arc::new(BPlusTree::new());
+        for i in 0..1000i64 {
+            t.insert(k(i), rid(i as u64));
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000i64 {
+                    assert!(!t.get(&k(i % 1000)).is_empty());
+                }
+            }));
+        }
+        let tw = t.clone();
+        handles.push(std::thread::spawn(move || {
+            for i in 1000..2000i64 {
+                tw.insert(k(i), rid(i as u64));
+            }
+        }));
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), 2000);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    proptest! {
+        /// The B+-tree agrees with a reference BTreeMap<i64, Vec<u64>> under
+        /// random insert/remove/lookup sequences.
+        #[test]
+        fn agrees_with_reference_map(ops in proptest::collection::vec(
+            (0u8..3, 0i64..200, 0u64..50), 1..300)) {
+            let tree = BPlusTree::with_order(4);
+            let mut model: BTreeMap<i64, Vec<u64>> = BTreeMap::new();
+            for (op, key, rid_n) in ops {
+                let key_v = vec![Value::BigInt(key)];
+                let rid = RecordId::new(rid_n, 0);
+                match op {
+                    0 => {
+                        tree.insert(key_v.clone(), rid);
+                        model.entry(key).or_default().push(rid_n);
+                    }
+                    1 => {
+                        let removed = tree.remove(&key_v, rid);
+                        let model_removed = if let Some(v) = model.get_mut(&key) {
+                            if let Some(p) = v.iter().position(|&x| x == rid_n) {
+                                v.remove(p);
+                                if v.is_empty() { model.remove(&key); }
+                                true
+                            } else { false }
+                        } else { false };
+                        prop_assert_eq!(removed, model_removed);
+                    }
+                    _ => {
+                        let mut got: Vec<u64> = tree.get(&key_v).into_iter().map(|r| r.page).collect();
+                        got.sort_unstable();
+                        let mut want = model.get(&key).cloned().unwrap_or_default();
+                        want.sort_unstable();
+                        prop_assert_eq!(got, want);
+                    }
+                }
+            }
+            let total: usize = model.values().map(|v| v.len()).sum();
+            prop_assert_eq!(tree.len(), total);
+        }
+
+        /// Range scans return exactly the keys in [lo, hi], sorted.
+        #[test]
+        fn range_scan_matches_reference(keys in proptest::collection::btree_set(0i64..500, 0..200),
+                                        lo in 0i64..500, hi in 0i64..500) {
+            let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+            let tree = BPlusTree::with_order(4);
+            for &kk in &keys {
+                tree.insert(vec![Value::BigInt(kk)], RecordId::new(kk as u64, 0));
+            }
+            let got: Vec<i64> = tree
+                .range(&[Value::BigInt(lo)], &[Value::BigInt(hi)])
+                .into_iter()
+                .map(|(k, _)| k[0].as_i64().unwrap())
+                .collect();
+            let want: Vec<i64> = keys.iter().copied().filter(|&x| x >= lo && x <= hi).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,1011 @@
+//! The database facade: catalog + heap files + indexes + lock manager +
+//! write-ahead log + transaction manager behind one handle.
+//!
+//! Both execution engines operate on this type. The only difference between
+//! them at this layer is the [`LockingPolicy`] they pass: the conventional
+//! engine uses `Centralized` (hierarchical 2PL through the shared lock
+//! manager), while DORA passes `Bypass` because isolation is already
+//! guaranteed by the partition-local lock tables of its worker threads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use crate::btree::BPlusTree;
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::heap::{HeapFile, UpdateOutcome};
+use crate::lock::{LockManager, LockMode, LockStatsSnapshot, LockTarget};
+use crate::schema::{Catalog, TableSchema};
+use crate::tuple;
+use crate::txn::{TxnManager, TxnState, UndoEntry};
+use crate::types::{IndexId, Key, RecordId, TableId, TxnId, Value};
+use crate::wal::{LogManager, LogPayload, LogStatsSnapshot};
+
+/// How an operation should interact with the centralized lock manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockingPolicy {
+    /// Acquire hierarchical locks through the centralized lock manager
+    /// (conventional thread-to-transaction execution).
+    Centralized,
+    /// Skip the centralized lock manager entirely (DORA: isolation comes
+    /// from partition-local lock tables).
+    Bypass,
+}
+
+/// Construction parameters for a [`Database`].
+#[derive(Debug, Clone)]
+pub struct DatabaseConfig {
+    /// Number of buffer-pool frames.
+    pub buffer_frames: usize,
+    /// Number of latch-protected buckets in the centralized lock manager.
+    pub lock_buckets: usize,
+    /// How long a lock request may wait before timing out.
+    pub lock_timeout: Duration,
+}
+
+impl Default for DatabaseConfig {
+    fn default() -> Self {
+        DatabaseConfig {
+            buffer_frames: 4096,
+            lock_buckets: 64,
+            lock_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Simple operation counters for the monitoring panel.
+#[derive(Debug, Default)]
+pub struct DbCounters {
+    /// Row reads served.
+    pub reads: AtomicU64,
+    /// Row inserts.
+    pub inserts: AtomicU64,
+    /// Row updates.
+    pub updates: AtomicU64,
+    /// Row deletes.
+    pub deletes: AtomicU64,
+    /// Transactions committed.
+    pub commits: AtomicU64,
+    /// Transactions aborted.
+    pub aborts: AtomicU64,
+}
+
+/// Point-in-time copy of [`DbCounters`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DbCountersSnapshot {
+    /// Row reads served.
+    pub reads: u64,
+    /// Row inserts.
+    pub inserts: u64,
+    /// Row updates.
+    pub updates: u64,
+    /// Row deletes.
+    pub deletes: u64,
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted.
+    pub aborts: u64,
+}
+
+/// The storage-manager facade.
+pub struct Database {
+    catalog: RwLock<Catalog>,
+    buffer: Arc<BufferPool>,
+    heaps: RwLock<HashMap<TableId, Arc<HeapFile>>>,
+    trees: RwLock<HashMap<IndexId, Arc<BPlusTree>>>,
+    lock_mgr: Arc<LockManager>,
+    log: Arc<LogManager>,
+    txns: TxnManager,
+    counters: DbCounters,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new(DatabaseConfig::default())
+    }
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new(config: DatabaseConfig) -> Self {
+        Database {
+            catalog: RwLock::new(Catalog::new()),
+            buffer: Arc::new(BufferPool::in_memory(config.buffer_frames)),
+            heaps: RwLock::new(HashMap::new()),
+            trees: RwLock::new(HashMap::new()),
+            lock_mgr: Arc::new(LockManager::with_config(
+                config.lock_buckets,
+                config.lock_timeout,
+            )),
+            log: Arc::new(LogManager::new()),
+            txns: TxnManager::new(),
+            counters: DbCounters::default(),
+        }
+    }
+
+    // --- schema management ------------------------------------------------
+
+    /// Creates a table together with its primary index.
+    pub fn create_table(&self, schema: TableSchema) -> StorageResult<TableId> {
+        let pk = schema.primary_key.clone();
+        let name = schema.name.clone();
+        let table = self.catalog.write().add_table(schema)?;
+        let index = self
+            .catalog
+            .write()
+            .add_index(format!("pk_{name}"), table, pk, true, true)?;
+        self.heaps
+            .write()
+            .insert(table, Arc::new(HeapFile::new(table, self.buffer.clone())));
+        self.trees.write().insert(index, Arc::new(BPlusTree::new()));
+        Ok(table)
+    }
+
+    /// Creates a secondary index and back-fills it from existing rows.
+    pub fn create_secondary_index(
+        &self,
+        table: TableId,
+        name: impl Into<String>,
+        key_columns: Vec<usize>,
+        unique: bool,
+    ) -> StorageResult<IndexId> {
+        let index = self
+            .catalog
+            .write()
+            .add_index(name, table, key_columns.clone(), unique, false)?;
+        let tree = Arc::new(BPlusTree::new());
+        // Back-fill from the heap.
+        let heap = self.heap(table)?;
+        for (rid, bytes) in heap.scan()? {
+            let values = tuple::decode(&bytes)?;
+            let key: Key = key_columns.iter().map(|&c| values[c].clone()).collect();
+            tree.insert(key, rid);
+        }
+        self.trees.write().insert(index, tree);
+        Ok(index)
+    }
+
+    /// Resolves a table name to its id.
+    pub fn table_id(&self, name: &str) -> StorageResult<TableId> {
+        Ok(self.catalog.read().table_by_name(name)?.id)
+    }
+
+    /// Returns a clone of a table's schema.
+    pub fn schema(&self, table: TableId) -> StorageResult<TableSchema> {
+        Ok(self.catalog.read().table(table)?.schema.clone())
+    }
+
+    /// Runs `f` with read access to the catalog.
+    pub fn with_catalog<R>(&self, f: impl FnOnce(&Catalog) -> R) -> R {
+        f(&self.catalog.read())
+    }
+
+    /// Id of the secondary index with the given name, if any.
+    pub fn index_id(&self, table: TableId, name: &str) -> Option<IndexId> {
+        let catalog = self.catalog.read();
+        catalog
+            .table(table)
+            .ok()?
+            .indexes
+            .iter()
+            .filter_map(|i| catalog.index(*i).ok())
+            .find(|d| d.name == name)
+            .map(|d| d.id)
+    }
+
+    // --- transaction lifecycle ---------------------------------------------
+
+    /// Starts a transaction.
+    pub fn begin(&self) -> TxnId {
+        let txn = self.txns.begin();
+        self.log.append(txn, LogPayload::Begin);
+        txn
+    }
+
+    /// Commits a transaction: forces the log and releases its locks.
+    pub fn commit(&self, txn: TxnId) -> StorageResult<()> {
+        self.txns.check_active(txn)?;
+        let lsn = self.log.append(txn, LogPayload::Commit);
+        self.log.force(lsn);
+        self.txns.mark_committed(txn)?;
+        self.lock_mgr.unlock_all(txn);
+        self.counters.commits.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Aborts a transaction: applies its undo log, then releases its locks.
+    pub fn abort(&self, txn: TxnId) -> StorageResult<()> {
+        self.txns.check_active(txn)?;
+        let undo = self.txns.mark_aborted(txn)?;
+        for entry in undo {
+            self.apply_undo(&entry)?;
+        }
+        self.log.append(txn, LogPayload::Abort);
+        self.lock_mgr.unlock_all(txn);
+        self.counters.aborts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// State of a transaction, if known.
+    pub fn txn_state(&self, txn: TxnId) -> Option<TxnState> {
+        self.txns.state(txn)
+    }
+
+    // --- data operations ----------------------------------------------------
+
+    /// Inserts a row.
+    pub fn insert(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        values: Vec<Value>,
+        policy: LockingPolicy,
+    ) -> StorageResult<RecordId> {
+        self.txns.check_active(txn)?;
+        let schema = self.schema(table)?;
+        schema.validate(&values)?;
+        let key = schema.primary_key_of(&values);
+        if policy == LockingPolicy::Centralized {
+            self.lock_mgr
+                .lock(txn, LockTarget::Table(table), LockMode::IX)?;
+            self.lock_mgr
+                .lock(txn, LockTarget::Key(table, key.clone()), LockMode::X)?;
+        }
+        let primary = self.primary_tree(table)?;
+        if primary.contains_key(&key) {
+            return Err(StorageError::DuplicateKey(format!(
+                "{}: {:?}",
+                schema.name, key
+            )));
+        }
+        // Unique secondary indexes.
+        for (idx_id, cols, unique) in self.secondary_defs(table) {
+            if unique {
+                let skey: Key = cols.iter().map(|&c| values[c].clone()).collect();
+                if self.tree(idx_id)?.contains_key(&skey) {
+                    return Err(StorageError::DuplicateKey(format!(
+                        "unique secondary index {idx_id}: {skey:?}"
+                    )));
+                }
+            }
+        }
+        self.log.append(
+            txn,
+            LogPayload::Insert {
+                table,
+                key: key.clone(),
+                tuple: values.clone(),
+            },
+        );
+        let rid = self.heap(table)?.insert(&tuple::encode(&values))?;
+        primary.insert(key.clone(), rid);
+        for (idx_id, cols, _) in self.secondary_defs(table) {
+            let skey: Key = cols.iter().map(|&c| values[c].clone()).collect();
+            self.tree(idx_id)?.insert(skey, rid);
+        }
+        self.txns.push_undo(txn, UndoEntry::Insert { table, key })?;
+        self.counters.inserts.fetch_add(1, Ordering::Relaxed);
+        Ok(rid)
+    }
+
+    /// Point lookup by primary key.
+    pub fn get(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        key: &[Value],
+        policy: LockingPolicy,
+    ) -> StorageResult<Option<Vec<Value>>> {
+        self.txns.check_active(txn)?;
+        if policy == LockingPolicy::Centralized {
+            self.lock_mgr
+                .lock(txn, LockTarget::Table(table), LockMode::IS)?;
+            self.lock_mgr
+                .lock(txn, LockTarget::Key(table, key.to_vec()), LockMode::S)?;
+        }
+        self.counters.reads.fetch_add(1, Ordering::Relaxed);
+        let primary = self.primary_tree(table)?;
+        match primary.get_first(key) {
+            Some(rid) => {
+                let bytes = self.heap(table)?.get(rid)?;
+                Ok(Some(tuple::decode(&bytes)?))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Lookup through a (secondary) index; returns full rows.
+    pub fn index_lookup(
+        &self,
+        txn: TxnId,
+        index: IndexId,
+        key: &[Value],
+        policy: LockingPolicy,
+    ) -> StorageResult<Vec<Vec<Value>>> {
+        self.txns.check_active(txn)?;
+        let def = {
+            let catalog = self.catalog.read();
+            catalog.index(index)?.clone()
+        };
+        if policy == LockingPolicy::Centralized {
+            self.lock_mgr
+                .lock(txn, LockTarget::Table(def.table), LockMode::IS)?;
+        }
+        let tree = self.tree(index)?;
+        let heap = self.heap(def.table)?;
+        let schema = self.schema(def.table)?;
+        let mut rows = Vec::new();
+        for rid in tree.get(key) {
+            let values = tuple::decode(&heap.get(rid)?)?;
+            if policy == LockingPolicy::Centralized {
+                let pk = schema.primary_key_of(&values);
+                self.lock_mgr
+                    .lock(txn, LockTarget::Key(def.table, pk), LockMode::S)?;
+            }
+            self.counters.reads.fetch_add(1, Ordering::Relaxed);
+            rows.push(values);
+        }
+        Ok(rows)
+    }
+
+    /// Prefix scan through an index (composite keys); returns full rows.
+    pub fn index_prefix_scan(
+        &self,
+        txn: TxnId,
+        index: IndexId,
+        prefix: &[Value],
+        policy: LockingPolicy,
+    ) -> StorageResult<Vec<Vec<Value>>> {
+        self.txns.check_active(txn)?;
+        let def = {
+            let catalog = self.catalog.read();
+            catalog.index(index)?.clone()
+        };
+        if policy == LockingPolicy::Centralized {
+            self.lock_mgr
+                .lock(txn, LockTarget::Table(def.table), LockMode::IS)?;
+        }
+        let tree = self.tree(index)?;
+        let heap = self.heap(def.table)?;
+        let schema = self.schema(def.table)?;
+        let mut rows = Vec::new();
+        for (_, rid) in tree.scan_prefix(prefix) {
+            let values = tuple::decode(&heap.get(rid)?)?;
+            if policy == LockingPolicy::Centralized {
+                let pk = schema.primary_key_of(&values);
+                self.lock_mgr
+                    .lock(txn, LockTarget::Key(def.table, pk), LockMode::S)?;
+            }
+            self.counters.reads.fetch_add(1, Ordering::Relaxed);
+            rows.push(values);
+        }
+        Ok(rows)
+    }
+
+    /// Range scan on the primary key (inclusive bounds); returns full rows.
+    pub fn primary_range(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        lo: &[Value],
+        hi: &[Value],
+        policy: LockingPolicy,
+    ) -> StorageResult<Vec<Vec<Value>>> {
+        self.txns.check_active(txn)?;
+        if policy == LockingPolicy::Centralized {
+            // Range predicates take a table-level shared lock (coarse but
+            // deadlock-free; Shore-MT uses key-range locks).
+            self.lock_mgr
+                .lock(txn, LockTarget::Table(table), LockMode::S)?;
+        }
+        let tree = self.primary_tree(table)?;
+        let heap = self.heap(table)?;
+        let mut rows = Vec::new();
+        for (_, rid) in tree.range(lo, hi) {
+            self.counters.reads.fetch_add(1, Ordering::Relaxed);
+            rows.push(tuple::decode(&heap.get(rid)?)?);
+        }
+        Ok(rows)
+    }
+
+    /// Updates the row with primary key `key` by setting `(column, value)`
+    /// pairs. Returns `false` when the row does not exist.
+    pub fn update(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        key: &[Value],
+        updates: &[(usize, Value)],
+        policy: LockingPolicy,
+    ) -> StorageResult<bool> {
+        self.txns.check_active(txn)?;
+        let schema = self.schema(table)?;
+        if policy == LockingPolicy::Centralized {
+            self.lock_mgr
+                .lock(txn, LockTarget::Table(table), LockMode::IX)?;
+            self.lock_mgr
+                .lock(txn, LockTarget::Key(table, key.to_vec()), LockMode::X)?;
+        }
+        let primary = self.primary_tree(table)?;
+        let Some(rid) = primary.get_first(key) else {
+            return Ok(false);
+        };
+        let heap = self.heap(table)?;
+        let before = tuple::decode(&heap.get(rid)?)?;
+        let mut after = before.clone();
+        for (col, value) in updates {
+            if *col >= after.len() {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "column {col} out of range for table {}",
+                    schema.name
+                )));
+            }
+            if schema.primary_key.contains(col) {
+                return Err(StorageError::SchemaMismatch(
+                    "updating primary-key columns is not supported; delete and re-insert".into(),
+                ));
+            }
+            after[*col] = value.clone();
+        }
+        schema.validate(&after)?;
+        self.log.append(
+            txn,
+            LogPayload::Update {
+                table,
+                key: key.to_vec(),
+                before: before.clone(),
+                after: after.clone(),
+            },
+        );
+        let outcome = heap.update(rid, &tuple::encode(&after))?;
+        let new_rid = match outcome {
+            UpdateOutcome::InPlace => rid,
+            UpdateOutcome::Moved(new_rid) => {
+                primary.remove(key, rid);
+                primary.insert(key.to_vec(), new_rid);
+                new_rid
+            }
+        };
+        // Maintain secondary indexes for changed key columns (and for moved
+        // records, whose record id changed).
+        for (idx_id, cols, _) in self.secondary_defs(table) {
+            let old_key: Key = cols.iter().map(|&c| before[c].clone()).collect();
+            let new_key: Key = cols.iter().map(|&c| after[c].clone()).collect();
+            if old_key != new_key || new_rid != rid {
+                let tree = self.tree(idx_id)?;
+                tree.remove(&old_key, rid);
+                tree.insert(new_key, new_rid);
+            }
+        }
+        self.txns.push_undo(
+            txn,
+            UndoEntry::Update {
+                table,
+                key: key.to_vec(),
+                before,
+            },
+        )?;
+        self.counters.updates.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Deletes the row with primary key `key`. Returns `false` when absent.
+    pub fn delete(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        key: &[Value],
+        policy: LockingPolicy,
+    ) -> StorageResult<bool> {
+        self.txns.check_active(txn)?;
+        if policy == LockingPolicy::Centralized {
+            self.lock_mgr
+                .lock(txn, LockTarget::Table(table), LockMode::IX)?;
+            self.lock_mgr
+                .lock(txn, LockTarget::Key(table, key.to_vec()), LockMode::X)?;
+        }
+        let primary = self.primary_tree(table)?;
+        let Some(rid) = primary.get_first(key) else {
+            return Ok(false);
+        };
+        let heap = self.heap(table)?;
+        let before = tuple::decode(&heap.get(rid)?)?;
+        self.log.append(
+            txn,
+            LogPayload::Delete {
+                table,
+                key: key.to_vec(),
+                before: before.clone(),
+            },
+        );
+        heap.delete(rid)?;
+        primary.remove(key, rid);
+        for (idx_id, cols, _) in self.secondary_defs(table) {
+            let skey: Key = cols.iter().map(|&c| before[c].clone()).collect();
+            self.tree(idx_id)?.remove(&skey, rid);
+        }
+        self.txns.push_undo(
+            txn,
+            UndoEntry::Delete {
+                table,
+                key: key.to_vec(),
+                before,
+            },
+        )?;
+        self.counters.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Full table scan; returns every row. Intended for loaders and
+    /// verification, not the hot path.
+    pub fn scan(&self, table: TableId) -> StorageResult<Vec<Vec<Value>>> {
+        let heap = self.heap(table)?;
+        heap.scan()?
+            .into_iter()
+            .map(|(_, bytes)| tuple::decode(&bytes))
+            .collect()
+    }
+
+    /// Number of rows in a table.
+    pub fn row_count(&self, table: TableId) -> StorageResult<usize> {
+        Ok(self.primary_tree(table)?.len())
+    }
+
+    /// Writes a fuzzy checkpoint record.
+    pub fn checkpoint(&self) {
+        let active = self.txns.active_txns();
+        let lsn = self.log.append(0, LogPayload::Checkpoint { active });
+        self.log.force(lsn);
+        self.buffer.flush_all();
+    }
+
+    // --- statistics ---------------------------------------------------------
+
+    /// Centralized lock-manager statistics.
+    pub fn lock_stats(&self) -> LockStatsSnapshot {
+        self.lock_mgr.stats().snapshot()
+    }
+
+    /// Write-ahead-log statistics.
+    pub fn log_stats(&self) -> LogStatsSnapshot {
+        self.log.stats()
+    }
+
+    /// Operation counters.
+    pub fn counters(&self) -> DbCountersSnapshot {
+        DbCountersSnapshot {
+            reads: self.counters.reads.load(Ordering::Relaxed),
+            inserts: self.counters.inserts.load(Ordering::Relaxed),
+            updates: self.counters.updates.load(Ordering::Relaxed),
+            deletes: self.counters.deletes.load(Ordering::Relaxed),
+            commits: self.counters.commits.load(Ordering::Relaxed),
+            aborts: self.counters.aborts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The write-ahead log (exposed for recovery and tests).
+    pub fn log(&self) -> &Arc<LogManager> {
+        &self.log
+    }
+
+    /// The centralized lock manager (exposed for engine instrumentation).
+    pub fn lock_manager(&self) -> &Arc<LockManager> {
+        &self.lock_mgr
+    }
+
+    // --- raw (non-transactional) operations used by undo and recovery ------
+
+    /// Inserts a row bypassing transactions, locks and logging. Used by
+    /// abort (undo of a delete) and by recovery redo.
+    pub fn insert_raw(&self, table: TableId, values: Vec<Value>) -> StorageResult<()> {
+        let schema = self.schema(table)?;
+        let key = schema.primary_key_of(&values);
+        let primary = self.primary_tree(table)?;
+        if primary.contains_key(&key) {
+            return Err(StorageError::DuplicateKey(format!("{key:?}")));
+        }
+        let rid = self.heap(table)?.insert(&tuple::encode(&values))?;
+        primary.insert(key, rid);
+        for (idx_id, cols, _) in self.secondary_defs(table) {
+            let skey: Key = cols.iter().map(|&c| values[c].clone()).collect();
+            self.tree(idx_id)?.insert(skey, rid);
+        }
+        Ok(())
+    }
+
+    /// Deletes a row by primary key bypassing transactions, locks and
+    /// logging.
+    pub fn delete_raw(&self, table: TableId, key: &[Value]) -> StorageResult<bool> {
+        let primary = self.primary_tree(table)?;
+        let Some(rid) = primary.get_first(key) else {
+            return Ok(false);
+        };
+        let heap = self.heap(table)?;
+        let before = tuple::decode(&heap.get(rid)?)?;
+        heap.delete(rid)?;
+        primary.remove(key, rid);
+        for (idx_id, cols, _) in self.secondary_defs(table) {
+            let skey: Key = cols.iter().map(|&c| before[c].clone()).collect();
+            self.tree(idx_id)?.remove(&skey, rid);
+        }
+        Ok(true)
+    }
+
+    /// Overwrites a row (identified by primary key) with a full image,
+    /// bypassing transactions, locks and logging.
+    pub fn update_raw(&self, table: TableId, key: &[Value], image: Vec<Value>) -> StorageResult<bool> {
+        let primary = self.primary_tree(table)?;
+        let Some(rid) = primary.get_first(key) else {
+            return Ok(false);
+        };
+        let heap = self.heap(table)?;
+        let before = tuple::decode(&heap.get(rid)?)?;
+        let outcome = heap.update(rid, &tuple::encode(&image))?;
+        let new_rid = match outcome {
+            UpdateOutcome::InPlace => rid,
+            UpdateOutcome::Moved(new_rid) => {
+                primary.remove(key, rid);
+                primary.insert(key.to_vec(), new_rid);
+                new_rid
+            }
+        };
+        for (idx_id, cols, _) in self.secondary_defs(table) {
+            let old_key: Key = cols.iter().map(|&c| before[c].clone()).collect();
+            let new_key: Key = cols.iter().map(|&c| image[c].clone()).collect();
+            if old_key != new_key || new_rid != rid {
+                let tree = self.tree(idx_id)?;
+                tree.remove(&old_key, rid);
+                tree.insert(new_key, new_rid);
+            }
+        }
+        Ok(true)
+    }
+
+    // --- internals ----------------------------------------------------------
+
+    fn apply_undo(&self, entry: &UndoEntry) -> StorageResult<()> {
+        match entry {
+            UndoEntry::Insert { table, key } => {
+                self.delete_raw(*table, key)?;
+            }
+            UndoEntry::Update { table, key, before } => {
+                self.update_raw(*table, key, before.clone())?;
+            }
+            UndoEntry::Delete { table, before, .. } => {
+                self.insert_raw(*table, before.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    fn heap(&self, table: TableId) -> StorageResult<Arc<HeapFile>> {
+        self.heaps
+            .read()
+            .get(&table)
+            .cloned()
+            .ok_or(StorageError::UnknownTable(table))
+    }
+
+    fn tree(&self, index: IndexId) -> StorageResult<Arc<BPlusTree>> {
+        self.trees
+            .read()
+            .get(&index)
+            .cloned()
+            .ok_or(StorageError::UnknownIndex(index))
+    }
+
+    /// Tree of the primary index of `table`.
+    pub fn primary_tree(&self, table: TableId) -> StorageResult<Arc<BPlusTree>> {
+        let idx = self.catalog.read().primary_index(table)?.id;
+        self.tree(idx)
+    }
+
+    /// `(index id, key column positions, unique)` for every secondary index
+    /// of a table.
+    fn secondary_defs(&self, table: TableId) -> Vec<(IndexId, Vec<usize>, bool)> {
+        self.catalog
+            .read()
+            .secondary_indexes(table)
+            .into_iter()
+            .map(|d| (d.id, d.key_columns.clone(), d.unique))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::types::DataType;
+
+    fn test_db() -> (Database, TableId) {
+        let db = Database::default();
+        let schema = TableSchema::new(
+            "accounts",
+            vec![
+                ColumnDef::new("id", DataType::BigInt),
+                ColumnDef::new("owner", DataType::Varchar(32)),
+                ColumnDef::new("balance", DataType::Double),
+                ColumnDef::new("active", DataType::Bool),
+            ],
+            vec![0],
+        );
+        let tid = db.create_table(schema).unwrap();
+        (db, tid)
+    }
+
+    fn row(id: i64, owner: &str, balance: f64) -> Vec<Value> {
+        vec![
+            Value::BigInt(id),
+            Value::Varchar(owner.into()),
+            Value::Double(balance),
+            Value::Bool(true),
+        ]
+    }
+
+    #[test]
+    fn insert_get_commit() {
+        let (db, t) = test_db();
+        let txn = db.begin();
+        db.insert(txn, t, row(1, "alice", 100.0), LockingPolicy::Centralized)
+            .unwrap();
+        let got = db
+            .get(txn, t, &[Value::BigInt(1)], LockingPolicy::Centralized)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got[1], Value::Varchar("alice".into()));
+        db.commit(txn).unwrap();
+        assert_eq!(db.txn_state(txn), Some(TxnState::Committed));
+        assert_eq!(db.counters().commits, 1);
+        // Locks are released after commit.
+        assert_eq!(db.lock_manager().held_count(txn), 0);
+    }
+
+    #[test]
+    fn duplicate_primary_key_rejected() {
+        let (db, t) = test_db();
+        let txn = db.begin();
+        db.insert(txn, t, row(1, "a", 1.0), LockingPolicy::Bypass).unwrap();
+        let err = db.insert(txn, t, row(1, "b", 2.0), LockingPolicy::Bypass);
+        assert!(matches!(err, Err(StorageError::DuplicateKey(_))));
+        db.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let (db, t) = test_db();
+        let txn = db.begin();
+        db.insert(txn, t, row(7, "bob", 50.0), LockingPolicy::Centralized)
+            .unwrap();
+        assert!(db
+            .update(
+                txn,
+                t,
+                &[Value::BigInt(7)],
+                &[(2, Value::Double(75.0))],
+                LockingPolicy::Centralized
+            )
+            .unwrap());
+        let got = db
+            .get(txn, t, &[Value::BigInt(7)], LockingPolicy::Centralized)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got[2], Value::Double(75.0));
+        assert!(db
+            .delete(txn, t, &[Value::BigInt(7)], LockingPolicy::Centralized)
+            .unwrap());
+        assert!(db
+            .get(txn, t, &[Value::BigInt(7)], LockingPolicy::Centralized)
+            .unwrap()
+            .is_none());
+        // Updating / deleting a missing row reports false.
+        assert!(!db
+            .update(txn, t, &[Value::BigInt(99)], &[(2, Value::Double(1.0))], LockingPolicy::Bypass)
+            .unwrap());
+        assert!(!db.delete(txn, t, &[Value::BigInt(99)], LockingPolicy::Bypass).unwrap());
+        db.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn primary_key_update_rejected() {
+        let (db, t) = test_db();
+        let txn = db.begin();
+        db.insert(txn, t, row(1, "a", 1.0), LockingPolicy::Bypass).unwrap();
+        let err = db.update(
+            txn,
+            t,
+            &[Value::BigInt(1)],
+            &[(0, Value::BigInt(2))],
+            LockingPolicy::Bypass,
+        );
+        assert!(matches!(err, Err(StorageError::SchemaMismatch(_))));
+    }
+
+    #[test]
+    fn abort_rolls_back_all_changes() {
+        let (db, t) = test_db();
+        // Committed baseline row.
+        let setup = db.begin();
+        db.insert(setup, t, row(1, "alice", 100.0), LockingPolicy::Bypass).unwrap();
+        db.commit(setup).unwrap();
+
+        let txn = db.begin();
+        db.insert(txn, t, row(2, "bob", 10.0), LockingPolicy::Bypass).unwrap();
+        db.update(txn, t, &[Value::BigInt(1)], &[(2, Value::Double(0.0))], LockingPolicy::Bypass)
+            .unwrap();
+        db.delete(txn, t, &[Value::BigInt(1)], LockingPolicy::Bypass).unwrap();
+        db.abort(txn).unwrap();
+
+        let check = db.begin();
+        // Row 2 is gone, row 1 restored with its original balance.
+        assert!(db.get(check, t, &[Value::BigInt(2)], LockingPolicy::Bypass).unwrap().is_none());
+        let r1 = db
+            .get(check, t, &[Value::BigInt(1)], LockingPolicy::Bypass)
+            .unwrap()
+            .unwrap();
+        assert_eq!(r1[2], Value::Double(100.0));
+        assert_eq!(db.row_count(t).unwrap(), 1);
+        db.commit(check).unwrap();
+        assert_eq!(db.counters().aborts, 1);
+    }
+
+    #[test]
+    fn secondary_index_lookup_and_maintenance() {
+        let (db, t) = test_db();
+        let owner_idx = db
+            .create_secondary_index(t, "idx_owner", vec![1], false)
+            .unwrap();
+        let txn = db.begin();
+        db.insert(txn, t, row(1, "carol", 5.0), LockingPolicy::Bypass).unwrap();
+        db.insert(txn, t, row(2, "carol", 6.0), LockingPolicy::Bypass).unwrap();
+        db.insert(txn, t, row(3, "dave", 7.0), LockingPolicy::Bypass).unwrap();
+        let rows = db
+            .index_lookup(txn, owner_idx, &[Value::Varchar("carol".into())], LockingPolicy::Bypass)
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        // Rename carol #2 -> eve and check both lookups.
+        db.update(txn, t, &[Value::BigInt(2)], &[(1, Value::Varchar("eve".into()))], LockingPolicy::Bypass)
+            .unwrap();
+        assert_eq!(
+            db.index_lookup(txn, owner_idx, &[Value::Varchar("carol".into())], LockingPolicy::Bypass)
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            db.index_lookup(txn, owner_idx, &[Value::Varchar("eve".into())], LockingPolicy::Bypass)
+                .unwrap()
+                .len(),
+            1
+        );
+        // Delete and check index cleanup.
+        db.delete(txn, t, &[Value::BigInt(3)], LockingPolicy::Bypass).unwrap();
+        assert!(db
+            .index_lookup(txn, owner_idx, &[Value::Varchar("dave".into())], LockingPolicy::Bypass)
+            .unwrap()
+            .is_empty());
+        db.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn secondary_index_backfills_existing_rows() {
+        let (db, t) = test_db();
+        let txn = db.begin();
+        for i in 0..50 {
+            db.insert(txn, t, row(i, if i % 2 == 0 { "even" } else { "odd" }, i as f64), LockingPolicy::Bypass)
+                .unwrap();
+        }
+        db.commit(txn).unwrap();
+        let idx = db.create_secondary_index(t, "idx_owner", vec![1], false).unwrap();
+        let txn = db.begin();
+        let evens = db
+            .index_lookup(txn, idx, &[Value::Varchar("even".into())], LockingPolicy::Bypass)
+            .unwrap();
+        assert_eq!(evens.len(), 25);
+        db.commit(txn).unwrap();
+        assert_eq!(db.index_id(t, "idx_owner"), Some(idx));
+        assert_eq!(db.index_id(t, "nope"), None);
+    }
+
+    #[test]
+    fn unique_secondary_index_enforced() {
+        let (db, t) = test_db();
+        db.create_secondary_index(t, "uq_owner", vec![1], true).unwrap();
+        let txn = db.begin();
+        db.insert(txn, t, row(1, "solo", 1.0), LockingPolicy::Bypass).unwrap();
+        assert!(matches!(
+            db.insert(txn, t, row(2, "solo", 2.0), LockingPolicy::Bypass),
+            Err(StorageError::DuplicateKey(_))
+        ));
+        db.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn primary_range_scan() {
+        let (db, t) = test_db();
+        let txn = db.begin();
+        for i in 0..100 {
+            db.insert(txn, t, row(i, "x", i as f64), LockingPolicy::Bypass).unwrap();
+        }
+        let rows = db
+            .primary_range(txn, t, &[Value::BigInt(10)], &[Value::BigInt(19)], LockingPolicy::Bypass)
+            .unwrap();
+        assert_eq!(rows.len(), 10);
+        db.commit(txn).unwrap();
+    }
+
+    #[test]
+    fn conflicting_writers_serialize_under_centralized_locking() {
+        use std::sync::Arc;
+        let (db, t) = test_db();
+        let db = Arc::new(db);
+        let setup = db.begin();
+        db.insert(setup, t, row(1, "shared", 0.0), LockingPolicy::Centralized).unwrap();
+        db.commit(setup).unwrap();
+
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut done = 0;
+                for _ in 0..25 {
+                    loop {
+                        let txn = db.begin();
+                        let cur = db
+                            .get(txn, t, &[Value::BigInt(1)], LockingPolicy::Centralized)
+                            .and_then(|r| r.ok_or(StorageError::NotFound));
+                        let result = cur.and_then(|r| {
+                            let bal = r[2].as_f64().unwrap();
+                            db.update(
+                                txn,
+                                t,
+                                &[Value::BigInt(1)],
+                                &[(2, Value::Double(bal + 1.0))],
+                                LockingPolicy::Centralized,
+                            )
+                        });
+                        match result {
+                            Ok(_) => {
+                                db.commit(txn).unwrap();
+                                done += 1;
+                                break;
+                            }
+                            Err(e) if e.is_retryable() => {
+                                let _ = db.abort(txn);
+                            }
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
+                    }
+                }
+                done
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 100);
+        let check = db.begin();
+        let r = db
+            .get(check, t, &[Value::BigInt(1)], LockingPolicy::Bypass)
+            .unwrap()
+            .unwrap();
+        assert_eq!(r[2], Value::Double(100.0));
+        db.commit(check).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_and_counters() {
+        let (db, t) = test_db();
+        let txn = db.begin();
+        db.insert(txn, t, row(1, "x", 1.0), LockingPolicy::Bypass).unwrap();
+        db.checkpoint();
+        db.commit(txn).unwrap();
+        let stats = db.log_stats();
+        assert!(stats.appended >= 3); // begin + insert + checkpoint + commit
+        let counters = db.counters();
+        assert_eq!(counters.inserts, 1);
+        assert_eq!(db.scan(t).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types shared by every layer of the storage manager.
+
+use std::fmt;
+
+use crate::types::{TableId, TxnId};
+
+/// Errors produced by the storage manager and surfaced to both execution
+/// engines (conventional and DORA).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The requested table does not exist in the catalog.
+    UnknownTable(TableId),
+    /// The requested table name does not exist in the catalog.
+    UnknownTableName(String),
+    /// The requested index does not exist.
+    UnknownIndex(u32),
+    /// A tuple did not match the table schema (arity or type mismatch).
+    SchemaMismatch(String),
+    /// A unique-key constraint (primary key or unique index) was violated.
+    DuplicateKey(String),
+    /// The requested record was not found.
+    NotFound,
+    /// The transaction was chosen as a deadlock victim by the centralized
+    /// lock manager and must abort.
+    Deadlock(TxnId),
+    /// A lock request timed out while waiting in the centralized lock
+    /// manager.
+    LockTimeout(TxnId),
+    /// The transaction was already terminated (committed or aborted).
+    TxnNotActive(TxnId),
+    /// The transaction was aborted by user or system request.
+    Aborted(String),
+    /// A page had no room for the record and the operation cannot proceed.
+    PageFull,
+    /// The buffer pool could not find an evictable frame.
+    BufferPoolFull,
+    /// The write-ahead log or recovery subsystem found corrupt data.
+    LogCorrupt(String),
+    /// Catch-all for internal invariant violations.
+    Internal(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownTable(t) => write!(f, "unknown table id {t}"),
+            StorageError::UnknownTableName(n) => write!(f, "unknown table '{n}'"),
+            StorageError::UnknownIndex(i) => write!(f, "unknown index id {i}"),
+            StorageError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            StorageError::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
+            StorageError::NotFound => write!(f, "record not found"),
+            StorageError::Deadlock(t) => write!(f, "transaction {t} chosen as deadlock victim"),
+            StorageError::LockTimeout(t) => write!(f, "transaction {t} timed out waiting for a lock"),
+            StorageError::TxnNotActive(t) => write!(f, "transaction {t} is not active"),
+            StorageError::Aborted(m) => write!(f, "transaction aborted: {m}"),
+            StorageError::PageFull => write!(f, "page full"),
+            StorageError::BufferPoolFull => write!(f, "buffer pool full"),
+            StorageError::LogCorrupt(m) => write!(f, "log corrupt: {m}"),
+            StorageError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience result alias used across the workspace.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+impl StorageError {
+    /// Returns `true` when the error is one the execution engine should
+    /// respond to by aborting and retrying the transaction (deadlock or
+    /// lock timeout), as opposed to a genuine application error or an
+    /// application-requested abort.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            StorageError::Deadlock(_) | StorageError::LockTimeout(_)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = StorageError::Deadlock(7);
+        assert!(e.to_string().contains("deadlock"));
+        let e = StorageError::UnknownTableName("warehouse".into());
+        assert!(e.to_string().contains("warehouse"));
+    }
+
+    #[test]
+    fn retryable_classification() {
+        assert!(StorageError::Deadlock(1).is_retryable());
+        assert!(StorageError::LockTimeout(1).is_retryable());
+        assert!(!StorageError::Aborted("x".into()).is_retryable());
+        assert!(!StorageError::NotFound.is_retryable());
+        assert!(!StorageError::PageFull.is_retryable());
+    }
+}

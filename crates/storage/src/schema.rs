@@ -1,0 +1,353 @@
+//! Table schemas and the system catalog.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{StorageError, StorageResult};
+use crate::types::{DataType, IndexId, TableId, Value};
+
+/// Definition of a single column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name (unique within the table).
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl ColumnDef {
+    /// Creates a column definition.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// Schema of a table: ordered columns plus the primary-key column positions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    /// Table name (unique within the catalog).
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Indices (into `columns`) of the primary-key columns, in key order.
+    pub primary_key: Vec<usize>,
+}
+
+impl TableSchema {
+    /// Creates a schema. Panics if a primary-key position is out of range.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        primary_key: Vec<usize>,
+    ) -> Self {
+        let name = name.into();
+        for &pk in &primary_key {
+            assert!(pk < columns.len(), "primary key column out of range");
+        }
+        TableSchema {
+            name,
+            columns,
+            primary_key,
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Position of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Validates a tuple against the schema (arity and per-column types).
+    pub fn validate(&self, values: &[Value]) -> StorageResult<()> {
+        if values.len() != self.columns.len() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "table '{}' expects {} columns, got {}",
+                self.name,
+                self.columns.len(),
+                values.len()
+            )));
+        }
+        for (col, val) in self.columns.iter().zip(values.iter()) {
+            if !col.dtype.admits(val) {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "column '{}' of table '{}' does not admit value {}",
+                    col.name, self.name, val
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extracts the primary-key values from a full tuple.
+    pub fn primary_key_of(&self, values: &[Value]) -> Vec<Value> {
+        self.primary_key.iter().map(|&i| values[i].clone()).collect()
+    }
+
+    /// Extracts the values at `positions` from a full tuple.
+    pub fn project(&self, values: &[Value], positions: &[usize]) -> Vec<Value> {
+        positions.iter().map(|&i| values[i].clone()).collect()
+    }
+}
+
+/// Metadata describing an index registered in the catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexDef {
+    /// Index id.
+    pub id: IndexId,
+    /// Index name.
+    pub name: String,
+    /// Table the index belongs to.
+    pub table: TableId,
+    /// Column positions forming the index key, in key order.
+    pub key_columns: Vec<usize>,
+    /// Whether keys must be unique.
+    pub unique: bool,
+    /// Whether this is the table's primary index.
+    pub primary: bool,
+}
+
+/// Metadata describing a table registered in the catalog.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableDef {
+    /// Table id.
+    pub id: TableId,
+    /// Schema.
+    pub schema: TableSchema,
+    /// Indexes defined on the table (the first is the primary index).
+    pub indexes: Vec<IndexId>,
+}
+
+/// The system catalog: table and index metadata.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: HashMap<TableId, TableDef>,
+    table_names: HashMap<String, TableId>,
+    indexes: HashMap<IndexId, IndexDef>,
+    next_table: TableId,
+    next_index: IndexId,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers a new table and returns its id.
+    pub fn add_table(&mut self, schema: TableSchema) -> StorageResult<TableId> {
+        if self.table_names.contains_key(&schema.name) {
+            return Err(StorageError::Internal(format!(
+                "table '{}' already exists",
+                schema.name
+            )));
+        }
+        let id = self.next_table;
+        self.next_table += 1;
+        self.table_names.insert(schema.name.clone(), id);
+        self.tables.insert(
+            id,
+            TableDef {
+                id,
+                schema,
+                indexes: Vec::new(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Registers a new index and returns its id.
+    pub fn add_index(
+        &mut self,
+        name: impl Into<String>,
+        table: TableId,
+        key_columns: Vec<usize>,
+        unique: bool,
+        primary: bool,
+    ) -> StorageResult<IndexId> {
+        let def_arity = self
+            .tables
+            .get(&table)
+            .ok_or(StorageError::UnknownTable(table))?
+            .schema
+            .arity();
+        for &c in &key_columns {
+            if c >= def_arity {
+                return Err(StorageError::Internal(format!(
+                    "index key column {c} out of range for table {table}"
+                )));
+            }
+        }
+        let id = self.next_index;
+        self.next_index += 1;
+        let def = IndexDef {
+            id,
+            name: name.into(),
+            table,
+            key_columns,
+            unique,
+            primary,
+        };
+        self.indexes.insert(id, def);
+        self.tables
+            .get_mut(&table)
+            .expect("checked above")
+            .indexes
+            .push(id);
+        Ok(id)
+    }
+
+    /// Looks up a table by id.
+    pub fn table(&self, id: TableId) -> StorageResult<&TableDef> {
+        self.tables.get(&id).ok_or(StorageError::UnknownTable(id))
+    }
+
+    /// Looks up a table by name.
+    pub fn table_by_name(&self, name: &str) -> StorageResult<&TableDef> {
+        let id = self
+            .table_names
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTableName(name.to_string()))?;
+        self.table(*id)
+    }
+
+    /// Looks up an index by id.
+    pub fn index(&self, id: IndexId) -> StorageResult<&IndexDef> {
+        self.indexes.get(&id).ok_or(StorageError::UnknownIndex(id))
+    }
+
+    /// Returns the primary index of a table, if one has been created.
+    pub fn primary_index(&self, table: TableId) -> StorageResult<&IndexDef> {
+        let t = self.table(table)?;
+        t.indexes
+            .iter()
+            .filter_map(|i| self.indexes.get(i))
+            .find(|d| d.primary)
+            .ok_or_else(|| StorageError::Internal(format!("table {table} has no primary index")))
+    }
+
+    /// All secondary (non-primary) indexes of a table.
+    pub fn secondary_indexes(&self, table: TableId) -> Vec<&IndexDef> {
+        self.tables
+            .get(&table)
+            .map(|t| {
+                t.indexes
+                    .iter()
+                    .filter_map(|i| self.indexes.get(i))
+                    .filter(|d| !d.primary)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Iterates over all tables.
+    pub fn tables(&self) -> impl Iterator<Item = &TableDef> {
+        self.tables.values()
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> TableSchema {
+        TableSchema::new(
+            "subscriber",
+            vec![
+                ColumnDef::new("s_id", DataType::BigInt),
+                ColumnDef::new("sub_nbr", DataType::Varchar(15)),
+                ColumnDef::new("bit_1", DataType::Bool),
+                ColumnDef::new("vlr_location", DataType::Int),
+            ],
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn schema_validation() {
+        let s = sample_schema();
+        assert!(s
+            .validate(&[
+                Value::BigInt(1),
+                Value::Varchar("000001".into()),
+                Value::Bool(true),
+                Value::Int(7)
+            ])
+            .is_ok());
+        // wrong arity
+        assert!(s.validate(&[Value::BigInt(1)]).is_err());
+        // wrong type
+        assert!(s
+            .validate(&[
+                Value::Varchar("x".into()),
+                Value::Varchar("y".into()),
+                Value::Bool(true),
+                Value::Int(7)
+            ])
+            .is_err());
+    }
+
+    #[test]
+    fn primary_key_extraction_and_projection() {
+        let s = sample_schema();
+        let tuple = vec![
+            Value::BigInt(42),
+            Value::Varchar("sub".into()),
+            Value::Bool(false),
+            Value::Int(3),
+        ];
+        assert_eq!(s.primary_key_of(&tuple), vec![Value::BigInt(42)]);
+        assert_eq!(
+            s.project(&tuple, &[1, 3]),
+            vec![Value::Varchar("sub".into()), Value::Int(3)]
+        );
+        assert_eq!(s.column_index("vlr_location"), Some(3));
+        assert_eq!(s.column_index("missing"), None);
+    }
+
+    #[test]
+    fn catalog_tables_and_indexes() {
+        let mut cat = Catalog::new();
+        let tid = cat.add_table(sample_schema()).unwrap();
+        let pidx = cat.add_index("pk_subscriber", tid, vec![0], true, true).unwrap();
+        let sidx = cat
+            .add_index("idx_sub_nbr", tid, vec![1], true, false)
+            .unwrap();
+        assert_eq!(cat.table(tid).unwrap().schema.name, "subscriber");
+        assert_eq!(cat.table_by_name("subscriber").unwrap().id, tid);
+        assert_eq!(cat.primary_index(tid).unwrap().id, pidx);
+        let secondary = cat.secondary_indexes(tid);
+        assert_eq!(secondary.len(), 1);
+        assert_eq!(secondary[0].id, sidx);
+        assert!(cat.table_by_name("nope").is_err());
+        assert!(cat.index(99).is_err());
+        assert_eq!(cat.table_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut cat = Catalog::new();
+        cat.add_table(sample_schema()).unwrap();
+        assert!(cat.add_table(sample_schema()).is_err());
+    }
+
+    #[test]
+    fn index_key_column_bounds_checked() {
+        let mut cat = Catalog::new();
+        let tid = cat.add_table(sample_schema()).unwrap();
+        assert!(cat.add_index("bad", tid, vec![9], false, false).is_err());
+        assert!(cat.add_index("bad2", 999, vec![0], false, false).is_err());
+    }
+}

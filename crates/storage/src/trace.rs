@@ -1,0 +1,243 @@
+//! Record-access tracing.
+//!
+//! The demo's first scenario (Figure 1, "Access Patterns") visualizes which
+//! worker thread touches which records of each table over time: random and
+//! interleaved in the conventional engine, contiguous and ordered in DORA.
+//! Both engines record their accesses through this shared tracer so the
+//! benchmark harness can compute the same visualization (as an
+//! ordered-access metric) for either system.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::types::TableId;
+
+/// One record access performed by a worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccessEvent {
+    /// Worker thread that performed the access.
+    pub worker: usize,
+    /// Table accessed.
+    pub table: TableId,
+    /// Routing-key value of the record accessed (first primary-key column,
+    /// as an integer; sufficient for TATP and TPC-C whose keys are integers).
+    pub key: i64,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+/// A shared, optionally-enabled access trace.
+#[derive(Debug, Default)]
+pub struct AccessTrace {
+    enabled: AtomicBool,
+    events: Mutex<Vec<AccessEvent>>,
+}
+
+impl AccessTrace {
+    /// Creates a disabled trace (recording is a no-op until enabled).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an enabled trace.
+    pub fn enabled() -> Self {
+        let t = Self::default();
+        t.set_enabled(true);
+        t
+    }
+
+    /// Turns recording on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records an access (no-op when disabled).
+    pub fn record(&self, worker: usize, table: TableId, key: i64, write: bool) {
+        if self.is_enabled() {
+            self.events.lock().push(AccessEvent {
+                worker,
+                table,
+                key,
+                write,
+            });
+        }
+    }
+
+    /// Copies out all recorded events in recording order.
+    pub fn snapshot(&self) -> Vec<AccessEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Clears the recorded events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-worker execution context handed to transaction logic so that record
+/// accesses can be attributed to the worker thread that performs them.
+#[derive(Debug, Clone)]
+pub struct WorkerCtx {
+    /// Index of the worker thread executing the logic.
+    pub worker_id: usize,
+    /// Shared access trace (may be disabled).
+    pub trace: std::sync::Arc<AccessTrace>,
+}
+
+impl WorkerCtx {
+    /// Creates a context for `worker_id` recording into `trace`.
+    pub fn new(worker_id: usize, trace: std::sync::Arc<AccessTrace>) -> Self {
+        WorkerCtx { worker_id, trace }
+    }
+
+    /// Convenience constructor with a fresh, disabled trace (tests, tools).
+    pub fn untraced(worker_id: usize) -> Self {
+        WorkerCtx {
+            worker_id,
+            trace: std::sync::Arc::new(AccessTrace::new()),
+        }
+    }
+
+    /// Records an access by this worker.
+    pub fn record(&self, table: TableId, key: i64, write: bool) {
+        self.trace.record(self.worker_id, table, key, write);
+    }
+}
+
+/// Measures how "predictable" (ordered) a trace is, per the demo's access
+/// pattern scenario: the fraction of consecutive accesses to the same table
+/// by the same worker whose keys are non-decreasing or within a small
+/// window. A single-threaded ordered scan scores 1.0; random assignment of
+/// requests to threads scores much lower.
+pub fn orderliness(events: &[AccessEvent]) -> f64 {
+    use std::collections::HashMap;
+    let mut last: HashMap<(usize, TableId), i64> = HashMap::new();
+    let mut pairs = 0usize;
+    let mut ordered = 0usize;
+    for e in events {
+        if let Some(prev) = last.insert((e.worker, e.table), e.key) {
+            pairs += 1;
+            if e.key >= prev {
+                ordered += 1;
+            }
+        }
+    }
+    if pairs == 0 {
+        1.0
+    } else {
+        ordered as f64 / pairs as f64
+    }
+}
+
+/// The spread of workers that touched each table key range, used to show
+/// that in DORA each key range is served by exactly one worker while in the
+/// conventional system every worker touches every range. Returns, for each
+/// table, the average number of distinct workers per key bucket.
+pub fn workers_per_key_bucket(events: &[AccessEvent], bucket_width: i64) -> Vec<(TableId, f64)> {
+    use std::collections::{HashMap, HashSet};
+    assert!(bucket_width > 0);
+    let mut buckets: HashMap<(TableId, i64), HashSet<usize>> = HashMap::new();
+    for e in events {
+        buckets
+            .entry((e.table, e.key.div_euclid(bucket_width)))
+            .or_default()
+            .insert(e.worker);
+    }
+    let mut per_table: HashMap<TableId, (usize, usize)> = HashMap::new();
+    for ((table, _), workers) in &buckets {
+        let entry = per_table.entry(*table).or_default();
+        entry.0 += workers.len();
+        entry.1 += 1;
+    }
+    let mut out: Vec<(TableId, f64)> = per_table
+        .into_iter()
+        .map(|(t, (sum, n))| (t, sum as f64 / n as f64))
+        .collect();
+    out.sort_by_key(|(t, _)| *t);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = AccessTrace::new();
+        t.record(0, 1, 5, false);
+        assert!(t.is_empty());
+        t.set_enabled(true);
+        t.record(0, 1, 5, false);
+        assert_eq!(t.len(), 1);
+        t.clear();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn worker_ctx_attributes_accesses() {
+        let trace = Arc::new(AccessTrace::enabled());
+        let ctx = WorkerCtx::new(3, trace.clone());
+        ctx.record(7, 42, true);
+        let events = trace.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].worker, 3);
+        assert_eq!(events[0].table, 7);
+        assert!(events[0].write);
+        // untraced context does not panic and records nothing visible.
+        let u = WorkerCtx::untraced(0);
+        u.record(1, 1, false);
+        assert_eq!(u.trace.len(), 0);
+    }
+
+    #[test]
+    fn orderliness_distinguishes_sorted_from_random() {
+        // One worker scanning keys in order: perfectly predictable.
+        let sorted: Vec<AccessEvent> = (0..100)
+            .map(|i| AccessEvent { worker: 0, table: 1, key: i, write: false })
+            .collect();
+        assert!((orderliness(&sorted) - 1.0).abs() < 1e-9);
+        // The same keys bounced around pseudo-randomly: far less ordered.
+        let mut random = sorted.clone();
+        for e in random.iter_mut() {
+            e.key = (e.key * 7919) % 97;
+        }
+        assert!(orderliness(&random) < 0.8);
+        // Empty trace is trivially ordered.
+        assert_eq!(orderliness(&[]), 1.0);
+    }
+
+    #[test]
+    fn workers_per_bucket_reflects_partitioning() {
+        // DORA-like: worker = key / 25 (each bucket owned by one worker).
+        let dora: Vec<AccessEvent> = (0..100)
+            .map(|i| AccessEvent { worker: (i / 25) as usize, table: 1, key: i, write: false })
+            .collect();
+        let d = workers_per_key_bucket(&dora, 25);
+        assert_eq!(d.len(), 1);
+        assert!((d[0].1 - 1.0).abs() < 1e-9);
+        // Conventional-like: every worker touches every bucket.
+        let conv: Vec<AccessEvent> = (0..100)
+            .map(|i| AccessEvent { worker: (i % 4) as usize, table: 1, key: i, write: false })
+            .collect();
+        let c = workers_per_key_bucket(&conv, 25);
+        assert!(c[0].1 > 3.0);
+    }
+}

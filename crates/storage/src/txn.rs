@@ -1,0 +1,273 @@
+//! Transaction contexts and the transaction manager.
+//!
+//! The transaction manager assigns transaction ids, tracks transaction
+//! state, and keeps the per-transaction logical undo list used to roll back
+//! aborted transactions. Locking policy (centralized 2PL vs. DORA's local
+//! lock tables) is decided by the caller of the [`crate::db::Database`]
+//! operations, not here.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::error::{StorageError, StorageResult};
+use crate::types::{Key, TableId, TxnId, Value};
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    /// The transaction is running.
+    Active,
+    /// The transaction committed.
+    Committed,
+    /// The transaction aborted (by request, deadlock, or failure).
+    Aborted,
+}
+
+/// A single logical undo entry. Undo is applied in reverse order of the
+/// original operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UndoEntry {
+    /// Undo of an insert: delete the row again.
+    Insert {
+        /// Table of the inserted row.
+        table: TableId,
+        /// Primary key of the inserted row.
+        key: Key,
+    },
+    /// Undo of an update: restore the before image.
+    Update {
+        /// Table of the updated row.
+        table: TableId,
+        /// Primary key of the updated row.
+        key: Key,
+        /// Full row image before the update.
+        before: Vec<Value>,
+    },
+    /// Undo of a delete: re-insert the before image.
+    Delete {
+        /// Table of the deleted row.
+        table: TableId,
+        /// Primary key of the deleted row.
+        key: Key,
+        /// Full row image before the delete.
+        before: Vec<Value>,
+    },
+}
+
+#[derive(Debug)]
+struct TxnMeta {
+    state: TxnState,
+    undo: Vec<UndoEntry>,
+}
+
+/// Assigns transaction ids and tracks per-transaction state and undo logs.
+pub struct TxnManager {
+    next: AtomicU64,
+    txns: Mutex<HashMap<TxnId, TxnMeta>>,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxnManager {
+    /// Creates an empty transaction manager.
+    pub fn new() -> Self {
+        TxnManager {
+            next: AtomicU64::new(1),
+            txns: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Starts a new transaction.
+    pub fn begin(&self) -> TxnId {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.txns.lock().insert(
+            id,
+            TxnMeta {
+                state: TxnState::Active,
+                undo: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// Current state of a transaction (`None` if unknown).
+    pub fn state(&self, txn: TxnId) -> Option<TxnState> {
+        self.txns.lock().get(&txn).map(|m| m.state)
+    }
+
+    /// Number of currently active transactions.
+    pub fn active_count(&self) -> usize {
+        self.txns
+            .lock()
+            .values()
+            .filter(|m| m.state == TxnState::Active)
+            .count()
+    }
+
+    /// Ids of currently active transactions (for checkpoints).
+    pub fn active_txns(&self) -> Vec<TxnId> {
+        self.txns
+            .lock()
+            .iter()
+            .filter(|(_, m)| m.state == TxnState::Active)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Records an undo entry for an active transaction.
+    pub fn push_undo(&self, txn: TxnId, entry: UndoEntry) -> StorageResult<()> {
+        let mut txns = self.txns.lock();
+        let meta = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
+        if meta.state != TxnState::Active {
+            return Err(StorageError::TxnNotActive(txn));
+        }
+        meta.undo.push(entry);
+        Ok(())
+    }
+
+    /// Ensures the transaction exists and is active.
+    pub fn check_active(&self, txn: TxnId) -> StorageResult<()> {
+        match self.state(txn) {
+            Some(TxnState::Active) => Ok(()),
+            _ => Err(StorageError::TxnNotActive(txn)),
+        }
+    }
+
+    /// Transitions an active transaction to `Committed`, returning its undo
+    /// log length (for statistics).
+    pub fn mark_committed(&self, txn: TxnId) -> StorageResult<usize> {
+        let mut txns = self.txns.lock();
+        let meta = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
+        if meta.state != TxnState::Active {
+            return Err(StorageError::TxnNotActive(txn));
+        }
+        meta.state = TxnState::Committed;
+        let n = meta.undo.len();
+        meta.undo.clear();
+        Ok(n)
+    }
+
+    /// Transitions an active transaction to `Aborted` and returns its undo
+    /// log in reverse (application) order.
+    pub fn mark_aborted(&self, txn: TxnId) -> StorageResult<Vec<UndoEntry>> {
+        let mut txns = self.txns.lock();
+        let meta = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
+        if meta.state != TxnState::Active {
+            return Err(StorageError::TxnNotActive(txn));
+        }
+        meta.state = TxnState::Aborted;
+        let mut undo = std::mem::take(&mut meta.undo);
+        undo.reverse();
+        Ok(undo)
+    }
+
+    /// Drops bookkeeping for finished transactions (garbage collection);
+    /// returns how many entries were removed.
+    pub fn gc_finished(&self) -> usize {
+        let mut txns = self.txns.lock();
+        let before = txns.len();
+        txns.retain(|_, m| m.state == TxnState::Active);
+        before - txns.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_assigns_unique_increasing_ids() {
+        let tm = TxnManager::new();
+        let a = tm.begin();
+        let b = tm.begin();
+        assert!(b > a);
+        assert_eq!(tm.state(a), Some(TxnState::Active));
+        assert_eq!(tm.active_count(), 2);
+        assert_eq!(tm.active_txns().len(), 2);
+    }
+
+    #[test]
+    fn commit_and_abort_transitions() {
+        let tm = TxnManager::new();
+        let a = tm.begin();
+        tm.push_undo(
+            a,
+            UndoEntry::Insert {
+                table: 1,
+                key: vec![Value::Int(1)],
+            },
+        )
+        .unwrap();
+        assert_eq!(tm.mark_committed(a).unwrap(), 1);
+        assert_eq!(tm.state(a), Some(TxnState::Committed));
+        // Double commit / commit-after-abort are rejected.
+        assert!(tm.mark_committed(a).is_err());
+        assert!(tm.mark_aborted(a).is_err());
+        assert!(tm.push_undo(a, UndoEntry::Insert { table: 1, key: vec![] }).is_err());
+
+        let b = tm.begin();
+        tm.push_undo(
+            b,
+            UndoEntry::Insert {
+                table: 1,
+                key: vec![Value::Int(1)],
+            },
+        )
+        .unwrap();
+        tm.push_undo(
+            b,
+            UndoEntry::Update {
+                table: 1,
+                key: vec![Value::Int(1)],
+                before: vec![Value::Int(1), Value::Bool(false)],
+            },
+        )
+        .unwrap();
+        let undo = tm.mark_aborted(b).unwrap();
+        assert_eq!(undo.len(), 2);
+        // Reverse order: the update is undone before the insert.
+        assert!(matches!(undo[0], UndoEntry::Update { .. }));
+        assert!(matches!(undo[1], UndoEntry::Insert { .. }));
+    }
+
+    #[test]
+    fn unknown_txn_errors() {
+        let tm = TxnManager::new();
+        assert!(tm.check_active(99).is_err());
+        assert!(tm.mark_committed(99).is_err());
+        assert_eq!(tm.state(99), None);
+    }
+
+    #[test]
+    fn gc_removes_finished_only() {
+        let tm = TxnManager::new();
+        let a = tm.begin();
+        let b = tm.begin();
+        tm.mark_committed(a).unwrap();
+        assert_eq!(tm.gc_finished(), 1);
+        assert_eq!(tm.state(a), None);
+        assert_eq!(tm.state(b), Some(TxnState::Active));
+    }
+
+    #[test]
+    fn concurrent_begins_are_unique() {
+        use std::sync::Arc;
+        let tm = Arc::new(TxnManager::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let tm = tm.clone();
+                std::thread::spawn(move || (0..100).map(|_| tm.begin()).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut ids: Vec<TxnId> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 800);
+    }
+}

@@ -1,0 +1,355 @@
+//! Fundamental value and identifier types used throughout the storage
+//! manager and both execution engines.
+//!
+//! The value model is deliberately small (the workloads in the paper —
+//! TATP and TPC-C — only need integers, floating point, strings and
+//! booleans) but completely ordered and hashable so that values can be used
+//! as B+-tree keys, lock-manager keys and DORA routing keys.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a table inside the catalog.
+pub type TableId = u32;
+/// Identifier of an index inside the catalog.
+pub type IndexId = u32;
+/// Identifier of a page managed by the buffer pool.
+pub type PageId = u64;
+/// Slot number inside a slotted page.
+pub type SlotId = u16;
+/// Transaction identifier.
+pub type TxnId = u64;
+/// Log sequence number.
+pub type Lsn = u64;
+
+/// Physical address of a record: page plus slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RecordId {
+    /// Page holding the record.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: SlotId,
+}
+
+impl RecordId {
+    /// Creates a record id from its components.
+    pub fn new(page: PageId, slot: SlotId) -> Self {
+        RecordId { page, slot }
+    }
+}
+
+impl fmt::Display for RecordId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.page, self.slot)
+    }
+}
+
+/// Column data types supported by the storage manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataType {
+    /// 32-bit signed integer.
+    Int,
+    /// 64-bit signed integer.
+    BigInt,
+    /// 64-bit IEEE floating point.
+    Double,
+    /// Variable-length UTF-8 string with a declared maximum length.
+    Varchar(u16),
+    /// Boolean.
+    Bool,
+}
+
+impl DataType {
+    /// Returns true when `value` is admissible for this type (NULL is
+    /// admissible for every type).
+    pub fn admits(&self, value: &Value) -> bool {
+        match (self, value) {
+            (_, Value::Null) => true,
+            (DataType::Int, Value::Int(_)) => true,
+            (DataType::BigInt, Value::BigInt(_)) => true,
+            (DataType::Double, Value::Double(_)) => true,
+            (DataType::Varchar(max), Value::Varchar(s)) => s.len() <= *max as usize,
+            (DataType::Bool, Value::Bool(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// A single column value.
+///
+/// `Value` implements a *total* order (including across `Double` via IEEE
+/// total ordering and across NULLs, which sort lowest) so it can serve as a
+/// key for B+-trees, lock tables and routing rules.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 32-bit signed integer.
+    Int(i32),
+    /// 64-bit signed integer.
+    BigInt(i64),
+    /// 64-bit float.
+    Double(f64),
+    /// UTF-8 string.
+    Varchar(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Variant rank used to order values of different types deterministically.
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::BigInt(_) => 3,
+            Value::Double(_) => 4,
+            Value::Varchar(_) => 5,
+        }
+    }
+
+    /// Returns the value as an `i64` when it is any integer type.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v as i64),
+            Value::BigInt(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `f64` when it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::BigInt(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a string slice when it is a varchar.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Varchar(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a bool when it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// True if the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (BigInt(a), BigInt(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            (Varchar(a), Varchar(b)) => a.cmp(b),
+            // Numeric cross-type comparisons compare as i64/f64 where
+            // possible so that Int(5) == BigInt(5) for routing purposes.
+            (Int(a), BigInt(b)) => (*a as i64).cmp(b),
+            (BigInt(a), Int(b)) => a.cmp(&(*b as i64)),
+            (Int(a), Double(b)) => (*a as f64).total_cmp(b),
+            (Double(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (BigInt(a), Double(b)) => (*a as f64).total_cmp(b),
+            (Double(a), BigInt(b)) => a.total_cmp(&(*b as f64)),
+            _ => self.rank().cmp(&other.rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Integer family hashes through i64 so Int(5) and BigInt(5),
+            // which compare equal, also hash equal.
+            Value::Int(v) => {
+                2u8.hash(state);
+                (*v as i64).hash(state);
+            }
+            Value::BigInt(v) => {
+                2u8.hash(state);
+                v.hash(state);
+            }
+            Value::Double(v) => {
+                3u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Varchar(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::BigInt(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Varchar(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::BigInt(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Varchar(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Varchar(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// A key is an ordered list of values (possibly composite).
+pub type Key = Vec<Value>;
+
+/// Builds a key from anything convertible to values.
+#[macro_export]
+macro_rules! key {
+    ($($v:expr),* $(,)?) => {
+        vec![$($crate::types::Value::from($v)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn ordering_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::BigInt(-5) < Value::BigInt(0));
+        assert!(Value::Varchar("a".into()) < Value::Varchar("b".into()));
+        assert!(Value::Double(1.5) < Value::Double(2.5));
+        assert!(Value::Bool(false) < Value::Bool(true));
+    }
+
+    #[test]
+    fn null_sorts_lowest() {
+        assert!(Value::Null < Value::Int(i32::MIN));
+        assert!(Value::Null < Value::Varchar(String::new()));
+        assert_eq!(Value::Null, Value::Null);
+    }
+
+    #[test]
+    fn cross_numeric_comparisons() {
+        assert_eq!(Value::Int(5), Value::BigInt(5));
+        assert!(Value::Int(5) < Value::BigInt(6));
+        assert!(Value::Double(4.5) < Value::BigInt(5));
+        assert_eq!(hash_of(&Value::Int(5)), hash_of(&Value::BigInt(5)));
+    }
+
+    #[test]
+    fn double_total_order_handles_nan() {
+        let nan = Value::Double(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Double(1.0) < Value::Double(f64::INFINITY));
+    }
+
+    #[test]
+    fn datatype_admits() {
+        assert!(DataType::Int.admits(&Value::Int(1)));
+        assert!(DataType::Int.admits(&Value::Null));
+        assert!(!DataType::Int.admits(&Value::Varchar("x".into())));
+        assert!(DataType::Varchar(3).admits(&Value::Varchar("abc".into())));
+        assert!(!DataType::Varchar(2).admits(&Value::Varchar("abc".into())));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_i64(), Some(3));
+        assert_eq!(Value::BigInt(9).as_i64(), Some(9));
+        assert_eq!(Value::Double(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Varchar("hi".into()).as_str(), Some("hi"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::Varchar("hi".into()).as_i64(), None);
+    }
+
+    #[test]
+    fn key_macro_builds_composite_keys() {
+        let k: Key = key![1i32, "abc", 2.5f64];
+        assert_eq!(k.len(), 3);
+        assert_eq!(k[0], Value::Int(1));
+        assert_eq!(k[1], Value::Varchar("abc".into()));
+    }
+
+    #[test]
+    fn record_id_display_and_order() {
+        let a = RecordId::new(1, 2);
+        let b = RecordId::new(1, 3);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "(1,2)");
+    }
+}
