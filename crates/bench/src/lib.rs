@@ -1,1 +1,39 @@
-//! placeholder
+//! # dora-bench
+//!
+//! The benchmark harness reproducing the paper's experiments by driving
+//! the two engines through identical workloads and comparing their
+//! scaling behavior.
+//!
+//! **Planned role.** The bench targets declared in this crate's manifest
+//! (all `harness = false` stubs today) map to the paper's figures:
+//!
+//! * `throughput_vs_cores` / `throughput_vs_clients` — the headline
+//!   scaling curves: committed transactions per second as hardware
+//!   contexts and offered load grow.
+//! * `critical_sections` — counts centralized lock-manager critical
+//!   sections per transaction (conventional) against DORA's zero.
+//! * `access_patterns` — the Figure-1 visualization: which worker touches
+//!   which records over time, quantified with
+//!   [`trace::orderliness`](dora_storage::trace::orderliness) and
+//!   [`trace::workers_per_key_bucket`](dora_storage::trace::workers_per_key_bucket).
+//! * `oversubscription` / `response_time_idle` — behavior with more
+//!   clients than contexts, and latency at low utilization.
+//! * `load_balancing_skew` — skewed key popularity with and without the
+//!   designer's run-time re-partitioning.
+//! * `alignment_advisor` / `physical_design` — quality of the designer's
+//!   routing choices.
+//! * `ablations` — DORA with pieces disabled (e.g. forced secondary
+//!   actions, single partition) to attribute the win.
+//! * `flowgen` — cost of flow-graph construction and dispatch itself.
+//!
+//! Each bench will print a small self-describing table (and eventually
+//! machine-readable JSON) rather than relying on an external benchmarking
+//! framework, keeping the crate dependency-free for offline builds.
+
+#![warn(missing_docs)]
+
+pub use dora_core;
+pub use dora_designer;
+pub use dora_engine_conv;
+pub use dora_storage;
+pub use dora_workloads;

@@ -1,1 +1,33 @@
-//! placeholder
+//! # dora-designer
+//!
+//! Physical-design tools for DORA: choosing and maintaining the logical
+//! partitioning that the executor's thread-to-data assignment depends on.
+//!
+//! **Planned role.** The paper's "supporting tools" are reproduced here:
+//!
+//! * **Routing-table designer** — derives an initial
+//!   [`RoutingTable`](dora_core::routing::RoutingTable) from a schema and
+//!   a workload description: pick each table's routing field, decide how
+//!   many logical partitions each table needs, and emit
+//!   [`RoutingRule`](dora_core::routing::RoutingRule)s aligned with the
+//!   transactions' access patterns.
+//! * **Alignment advisor** — consumes the
+//!   [`AccessTrace`](dora_storage::trace::AccessTrace) both engines can
+//!   record and reports which accesses were *not* partition-aligned
+//!   (secondary actions), i.e. where a different routing field or an extra
+//!   index would let DORA route by key.
+//! * **Run-time load balancer** — watches per-partition utilization from
+//!   the executor's stats snapshots and re-splits hot ranges /
+//!   merges cold ones via
+//!   [`DoraEngine::update_routing`](dora_core::executor::DoraEngine::update_routing)
+//!   — cheap because partitions are purely logical (nothing moves on
+//!   disk).
+//!
+//! Nothing is implemented yet — the crate currently only re-exports its
+//! dependencies' entry points so downstream code can compile against one
+//! name.
+
+#![warn(missing_docs)]
+
+pub use dora_core;
+pub use dora_storage;

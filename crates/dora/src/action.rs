@@ -24,7 +24,10 @@ pub type ActionBody =
 
 /// A phase generator: invoked by the last action of the previous phase (at
 /// the RVP) with the outputs of that phase, it produces the actions of the
-/// next phase. Returning an empty vector ends the transaction successfully.
+/// next phase. Returning an empty vector from the *last* generator ends
+/// the transaction successfully; an empty phase while later generators are
+/// still queued is a flow-graph bug and aborts the transaction (the
+/// executor refuses to silently skip them).
 pub type PhaseGen = Box<dyn FnOnce(&[Vec<Value>]) -> StorageResult<Vec<ActionSpec>> + Send>;
 
 /// Specification of one action before it is enqueued.
@@ -92,6 +95,13 @@ impl ActionSpec {
 
     /// A non-partition-aligned (secondary), read-only action: the table is
     /// being probed by a field other than its routing field.
+    ///
+    /// **Isolation caveat:** secondary actions take no local locks, so they
+    /// run at read-uncommitted — they can observe writes of concurrently
+    /// executing, not-yet-committed transactions on other partitions. This
+    /// matches the current executor's scope (the paper routes such probes
+    /// through heavier machinery); use aligned actions where consistency of
+    /// the read matters, until versioned reads land (see ROADMAP).
     pub fn secondary(
         table: TableId,
         body: impl FnOnce(&Database, TxnId, &WorkerCtx) -> StorageResult<Vec<Value>> + Send + 'static,
@@ -142,8 +152,10 @@ impl FlowGraph {
     }
 
     /// Appends a phase separated from the previous one by an RVP. The
-    /// generator receives the previous phase's outputs (one vector per
-    /// action, in completion order).
+    /// generator receives the previous phase's outputs, one vector per
+    /// action in action order: `outputs[i]` is what the phase's `i`-th
+    /// `ActionSpec` returned, regardless of which partition finished
+    /// first.
     pub fn then(
         mut self,
         gen: impl FnOnce(&[Vec<Value>]) -> StorageResult<Vec<ActionSpec>> + Send + 'static,

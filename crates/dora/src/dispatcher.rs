@@ -1,0 +1,411 @@
+//! Routing of decomposed transactions to partition queues and rendezvous
+//! point (RVP) bookkeeping.
+//!
+//! The dispatcher is the piece between a submitted
+//! [`FlowGraph`](crate::action::FlowGraph) and the partition worker
+//! threads of the [`executor`](crate::executor): it assigns every
+//! [`ActionSpec`] of a phase to the worker that
+//! owns the data the action touches (per the
+//! [`RoutingTable`]), and it manufactures
+//! the [`Rvp`] the actions of the phase will report to. The *last* action
+//! to report at an RVP executes the rendezvous logic on its own worker
+//! thread: enqueue the next phase, or decide commit/abort.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam_channel::Sender;
+use parking_lot::Mutex;
+
+use dora_storage::error::{StorageError, StorageResult};
+use dora_storage::types::{TableId, TxnId, Value};
+
+use crate::action::{ActionBody, ActionSpec, PhaseGen};
+use crate::executor::TxnOutcome;
+use crate::local_lock::LockClass;
+use crate::routing::{PartitionId, RoutingTable};
+
+/// A message consumed by a partition worker thread.
+pub enum WorkerMsg {
+    /// Execute one action of some transaction.
+    Action(ActionEnvelope),
+    /// A transaction finished system-wide: release every local lock it
+    /// holds in this partition's lock table.
+    Finish(TxnId),
+}
+
+/// Shared, per-transaction execution state.
+pub struct TxnCtx {
+    /// Storage transaction id shared by every action of the transaction.
+    pub txn: TxnId,
+    /// Transaction name (for statistics).
+    pub name: &'static str,
+    /// Generators of the phases that have not been dispatched yet; the RVP
+    /// terminal pops from the front.
+    pub phases: Mutex<VecDeque<PhaseGen>>,
+    /// Partitions that have executed (or will execute) actions of this
+    /// transaction and therefore hold local locks for it.
+    pub involved: Mutex<Vec<PartitionId>>,
+    /// Channel the final [`TxnOutcome`] is delivered on.
+    pub reply: Sender<TxnOutcome>,
+}
+
+impl TxnCtx {
+    /// Creates the context for a freshly begun transaction.
+    pub fn new(
+        txn: TxnId,
+        name: &'static str,
+        phases: Vec<PhaseGen>,
+        reply: Sender<TxnOutcome>,
+    ) -> Self {
+        TxnCtx {
+            txn,
+            name,
+            phases: Mutex::new(phases.into()),
+            involved: Mutex::new(Vec::new()),
+            reply,
+        }
+    }
+
+    /// Records that `partition` participates in the transaction.
+    pub fn mark_involved(&self, partition: PartitionId) {
+        let mut involved = self.involved.lock();
+        if !involved.contains(&partition) {
+            involved.push(partition);
+        }
+    }
+
+    /// The partitions involved so far.
+    pub fn involved(&self) -> Vec<PartitionId> {
+        self.involved.lock().clone()
+    }
+}
+
+/// What the RVP reports when an action completes.
+pub enum PhaseEnd {
+    /// Other actions of the phase are still running; nothing to do.
+    NotLast,
+    /// This was the last action of the phase: the reporting worker must run
+    /// the rendezvous logic with the collected state.
+    Last {
+        /// Outputs of the phase's actions, indexed by action position in
+        /// the phase (`outputs[i]` belongs to the `i`-th `ActionSpec`),
+        /// regardless of completion order. Actions that failed or were
+        /// skipped leave an empty vector (only reachable on the abort
+        /// path, where outputs are not consumed).
+        outputs: Vec<Vec<Value>>,
+        /// First failure observed in the phase, if any (forces abort).
+        failure: Option<StorageError>,
+    },
+}
+
+/// A rendezvous point: the synchronization barrier between two phases of a
+/// transaction (or between its last phase and commit). Actions report here;
+/// the last one to arrive carries the phase's combined result forward.
+pub struct Rvp {
+    remaining: AtomicUsize,
+    outputs: Mutex<Vec<Option<Vec<Value>>>>,
+    failure: Mutex<Option<StorageError>>,
+}
+
+impl Rvp {
+    /// Creates an RVP awaiting `actions` reports.
+    pub fn new(actions: usize) -> Self {
+        assert!(actions > 0, "an RVP must await at least one action");
+        Rvp {
+            remaining: AtomicUsize::new(actions),
+            outputs: Mutex::new(vec![None; actions]),
+            failure: Mutex::new(None),
+        }
+    }
+
+    /// Reports the result of the action at position `slot` in the phase.
+    /// Returns [`PhaseEnd::Last`] to exactly one caller — the one that
+    /// must run the rendezvous logic.
+    pub fn report(&self, slot: usize, result: StorageResult<Vec<Value>>) -> PhaseEnd {
+        match result {
+            Ok(values) => self.outputs.lock()[slot] = Some(values),
+            Err(e) => {
+                let mut failure = self.failure.lock();
+                if failure.is_none() {
+                    *failure = Some(e);
+                }
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            PhaseEnd::Last {
+                outputs: std::mem::take(&mut *self.outputs.lock())
+                    .into_iter()
+                    .map(Option::unwrap_or_default)
+                    .collect(),
+                failure: self.failure.lock().take(),
+            }
+        } else {
+            PhaseEnd::NotLast
+        }
+    }
+
+    /// Number of actions that have not reported yet.
+    pub fn pending(&self) -> usize {
+        self.remaining.load(Ordering::Acquire)
+    }
+
+    /// Whether some action of the phase has already failed. Workers use
+    /// this to skip executing (and lock-waiting for) actions whose
+    /// transaction is doomed to abort anyway.
+    pub fn failed(&self) -> bool {
+        self.failure.lock().is_some()
+    }
+}
+
+/// One routed action in flight: the body plus everything the executing
+/// worker needs to lock, run, and rendezvous.
+pub struct ActionEnvelope {
+    /// Position of this action within its phase; outputs are delivered to
+    /// the RVP slot of the same index.
+    pub slot: usize,
+    /// Table the action touches.
+    pub table: TableId,
+    /// Routing keys with access intents (empty for secondary actions).
+    pub keys: Vec<(i64, LockClass)>,
+    /// The action body (consumed on execution).
+    pub body: ActionBody,
+    /// Shared transaction state.
+    pub txn: Arc<TxnCtx>,
+    /// The RVP this action reports to.
+    pub rvp: Arc<Rvp>,
+    /// When the action was dispatched — deferral waits are measured from
+    /// here, so a conflicting action times out rather than waiting forever
+    /// (DORA's cross-partition deadlock resolution).
+    pub dispatched: Instant,
+}
+
+/// Failure modes of routing a phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// An aligned action listed keys owned by different partitions; the
+    /// flow-graph builder must split it into per-partition actions.
+    SpansPartitions {
+        /// Table whose rule was consulted.
+        table: TableId,
+        /// The two partitions the keys straddle.
+        partitions: (PartitionId, PartitionId),
+    },
+    /// An aligned action carried no keys at all.
+    NoKeys {
+        /// Table whose rule was consulted.
+        table: TableId,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::SpansPartitions { table, partitions } => write!(
+                f,
+                "aligned action on table {table} spans partitions {} and {}",
+                partitions.0, partitions.1
+            ),
+            RouteError::NoKeys { table } => {
+                write!(
+                    f,
+                    "aligned action on table {table} declares no routing keys"
+                )
+            }
+        }
+    }
+}
+
+impl From<RouteError> for StorageError {
+    fn from(e: RouteError) -> Self {
+        StorageError::Internal(e.to_string())
+    }
+}
+
+/// Decides which partition each action of a phase runs on.
+///
+/// Aligned actions go to the owner of their first routing key (after
+/// validating that *all* their keys belong to that owner). Secondary
+/// (non-aligned) actions can run anywhere; `next_secondary` spreads them
+/// round-robin over the `workers` partitions. Validation happens for the
+/// whole phase before anything is dispatched, so a routing error never
+/// leaves a half-dispatched phase behind.
+pub fn route_phase(
+    routing: &RoutingTable,
+    workers: usize,
+    next_secondary: &AtomicUsize,
+    specs: &[ActionSpec],
+) -> Result<Vec<PartitionId>, RouteError> {
+    let mut assignments = Vec::with_capacity(specs.len());
+    for spec in specs {
+        if spec.aligned {
+            let Some(&(first_key, _)) = spec.keys.first() else {
+                return Err(RouteError::NoKeys { table: spec.table });
+            };
+            let owner = routing.owner_of(spec.table, first_key);
+            for &(key, _) in &spec.keys[1..] {
+                let other = routing.owner_of(spec.table, key);
+                if other != owner {
+                    return Err(RouteError::SpansPartitions {
+                        table: spec.table,
+                        partitions: (owner, other),
+                    });
+                }
+            }
+            // A routing table may name more partitions than this engine has
+            // workers; fold the logical owner onto a real thread.
+            assignments.push(owner % workers.max(1));
+        } else {
+            let slot = next_secondary.fetch_add(1, Ordering::Relaxed);
+            assignments.push(slot % workers.max(1));
+        }
+    }
+    Ok(assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RoutingRule;
+    use dora_storage::types::Value;
+
+    fn routing_4x4(table: TableId) -> RoutingTable {
+        let mut rt = RoutingTable::new();
+        rt.set_rule(RoutingRule::uniform(table, 0, 0, 99, 4, 4));
+        rt
+    }
+
+    #[test]
+    fn aligned_actions_route_to_key_owner() {
+        let rt = routing_4x4(1);
+        let rr = AtomicUsize::new(0);
+        let specs = vec![
+            ActionSpec::read(1, 0, |_, _, _| Ok(vec![])),
+            ActionSpec::read(1, 30, |_, _, _| Ok(vec![])),
+            ActionSpec::write(1, 99, |_, _, _| Ok(vec![])),
+        ];
+        let parts = route_phase(&rt, 4, &rr, &specs).unwrap();
+        assert_eq!(parts, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn multi_key_actions_must_stay_inside_one_partition() {
+        let rt = routing_4x4(1);
+        let rr = AtomicUsize::new(0);
+        let ok = vec![ActionSpec::multi(
+            1,
+            vec![(26, LockClass::Read), (49, LockClass::Write)],
+            |_, _, _| Ok(vec![]),
+        )];
+        assert_eq!(route_phase(&rt, 4, &rr, &ok).unwrap(), vec![1]);
+
+        let bad = vec![ActionSpec::multi(
+            1,
+            vec![(26, LockClass::Read), (51, LockClass::Write)],
+            |_, _, _| Ok(vec![]),
+        )];
+        let err = route_phase(&rt, 4, &rr, &bad).unwrap_err();
+        assert_eq!(
+            err,
+            RouteError::SpansPartitions {
+                table: 1,
+                partitions: (1, 2)
+            }
+        );
+    }
+
+    #[test]
+    fn aligned_action_without_keys_is_rejected() {
+        let rt = routing_4x4(1);
+        let rr = AtomicUsize::new(0);
+        let mut spec = ActionSpec::read(1, 5, |_, _, _| Ok(vec![]));
+        spec.keys.clear();
+        let err = route_phase(&rt, 4, &rr, &[spec]).unwrap_err();
+        assert_eq!(err, RouteError::NoKeys { table: 1 });
+    }
+
+    #[test]
+    fn secondary_actions_round_robin() {
+        let rt = routing_4x4(1);
+        let rr = AtomicUsize::new(0);
+        let specs: Vec<ActionSpec> = (0..5)
+            .map(|_| ActionSpec::secondary(1, |_, _, _| Ok(vec![])))
+            .collect();
+        let parts = route_phase(&rt, 4, &rr, &specs).unwrap();
+        assert_eq!(parts, vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn unrouted_tables_fall_back_to_partition_zero() {
+        let rt = RoutingTable::new();
+        let rr = AtomicUsize::new(0);
+        let specs = vec![ActionSpec::write(9, 1234, |_, _, _| Ok(vec![]))];
+        assert_eq!(route_phase(&rt, 4, &rr, &specs).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn more_partitions_than_workers_fold_onto_threads() {
+        let mut rt = RoutingTable::new();
+        rt.set_rule(RoutingRule::uniform(1, 0, 0, 99, 8, 8));
+        let rr = AtomicUsize::new(0);
+        // Key 99 lives in partition 7; with only 2 worker threads it must
+        // land on thread 1.
+        let specs = vec![ActionSpec::read(1, 99, |_, _, _| Ok(vec![]))];
+        assert_eq!(route_phase(&rt, 2, &rr, &specs).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn rvp_reports_last_exactly_once_with_slot_ordered_outputs() {
+        let rvp = Rvp::new(3);
+        // Completion order 2, 0, 1 — outputs still come back slot-ordered.
+        assert!(matches!(
+            rvp.report(2, Ok(vec![Value::Int(30)])),
+            PhaseEnd::NotLast
+        ));
+        assert_eq!(rvp.pending(), 2);
+        assert!(matches!(
+            rvp.report(0, Ok(vec![Value::Int(10)])),
+            PhaseEnd::NotLast
+        ));
+        match rvp.report(1, Ok(vec![Value::Int(20)])) {
+            PhaseEnd::Last { outputs, failure } => {
+                assert_eq!(
+                    outputs,
+                    vec![
+                        vec![Value::Int(10)],
+                        vec![Value::Int(20)],
+                        vec![Value::Int(30)]
+                    ]
+                );
+                assert!(failure.is_none());
+            }
+            PhaseEnd::NotLast => panic!("third report must be last"),
+        }
+    }
+
+    #[test]
+    fn rvp_keeps_first_failure() {
+        let rvp = Rvp::new(2);
+        rvp.report(0, Err(StorageError::NotFound));
+        match rvp.report(1, Err(StorageError::PageFull)) {
+            PhaseEnd::Last { outputs, failure } => {
+                // Failed slots are empty placeholders.
+                assert_eq!(outputs, vec![Vec::<Value>::new(), Vec::new()]);
+                assert_eq!(failure, Some(StorageError::NotFound));
+            }
+            PhaseEnd::NotLast => panic!("second report must be last"),
+        }
+    }
+
+    #[test]
+    fn txn_ctx_tracks_involved_partitions() {
+        let (tx, _rx) = crossbeam_channel::bounded(1);
+        let ctx = TxnCtx::new(7, "t", Vec::new(), tx);
+        ctx.mark_involved(2);
+        ctx.mark_involved(0);
+        ctx.mark_involved(2);
+        assert_eq!(ctx.involved(), vec![2, 0]);
+    }
+}

@@ -1,0 +1,1433 @@
+//! The DORA partition executor: one worker thread per logical partition.
+//!
+//! This is the heart of the paper. The [`DoraEngine`] spawns a fixed pool
+//! of worker threads ("micro-engines"), each owning
+//!
+//! * a private **action queue** — its only input, and
+//! * a private [`LocalLockTable`] — touched exclusively by that thread, so
+//!   it needs no latches at all.
+//!
+//! Submitted transactions arrive as
+//! [`FlowGraph`]s. Each phase's actions are
+//! routed to the partitions owning their data
+//! ([`dispatcher::route_phase`](crate::dispatcher::route_phase)) and
+//! joined at a rendezvous point ([`Rvp`]); the last action to report at an
+//! RVP runs the rendezvous logic on its own worker thread — enqueueing the
+//! next phase or committing/aborting the transaction. Storage operations
+//! execute under [`DORA_POLICY`] (`LockingPolicy::Bypass`): the
+//! centralized lock manager is skipped entirely because every access to a
+//! partition's keys is funneled through the one thread that owns them.
+//!
+//! An action whose local locks are unavailable is **deferred** — parked in
+//! the worker's deferral list and retried as transactions finish — never
+//! blocking the worker thread. A deferral that outlives
+//! [`DoraEngineConfig::lock_timeout`] aborts its transaction, which is
+//! also how cross-partition deadlocks (two multi-partition transactions
+//! acquiring in opposite orders) are resolved.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use dora_storage::db::{Database, LockingPolicy};
+use dora_storage::error::StorageError;
+use dora_storage::trace::{AccessTrace, WorkerCtx};
+
+use crate::action::{ActionSpec, FlowGraph};
+use crate::dispatcher::{route_phase, ActionEnvelope, PhaseEnd, Rvp, TxnCtx, WorkerMsg};
+use crate::local_lock::{LocalLockStats, LocalLockTable};
+use crate::routing::RoutingTable;
+
+/// The locking policy DORA passes to every storage operation: bypass the
+/// centralized lock manager, isolation is enforced by the partition-local
+/// lock tables.
+pub const DORA_POLICY: LockingPolicy = LockingPolicy::Bypass;
+
+/// Final status of a submitted transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnOutcome {
+    /// Every phase ran and the transaction committed.
+    Committed,
+    /// The transaction aborted (action failure, local-lock timeout, or
+    /// engine shutdown).
+    Aborted {
+        /// Why the transaction aborted.
+        reason: String,
+    },
+}
+
+impl TxnOutcome {
+    /// True when the transaction committed.
+    pub fn is_committed(&self) -> bool {
+        matches!(self, TxnOutcome::Committed)
+    }
+}
+
+/// Configuration of the DORA engine.
+#[derive(Debug, Clone)]
+pub struct DoraEngineConfig {
+    /// Number of partition worker threads (micro-engines).
+    pub workers: usize,
+    /// How long a deferred action may wait for local locks before its
+    /// transaction aborts. Also the cross-partition deadlock bound.
+    pub lock_timeout: Duration,
+    /// How often a worker with deferred actions re-polls its queue.
+    pub poll_interval: Duration,
+}
+
+impl Default for DoraEngineConfig {
+    fn default() -> Self {
+        DoraEngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            lock_timeout: Duration::from_millis(500),
+            poll_interval: Duration::from_micros(100),
+        }
+    }
+}
+
+/// Engine-wide counters (written by workers, read by `stats`).
+#[derive(Debug, Default)]
+struct EngineCounters {
+    committed: AtomicU64,
+    aborted: AtomicU64,
+    actions: AtomicU64,
+    deferrals: AtomicU64,
+    secondary: AtomicU64,
+}
+
+/// Per-partition counters, written only by the owning worker (plain
+/// stores; the worker's local lock table remains latch-free).
+#[derive(Debug, Default)]
+struct PartitionCounters {
+    executed: AtomicU64,
+    busy_ns: AtomicU64,
+    lock_acquired: AtomicU64,
+    lock_conflicts: AtomicU64,
+    lock_released: AtomicU64,
+    deferred_depth: AtomicU64,
+}
+
+/// Snapshot of one partition worker's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionStatsSnapshot {
+    /// Actions executed by this worker.
+    pub executed: u64,
+    /// Nanoseconds spent executing action bodies and RVP logic.
+    pub busy_ns: u64,
+    /// This worker's local lock table counters.
+    pub locks: LocalLockStats,
+    /// Actions currently parked waiting for local locks.
+    pub deferred: u64,
+}
+
+/// Snapshot of the engine's counters plus per-partition breakdown.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DoraStatsSnapshot {
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions aborted.
+    pub aborted: u64,
+    /// Actions executed across all partitions.
+    pub actions: u64,
+    /// Times an action was parked because its local locks were taken.
+    pub deferrals: u64,
+    /// Non-aligned (secondary) actions executed.
+    pub secondary: u64,
+    /// Per-partition counters.
+    pub workers: Vec<PartitionStatsSnapshot>,
+}
+
+struct Inner {
+    db: Arc<Database>,
+    routing: RwLock<RoutingTable>,
+    /// Senders to every partition queue. Cleared by shutdown, which is
+    /// what lets workers observe disconnection and exit.
+    senders: RwLock<Vec<Sender<WorkerMsg>>>,
+    counters: EngineCounters,
+    partitions: Vec<PartitionCounters>,
+    trace: Arc<AccessTrace>,
+    /// Transactions begun but not yet finalized.
+    active: AtomicUsize,
+    /// False once shutdown starts; submissions are rejected for good.
+    accepting: AtomicBool,
+    /// True while `update_routing` drains in-flight transactions;
+    /// submissions wait it out instead of aborting.
+    quiescing: AtomicBool,
+    /// Serializes concurrent `update_routing` calls — overlapping
+    /// quiesce windows would let one caller clear `quiescing` while the
+    /// other is still swapping the table.
+    rebalance: parking_lot::Mutex<()>,
+    /// Round-robin cursor for secondary (non-aligned) actions.
+    next_secondary: AtomicUsize,
+    config: DoraEngineConfig,
+}
+
+/// The data-oriented execution engine.
+pub struct DoraEngine {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DoraEngine {
+    /// Creates the engine and spawns one worker thread per partition.
+    pub fn new(db: Arc<Database>, routing: RoutingTable, config: DoraEngineConfig) -> Self {
+        assert!(config.workers > 0, "need at least one partition worker");
+        let mut senders = Vec::with_capacity(config.workers);
+        let mut receivers = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let (tx, rx) = unbounded::<WorkerMsg>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let inner = Arc::new(Inner {
+            db,
+            routing: RwLock::new(routing),
+            senders: RwLock::new(senders),
+            counters: EngineCounters::default(),
+            partitions: (0..config.workers)
+                .map(|_| PartitionCounters::default())
+                .collect(),
+            trace: Arc::new(AccessTrace::new()),
+            active: AtomicUsize::new(0),
+            accepting: AtomicBool::new(true),
+            quiescing: AtomicBool::new(false),
+            rebalance: parking_lot::Mutex::new(()),
+            next_secondary: AtomicUsize::new(0),
+            config,
+        });
+        let workers = receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, rx)| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("dora-worker-{id}"))
+                    .spawn(move || worker_loop(inner, id, rx))
+                    .expect("spawn DORA partition worker")
+            })
+            .collect();
+        DoraEngine { inner, workers }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.inner.db
+    }
+
+    /// The engine's access trace (disabled unless enabled by the caller).
+    pub fn trace(&self) -> &Arc<AccessTrace> {
+        &self.inner.trace
+    }
+
+    /// Number of partition worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.inner.config.workers
+    }
+
+    /// A copy of the current routing configuration.
+    pub fn routing(&self) -> RoutingTable {
+        self.inner.routing.read().clone()
+    }
+
+    /// Applies `f` to the routing table (run-time re-partitioning hook for
+    /// the designer's load balancer).
+    ///
+    /// The engine **quiesces** first: intake pauses (submissions arriving
+    /// during the switch wait for it to finish) and in-flight transactions
+    /// drain, so no partition's local lock table still holds state for
+    /// keys whose ownership is about to move. Without the barrier, a key
+    /// re-routed while a transaction holds its lock on the old owner could
+    /// be locked again — fresh and unconflicted — on the new owner,
+    /// breaking isolation. Partitions are logical, so the switch itself is
+    /// O(1); the wait is bounded by `lock_timeout` like shutdown's.
+    pub fn update_routing(&self, f: impl FnOnce(&mut RoutingTable)) {
+        // One re-partitioning at a time; overlapping quiesce windows would
+        // let one caller resume intake while the other still swaps rules.
+        let _serialize = self.inner.rebalance.lock();
+        self.inner.quiescing.store(true, Ordering::Release);
+        // Clear `quiescing` even if `f` panics — a wedged flag would make
+        // every later submit() spin forever.
+        struct ResumeIntake<'a>(&'a AtomicBool);
+        impl Drop for ResumeIntake<'_> {
+            fn drop(&mut self) {
+                self.0.store(false, Ordering::Release);
+            }
+        }
+        let _resume = ResumeIntake(&self.inner.quiescing);
+        let deadline = Instant::now() + self.inner.config.lock_timeout + Duration::from_secs(30);
+        while self.inner.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        f(&mut self.inner.routing.write());
+    }
+
+    /// Total number of actions waiting in partition queues.
+    pub fn queue_len(&self) -> usize {
+        self.inner.senders.read().iter().map(|s| s.len()).sum()
+    }
+
+    /// Submits a transaction flow graph; the returned channel yields its
+    /// outcome once the terminal RVP decides commit or abort.
+    pub fn submit(&self, flow: FlowGraph) -> Receiver<TxnOutcome> {
+        let (reply_tx, reply_rx) = bounded(1);
+        // A routing quiesce is short; wait it out rather than bouncing the
+        // client. Shutdown, by contrast, is final: reject immediately.
+        // Order matters: become visible in `active` *first*, then re-check
+        // `quiescing` — checking before incrementing would let a submission
+        // slip past `update_routing`'s drain barrier (it reads `active`
+        // after setting `quiescing`) and route with lock state that
+        // predates the switch.
+        loop {
+            while self.inner.quiescing.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            self.inner.active.fetch_add(1, Ordering::AcqRel);
+            if !self.inner.quiescing.load(Ordering::Acquire) {
+                break;
+            }
+            // Raced the start of a quiesce: step back out and wait.
+            self.inner.active.fetch_sub(1, Ordering::AcqRel);
+        }
+        if !self.inner.accepting.load(Ordering::Acquire) {
+            self.inner.active.fetch_sub(1, Ordering::AcqRel);
+            let _ = reply_tx.send(TxnOutcome::Aborted {
+                reason: "engine is not accepting new transactions".into(),
+            });
+            return reply_rx;
+        }
+        let txn = self.inner.db.begin();
+        let ctx = Arc::new(TxnCtx::new(txn, flow.name, flow.next, reply_tx));
+        advance(&self.inner, &ctx, flow.first, None);
+        reply_rx
+    }
+
+    /// Submits a transaction and blocks until it finishes.
+    pub fn execute(&self, flow: FlowGraph) -> TxnOutcome {
+        self.submit(flow).recv().unwrap_or(TxnOutcome::Aborted {
+            reason: "engine dropped the transaction".into(),
+        })
+    }
+
+    /// Engine counters plus per-partition breakdown.
+    pub fn stats(&self) -> DoraStatsSnapshot {
+        let c = &self.inner.counters;
+        DoraStatsSnapshot {
+            committed: c.committed.load(Ordering::Relaxed),
+            aborted: c.aborted.load(Ordering::Relaxed),
+            actions: c.actions.load(Ordering::Relaxed),
+            deferrals: c.deferrals.load(Ordering::Relaxed),
+            secondary: c.secondary.load(Ordering::Relaxed),
+            workers: self
+                .inner
+                .partitions
+                .iter()
+                .map(|p| PartitionStatsSnapshot {
+                    executed: p.executed.load(Ordering::Relaxed),
+                    busy_ns: p.busy_ns.load(Ordering::Relaxed),
+                    locks: LocalLockStats {
+                        acquired: p.lock_acquired.load(Ordering::Relaxed),
+                        conflicts: p.lock_conflicts.load(Ordering::Relaxed),
+                        released: p.lock_released.load(Ordering::Relaxed),
+                    },
+                    deferred: p.deferred_depth.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Stops accepting work, lets in-flight transactions finish (deferred
+    /// actions resolve or time out), then joins all workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.inner.accepting.store(false, Ordering::Release);
+        // In-flight transactions always terminate: every deferred action
+        // either acquires its locks or aborts after `lock_timeout`. The
+        // deadline below is a defensive backstop, not the normal path.
+        let deadline = Instant::now() + self.inner.config.lock_timeout + Duration::from_secs(30);
+        while self.inner.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        self.inner.senders.write().clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for DoraEngine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Dispatches the next phase of `ctx`'s transaction (or commits it when
+/// `specs` is empty). `local` is the calling worker's own lock table when
+/// invoked from RVP logic; `None` when invoked from `submit`.
+fn advance(
+    inner: &Arc<Inner>,
+    ctx: &Arc<TxnCtx>,
+    specs: Vec<ActionSpec>,
+    local: Option<(usize, &mut LocalLockTable)>,
+) {
+    if specs.is_empty() {
+        // An empty phase ends the transaction — but only legitimately when
+        // no later phases are queued. Committing while generators wait
+        // would silently drop them; surface the flow-graph bug instead.
+        let pending = ctx.phases.lock().len();
+        let failure = (pending > 0).then(|| {
+            StorageError::Internal(format!(
+                "empty phase with {pending} phase generator(s) still queued"
+            ))
+        });
+        finalize(inner, ctx, failure, local);
+        return;
+    }
+    let senders = inner.senders.read();
+    if senders.is_empty() {
+        drop(senders);
+        finalize(
+            inner,
+            ctx,
+            Some(StorageError::Aborted("engine is shutting down".into())),
+            local,
+        );
+        return;
+    }
+    let assignments = {
+        let routing = inner.routing.read();
+        route_phase(&routing, senders.len(), &inner.next_secondary, &specs)
+    };
+    let assignments = match assignments {
+        Ok(a) => a,
+        Err(e) => {
+            drop(senders);
+            finalize(inner, ctx, Some(e.into()), local);
+            return;
+        }
+    };
+    let rvp = Arc::new(Rvp::new(specs.len()));
+    let now = Instant::now();
+    for (slot, (spec, partition)) in specs.into_iter().zip(assignments).enumerate() {
+        if !spec.aligned {
+            inner.counters.secondary.fetch_add(1, Ordering::Relaxed);
+        }
+        ctx.mark_involved(partition);
+        let envelope = ActionEnvelope {
+            slot,
+            table: spec.table,
+            keys: spec.keys,
+            body: spec.body,
+            txn: ctx.clone(),
+            rvp: rvp.clone(),
+            dispatched: now,
+        };
+        // Shutdown cannot drop the receivers underneath us (we hold the
+        // senders read lock), but a worker whose action body panicked is
+        // gone for good — report the slot as failed so the RVP still
+        // converges and the transaction aborts instead of the engine
+        // panicking or hanging.
+        if senders[partition]
+            .send(WorkerMsg::Action(envelope))
+            .is_err()
+        {
+            let dead = StorageError::Internal(format!("partition worker {partition} is gone"));
+            if let PhaseEnd::Last { failure, .. } = rvp.report(slot, Err(dead.clone())) {
+                drop(senders);
+                finalize(inner, ctx, Some(failure.unwrap_or(dead)), local);
+                return;
+            }
+        }
+    }
+}
+
+/// Terminates a transaction: commit (when `failure` is `None`) or abort.
+/// Releases the calling worker's local locks directly and broadcasts
+/// `Finish` to every other involved partition.
+fn finalize(
+    inner: &Arc<Inner>,
+    ctx: &Arc<TxnCtx>,
+    failure: Option<StorageError>,
+    local: Option<(usize, &mut LocalLockTable)>,
+) {
+    let outcome = match failure {
+        None => match inner.db.commit_policy(ctx.txn, DORA_POLICY) {
+            Ok(()) => TxnOutcome::Committed,
+            Err(e) => TxnOutcome::Aborted {
+                reason: format!("commit failed: {e}"),
+            },
+        },
+        Some(e) => {
+            let _ = inner.db.abort_policy(ctx.txn, DORA_POLICY);
+            TxnOutcome::Aborted {
+                reason: e.to_string(),
+            }
+        }
+    };
+    let local_id = local.as_ref().map(|(id, _)| *id);
+    if let Some((_, locks)) = local {
+        locks.release_all(ctx.txn);
+    }
+    {
+        let senders = inner.senders.read();
+        for partition in ctx.involved() {
+            if Some(partition) == local_id {
+                continue;
+            }
+            if let Some(sender) = senders.get(partition) {
+                let _ = sender.send(WorkerMsg::Finish(ctx.txn));
+            }
+        }
+    }
+    match &outcome {
+        TxnOutcome::Committed => inner.counters.committed.fetch_add(1, Ordering::Relaxed),
+        TxnOutcome::Aborted { .. } => inner.counters.aborted.fetch_add(1, Ordering::Relaxed),
+    };
+    let _ = ctx.reply.send(outcome);
+    inner.active.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// The partition worker ("micro-engine") main loop.
+fn worker_loop(inner: Arc<Inner>, id: usize, rx: Receiver<WorkerMsg>) {
+    let mut locks = LocalLockTable::new();
+    let mut deferred: VecDeque<ActionEnvelope> = VecDeque::new();
+    let ctx = WorkerCtx::new(id, inner.trace.clone());
+    loop {
+        let msg = if deferred.is_empty() {
+            match rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => break,
+            }
+        } else {
+            match rx.recv_timeout(inner.config.poll_interval) {
+                Ok(m) => Some(m),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        };
+        match msg {
+            Some(WorkerMsg::Action(envelope)) => {
+                handle_action(&inner, id, &ctx, &mut locks, &mut deferred, envelope);
+            }
+            Some(WorkerMsg::Finish(txn)) => {
+                locks.release_all(txn);
+            }
+            None => {}
+        }
+        retry_deferred(&inner, id, &ctx, &mut locks, &mut deferred);
+        export_stats(&inner, id, &locks, deferred.len());
+    }
+    // Shutdown: whatever is still deferred can never be granted (no new
+    // Finish messages will arrive) — abort those transactions.
+    for envelope in deferred.drain(..) {
+        complete(
+            &inner,
+            id,
+            &mut locks,
+            envelope,
+            Err(StorageError::Aborted("engine is shutting down".into())),
+        );
+    }
+    export_stats(&inner, id, &locks, 0);
+}
+
+/// Whether `envelope` must wait behind an already-parked conflicting
+/// action of another transaction. This is the worker's FIFO fairness
+/// barrier: without it, a steady stream of newly arriving readers on a
+/// key would be granted ahead of a parked writer forever, starving it
+/// into a spurious `LockTimeout` abort.
+///
+/// Keys the envelope's transaction already holds *in any mode* are
+/// exempt: a parked stranger wanting such a key cannot be granted until
+/// this transaction finishes, so queueing behind it would deadlock —
+/// whether the action re-takes its own lock or upgrades its read to a
+/// write (`try_acquire` grants a sole-reader upgrade directly).
+fn conflicts_with_parked(
+    locks: &LocalLockTable,
+    parked: &VecDeque<ActionEnvelope>,
+    envelope: &ActionEnvelope,
+) -> bool {
+    let txn = envelope.txn.txn;
+    envelope.keys.iter().any(|&(key, class)| {
+        !locks.holds_any(txn, envelope.table, key)
+            && parked.iter().any(|p| {
+                p.txn.txn != txn
+                    && p.table == envelope.table
+                    && p.keys.iter().any(|&(parked_key, parked_class)| {
+                        key == parked_key && class.conflicts(parked_class)
+                    })
+            })
+    })
+}
+
+/// Attempts to run one action: skip it when a sibling already failed,
+/// execute it when its local locks are grantable and no earlier-parked
+/// conflicting action is waiting, abort its transaction when it outlived
+/// the lock timeout. Returns the envelope back when the action must stay
+/// parked. `parked` holds the actions queued *ahead* of this one.
+#[must_use]
+fn try_run(
+    inner: &Arc<Inner>,
+    id: usize,
+    ctx: &WorkerCtx,
+    locks: &mut LocalLockTable,
+    parked: &VecDeque<ActionEnvelope>,
+    envelope: ActionEnvelope,
+) -> Option<ActionEnvelope> {
+    // A sibling action already failed: the transaction will abort, don't
+    // run (or wait for locks on) work whose effects would only be undone.
+    if envelope.rvp.failed() {
+        complete(
+            inner,
+            id,
+            locks,
+            envelope,
+            Err(StorageError::Aborted("sibling action failed".into())),
+        );
+        return None;
+    }
+    if !conflicts_with_parked(locks, parked, &envelope) {
+        let requests: Vec<_> = envelope
+            .keys
+            .iter()
+            .map(|&(key, class)| (envelope.table, key, class))
+            .collect();
+        if locks.try_acquire(envelope.txn.txn, &requests) {
+            execute(inner, id, ctx, locks, envelope);
+            return None;
+        }
+    }
+    if envelope.dispatched.elapsed() >= inner.config.lock_timeout {
+        let txn = envelope.txn.txn;
+        complete(
+            inner,
+            id,
+            locks,
+            envelope,
+            Err(StorageError::LockTimeout(txn)),
+        );
+        None
+    } else {
+        Some(envelope)
+    }
+}
+
+/// Executes one incoming action, deferring it when its locks are taken
+/// or a parked conflicting action is ahead of it.
+fn handle_action(
+    inner: &Arc<Inner>,
+    id: usize,
+    ctx: &WorkerCtx,
+    locks: &mut LocalLockTable,
+    deferred: &mut VecDeque<ActionEnvelope>,
+    envelope: ActionEnvelope,
+) {
+    if let Some(envelope) = try_run(inner, id, ctx, locks, deferred, envelope) {
+        inner.counters.deferrals.fetch_add(1, Ordering::Relaxed);
+        deferred.push_back(envelope);
+    }
+}
+
+/// Re-examines parked actions in FIFO order: acquire and run those whose
+/// locks freed up (unless a conflicting action parked *earlier* is still
+/// waiting), abort those that outlived the lock timeout.
+fn retry_deferred(
+    inner: &Arc<Inner>,
+    id: usize,
+    ctx: &WorkerCtx,
+    locks: &mut LocalLockTable,
+    deferred: &mut VecDeque<ActionEnvelope>,
+) {
+    let mut still_parked = VecDeque::with_capacity(deferred.len());
+    while let Some(envelope) = deferred.pop_front() {
+        if let Some(envelope) = try_run(inner, id, ctx, locks, &still_parked, envelope) {
+            still_parked.push_back(envelope);
+        }
+    }
+    *deferred = still_parked;
+}
+
+/// Runs an action body (locks already held) and reports to its RVP.
+fn execute(
+    inner: &Arc<Inner>,
+    id: usize,
+    ctx: &WorkerCtx,
+    locks: &mut LocalLockTable,
+    envelope: ActionEnvelope,
+) {
+    let start = Instant::now();
+    let ActionEnvelope {
+        slot,
+        body,
+        txn,
+        rvp,
+        ..
+    } = envelope;
+    // A panicking body must not unwind the worker thread: the partition's
+    // queue and lock table would die with it, and the transaction would
+    // leak — RVP slot never reported, `active` never decremented, locks on
+    // other partitions never released. Convert the panic into an abort.
+    let result = catch_panic(|| body(&inner.db, txn.txn, ctx), "action body");
+    let elapsed = start.elapsed().as_nanos() as u64;
+    let counters = &inner.partitions[id];
+    counters.executed.fetch_add(1, Ordering::Relaxed);
+    counters.busy_ns.fetch_add(elapsed, Ordering::Relaxed);
+    inner.counters.actions.fetch_add(1, Ordering::Relaxed);
+    report(inner, id, locks, &txn, &rvp, slot, result);
+}
+
+/// Reports a result for an action that did not execute (skip/timeout).
+fn complete(
+    inner: &Arc<Inner>,
+    id: usize,
+    locks: &mut LocalLockTable,
+    envelope: ActionEnvelope,
+    result: Result<Vec<dora_storage::types::Value>, StorageError>,
+) {
+    let ActionEnvelope { slot, txn, rvp, .. } = envelope;
+    report(inner, id, locks, &txn, &rvp, slot, result);
+}
+
+/// Runs a piece of user code (action body or phase generator), converting
+/// a panic into a transaction-aborting error so worker threads — which own
+/// partition queues and lock tables for the engine's whole lifetime —
+/// never unwind.
+fn catch_panic<T>(
+    f: impl FnOnce() -> Result<T, StorageError>,
+    what: &str,
+) -> Result<T, StorageError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)).unwrap_or_else(|panic| {
+        let msg = panic
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| panic.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".into());
+        Err(StorageError::Internal(format!("{what} panicked: {msg}")))
+    })
+}
+
+/// Delivers one action result to the RVP; the last reporter runs the
+/// rendezvous logic (next phase, or commit/abort) right here on the
+/// worker thread.
+fn report(
+    inner: &Arc<Inner>,
+    id: usize,
+    locks: &mut LocalLockTable,
+    txn: &Arc<TxnCtx>,
+    rvp: &Arc<Rvp>,
+    slot: usize,
+    result: Result<Vec<dora_storage::types::Value>, StorageError>,
+) {
+    match rvp.report(slot, result) {
+        PhaseEnd::NotLast => {}
+        PhaseEnd::Last { outputs, failure } => {
+            if let Some(e) = failure {
+                finalize(inner, txn, Some(e), Some((id, locks)));
+                return;
+            }
+            let next = txn.phases.lock().pop_front();
+            match next {
+                None => finalize(inner, txn, None, Some((id, locks))),
+                // Generators are user code like action bodies: a panic must
+                // abort the transaction, not unwind (and kill) the worker.
+                Some(gen) => match catch_panic(|| gen(&outputs), "phase generator") {
+                    Ok(specs) => advance(inner, txn, specs, Some((id, locks))),
+                    Err(e) => finalize(inner, txn, Some(e), Some((id, locks))),
+                },
+            }
+        }
+    }
+}
+
+/// Publishes the worker's private counters into the shared snapshot slots
+/// (plain stores by the single owner; readers only snapshot).
+fn export_stats(inner: &Arc<Inner>, id: usize, locks: &LocalLockTable, deferred: usize) {
+    let stats = locks.stats();
+    let counters = &inner.partitions[id];
+    counters
+        .lock_acquired
+        .store(stats.acquired, Ordering::Relaxed);
+    counters
+        .lock_conflicts
+        .store(stats.conflicts, Ordering::Relaxed);
+    counters
+        .lock_released
+        .store(stats.released, Ordering::Relaxed);
+    counters
+        .deferred_depth
+        .store(deferred as u64, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::RoutingRule;
+    use dora_storage::schema::{ColumnDef, TableSchema};
+    use dora_storage::types::{DataType, TableId, Value};
+
+    /// A `counters(id BIGINT, value BIGINT)` table pre-loaded with
+    /// `rows` zero-valued rows, plus a 4-partition routing rule over it.
+    fn setup(rows: i64, workers: usize) -> (Arc<Database>, TableId, RoutingTable) {
+        let db = Arc::new(Database::default());
+        let t = db
+            .create_table(TableSchema::new(
+                "counters",
+                vec![
+                    ColumnDef::new("id", DataType::BigInt),
+                    ColumnDef::new("value", DataType::BigInt),
+                ],
+                vec![0],
+            ))
+            .unwrap();
+        let txn = db.begin();
+        for i in 0..rows {
+            db.insert(
+                txn,
+                t,
+                vec![Value::BigInt(i), Value::BigInt(0)],
+                DORA_POLICY,
+            )
+            .unwrap();
+        }
+        db.commit(txn).unwrap();
+        let mut routing = RoutingTable::new();
+        routing.set_rule(RoutingRule::uniform(
+            t,
+            0,
+            0,
+            rows.max(1) - 1,
+            workers,
+            workers,
+        ));
+        (db, t, routing)
+    }
+
+    fn engine(db: Arc<Database>, routing: RoutingTable, workers: usize) -> DoraEngine {
+        DoraEngine::new(
+            db,
+            routing,
+            DoraEngineConfig {
+                workers,
+                lock_timeout: Duration::from_millis(200),
+                poll_interval: Duration::from_micros(50),
+            },
+        )
+    }
+
+    fn increment(t: TableId, id: i64) -> FlowGraph {
+        FlowGraph::new(
+            "Increment",
+            vec![ActionSpec::write(t, id, move |db, txn, ctx| {
+                ctx.record(t, id, true);
+                let row = db
+                    .get(txn, t, &[Value::BigInt(id)], DORA_POLICY)?
+                    .ok_or(StorageError::NotFound)?;
+                let v = row[1].as_i64().unwrap();
+                db.update(
+                    txn,
+                    t,
+                    &[Value::BigInt(id)],
+                    &[(1, Value::BigInt(v + 1))],
+                    DORA_POLICY,
+                )?;
+                Ok(vec![])
+            })],
+        )
+    }
+
+    fn read_value(db: &Database, t: TableId, id: i64) -> i64 {
+        let txn = db.begin();
+        let row = db
+            .get(txn, t, &[Value::BigInt(id)], DORA_POLICY)
+            .unwrap()
+            .unwrap();
+        db.commit(txn).unwrap();
+        row[1].as_i64().unwrap()
+    }
+
+    #[test]
+    fn commits_single_partition_transactions() {
+        let (db, t, routing) = setup(16, 4);
+        let e = engine(db.clone(), routing, 4);
+        for i in 0..32 {
+            assert!(e.execute(increment(t, i % 16)).is_committed());
+        }
+        let stats = e.stats();
+        assert_eq!(stats.committed, 32);
+        assert_eq!(stats.aborted, 0);
+        assert_eq!(stats.actions, 32);
+        assert_eq!(read_value(&db, t, 0), 2);
+        e.shutdown();
+    }
+
+    #[test]
+    fn multi_partition_phase_joins_at_rvp() {
+        let (db, t, routing) = setup(16, 4);
+        let e = engine(db.clone(), routing, 4);
+        // One phase, two actions on different partitions (keys 1 and 13
+        // live in partitions 0 and 3 of the uniform 4x4 rule over [0, 15]).
+        let flow = FlowGraph::new(
+            "TwoPartitionBump",
+            vec![
+                ActionSpec::write(t, 1, move |db, txn, _| {
+                    db.update(
+                        txn,
+                        t,
+                        &[Value::BigInt(1)],
+                        &[(1, Value::BigInt(10))],
+                        DORA_POLICY,
+                    )?;
+                    Ok(vec![])
+                }),
+                ActionSpec::write(t, 13, move |db, txn, _| {
+                    db.update(
+                        txn,
+                        t,
+                        &[Value::BigInt(13)],
+                        &[(1, Value::BigInt(20))],
+                        DORA_POLICY,
+                    )?;
+                    Ok(vec![])
+                }),
+            ],
+        );
+        assert!(e.execute(flow).is_committed());
+        assert_eq!(read_value(&db, t, 1), 10);
+        assert_eq!(read_value(&db, t, 13), 20);
+        e.shutdown();
+    }
+
+    #[test]
+    fn rvp_carries_outputs_into_the_next_phase() {
+        let (db, t, routing) = setup(16, 4);
+        let e = engine(db.clone(), routing, 4);
+        // Phase 1 reads two counters; phase 2 writes their sum into a third.
+        let flow = FlowGraph::new(
+            "SumInto",
+            vec![
+                ActionSpec::read(t, 2, move |db, txn, _| {
+                    let row = db.get(txn, t, &[Value::BigInt(2)], DORA_POLICY)?.unwrap();
+                    Ok(vec![row[1].clone()])
+                }),
+                ActionSpec::read(t, 14, move |db, txn, _| {
+                    let row = db.get(txn, t, &[Value::BigInt(14)], DORA_POLICY)?.unwrap();
+                    Ok(vec![row[1].clone()])
+                }),
+            ],
+        )
+        .then(move |outputs| {
+            let sum: i64 = outputs.iter().map(|o| o[0].as_i64().unwrap()).sum();
+            Ok(vec![ActionSpec::write(t, 5, move |db, txn, _| {
+                db.update(
+                    txn,
+                    t,
+                    &[Value::BigInt(5)],
+                    &[(1, Value::BigInt(sum + 100))],
+                    DORA_POLICY,
+                )?;
+                Ok(vec![])
+            })])
+        });
+        assert!(e.execute(flow).is_committed());
+        assert_eq!(read_value(&db, t, 5), 100);
+        e.shutdown();
+    }
+
+    #[test]
+    fn failed_action_aborts_and_rolls_back_all_partitions() {
+        let (db, t, routing) = setup(16, 4);
+        let e = engine(db.clone(), routing, 4);
+        let flow = FlowGraph::new(
+            "HalfBroken",
+            vec![
+                ActionSpec::write(t, 0, move |db, txn, _| {
+                    db.update(
+                        txn,
+                        t,
+                        &[Value::BigInt(0)],
+                        &[(1, Value::BigInt(77))],
+                        DORA_POLICY,
+                    )?;
+                    Ok(vec![])
+                }),
+                ActionSpec::write(t, 15, move |_, _, _| {
+                    Err(StorageError::Aborted("business rule".into()))
+                }),
+            ],
+        );
+        let outcome = e.execute(flow);
+        assert!(!outcome.is_committed(), "{outcome:?}");
+        // The update on partition 0 must have been undone.
+        assert_eq!(read_value(&db, t, 0), 0);
+        assert_eq!(e.stats().aborted, 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn phase_generator_error_aborts() {
+        let (db, t, routing) = setup(16, 4);
+        let e = engine(db, routing, 4);
+        let flow = FlowGraph::new("BadGen", vec![ActionSpec::read(t, 3, |_, _, _| Ok(vec![]))])
+            .then(|_| Err(StorageError::Aborted("generator failed".into())));
+        let outcome = e.execute(flow);
+        assert!(
+            matches!(outcome, TxnOutcome::Aborted { ref reason } if reason.contains("generator"))
+        );
+        e.shutdown();
+    }
+
+    #[test]
+    fn empty_flow_graph_commits_immediately() {
+        let (db, t, routing) = setup(16, 4);
+        let _ = t;
+        let e = engine(db, routing, 4);
+        assert!(e.execute(FlowGraph::new("Nop", vec![])).is_committed());
+        assert_eq!(e.stats().committed, 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn empty_phase_with_queued_generators_aborts() {
+        let (db, t, routing) = setup(16, 4);
+        let e = engine(db, routing, 4);
+        // An empty first phase followed by a generator is a builder bug:
+        // committing would silently skip the generator.
+        let never_ran = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let flag = never_ran.clone();
+        let flow = FlowGraph::new("EmptyFirst", vec![]).then(move |_| {
+            flag.store(true, Ordering::Relaxed);
+            Ok(vec![])
+        });
+        let outcome = e.execute(flow);
+        assert!(
+            matches!(outcome, TxnOutcome::Aborted { ref reason } if reason.contains("still queued")),
+            "{outcome:?}"
+        );
+        assert!(!never_ran.load(Ordering::Relaxed));
+        // Same rule mid-flow: a generator returning no actions while more
+        // generators wait is rejected, not silently committed past them.
+        let flow = FlowGraph::new(
+            "EmptyMiddle",
+            vec![ActionSpec::read(t, 1, |_, _, _| Ok(vec![]))],
+        )
+        .then(|_| Ok(vec![]))
+        .then(|_| Ok(vec![]));
+        let outcome = e.execute(flow);
+        assert!(
+            matches!(outcome, TxnOutcome::Aborted { ref reason } if reason.contains("still queued")),
+            "{outcome:?}"
+        );
+        e.shutdown();
+    }
+
+    #[test]
+    fn panicking_action_body_aborts_without_killing_the_worker() {
+        let (db, t, routing) = setup(16, 4);
+        let e = engine(db.clone(), routing, 4);
+        let flow = FlowGraph::new(
+            "Panics",
+            vec![
+                ActionSpec::write(t, 1, move |db, txn, _| {
+                    db.update(
+                        txn,
+                        t,
+                        &[Value::BigInt(1)],
+                        &[(1, Value::BigInt(9))],
+                        DORA_POLICY,
+                    )?;
+                    Ok(vec![])
+                }),
+                ActionSpec::write(t, 13, |_, _, _| panic!("boom in user code")),
+            ],
+        );
+        let outcome = e.execute(flow);
+        assert!(
+            matches!(outcome, TxnOutcome::Aborted { ref reason } if reason.contains("panicked")),
+            "{outcome:?}"
+        );
+        // The sibling's write was rolled back and the panicking partition's
+        // worker is still alive and serving.
+        assert_eq!(read_value(&db, t, 1), 0);
+        for i in 0..16 {
+            assert!(e.execute(increment(t, i)).is_committed());
+        }
+        e.shutdown();
+    }
+
+    #[test]
+    fn panicking_phase_generator_aborts_without_killing_the_worker() {
+        let (db, t, routing) = setup(16, 4);
+        let e = engine(db.clone(), routing, 4);
+        let flow = FlowGraph::new(
+            "GenPanics",
+            vec![ActionSpec::read(t, 3, |_, _, _| Ok(vec![]))],
+        )
+        .then(|outputs| {
+            // The classic mistake: indexing an output that isn't there.
+            let _ = outputs[0][7].clone();
+            Ok(vec![])
+        });
+        let outcome = e.execute(flow);
+        assert!(
+            matches!(outcome, TxnOutcome::Aborted { ref reason } if reason.contains("panicked")),
+            "{outcome:?}"
+        );
+        // The worker that ran the generator is still alive and serving,
+        // and nothing leaked: shutdown drains promptly.
+        for i in 0..16 {
+            assert!(e.execute(increment(t, i)).is_committed());
+        }
+        let started = Instant::now();
+        e.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "no leaked active txns"
+        );
+    }
+
+    #[test]
+    fn read_upgrade_is_not_trapped_behind_parked_stranger() {
+        // Regression: T holds a Read on k; a stranger's Write parks behind
+        // it; T's phase-2 Write upgrade must cut past the parked stranger
+        // (it can never be granted before T finishes) instead of waiting
+        // out the lock timeout.
+        let (db, t, routing) = setup(16, 4);
+        let e = Arc::new(engine(db.clone(), routing, 4));
+        let upgrade = FlowGraph::new(
+            "ReadThenUpgrade",
+            vec![ActionSpec::read(t, 2, move |db, txn, _| {
+                let row = db.get(txn, t, &[Value::BigInt(2)], DORA_POLICY)?.unwrap();
+                Ok(vec![row[1].clone()])
+            })],
+        )
+        .then(move |outputs| {
+            let v = outputs[0][0].as_i64().unwrap();
+            // Give the stranger time to park behind our read lock.
+            std::thread::sleep(Duration::from_millis(30));
+            Ok(vec![ActionSpec::write(t, 2, move |db, txn, _| {
+                db.update(
+                    txn,
+                    t,
+                    &[Value::BigInt(2)],
+                    &[(1, Value::BigInt(v + 1))],
+                    DORA_POLICY,
+                )?;
+                Ok(vec![])
+            })])
+        });
+        let stranger = {
+            let e = e.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                e.execute(increment(t, 2))
+            })
+        };
+        let started = Instant::now();
+        let outcome = e.execute(upgrade);
+        assert!(outcome.is_committed(), "{outcome:?}");
+        assert!(
+            started.elapsed() < Duration::from_millis(150),
+            "upgrade must not wait out the lock timeout: {:?}",
+            started.elapsed()
+        );
+        assert!(stranger.join().unwrap().is_committed());
+        assert_eq!(read_value(&db, t, 2), 2);
+    }
+
+    #[test]
+    fn hot_key_increments_serialize_on_owner_partition() {
+        let (db, t, routing) = setup(16, 4);
+        let e = Arc::new(engine(db.clone(), routing, 4));
+        let mut clients = Vec::new();
+        for _ in 0..4 {
+            let e = e.clone();
+            clients.push(std::thread::spawn(move || {
+                let mut committed = 0;
+                for _ in 0..25 {
+                    if e.execute(increment(t, 0)).is_committed() {
+                        committed += 1;
+                    }
+                }
+                committed
+            }));
+        }
+        let committed: i64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(
+            committed, 100,
+            "same-key actions serialize, none should abort"
+        );
+        assert_eq!(read_value(&db, t, 0), 100);
+    }
+
+    #[test]
+    fn bypasses_the_centralized_lock_manager() {
+        let (db, t, routing) = setup(16, 4);
+        let before = db.lock_stats().critical_sections;
+        let e = engine(db.clone(), routing, 4);
+        for i in 0..20 {
+            assert!(e.execute(increment(t, i % 16)).is_committed());
+        }
+        e.shutdown();
+        let after = db.lock_stats().critical_sections;
+        assert_eq!(
+            after, before,
+            "DORA must never enter lock-manager critical sections"
+        );
+    }
+
+    #[test]
+    fn cross_partition_lock_conflicts_time_out_not_hang() {
+        let (db, t, routing) = setup(16, 2);
+        let e = Arc::new(engine(db.clone(), routing, 2));
+        // Stress opposing lock orders: transactions that write (a, b) and
+        // (b, a) where a and b live on different partitions. Deferral plus
+        // the lock timeout guarantees global progress.
+        let mut clients = Vec::new();
+        for c in 0..2 {
+            let e = e.clone();
+            clients.push(std::thread::spawn(move || {
+                let mut done = 0;
+                for _ in 0..20 {
+                    let (x, y) = if c == 0 { (1, 15) } else { (15, 1) };
+                    let flow = FlowGraph::new(
+                        "OpposingOrder",
+                        vec![
+                            ActionSpec::write(t, x, move |db, txn, _| {
+                                let row =
+                                    db.get(txn, t, &[Value::BigInt(x)], DORA_POLICY)?.unwrap();
+                                let v = row[1].as_i64().unwrap();
+                                db.update(
+                                    txn,
+                                    t,
+                                    &[Value::BigInt(x)],
+                                    &[(1, Value::BigInt(v + 1))],
+                                    DORA_POLICY,
+                                )?;
+                                Ok(vec![])
+                            }),
+                            ActionSpec::write(t, y, move |db, txn, _| {
+                                let row =
+                                    db.get(txn, t, &[Value::BigInt(y)], DORA_POLICY)?.unwrap();
+                                let v = row[1].as_i64().unwrap();
+                                db.update(
+                                    txn,
+                                    t,
+                                    &[Value::BigInt(y)],
+                                    &[(1, Value::BigInt(v + 1))],
+                                    DORA_POLICY,
+                                )?;
+                                Ok(vec![])
+                            }),
+                        ],
+                    );
+                    if e.execute(flow).is_committed() {
+                        done += 1;
+                    }
+                }
+                done
+            }));
+        }
+        let committed: i64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+        // Both keys were incremented once per committed transaction; the
+        // database state must agree exactly with the commit count.
+        assert_eq!(
+            read_value(&db, t, 1) + read_value(&db, t, 15),
+            committed * 2
+        );
+        assert!(committed > 0, "at least some transactions must get through");
+    }
+
+    #[test]
+    fn access_trace_shows_thread_to_data_affinity() {
+        let (db, t, routing) = setup(16, 4);
+        let e = engine(db, routing, 4);
+        e.trace().set_enabled(true);
+        let pending: Vec<_> = (0..64).map(|i| e.submit(increment(t, i % 16))).collect();
+        for p in pending {
+            assert!(p.recv().unwrap().is_committed());
+        }
+        let events = e.trace().snapshot();
+        assert_eq!(events.len(), 64);
+        // Thread-to-data: a given key is only ever touched by one worker.
+        use std::collections::HashMap;
+        let mut owner: HashMap<i64, usize> = HashMap::new();
+        for ev in &events {
+            let prev = owner.insert(ev.key, ev.worker);
+            if let Some(prev) = prev {
+                assert_eq!(prev, ev.worker, "key {} touched by two workers", ev.key);
+            }
+        }
+        e.shutdown();
+    }
+
+    #[test]
+    fn secondary_actions_run_without_local_locks() {
+        let (db, t, routing) = setup(16, 4);
+        let e = engine(db.clone(), routing, 4);
+        // A read-only probe not aligned with the routing field.
+        let flow = FlowGraph::new(
+            "ScanAll",
+            vec![ActionSpec::secondary(t, move |db, txn, _| {
+                let rows = db.primary_range(
+                    txn,
+                    t,
+                    &[Value::BigInt(0)],
+                    &[Value::BigInt(15)],
+                    DORA_POLICY,
+                )?;
+                Ok(vec![Value::BigInt(rows.len() as i64)])
+            })],
+        );
+        assert!(e.execute(flow).is_committed());
+        assert_eq!(e.stats().secondary, 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn shutdown_finishes_in_flight_work_and_rejects_new() {
+        let (db, t, routing) = setup(16, 4);
+        let e = engine(db.clone(), routing, 4);
+        let replies: Vec<_> = (0..20).map(|i| e.submit(increment(t, i % 16))).collect();
+        e.shutdown();
+        for r in replies {
+            assert!(r.recv().unwrap().is_committed());
+        }
+        let total: i64 = (0..16).map(|i| read_value(&db, t, i)).sum();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let (db, t, routing) = setup(4, 2);
+        let e = engine(db.clone(), routing, 2);
+        e.shutdown();
+        // The engine object is consumed by shutdown; build a second engine,
+        // flip it to non-accepting via its own shutdown path, and verify a
+        // dropped engine rejects cleanly through `execute`'s fallback.
+        let e2 = engine(db, RoutingTable::new(), 2);
+        e2.inner.accepting.store(false, Ordering::Release);
+        let outcome = e2.execute(increment(t, 0));
+        assert!(
+            matches!(outcome, TxnOutcome::Aborted { ref reason } if reason.contains("not accepting"))
+        );
+    }
+
+    #[test]
+    fn routing_updates_apply_to_new_transactions() {
+        let (db, t, routing) = setup(16, 2);
+        let e = engine(db, routing, 2);
+        e.update_routing(|rt| {
+            rt.rule_mut(t).unwrap().set_boundaries(vec![4]);
+        });
+        assert_eq!(e.routing().rule(t).unwrap().boundaries, vec![4]);
+        assert!(e.execute(increment(t, 12)).is_committed());
+        e.shutdown();
+    }
+
+    #[test]
+    fn writer_is_not_starved_by_a_reader_stream() {
+        let (db, t, routing) = setup(16, 4);
+        let e = Arc::new(engine(db.clone(), routing, 4));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        // Two clients keep a continuous stream of read transactions on key
+        // 1 flowing; without the FIFO fairness barrier the shared read
+        // lock would never drain and the writer below would abort with a
+        // spurious LockTimeout.
+        let mut readers = Vec::new();
+        for _ in 0..2 {
+            let e = e.clone();
+            let stop = stop.clone();
+            readers.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let flow = FlowGraph::new(
+                        "Read",
+                        vec![ActionSpec::read(t, 1, move |db, txn, _| {
+                            db.get(txn, t, &[Value::BigInt(1)], DORA_POLICY)?;
+                            Ok(vec![])
+                        })],
+                    );
+                    let _ = e.execute(flow);
+                }
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        let started = Instant::now();
+        let outcome = e.execute(increment(t, 1));
+        let waited = started.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert!(outcome.is_committed(), "{outcome:?}");
+        assert!(
+            waited < Duration::from_millis(200),
+            "writer should cut ahead of later readers, waited {waited:?}"
+        );
+        assert_eq!(read_value(&db, t, 1), 1);
+    }
+
+    #[test]
+    fn routing_updates_quiesce_under_concurrent_load() {
+        let (db, t, routing) = setup(16, 4);
+        let e = Arc::new(engine(db.clone(), routing, 4));
+        // Four clients hammer one key while the "load balancer" keeps
+        // moving boundaries around. Quiescing must keep isolation intact
+        // (the final value equals the number of committed increments) and
+        // submissions racing a re-partition wait it out rather than abort.
+        let mut clients = Vec::new();
+        for _ in 0..4 {
+            let e = e.clone();
+            clients.push(std::thread::spawn(move || {
+                let mut committed = 0i64;
+                for _ in 0..25 {
+                    if e.execute(increment(t, 7)).is_committed() {
+                        committed += 1;
+                    }
+                }
+                committed
+            }));
+        }
+        let balancer = {
+            let e = e.clone();
+            std::thread::spawn(move || {
+                for round in 0..10 {
+                    e.update_routing(|rt| {
+                        let boundary = 1 + (round % 14);
+                        rt.rule_mut(t).unwrap().set_boundaries(vec![boundary]);
+                    });
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let committed: i64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+        balancer.join().unwrap();
+        assert_eq!(read_value(&db, t, 7), committed);
+        assert!(committed > 0, "some increments must land between moves");
+    }
+
+    #[test]
+    fn per_partition_stats_reflect_work() {
+        let (db, t, routing) = setup(16, 4);
+        let e = engine(db, routing, 4);
+        for i in 0..16 {
+            assert!(e.execute(increment(t, i)).is_committed());
+        }
+        let stats = e.stats();
+        assert_eq!(stats.workers.len(), 4);
+        assert_eq!(stats.workers.iter().map(|w| w.executed).sum::<u64>(), 16);
+        // Uniform keys over a uniform rule: every partition did something.
+        assert!(stats.workers.iter().all(|w| w.executed > 0));
+        assert!(stats.workers.iter().all(|w| w.locks.acquired > 0));
+        e.shutdown();
+    }
+}

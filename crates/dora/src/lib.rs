@@ -1,1 +1,77 @@
-//! placeholder
+//! # dora-core
+//!
+//! The **data-oriented** (thread-to-data) execution engine of the paper:
+//! instead of assigning each transaction to a thread that then touches
+//! arbitrary data (the conventional model in `dora-engine-conv`), DORA
+//! assigns each *thread* to a logical partition of the data and decomposes
+//! every transaction into partition-local **actions** that are shipped to
+//! the threads owning the data they touch.
+//!
+//! The crate is organized around the paper's vocabulary (see
+//! `docs/architecture.md` for the full layered walkthrough):
+//!
+//! * [`routing`] — logical partitioning: one [`routing::RoutingRule`] per
+//!   table maps routing-key ranges to owning worker threads; the
+//!   [`routing::RoutingTable`] is the complete, cheaply mutable
+//!   configuration.
+//! * [`action`] — transaction decomposition: [`action::ActionSpec`]s carry
+//!   a closure plus the routing keys it touches, and an
+//!   [`action::FlowGraph`] strings phases of actions together with
+//!   **rendezvous points** (RVPs) at every data dependency.
+//! * [`local_lock`] — the per-partition [`local_lock::LocalLockTable`]:
+//!   single-owner, latch-free lock state that replaces the centralized
+//!   lock manager's critical sections.
+//! * [`dispatcher`] — routes the actions of a phase to their partition
+//!   queues and tracks RVP completion.
+//! * [`executor`] — the [`executor::DoraEngine`]: one worker thread per
+//!   partition with a private action queue and local lock table, executing
+//!   under [`executor::DORA_POLICY`] (`LockingPolicy::Bypass`) because
+//!   isolation is already enforced at the partition boundary.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dora_core::action::{ActionSpec, FlowGraph};
+//! use dora_core::executor::{DoraEngine, DoraEngineConfig, DORA_POLICY};
+//! use dora_core::routing::{RoutingRule, RoutingTable};
+//! use dora_storage::db::Database;
+//! use dora_storage::schema::{ColumnDef, TableSchema};
+//! use dora_storage::types::{DataType, Value};
+//!
+//! let db = Arc::new(Database::default());
+//! let table = db
+//!     .create_table(TableSchema::new(
+//!         "kv",
+//!         vec![
+//!             ColumnDef::new("k", DataType::BigInt),
+//!             ColumnDef::new("v", DataType::BigInt),
+//!         ],
+//!         vec![0],
+//!     ))
+//!     .unwrap();
+//! let mut routing = RoutingTable::new();
+//! routing.set_rule(RoutingRule::uniform(table, 0, 0, 99, 2, 2));
+//! let engine = DoraEngine::new(db, routing, DoraEngineConfig { workers: 2, ..Default::default() });
+//!
+//! let outcome = engine.execute(FlowGraph::new(
+//!     "insert-one",
+//!     vec![ActionSpec::write(table, 7, move |db, txn, _ctx| {
+//!         db.insert(txn, table, vec![Value::BigInt(7), Value::BigInt(70)], DORA_POLICY)?;
+//!         Ok(vec![])
+//!     })],
+//! ));
+//! assert!(outcome.is_committed());
+//! engine.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod dispatcher;
+pub mod executor;
+pub mod local_lock;
+pub mod routing;
+
+pub use action::{ActionSpec, FlowGraph};
+pub use executor::{DoraEngine, DoraEngineConfig, DoraStatsSnapshot, TxnOutcome, DORA_POLICY};
+pub use local_lock::{LocalLockStats, LocalLockTable, LockClass};
+pub use routing::{PartitionId, RoutingRule, RoutingTable};

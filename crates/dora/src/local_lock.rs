@@ -29,10 +29,7 @@ pub enum LockClass {
 impl LockClass {
     /// Whether two concurrent accesses of these classes conflict.
     pub fn conflicts(self, other: LockClass) -> bool {
-        matches!(
-            (self, other),
-            (LockClass::Write, _) | (_, LockClass::Write)
-        )
+        matches!((self, other), (LockClass::Write, _) | (_, LockClass::Write))
     }
 }
 
@@ -78,8 +75,9 @@ impl LocalLockTable {
     /// Returns `true` if `txn` could acquire every `(table, key, class)` in
     /// `requests` simultaneously (ignoring locks it already holds).
     pub fn can_acquire(&self, txn: TxnId, requests: &[(TableId, i64, LockClass)]) -> bool {
-        requests.iter().all(|&(table, key, class)| {
-            match self.keys.get(&(table, key)) {
+        requests
+            .iter()
+            .all(|&(table, key, class)| match self.keys.get(&(table, key)) {
                 None => true,
                 Some(state) => {
                     let other_writer = state.writer.is_some_and(|w| w != txn);
@@ -89,8 +87,7 @@ impl LocalLockTable {
                         LockClass::Write => !other_writer && !other_readers,
                     }
                 }
-            }
-        })
+            })
     }
 
     /// Atomically acquires all requests for `txn`, or none of them.
@@ -138,6 +135,27 @@ impl LocalLockTable {
         released
     }
 
+    /// Whether `txn` already holds `(table, key)` in a mode covering
+    /// `class`.
+    pub fn holds(&self, txn: TxnId, table: TableId, key: i64, class: LockClass) -> bool {
+        match self.keys.get(&(table, key)) {
+            None => false,
+            Some(state) => match class {
+                LockClass::Read => state.writer == Some(txn) || state.readers.contains(&txn),
+                LockClass::Write => state.writer == Some(txn),
+            },
+        }
+    }
+
+    /// Whether `txn` holds `(table, key)` in *any* mode. Used by the
+    /// executor's fairness barrier: an action touching keys its
+    /// transaction already owns — including a read it wants to upgrade —
+    /// must not queue behind strangers, who cannot be granted until this
+    /// transaction finishes anyway (waiting would deadlock).
+    pub fn holds_any(&self, txn: TxnId, table: TableId, key: i64) -> bool {
+        self.holds(txn, table, key, LockClass::Read)
+    }
+
     /// Number of keys with at least one holder.
     pub fn locked_keys(&self) -> usize {
         self.keys.len()
@@ -182,7 +200,10 @@ mod tests {
         assert!(t.try_acquire(1, &[(1, 1, LockClass::Write)]));
         // txn 2 wants keys 1 (held) and 2 (free): must get neither.
         assert!(!t.try_acquire(2, &[(1, 2, LockClass::Write), (1, 1, LockClass::Write)]));
-        assert!(t.try_acquire(3, &[(1, 2, LockClass::Write)]), "key 2 must still be free");
+        assert!(
+            t.try_acquire(3, &[(1, 2, LockClass::Write)]),
+            "key 2 must still be free"
+        );
     }
 
     #[test]
@@ -211,6 +232,85 @@ mod tests {
         assert_eq!(t.locked_keys(), 1);
         // Releasing a transaction with no locks is a no-op.
         assert_eq!(t.release_all(99), 0);
+    }
+
+    #[test]
+    fn batched_acquisition_is_order_independent() {
+        // (k1, k2) and (k2, k1) describe the same atomic request: whichever
+        // transaction arrives second is rejected wholesale either way.
+        let mut ab = LocalLockTable::new();
+        assert!(ab.try_acquire(1, &[(1, 1, LockClass::Write), (1, 2, LockClass::Write)]));
+        assert!(!ab.try_acquire(2, &[(1, 2, LockClass::Write), (1, 1, LockClass::Write)]));
+
+        let mut ba = LocalLockTable::new();
+        assert!(ba.try_acquire(1, &[(1, 2, LockClass::Write), (1, 1, LockClass::Write)]));
+        assert!(!ba.try_acquire(2, &[(1, 1, LockClass::Write), (1, 2, LockClass::Write)]));
+        assert_eq!(ab.locked_keys(), ba.locked_keys());
+    }
+
+    #[test]
+    fn grant_order_after_release_is_first_retry_wins() {
+        let mut t = LocalLockTable::new();
+        assert!(t.try_acquire(1, &[(1, 7, LockClass::Write)]));
+        // Two waiters conflict while the holder is active...
+        assert!(!t.try_acquire(2, &[(1, 7, LockClass::Write)]));
+        assert!(!t.try_acquire(3, &[(1, 7, LockClass::Read)]));
+        assert_eq!(t.stats().conflicts, 2);
+        t.release_all(1);
+        // ...after release the table is conflict-free again and the next
+        // attempt (the executor retries deferred actions in FIFO order)
+        // succeeds no matter its class.
+        assert!(t.can_acquire(2, &[(1, 7, LockClass::Write)]));
+        assert!(t.can_acquire(3, &[(1, 7, LockClass::Read)]));
+        assert!(t.try_acquire(2, &[(1, 7, LockClass::Write)]));
+        assert!(!t.try_acquire(3, &[(1, 7, LockClass::Read)]));
+    }
+
+    #[test]
+    fn readers_drain_before_writer_grant() {
+        let mut t = LocalLockTable::new();
+        assert!(t.try_acquire(1, &[(1, 5, LockClass::Read)]));
+        assert!(t.try_acquire(2, &[(1, 5, LockClass::Read)]));
+        assert!(!t.try_acquire(3, &[(1, 5, LockClass::Write)]));
+        // One reader leaving is not enough.
+        t.release_all(1);
+        assert!(!t.try_acquire(3, &[(1, 5, LockClass::Write)]));
+        // The last reader leaving is.
+        t.release_all(2);
+        assert!(t.try_acquire(3, &[(1, 5, LockClass::Write)]));
+        assert_eq!(t.locked_keys(), 1);
+    }
+
+    #[test]
+    fn failed_batch_leaves_no_partial_state_behind() {
+        let mut t = LocalLockTable::new();
+        assert!(t.try_acquire(1, &[(1, 10, LockClass::Read)]));
+        // txn 2's batch fails on key 10; key 11 must remain untouched, so a
+        // later exclusive request for it succeeds.
+        assert!(!t.try_acquire(2, &[(1, 11, LockClass::Write), (1, 10, LockClass::Write)]));
+        assert_eq!(t.locked_keys(), 1, "no residue from the failed batch");
+        assert!(t.try_acquire(3, &[(1, 11, LockClass::Write)]));
+        // And releasing txn 2 (which holds nothing) is a no-op.
+        assert_eq!(t.release_all(2), 0);
+    }
+
+    #[test]
+    fn holds_reports_mode_coverage() {
+        let mut t = LocalLockTable::new();
+        assert!(t.try_acquire(1, &[(1, 5, LockClass::Read)]));
+        assert!(t.holds(1, 1, 5, LockClass::Read));
+        assert!(
+            !t.holds(1, 1, 5, LockClass::Write),
+            "read does not cover write"
+        );
+        assert!(t.holds_any(1, 1, 5));
+        assert!(!t.holds_any(2, 1, 5));
+        assert!(!t.holds_any(1, 1, 6));
+        assert!(t.try_acquire(1, &[(1, 5, LockClass::Write)]));
+        assert!(t.holds(1, 1, 5, LockClass::Read), "write covers read");
+        assert!(t.holds(1, 1, 5, LockClass::Write));
+        t.release_all(1);
+        assert!(!t.holds_any(1, 1, 5));
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl RoutingRule {
     /// reassigning ranges round-robin over the previous set of distinct
     /// owners. Used by the load balancer when it recomputes an even split.
     pub fn set_boundaries(&mut self, boundaries: Vec<i64>) {
-        assert!(boundaries.windows(2).all(|w| w[0] <= w[1]), "boundaries must be sorted");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] <= w[1]),
+            "boundaries must be sorted"
+        );
         let workers = self.distinct_owners();
         let nworkers = workers.len().max(1);
         self.owners = (0..boundaries.len() + 1)
@@ -146,10 +149,7 @@ impl RoutingTable {
     /// Worker owning `key` of `table`. Unrouted tables fall back to worker 0
     /// (they behave like a single-partition table).
     pub fn owner_of(&self, table: TableId, key: i64) -> PartitionId {
-        self.rules
-            .get(&table)
-            .map(|r| r.owner_of(key))
-            .unwrap_or(0)
+        self.rules.get(&table).map(|r| r.owner_of(key)).unwrap_or(0)
     }
 
     /// Whether routing the given column of the table would be
@@ -253,6 +253,78 @@ mod tests {
         // Rules can be mutated in place.
         rt.rule_mut(7).unwrap().split_range(0, 100, 1);
         assert_eq!(rt.rule(7).unwrap().range_count(), 5);
+    }
+
+    #[test]
+    fn uniform_owns_domain_edges() {
+        // key_min and key_max always belong to the first and last range.
+        for (min, max, parts) in [(0i64, 99i64, 4usize), (10, 20, 3), (-50, 49, 4), (5, 5, 1)] {
+            let r = RoutingRule::uniform(1, 0, min, max, parts, parts);
+            assert_eq!(r.range_of(min), 0, "key_min must open range 0");
+            assert_eq!(
+                r.range_of(max),
+                parts - 1,
+                "key_max ({max}) must close the last range of {parts}"
+            );
+            assert_eq!(r.owner_of(min), 0);
+            assert_eq!(r.owner_of(max), parts - 1);
+        }
+    }
+
+    #[test]
+    fn uniform_boundaries_are_exclusive_upper_edges() {
+        let r = RoutingRule::uniform(1, 0, 0, 99, 4, 4);
+        for (i, &b) in r.boundaries.iter().enumerate() {
+            // The boundary key itself belongs to the range on its right...
+            assert_eq!(r.range_of(b), i + 1, "boundary {b} opens range {}", i + 1);
+            // ...and the key just below it to the range on its left.
+            assert_eq!(r.range_of(b - 1), i, "key {} closes range {i}", b - 1);
+        }
+    }
+
+    #[test]
+    fn uniform_non_divisible_spans_cover_every_key() {
+        // 10 keys over 4 partitions: sizes 2/3/2/3 with the seed formula.
+        let r = RoutingRule::uniform(1, 0, 0, 9, 4, 4);
+        assert_eq!(r.boundaries, vec![2, 5, 7]);
+        let sizes: Vec<i64> = {
+            let mut edges = vec![0];
+            edges.extend(&r.boundaries);
+            edges.push(10);
+            edges.windows(2).map(|w| w[1] - w[0]).collect()
+        };
+        assert_eq!(sizes.iter().sum::<i64>(), 10);
+        assert!(sizes.iter().all(|&s| (2..=3).contains(&s)), "{sizes:?}");
+
+        // A domain smaller than the partition count leaves empty ranges
+        // but still assigns every key exactly once.
+        let tiny = RoutingRule::uniform(1, 0, 0, 2, 4, 4);
+        assert_eq!(tiny.range_count(), 4);
+        for k in 0..3 {
+            assert!(tiny.owner_of(k) < 4);
+        }
+    }
+
+    #[test]
+    fn uniform_negative_domains_split_evenly() {
+        let r = RoutingRule::uniform(1, 0, -50, 49, 4, 4);
+        assert_eq!(r.boundaries, vec![-25, 0, 25]);
+        assert_eq!(r.owner_of(-50), 0);
+        assert_eq!(r.owner_of(-26), 0);
+        assert_eq!(r.owner_of(-25), 1);
+        assert_eq!(r.owner_of(-1), 1);
+        assert_eq!(r.owner_of(0), 2);
+        assert_eq!(r.owner_of(49), 3);
+    }
+
+    #[test]
+    fn uniform_single_partition_has_no_boundaries() {
+        let r = RoutingRule::uniform(1, 0, 0, 1_000_000, 1, 8);
+        assert!(r.boundaries.is_empty());
+        assert_eq!(r.range_count(), 1);
+        for k in [0, 500_000, 1_000_000, -3, 2_000_000] {
+            assert_eq!(r.owner_of(k), 0);
+        }
     }
 
     #[test]

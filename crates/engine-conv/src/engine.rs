@@ -149,8 +149,7 @@ impl ConvEngine {
                     let ctx = WorkerCtx::new(worker_id, trace);
                     while let Ok(job) = rx.recv() {
                         let start = Instant::now();
-                        let outcome =
-                            Self::run_one(&db, &job.request, &ctx, max_retries, &stats);
+                        let outcome = Self::run_one(&db, &job.request, &ctx, max_retries, &stats);
                         let elapsed = start.elapsed().as_nanos() as u64;
                         let ws = &worker_stats[worker_id];
                         ws.executed.fetch_add(1, Ordering::Relaxed);
@@ -316,7 +315,13 @@ mod tests {
                 .get(txn, t, &[Value::BigInt(id)], CONV_POLICY)?
                 .ok_or(StorageError::NotFound)?;
             let v = row[1].as_i64().unwrap();
-            db.update(txn, t, &[Value::BigInt(id)], &[(1, Value::BigInt(v + 1))], CONV_POLICY)?;
+            db.update(
+                txn,
+                t,
+                &[Value::BigInt(id)],
+                &[(1, Value::BigInt(v + 1))],
+                CONV_POLICY,
+            )?;
             Ok(())
         })
     }
@@ -324,7 +329,13 @@ mod tests {
     #[test]
     fn executes_and_commits_transactions() {
         let (db, t) = db_with_counter_table();
-        let engine = ConvEngine::new(db.clone(), ConvEngineConfig { workers: 2, max_retries: 5 });
+        let engine = ConvEngine::new(
+            db.clone(),
+            ConvEngineConfig {
+                workers: 2,
+                max_retries: 5,
+            },
+        );
         for i in 0..10 {
             let outcome = engine.execute(increment_request(t, i % 4));
             assert!(outcome.is_committed(), "{outcome:?}");
@@ -342,7 +353,10 @@ mod tests {
         let (db, t) = db_with_counter_table();
         let engine = Arc::new(ConvEngine::new(
             db.clone(),
-            ConvEngineConfig { workers: 4, max_retries: 50 },
+            ConvEngineConfig {
+                workers: 4,
+                max_retries: 50,
+            },
         ));
         // 4 clients, each incrementing the same hot row 25 times.
         let mut clients = Vec::new();
@@ -372,7 +386,13 @@ mod tests {
     #[test]
     fn non_retryable_failure_aborts() {
         let (db, _t) = db_with_counter_table();
-        let engine = ConvEngine::new(db, ConvEngineConfig { workers: 1, max_retries: 3 });
+        let engine = ConvEngine::new(
+            db,
+            ConvEngineConfig {
+                workers: 1,
+                max_retries: 3,
+            },
+        );
         let outcome = engine.execute(TxnRequest::new("AlwaysFails", |_db, _txn, _ctx| {
             Err(StorageError::Aborted("business rule".into()))
         }));
@@ -384,9 +404,17 @@ mod tests {
     #[test]
     fn access_trace_attributes_to_workers() {
         let (db, t) = db_with_counter_table();
-        let engine = ConvEngine::new(db, ConvEngineConfig { workers: 3, max_retries: 3 });
+        let engine = ConvEngine::new(
+            db,
+            ConvEngineConfig {
+                workers: 3,
+                max_retries: 3,
+            },
+        );
         engine.trace().set_enabled(true);
-        let pending: Vec<_> = (0..30).map(|i| engine.submit(increment_request(t, i % 16))).collect();
+        let pending: Vec<_> = (0..30)
+            .map(|i| engine.submit(increment_request(t, i % 16)))
+            .collect();
         for p in pending {
             assert!(p.recv().unwrap().is_committed());
         }
@@ -399,7 +427,13 @@ mod tests {
     fn lock_manager_critical_sections_grow_with_work() {
         let (db, t) = db_with_counter_table();
         let before = db.lock_stats().critical_sections;
-        let engine = ConvEngine::new(db.clone(), ConvEngineConfig { workers: 2, max_retries: 5 });
+        let engine = ConvEngine::new(
+            db.clone(),
+            ConvEngineConfig {
+                workers: 2,
+                max_retries: 5,
+            },
+        );
         for i in 0..20 {
             engine.execute(increment_request(t, i % 16));
         }
@@ -413,8 +447,16 @@ mod tests {
     #[test]
     fn shutdown_finishes_in_flight_work() {
         let (db, t) = db_with_counter_table();
-        let engine = ConvEngine::new(db.clone(), ConvEngineConfig { workers: 2, max_retries: 5 });
-        let replies: Vec<_> = (0..20).map(|i| engine.submit(increment_request(t, i % 16))).collect();
+        let engine = ConvEngine::new(
+            db.clone(),
+            ConvEngineConfig {
+                workers: 2,
+                max_retries: 5,
+            },
+        );
+        let replies: Vec<_> = (0..20)
+            .map(|i| engine.submit(increment_request(t, i % 16)))
+            .collect();
         engine.shutdown();
         for r in replies {
             assert!(r.recv().unwrap().is_committed());

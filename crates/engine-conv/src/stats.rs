@@ -100,8 +100,14 @@ mod tests {
             aborted: 0,
             retries: 0,
             workers: vec![
-                WorkerStatsSnapshot { executed: 1, busy_ns: 50 },
-                WorkerStatsSnapshot { executed: 1, busy_ns: 500 },
+                WorkerStatsSnapshot {
+                    executed: 1,
+                    busy_ns: 50,
+                },
+                WorkerStatsSnapshot {
+                    executed: 1,
+                    busy_ns: 500,
+                },
             ],
         };
         let u = snap.utilization(100);

@@ -23,13 +23,8 @@ use crate::types::{Key, RecordId, Value};
 const DEFAULT_ORDER: usize = 64;
 
 enum Node {
-    Leaf {
-        entries: Vec<(Key, RecordId)>,
-    },
-    Internal {
-        keys: Vec<Key>,
-        children: Vec<Node>,
-    },
+    Leaf { entries: Vec<(Key, RecordId)> },
+    Internal { keys: Vec<Key>, children: Vec<Node> },
 }
 
 impl Node {
@@ -111,16 +106,18 @@ impl BPlusTree {
     pub fn get(&self, key: &[Value]) -> Vec<RecordId> {
         let mut out = Vec::new();
         let root = self.root.read();
-        Self::visit_from(&root, Some(key), &mut |k, rid| {
-            match k.as_slice().cmp(key) {
+        Self::visit_from(
+            &root,
+            Some(key),
+            &mut |k, rid| match k.as_slice().cmp(key) {
                 std::cmp::Ordering::Less => true,
                 std::cmp::Ordering::Equal => {
                     out.push(*rid);
                     true
                 }
                 std::cmp::Ordering::Greater => false,
-            }
-        });
+            },
+        );
         out
     }
 
@@ -270,8 +267,8 @@ impl BPlusTree {
                 // (strict lower bound) through the canonical child.
                 let first = keys.partition_point(|k| k.as_slice() < key);
                 let last = Self::child_index(keys, key);
-                for idx in first..=last {
-                    if Self::remove_rec(&mut children[idx], key, rid) {
+                for child in &mut children[first..=last] {
+                    if Self::remove_rec(child, key, rid) {
                         return true;
                     }
                 }

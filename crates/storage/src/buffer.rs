@@ -281,7 +281,9 @@ mod tests {
         }
         for (i, &pid) in pids.iter().enumerate() {
             let found = pool
-                .read_page(pid, |p| p.iter().any(|(_, r)| r == format!("page-{i}").as_bytes()))
+                .read_page(pid, |p| {
+                    p.iter().any(|(_, r)| r == format!("page-{i}").as_bytes())
+                })
                 .unwrap();
             assert!(found, "page {i} lost after eviction");
         }

@@ -153,10 +153,10 @@ impl Database {
         key_columns: Vec<usize>,
         unique: bool,
     ) -> StorageResult<IndexId> {
-        let index = self
-            .catalog
-            .write()
-            .add_index(name, table, key_columns.clone(), unique, false)?;
+        let index =
+            self.catalog
+                .write()
+                .add_index(name, table, key_columns.clone(), unique, false)?;
         let tree = Arc::new(BPlusTree::new());
         // Back-fill from the heap.
         let heap = self.heap(table)?;
@@ -206,26 +206,50 @@ impl Database {
         txn
     }
 
-    /// Commits a transaction: forces the log and releases its locks.
+    /// Commits a transaction: forces the log and releases its centralized
+    /// locks. Equivalent to [`Database::commit_policy`] with
+    /// [`LockingPolicy::Centralized`].
     pub fn commit(&self, txn: TxnId) -> StorageResult<()> {
+        self.commit_policy(txn, LockingPolicy::Centralized)
+    }
+
+    /// Commits a transaction under an explicit locking policy. A `Bypass`
+    /// commit never touches the centralized lock manager at all — the
+    /// engine guarantees the transaction acquired no locks there, and the
+    /// paper's point is precisely that DORA's commit path crosses zero
+    /// lock-manager critical sections.
+    pub fn commit_policy(&self, txn: TxnId, policy: LockingPolicy) -> StorageResult<()> {
         self.txns.check_active(txn)?;
         let lsn = self.log.append(txn, LogPayload::Commit);
         self.log.force(lsn);
         self.txns.mark_committed(txn)?;
-        self.lock_mgr.unlock_all(txn);
+        if policy == LockingPolicy::Centralized {
+            self.lock_mgr.unlock_all(txn);
+        }
         self.counters.commits.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
-    /// Aborts a transaction: applies its undo log, then releases its locks.
+    /// Aborts a transaction: applies its undo log, then releases its
+    /// centralized locks. Equivalent to [`Database::abort_policy`] with
+    /// [`LockingPolicy::Centralized`].
     pub fn abort(&self, txn: TxnId) -> StorageResult<()> {
+        self.abort_policy(txn, LockingPolicy::Centralized)
+    }
+
+    /// Aborts a transaction under an explicit locking policy (see
+    /// [`Database::commit_policy`] for why `Bypass` skips the centralized
+    /// lock manager).
+    pub fn abort_policy(&self, txn: TxnId, policy: LockingPolicy) -> StorageResult<()> {
         self.txns.check_active(txn)?;
         let undo = self.txns.mark_aborted(txn)?;
         for entry in undo {
             self.apply_undo(&entry)?;
         }
         self.log.append(txn, LogPayload::Abort);
-        self.lock_mgr.unlock_all(txn);
+        if policy == LockingPolicy::Centralized {
+            self.lock_mgr.unlock_all(txn);
+        }
         self.counters.aborts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -637,7 +661,12 @@ impl Database {
 
     /// Overwrites a row (identified by primary key) with a full image,
     /// bypassing transactions, locks and logging.
-    pub fn update_raw(&self, table: TableId, key: &[Value], image: Vec<Value>) -> StorageResult<bool> {
+    pub fn update_raw(
+        &self,
+        table: TableId,
+        key: &[Value],
+        image: Vec<Value>,
+    ) -> StorageResult<bool> {
         let primary = self.primary_tree(table)?;
         let Some(rid) = primary.get_first(key) else {
             return Ok(false);
@@ -769,7 +798,8 @@ mod tests {
     fn duplicate_primary_key_rejected() {
         let (db, t) = test_db();
         let txn = db.begin();
-        db.insert(txn, t, row(1, "a", 1.0), LockingPolicy::Bypass).unwrap();
+        db.insert(txn, t, row(1, "a", 1.0), LockingPolicy::Bypass)
+            .unwrap();
         let err = db.insert(txn, t, row(1, "b", 2.0), LockingPolicy::Bypass);
         assert!(matches!(err, Err(StorageError::DuplicateKey(_))));
         db.commit(txn).unwrap();
@@ -804,9 +834,17 @@ mod tests {
             .is_none());
         // Updating / deleting a missing row reports false.
         assert!(!db
-            .update(txn, t, &[Value::BigInt(99)], &[(2, Value::Double(1.0))], LockingPolicy::Bypass)
+            .update(
+                txn,
+                t,
+                &[Value::BigInt(99)],
+                &[(2, Value::Double(1.0))],
+                LockingPolicy::Bypass
+            )
             .unwrap());
-        assert!(!db.delete(txn, t, &[Value::BigInt(99)], LockingPolicy::Bypass).unwrap());
+        assert!(!db
+            .delete(txn, t, &[Value::BigInt(99)], LockingPolicy::Bypass)
+            .unwrap());
         db.commit(txn).unwrap();
     }
 
@@ -814,7 +852,8 @@ mod tests {
     fn primary_key_update_rejected() {
         let (db, t) = test_db();
         let txn = db.begin();
-        db.insert(txn, t, row(1, "a", 1.0), LockingPolicy::Bypass).unwrap();
+        db.insert(txn, t, row(1, "a", 1.0), LockingPolicy::Bypass)
+            .unwrap();
         let err = db.update(
             txn,
             t,
@@ -830,19 +869,31 @@ mod tests {
         let (db, t) = test_db();
         // Committed baseline row.
         let setup = db.begin();
-        db.insert(setup, t, row(1, "alice", 100.0), LockingPolicy::Bypass).unwrap();
+        db.insert(setup, t, row(1, "alice", 100.0), LockingPolicy::Bypass)
+            .unwrap();
         db.commit(setup).unwrap();
 
         let txn = db.begin();
-        db.insert(txn, t, row(2, "bob", 10.0), LockingPolicy::Bypass).unwrap();
-        db.update(txn, t, &[Value::BigInt(1)], &[(2, Value::Double(0.0))], LockingPolicy::Bypass)
+        db.insert(txn, t, row(2, "bob", 10.0), LockingPolicy::Bypass)
             .unwrap();
-        db.delete(txn, t, &[Value::BigInt(1)], LockingPolicy::Bypass).unwrap();
+        db.update(
+            txn,
+            t,
+            &[Value::BigInt(1)],
+            &[(2, Value::Double(0.0))],
+            LockingPolicy::Bypass,
+        )
+        .unwrap();
+        db.delete(txn, t, &[Value::BigInt(1)], LockingPolicy::Bypass)
+            .unwrap();
         db.abort(txn).unwrap();
 
         let check = db.begin();
         // Row 2 is gone, row 1 restored with its original balance.
-        assert!(db.get(check, t, &[Value::BigInt(2)], LockingPolicy::Bypass).unwrap().is_none());
+        assert!(db
+            .get(check, t, &[Value::BigInt(2)], LockingPolicy::Bypass)
+            .unwrap()
+            .is_none());
         let r1 = db
             .get(check, t, &[Value::BigInt(1)], LockingPolicy::Bypass)
             .unwrap()
@@ -860,32 +911,62 @@ mod tests {
             .create_secondary_index(t, "idx_owner", vec![1], false)
             .unwrap();
         let txn = db.begin();
-        db.insert(txn, t, row(1, "carol", 5.0), LockingPolicy::Bypass).unwrap();
-        db.insert(txn, t, row(2, "carol", 6.0), LockingPolicy::Bypass).unwrap();
-        db.insert(txn, t, row(3, "dave", 7.0), LockingPolicy::Bypass).unwrap();
+        db.insert(txn, t, row(1, "carol", 5.0), LockingPolicy::Bypass)
+            .unwrap();
+        db.insert(txn, t, row(2, "carol", 6.0), LockingPolicy::Bypass)
+            .unwrap();
+        db.insert(txn, t, row(3, "dave", 7.0), LockingPolicy::Bypass)
+            .unwrap();
         let rows = db
-            .index_lookup(txn, owner_idx, &[Value::Varchar("carol".into())], LockingPolicy::Bypass)
+            .index_lookup(
+                txn,
+                owner_idx,
+                &[Value::Varchar("carol".into())],
+                LockingPolicy::Bypass,
+            )
             .unwrap();
         assert_eq!(rows.len(), 2);
         // Rename carol #2 -> eve and check both lookups.
-        db.update(txn, t, &[Value::BigInt(2)], &[(1, Value::Varchar("eve".into()))], LockingPolicy::Bypass)
-            .unwrap();
+        db.update(
+            txn,
+            t,
+            &[Value::BigInt(2)],
+            &[(1, Value::Varchar("eve".into()))],
+            LockingPolicy::Bypass,
+        )
+        .unwrap();
         assert_eq!(
-            db.index_lookup(txn, owner_idx, &[Value::Varchar("carol".into())], LockingPolicy::Bypass)
-                .unwrap()
-                .len(),
+            db.index_lookup(
+                txn,
+                owner_idx,
+                &[Value::Varchar("carol".into())],
+                LockingPolicy::Bypass
+            )
+            .unwrap()
+            .len(),
             1
         );
         assert_eq!(
-            db.index_lookup(txn, owner_idx, &[Value::Varchar("eve".into())], LockingPolicy::Bypass)
-                .unwrap()
-                .len(),
+            db.index_lookup(
+                txn,
+                owner_idx,
+                &[Value::Varchar("eve".into())],
+                LockingPolicy::Bypass
+            )
+            .unwrap()
+            .len(),
             1
         );
         // Delete and check index cleanup.
-        db.delete(txn, t, &[Value::BigInt(3)], LockingPolicy::Bypass).unwrap();
+        db.delete(txn, t, &[Value::BigInt(3)], LockingPolicy::Bypass)
+            .unwrap();
         assert!(db
-            .index_lookup(txn, owner_idx, &[Value::Varchar("dave".into())], LockingPolicy::Bypass)
+            .index_lookup(
+                txn,
+                owner_idx,
+                &[Value::Varchar("dave".into())],
+                LockingPolicy::Bypass
+            )
             .unwrap()
             .is_empty());
         db.commit(txn).unwrap();
@@ -896,14 +977,26 @@ mod tests {
         let (db, t) = test_db();
         let txn = db.begin();
         for i in 0..50 {
-            db.insert(txn, t, row(i, if i % 2 == 0 { "even" } else { "odd" }, i as f64), LockingPolicy::Bypass)
-                .unwrap();
+            db.insert(
+                txn,
+                t,
+                row(i, if i % 2 == 0 { "even" } else { "odd" }, i as f64),
+                LockingPolicy::Bypass,
+            )
+            .unwrap();
         }
         db.commit(txn).unwrap();
-        let idx = db.create_secondary_index(t, "idx_owner", vec![1], false).unwrap();
+        let idx = db
+            .create_secondary_index(t, "idx_owner", vec![1], false)
+            .unwrap();
         let txn = db.begin();
         let evens = db
-            .index_lookup(txn, idx, &[Value::Varchar("even".into())], LockingPolicy::Bypass)
+            .index_lookup(
+                txn,
+                idx,
+                &[Value::Varchar("even".into())],
+                LockingPolicy::Bypass,
+            )
             .unwrap();
         assert_eq!(evens.len(), 25);
         db.commit(txn).unwrap();
@@ -914,9 +1007,11 @@ mod tests {
     #[test]
     fn unique_secondary_index_enforced() {
         let (db, t) = test_db();
-        db.create_secondary_index(t, "uq_owner", vec![1], true).unwrap();
+        db.create_secondary_index(t, "uq_owner", vec![1], true)
+            .unwrap();
         let txn = db.begin();
-        db.insert(txn, t, row(1, "solo", 1.0), LockingPolicy::Bypass).unwrap();
+        db.insert(txn, t, row(1, "solo", 1.0), LockingPolicy::Bypass)
+            .unwrap();
         assert!(matches!(
             db.insert(txn, t, row(2, "solo", 2.0), LockingPolicy::Bypass),
             Err(StorageError::DuplicateKey(_))
@@ -929,10 +1024,17 @@ mod tests {
         let (db, t) = test_db();
         let txn = db.begin();
         for i in 0..100 {
-            db.insert(txn, t, row(i, "x", i as f64), LockingPolicy::Bypass).unwrap();
+            db.insert(txn, t, row(i, "x", i as f64), LockingPolicy::Bypass)
+                .unwrap();
         }
         let rows = db
-            .primary_range(txn, t, &[Value::BigInt(10)], &[Value::BigInt(19)], LockingPolicy::Bypass)
+            .primary_range(
+                txn,
+                t,
+                &[Value::BigInt(10)],
+                &[Value::BigInt(19)],
+                LockingPolicy::Bypass,
+            )
             .unwrap();
         assert_eq!(rows.len(), 10);
         db.commit(txn).unwrap();
@@ -944,7 +1046,8 @@ mod tests {
         let (db, t) = test_db();
         let db = Arc::new(db);
         let setup = db.begin();
-        db.insert(setup, t, row(1, "shared", 0.0), LockingPolicy::Centralized).unwrap();
+        db.insert(setup, t, row(1, "shared", 0.0), LockingPolicy::Centralized)
+            .unwrap();
         db.commit(setup).unwrap();
 
         let mut handles = Vec::new();
@@ -999,7 +1102,8 @@ mod tests {
     fn checkpoint_and_counters() {
         let (db, t) = test_db();
         let txn = db.begin();
-        db.insert(txn, t, row(1, "x", 1.0), LockingPolicy::Bypass).unwrap();
+        db.insert(txn, t, row(1, "x", 1.0), LockingPolicy::Bypass)
+            .unwrap();
         db.checkpoint();
         db.commit(txn).unwrap();
         let stats = db.log_stats();

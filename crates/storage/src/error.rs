@@ -50,7 +50,9 @@ impl fmt::Display for StorageError {
             StorageError::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
             StorageError::NotFound => write!(f, "record not found"),
             StorageError::Deadlock(t) => write!(f, "transaction {t} chosen as deadlock victim"),
-            StorageError::LockTimeout(t) => write!(f, "transaction {t} timed out waiting for a lock"),
+            StorageError::LockTimeout(t) => {
+                write!(f, "transaction {t} timed out waiting for a lock")
+            }
             StorageError::TxnNotActive(t) => write!(f, "transaction {t} is not active"),
             StorageError::Aborted(m) => write!(f, "transaction aborted: {m}"),
             StorageError::PageFull => write!(f, "page full"),

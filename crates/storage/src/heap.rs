@@ -55,10 +55,7 @@ impl HeapFile {
         // across the page access.
         let last = { self.pages.read().last().copied() };
         if let Some(pid) = last {
-            if let Some(slot) = self
-                .buffer
-                .with_page(pid, |p| (p.insert(record), true))?
-            {
+            if let Some(slot) = self.buffer.with_page(pid, |p| (p.insert(record), true))? {
                 return Ok(RecordId::new(pid, slot));
             }
         }
@@ -66,10 +63,7 @@ impl HeapFile {
         // inserters don't allocate a page each for the same overflow.
         let mut pages = self.pages.write();
         if let Some(&pid) = pages.last() {
-            if let Some(slot) = self
-                .buffer
-                .with_page(pid, |p| (p.insert(record), true))?
-            {
+            if let Some(slot) = self.buffer.with_page(pid, |p| (p.insert(record), true))? {
                 return Ok(RecordId::new(pid, slot));
             }
         }
@@ -175,8 +169,8 @@ mod tests {
     #[test]
     fn update_in_place_and_moved() {
         let h = heap();
-        let rid = h.insert(&vec![1u8; 100]).unwrap();
-        assert_eq!(h.update(rid, &vec![2u8; 50]).unwrap(), UpdateOutcome::InPlace);
+        let rid = h.insert(&[1u8; 100]).unwrap();
+        assert_eq!(h.update(rid, &[2u8; 50]).unwrap(), UpdateOutcome::InPlace);
         assert_eq!(h.get(rid).unwrap(), vec![2u8; 50]);
         // Fill the page so a growing update must relocate.
         while h.page_count() == 1 {

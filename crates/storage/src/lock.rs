@@ -44,9 +44,14 @@ impl LockMode {
         use LockMode::*;
         matches!(
             (self, other),
-            (IS, IS) | (IS, IX) | (IS, S) | (IS, SIX)
-                | (IX, IS) | (IX, IX)
-                | (S, IS) | (S, S)
+            (IS, IS)
+                | (IS, IX)
+                | (IS, S)
+                | (IS, SIX)
+                | (IX, IS)
+                | (IX, IX)
+                | (S, IS)
+                | (S, S)
                 | (SIX, IS)
         )
     }
@@ -323,7 +328,11 @@ impl LockManager {
                 if Self::has_cycle(&wf, txn) {
                     wf.remove(&txn);
                     drop(wf);
-                    entries.entry(target.clone()).or_default().waiters.retain(|w| w.txn != txn);
+                    entries
+                        .entry(target.clone())
+                        .or_default()
+                        .waiters
+                        .retain(|w| w.txn != txn);
                     drop(entries);
                     bucket.condvar.notify_all();
                     self.stats.deadlocks.fetch_add(1, Ordering::Relaxed);
@@ -332,7 +341,11 @@ impl LockManager {
             }
             let now = std::time::Instant::now();
             if now >= deadline {
-                entries.entry(target.clone()).or_default().waiters.retain(|w| w.txn != txn);
+                entries
+                    .entry(target.clone())
+                    .or_default()
+                    .waiters
+                    .retain(|w| w.txn != txn);
                 drop(entries);
                 self.clear_waits(txn);
                 bucket.condvar.notify_all();

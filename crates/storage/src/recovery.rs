@@ -148,7 +148,11 @@ mod tests {
     }
 
     fn item(id: i64, name: &str, qty: i32) -> Vec<Value> {
-        vec![Value::BigInt(id), Value::Varchar(name.into()), Value::Int(qty)]
+        vec![
+            Value::BigInt(id),
+            Value::Varchar(name.into()),
+            Value::Int(qty),
+        ]
     }
 
     #[test]
@@ -156,11 +160,19 @@ mod tests {
         let (db, t) = fresh_db();
         let txn = db.begin();
         for i in 0..20 {
-            db.insert(txn, t, item(i, "widget", i as i32), LockingPolicy::Bypass).unwrap();
+            db.insert(txn, t, item(i, "widget", i as i32), LockingPolicy::Bypass)
+                .unwrap();
         }
-        db.update(txn, t, &[Value::BigInt(3)], &[(2, Value::Int(999))], LockingPolicy::Bypass)
+        db.update(
+            txn,
+            t,
+            &[Value::BigInt(3)],
+            &[(2, Value::Int(999))],
+            LockingPolicy::Bypass,
+        )
+        .unwrap();
+        db.delete(txn, t, &[Value::BigInt(5)], LockingPolicy::Bypass)
             .unwrap();
-        db.delete(txn, t, &[Value::BigInt(5)], LockingPolicy::Bypass).unwrap();
         db.commit(txn).unwrap();
 
         // Simulate a crash: replay the log into a fresh database.
@@ -174,10 +186,15 @@ mod tests {
         assert_eq!(db2.row_count(t2).unwrap(), 19);
         let check = db2.begin();
         assert_eq!(
-            db2.get(check, t2, &[Value::BigInt(3)], LockingPolicy::Bypass).unwrap().unwrap()[2],
+            db2.get(check, t2, &[Value::BigInt(3)], LockingPolicy::Bypass)
+                .unwrap()
+                .unwrap()[2],
             Value::Int(999)
         );
-        assert!(db2.get(check, t2, &[Value::BigInt(5)], LockingPolicy::Bypass).unwrap().is_none());
+        assert!(db2
+            .get(check, t2, &[Value::BigInt(5)], LockingPolicy::Bypass)
+            .unwrap()
+            .is_none());
         db2.commit(check).unwrap();
     }
 
@@ -185,14 +202,22 @@ mod tests {
     fn uncommitted_work_is_discarded() {
         let (db, t) = fresh_db();
         let committed = db.begin();
-        db.insert(committed, t, item(1, "kept", 1), LockingPolicy::Bypass).unwrap();
+        db.insert(committed, t, item(1, "kept", 1), LockingPolicy::Bypass)
+            .unwrap();
         db.commit(committed).unwrap();
 
         // This transaction never commits (crash while in flight).
         let in_flight = db.begin();
-        db.insert(in_flight, t, item(2, "lost", 2), LockingPolicy::Bypass).unwrap();
-        db.update(in_flight, t, &[Value::BigInt(1)], &[(2, Value::Int(777))], LockingPolicy::Bypass)
+        db.insert(in_flight, t, item(2, "lost", 2), LockingPolicy::Bypass)
             .unwrap();
+        db.update(
+            in_flight,
+            t,
+            &[Value::BigInt(1)],
+            &[(2, Value::Int(777))],
+            LockingPolicy::Bypass,
+        )
+        .unwrap();
 
         let records = db.log().records();
         let (db2, t2) = fresh_db();
@@ -215,7 +240,8 @@ mod tests {
     fn aborted_transactions_are_not_losers() {
         let (db, t) = fresh_db();
         let txn = db.begin();
-        db.insert(txn, t, item(1, "rolled-back", 1), LockingPolicy::Bypass).unwrap();
+        db.insert(txn, t, item(1, "rolled-back", 1), LockingPolicy::Bypass)
+            .unwrap();
         db.abort(txn).unwrap();
 
         let records = db.log().records();
@@ -232,7 +258,8 @@ mod tests {
     fn checkpoint_lsn_is_reported() {
         let (db, t) = fresh_db();
         let txn = db.begin();
-        db.insert(txn, t, item(1, "x", 1), LockingPolicy::Bypass).unwrap();
+        db.insert(txn, t, item(1, "x", 1), LockingPolicy::Bypass)
+            .unwrap();
         db.checkpoint();
         db.commit(txn).unwrap();
         let records = db.log().records();
@@ -247,7 +274,13 @@ mod tests {
         let (db, t) = fresh_db();
         let txn = db.begin();
         for i in 0..10 {
-            db.insert(txn, t, item(i, "persisted", i as i32), LockingPolicy::Bypass).unwrap();
+            db.insert(
+                txn,
+                t,
+                item(i, "persisted", i as i32),
+                LockingPolicy::Bypass,
+            )
+            .unwrap();
         }
         db.commit(txn).unwrap();
         let bytes = db.log().encode();

@@ -39,11 +39,7 @@ pub struct TableSchema {
 
 impl TableSchema {
     /// Creates a schema. Panics if a primary-key position is out of range.
-    pub fn new(
-        name: impl Into<String>,
-        columns: Vec<ColumnDef>,
-        primary_key: Vec<usize>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>, primary_key: Vec<usize>) -> Self {
         let name = name.into();
         for &pk in &primary_key {
             assert!(pk < columns.len(), "primary key column out of range");
@@ -88,7 +84,10 @@ impl TableSchema {
 
     /// Extracts the primary-key values from a full tuple.
     pub fn primary_key_of(&self, values: &[Value]) -> Vec<Value> {
-        self.primary_key.iter().map(|&i| values[i].clone()).collect()
+        self.primary_key
+            .iter()
+            .map(|&i| values[i].clone())
+            .collect()
     }
 
     /// Extracts the values at `positions` from a full tuple.
@@ -321,7 +320,9 @@ mod tests {
     fn catalog_tables_and_indexes() {
         let mut cat = Catalog::new();
         let tid = cat.add_table(sample_schema()).unwrap();
-        let pidx = cat.add_index("pk_subscriber", tid, vec![0], true, true).unwrap();
+        let pidx = cat
+            .add_index("pk_subscriber", tid, vec![0], true, true)
+            .unwrap();
         let sidx = cat
             .add_index("idx_sub_nbr", tid, vec![1], true, false)
             .unwrap();

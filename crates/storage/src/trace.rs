@@ -211,7 +211,12 @@ mod tests {
     fn orderliness_distinguishes_sorted_from_random() {
         // One worker scanning keys in order: perfectly predictable.
         let sorted: Vec<AccessEvent> = (0..100)
-            .map(|i| AccessEvent { worker: 0, table: 1, key: i, write: false })
+            .map(|i| AccessEvent {
+                worker: 0,
+                table: 1,
+                key: i,
+                write: false,
+            })
             .collect();
         assert!((orderliness(&sorted) - 1.0).abs() < 1e-9);
         // The same keys bounced around pseudo-randomly: far less ordered.
@@ -228,14 +233,24 @@ mod tests {
     fn workers_per_bucket_reflects_partitioning() {
         // DORA-like: worker = key / 25 (each bucket owned by one worker).
         let dora: Vec<AccessEvent> = (0..100)
-            .map(|i| AccessEvent { worker: (i / 25) as usize, table: 1, key: i, write: false })
+            .map(|i| AccessEvent {
+                worker: (i / 25) as usize,
+                table: 1,
+                key: i,
+                write: false,
+            })
             .collect();
         let d = workers_per_key_bucket(&dora, 25);
         assert_eq!(d.len(), 1);
         assert!((d[0].1 - 1.0).abs() < 1e-9);
         // Conventional-like: every worker touches every bucket.
         let conv: Vec<AccessEvent> = (0..100)
-            .map(|i| AccessEvent { worker: (i % 4) as usize, table: 1, key: i, write: false })
+            .map(|i| AccessEvent {
+                worker: (i % 4) as usize,
+                table: 1,
+                key: i,
+                write: false,
+            })
             .collect();
         let c = workers_per_key_bucket(&conv, 25);
         assert!(c[0].1 > 3.0);

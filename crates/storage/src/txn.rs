@@ -209,7 +209,15 @@ mod tests {
         // Double commit / commit-after-abort are rejected.
         assert!(tm.mark_committed(a).is_err());
         assert!(tm.mark_aborted(a).is_err());
-        assert!(tm.push_undo(a, UndoEntry::Insert { table: 1, key: vec![] }).is_err());
+        assert!(tm
+            .push_undo(
+                a,
+                UndoEntry::Insert {
+                    table: 1,
+                    key: vec![]
+                }
+            )
+            .is_err());
 
         let b = tm.begin();
         tm.push_undo(
@@ -265,7 +273,10 @@ mod tests {
                 std::thread::spawn(move || (0..100).map(|_| tm.begin()).collect::<Vec<_>>())
             })
             .collect();
-        let mut ids: Vec<TxnId> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut ids: Vec<TxnId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 800);

@@ -333,7 +333,9 @@ mod tests {
                 key: vec![Value::BigInt(5)],
                 before: vec![Value::BigInt(5), Value::Varchar("new".into())],
             },
-            LogPayload::Checkpoint { active: vec![1, 2, 3] },
+            LogPayload::Checkpoint {
+                active: vec![1, 2, 3],
+            },
             LogPayload::Commit,
             LogPayload::Abort,
         ]
@@ -400,7 +402,9 @@ mod tests {
         for t in 0..8u64 {
             let log = log.clone();
             handles.push(std::thread::spawn(move || {
-                (0..200).map(|_| log.append(t, LogPayload::Begin)).collect::<Vec<_>>()
+                (0..200)
+                    .map(|_| log.append(t, LogPayload::Begin))
+                    .collect::<Vec<_>>()
             }));
         }
         let mut all: Vec<Lsn> = handles

@@ -1,1 +1,35 @@
-//! placeholder
+//! # dora-workloads
+//!
+//! OLTP workload definitions driving both execution engines — the paper's
+//! experimental fuel.
+//!
+//! **Planned role.** This crate will host the two benchmarks the paper
+//! evaluates with, each expressed twice over the shared substrate:
+//!
+//! * **TATP** (telecom): `GetSubscriberData`, `GetNewDestination`,
+//!   `GetAccessData`, `UpdateSubscriberData`, `UpdateLocation`,
+//!   `InsertCallForwarding`, `DeleteCallForwarding` — short, index-heavy
+//!   transactions whose subscriber-id routing field aligns perfectly with
+//!   DORA partitioning.
+//! * **TPC-C** (order entry): `NewOrder`, `Payment`, `OrderStatus`,
+//!   `Delivery`, `StockLevel` over the nine-table schema, routed by
+//!   warehouse id.
+//!
+//! For each transaction the crate provides (a) a conventional
+//! [`TxnRequest`](dora_engine_conv::TxnRequest)-shaped body and (b) a DORA
+//! [`FlowGraph`](dora_core::action::FlowGraph) decomposition into
+//! partition-aligned actions separated by rendezvous points, plus loaders
+//! that populate a [`Database`](dora_storage::Database) at a given scale
+//! factor and routing-table presets for the DORA side. The benchmark
+//! harness in `dora-bench` consumes both forms to A/B the engines; see
+//! `docs/architecture.md` for where this sits in the workspace.
+//!
+//! Nothing is implemented yet — the crate currently only re-exports its
+//! dependencies' entry points so downstream code can compile against one
+//! name.
+
+#![warn(missing_docs)]
+
+pub use dora_core;
+pub use dora_engine_conv;
+pub use dora_storage;

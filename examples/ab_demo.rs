@@ -1,0 +1,235 @@
+//! Side-by-side demo of the two execution engines — the workspace's
+//! "Live Systems" comparison in miniature.
+//!
+//! Loads the same account table into two databases, pushes an identical
+//! mix of multi-partition transfer transactions through the conventional
+//! engine and through DORA, then prints what the paper measures: commit
+//! counts, centralized lock-manager critical sections, and the
+//! thread-to-data access pattern.
+//!
+//! Run with `cargo run --release --example ab_demo`.
+
+use std::sync::Arc;
+
+use dora_repro::dora_core::action::{ActionSpec, FlowGraph};
+use dora_repro::dora_core::executor::{DoraEngine, DoraEngineConfig, DORA_POLICY};
+use dora_repro::dora_core::routing::{RoutingRule, RoutingTable};
+use dora_repro::dora_engine_conv::{ConvEngine, ConvEngineConfig, TxnRequest, CONV_POLICY};
+use dora_repro::dora_storage::db::Database;
+use dora_repro::dora_storage::error::StorageError;
+use dora_repro::dora_storage::schema::{ColumnDef, TableSchema};
+use dora_repro::dora_storage::trace::workers_per_key_bucket;
+use dora_repro::dora_storage::types::{DataType, TableId, Value};
+
+const ACCOUNTS: i64 = 64;
+const WORKERS: usize = 4;
+const TRANSFERS: i64 = 400;
+
+fn load(db: &Database) -> TableId {
+    let t = db
+        .create_table(TableSchema::new(
+            "accounts",
+            vec![
+                ColumnDef::new("id", DataType::BigInt),
+                ColumnDef::new("balance", DataType::BigInt),
+            ],
+            vec![0],
+        ))
+        .expect("create accounts table");
+    let txn = db.begin();
+    for i in 0..ACCOUNTS {
+        db.insert(
+            txn,
+            t,
+            vec![Value::BigInt(i), Value::BigInt(1000)],
+            CONV_POLICY,
+        )
+        .expect("load row");
+    }
+    db.commit(txn).expect("commit loader");
+    t
+}
+
+fn transfer_pairs() -> impl Iterator<Item = (i64, i64)> {
+    (0..TRANSFERS).map(|i| {
+        let from = (i * 7) % ACCOUNTS;
+        let to = (from + 1 + (i % 13)) % ACCOUNTS;
+        (from, to)
+    })
+}
+
+fn conv_transfer(t: TableId, from: i64, to: i64) -> TxnRequest {
+    TxnRequest::new("Transfer", move |db, txn, ctx| {
+        ctx.record(t, from, true);
+        let f = db
+            .get(txn, t, &[Value::BigInt(from)], CONV_POLICY)?
+            .ok_or(StorageError::NotFound)?;
+        ctx.record(t, to, true);
+        let g = db
+            .get(txn, t, &[Value::BigInt(to)], CONV_POLICY)?
+            .ok_or(StorageError::NotFound)?;
+        let (fb, tb) = (f[1].as_i64().unwrap(), g[1].as_i64().unwrap());
+        db.update(
+            txn,
+            t,
+            &[Value::BigInt(from)],
+            &[(1, Value::BigInt(fb - 1))],
+            CONV_POLICY,
+        )?;
+        db.update(
+            txn,
+            t,
+            &[Value::BigInt(to)],
+            &[(1, Value::BigInt(tb + 1))],
+            CONV_POLICY,
+        )?;
+        Ok(())
+    })
+}
+
+fn dora_transfer(t: TableId, from: i64, to: i64) -> FlowGraph {
+    FlowGraph::new(
+        "Transfer",
+        vec![
+            ActionSpec::write(t, from, move |db, txn, ctx| {
+                ctx.record(t, from, true);
+                let row = db
+                    .get(txn, t, &[Value::BigInt(from)], DORA_POLICY)?
+                    .ok_or(StorageError::NotFound)?;
+                Ok(vec![row[1].clone()])
+            }),
+            ActionSpec::write(t, to, move |db, txn, ctx| {
+                ctx.record(t, to, true);
+                let row = db
+                    .get(txn, t, &[Value::BigInt(to)], DORA_POLICY)?
+                    .ok_or(StorageError::NotFound)?;
+                Ok(vec![row[1].clone()])
+            }),
+        ],
+    )
+    .then(move |outputs| {
+        // Outputs arrive in action order: [0] = `from` read, [1] = `to`.
+        let fb = outputs[0][0].as_i64().ok_or(StorageError::NotFound)?;
+        let tb = outputs[1][0].as_i64().ok_or(StorageError::NotFound)?;
+        Ok(vec![
+            ActionSpec::write(t, from, move |db, txn, _| {
+                db.update(
+                    txn,
+                    t,
+                    &[Value::BigInt(from)],
+                    &[(1, Value::BigInt(fb - 1))],
+                    DORA_POLICY,
+                )?;
+                Ok(vec![])
+            }),
+            ActionSpec::write(t, to, move |db, txn, _| {
+                db.update(
+                    txn,
+                    t,
+                    &[Value::BigInt(to)],
+                    &[(1, Value::BigInt(tb + 1))],
+                    DORA_POLICY,
+                )?;
+                Ok(vec![])
+            }),
+        ])
+    })
+}
+
+fn total(db: &Database, t: TableId) -> i64 {
+    db.scan(t)
+        .expect("scan")
+        .iter()
+        .map(|r| r[1].as_i64().unwrap())
+        .sum()
+}
+
+fn main() {
+    println!("=== conventional engine (thread-to-transaction) ===");
+    let conv_db = Arc::new(Database::default());
+    let conv_t = load(&conv_db);
+    let cs_before = conv_db.lock_stats().critical_sections;
+    let conv = ConvEngine::new(
+        conv_db.clone(),
+        ConvEngineConfig {
+            workers: WORKERS,
+            max_retries: 50,
+        },
+    );
+    conv.trace().set_enabled(true);
+    let pending: Vec<_> = transfer_pairs()
+        .map(|(from, to)| conv.submit(conv_transfer(conv_t, from, to)))
+        .collect();
+    let conv_committed = pending
+        .into_iter()
+        .filter(|p| p.recv().map(|o| o.is_committed()).unwrap_or(false))
+        .count();
+    let conv_spread = workers_per_key_bucket(&conv.trace().snapshot(), ACCOUNTS / WORKERS as i64);
+    let conv_stats = conv.stats();
+    conv.shutdown();
+    let cs_after = conv_db.lock_stats().critical_sections;
+    println!(
+        "  committed:                  {conv_committed}/{TRANSFERS} (retries: {})",
+        conv_stats.retries
+    );
+    println!("  lock-mgr critical sections: {}", cs_after - cs_before);
+    println!("  workers per key bucket:     {:.2}", conv_spread[0].1);
+    println!(
+        "  total balance:              {} (expected {})",
+        total(&conv_db, conv_t),
+        ACCOUNTS * 1000
+    );
+
+    println!("=== DORA engine (thread-to-data) ===");
+    let dora_db = Arc::new(Database::default());
+    let dora_t = load(&dora_db);
+    let cs_before = dora_db.lock_stats().critical_sections;
+    let mut routing = RoutingTable::new();
+    routing.set_rule(RoutingRule::uniform(
+        dora_t,
+        0,
+        0,
+        ACCOUNTS - 1,
+        WORKERS,
+        WORKERS,
+    ));
+    let dora = DoraEngine::new(
+        dora_db.clone(),
+        routing,
+        DoraEngineConfig {
+            workers: WORKERS,
+            ..Default::default()
+        },
+    );
+    dora.trace().set_enabled(true);
+    let pending: Vec<_> = transfer_pairs()
+        .map(|(from, to)| dora.submit(dora_transfer(dora_t, from, to)))
+        .collect();
+    let dora_committed = pending
+        .into_iter()
+        .filter(|p| p.recv().map(|o| o.is_committed()).unwrap_or(false))
+        .count();
+    let dora_spread = workers_per_key_bucket(&dora.trace().snapshot(), ACCOUNTS / WORKERS as i64);
+    let stats = dora.stats();
+    dora.shutdown();
+    let cs_after = dora_db.lock_stats().critical_sections;
+    println!(
+        "  committed:                  {dora_committed}/{TRANSFERS} (deferrals: {})",
+        stats.deferrals
+    );
+    println!(
+        "  actions executed:           {} across {} partitions",
+        stats.actions,
+        stats.workers.len()
+    );
+    println!("  lock-mgr critical sections: {}", cs_after - cs_before);
+    println!("  workers per key bucket:     {:.2}", dora_spread[0].1);
+    println!(
+        "  total balance:              {} (expected {})",
+        total(&dora_db, dora_t),
+        ACCOUNTS * 1000
+    );
+
+    let per_worker: Vec<u64> = stats.workers.iter().map(|w| w.executed).collect();
+    println!("  actions per partition:      {per_worker:?}");
+}

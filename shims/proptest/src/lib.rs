@@ -1,0 +1,412 @@
+//! Offline stand-in for the `proptest` crate (see `shims/README.md`).
+//!
+//! Supports the subset this workspace's property tests use: the
+//! [`proptest!`], [`prop_assert!`] and [`prop_assert_eq!`] macros, integer
+//! range strategies (`0i64..100`), [`strategy::any`]`::<bool>()`, tuple
+//! strategies,
+//! and [`collection::vec`]. Inputs are drawn from a fixed-seed xorshift
+//! PRNG, so runs are deterministic: no failure persistence and no
+//! shrinking, but the same generative coverage on every run.
+
+#![warn(missing_docs)]
+
+/// The deterministic random source driving input generation.
+pub mod test_runner {
+    /// A fixed-seed xorshift64* generator.
+    #[derive(Debug, Clone)]
+    pub struct Rng(u64);
+
+    impl Rng {
+        /// Creates a generator from a non-zero seed.
+        pub fn new(seed: u64) -> Self {
+            Rng(seed | 1)
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+}
+
+/// Strategies: descriptions of how to generate random values.
+pub mod strategy {
+    use crate::test_runner::Rng;
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut Rng) -> Self::Value;
+
+        /// Transforms every generated value with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy adapter created by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut Rng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy that always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut Rng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed strategies (built by [`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over the given options (must be non-empty).
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut Rng) -> T {
+            let idx = (rng.next_u64() as usize) % self.options.len();
+            self.options[idx].sample(rng)
+        }
+    }
+
+    impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+        type Value = T;
+        fn sample(&self, rng: &mut Rng) -> T {
+            (**self).sample(rng)
+        }
+    }
+
+    /// String strategy from a regex-like pattern. Supports the subset
+    /// `[class]{min,max}` (character classes with ranges and literals,
+    /// repeated a bounded number of times), which is what this workspace's
+    /// tests use; anything else panics.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut Rng) -> String {
+            let (chars, min, max) = parse_class_repeat(self)
+                .unwrap_or_else(|| panic!("unsupported regex strategy in proptest shim: {self:?}"));
+            let len = min + (rng.next_u64() as usize) % (max - min + 1);
+            (0..len)
+                .map(|_| chars[(rng.next_u64() as usize) % chars.len()])
+                .collect()
+        }
+    }
+
+    /// Parses `[a-z0-9 _]{min,max}` into (alphabet, min, max).
+    fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+        let rest = pattern.strip_prefix('[')?;
+        let (class, rest) = rest.split_once(']')?;
+        let rest = rest.strip_prefix('{')?;
+        let bounds = rest.strip_suffix('}')?;
+        let (min, max) = match bounds.split_once(',') {
+            Some((lo, hi)) => (lo.parse().ok()?, hi.parse().ok()?),
+            None => {
+                let n = bounds.parse().ok()?;
+                (n, n)
+            }
+        };
+        if max < min {
+            return None;
+        }
+        let mut chars = Vec::new();
+        let src: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < src.len() {
+            if i + 2 < src.len() && src[i + 1] == '-' {
+                let (lo, hi) = (src[i] as u32, src[i + 2] as u32);
+                if hi < lo {
+                    return None;
+                }
+                chars.extend((lo..=hi).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                chars.push(src[i]);
+                i += 1;
+            }
+        }
+        if chars.is_empty() {
+            return None;
+        }
+        Some((chars, min, max))
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut Rng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let r = ((rng.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + r) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    /// Strategy for any value of a type with a canonical generator.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut Rng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Rng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut Rng) -> f64 {
+            // Mix finite values of varied magnitude with occasional
+            // specials, mirroring proptest's any::<f64>() spirit.
+            match rng.next_u64() % 8 {
+                0 => 0.0,
+                1 => -1.5,
+                2 => f64::INFINITY,
+                3 => f64::NEG_INFINITY,
+                _ => {
+                    let mantissa = (rng.next_u64() % 2_000_001) as f64 - 1_000_000.0;
+                    let exp = (rng.next_u64() % 41) as i32 - 20;
+                    mantissa * 10f64.powi(exp)
+                }
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut Rng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The strategy generating any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $i:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut Rng) -> Self::Value {
+                    ($(self.$i.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::Rng;
+
+    /// Strategy producing vectors of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut Rng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy producing ordered sets of values from an element strategy.
+    /// Duplicates drawn from `element` collapse, so the final set can be
+    /// smaller than the drawn size (matching proptest's behavior loosely).
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut Rng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates `BTreeSet`s whose size is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn btree_set<S: Strategy>(element: S, size: std::ops::Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Chooses uniformly among the listed strategies (all must produce the
+/// same value type). Weighted arms (`n => strat`) are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(Box::new($strat) as Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a test that runs the body 128 times with inputs drawn from the
+/// strategies using a fixed-seed PRNG.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_runner::Rng::new(0x9E37_79B9_7F4A_7C15);
+                for case in 0..128u32 {
+                    let _ = case;
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (panics on failure, like
+/// `assert!`; this shim has no failure persistence to update).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::Rng::new(42);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(-50i64..50), &mut rng);
+            assert!((-50..50).contains(&v));
+            let u = Strategy::sample(&(1usize..16), &mut rng);
+            assert!((1..16).contains(&u));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::test_runner::Rng::new(7);
+        for _ in 0..100 {
+            let v = Strategy::sample(&crate::collection::vec(0i32..10, 1..20), &mut rng);
+            assert!((1..20).contains(&v.len()));
+            assert!(v.iter().all(|x| (0..10).contains(x)));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::Rng::new(1);
+        let mut b = crate::test_runner::Rng::new(1);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        /// The macro itself works end to end.
+        #[test]
+        fn macro_roundtrip(x in 0i64..100, flip in any::<bool>()) {
+            prop_assert!((0..100).contains(&x));
+            prop_assert!(u8::from(flip) <= 1);
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Offline stand-in for the `serde` facade crate (see `shims/README.md`).
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros so that
+//! `use serde::{Deserialize, Serialize};` and
+//! `#[derive(serde::Serialize, serde::Deserialize)]` compile unchanged.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! Offline no-op stand-in for `serde_derive` (see `shims/README.md`).
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to nothing:
+//! no code in the workspace serializes values yet, the derives only have
+//! to compile. Swap back to the real serde when vendoring is available.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,1 +1,29 @@
+//! # dora-repro
+//!
+//! Umbrella crate for the reproduction of *"A data-oriented transaction
+//! execution engine and supporting tools"* (Pandis et al., SIGMOD 2011).
+//! It re-exports every workspace crate under one name so examples, docs
+//! and downstream experiments can depend on a single package:
+//!
+//! * [`dora_storage`] — the Shore-MT-like storage substrate (pages,
+//!   buffer pool, heap files, B+-trees, centralized lock manager, WAL,
+//!   recovery, transactions).
+//! * [`dora_engine_conv`] — the conventional thread-to-transaction
+//!   baseline engine.
+//! * [`dora_core`] — the DORA thread-to-data engine: routing, actions,
+//!   rendezvous points, per-partition local lock tables, and the
+//!   partition executor.
+//! * [`dora_workloads`] — TATP / TPC-C workload definitions (planned).
+//! * [`dora_designer`] — partitioning designer and run-time load
+//!   balancer (planned).
+//!
+//! See `docs/architecture.md` for the layered walkthrough and
+//! `README.md` for how to build, test, and benchmark.
+
+#![warn(missing_docs)]
+
+pub use dora_core;
+pub use dora_designer;
+pub use dora_engine_conv;
 pub use dora_storage;
+pub use dora_workloads;
