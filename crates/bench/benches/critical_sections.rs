@@ -1,1 +1,87 @@
-fn main() {}
+//! The paper's core mechanism figure: centralized lock-manager critical
+//! sections entered per committed transaction. The conventional engine
+//! pays several per data access; DORA must pay exactly zero.
+//!
+//! Run with `cargo bench --bench critical_sections`. Flags: `--quick`,
+//! `--compare <path>`, `--out <path>`. Writes
+//! `BENCH_critical_sections.json` at the workspace root (schema in
+//! `dora_bench::report`). The run aborts (panics) if DORA enters even one
+//! critical section — that would mean the bypass path regressed.
+
+use dora_bench::driver::{run_transfer, BenchArgs, EngineKind, TransferRun};
+use dora_bench::report::{workspace_root, BenchReport};
+use dora_workloads::transfer::TransferWorkload;
+
+fn main() {
+    let args = BenchArgs::parse(std::env::args().skip(1));
+    // Read the comparison report up front: a bad path must fail before
+    // minutes of measurement, not after. Relative paths are tried against
+    // the current directory first, then the workspace root (cargo runs
+    // bench binaries from the package directory).
+    let baseline = args.compare.as_deref().map(|p| {
+        std::fs::read_to_string(p)
+            .or_else(|_| std::fs::read_to_string(workspace_root().join(p)))
+            .expect("read --compare report")
+    });
+    let wl = TransferWorkload {
+        accounts: if args.quick { 128 } else { 512 },
+        initial_balance: 1_000,
+    };
+    let workers = 4;
+    let per_client = if args.quick { 250 } else { 4_000 };
+    let locality_pct = 90;
+
+    let mut runs = Vec::new();
+    for engine in [EngineKind::Conventional, EngineKind::Dora] {
+        let scenario = run_transfer(
+            &wl,
+            TransferRun {
+                engine,
+                workers,
+                clients: workers * 2,
+                per_client,
+                locality_pct,
+                client_retries: 10,
+            },
+        );
+        let per_txn = if scenario.committed > 0 {
+            scenario.critical_sections as f64 / scenario.committed as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "  {:<13} critical sections: {} total, {:.2}/txn",
+            scenario.engine, scenario.critical_sections, per_txn
+        );
+        if scenario.engine == "dora" {
+            assert_eq!(
+                scenario.critical_sections, 0,
+                "DORA must never enter lock-manager critical sections"
+            );
+        }
+        runs.push(scenario);
+    }
+
+    let report = BenchReport {
+        bench: "critical_sections",
+        workload: format!(
+            "transfer accounts={} initial_balance={} locality={}% workers={} per_client={}",
+            wl.accounts, wl.initial_balance, locality_pct, workers, per_client
+        ),
+        physical_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        quick: args.quick,
+        runs,
+    };
+    print!("{}", report.to_table());
+
+    let out = args
+        .out
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| workspace_root().join("BENCH_critical_sections.json"));
+    report
+        .write_json(&out, baseline.as_deref())
+        .expect("write bench JSON");
+    println!("wrote {}", out.display());
+}

@@ -1,1 +1,97 @@
-fn main() {}
+//! The paper's headline figure: committed transactions per second as the
+//! number of worker threads grows, DORA vs the conventional engine, on the
+//! multi-partition transfer workload.
+//!
+//! Run with `cargo bench --bench throughput_vs_cores`. Flags:
+//! `--quick` (CI smoke), `--compare <path>` (embed a previous report as
+//! `"baseline"`), `--out <path>`. Writes
+//! `BENCH_throughput_vs_cores.json` at the workspace root; the JSON schema
+//! is documented in `dora_bench::report`.
+//!
+//! On machines with fewer physical cores than the swept worker counts the
+//! curve measures scheduling overhead rather than true hardware scaling —
+//! the report records `physical_cores` so readers can tell.
+
+use dora_bench::driver::{run_transfer_best_of, BenchArgs, EngineKind, TransferRun};
+use dora_bench::report::{workspace_root, BenchReport};
+use dora_workloads::transfer::TransferWorkload;
+
+fn main() {
+    let args = BenchArgs::parse(std::env::args().skip(1));
+    // Read the comparison report up front: a bad path must fail before
+    // minutes of measurement, not after. Relative paths are tried against
+    // the current directory first, then the workspace root (cargo runs
+    // bench binaries from the package directory).
+    let baseline = args.compare.as_deref().map(|p| {
+        std::fs::read_to_string(p)
+            .or_else(|_| std::fs::read_to_string(workspace_root().join(p)))
+            .expect("read --compare report")
+    });
+    let wl = TransferWorkload {
+        accounts: args.accounts.unwrap_or(if args.quick { 128 } else { 1024 }),
+        initial_balance: 1_000,
+    };
+    let worker_counts: &[usize] = if args.quick { &[2] } else { &[1, 2, 4, 8] };
+    // Fixed offered load per scenario (split across clients) so every
+    // timed window is long enough to measure: ~1s on the reference 1-core
+    // box in full mode, a blink in --quick CI smoke.
+    let total_per_scenario = args
+        .total
+        .unwrap_or(if args.quick { 2_000 } else { 96_000 });
+    // TPC-C-style locality: most transfers stay partition-local, a tail
+    // crosses partitions and exercises the rendezvous protocol.
+    let locality_pct = 90;
+
+    let mut runs = Vec::new();
+    // Best-of-N damps scheduler noise on shared hosts; inputs are
+    // deterministic so repeats do identical work.
+    let repeats = if args.quick { 1 } else { 3 };
+    for &workers in worker_counts {
+        for engine in [EngineKind::Conventional, EngineKind::Dora] {
+            let clients = workers * 2;
+            let scenario = run_transfer_best_of(
+                &wl,
+                TransferRun {
+                    engine,
+                    workers,
+                    clients,
+                    per_client: total_per_scenario / clients,
+                    locality_pct,
+                    client_retries: 10,
+                },
+                repeats,
+            );
+            eprintln!(
+                "  {:<13} workers={:<2} committed={:<6} tps={:.1}",
+                scenario.engine,
+                workers,
+                scenario.committed,
+                scenario.throughput_tps()
+            );
+            runs.push(scenario);
+        }
+    }
+
+    let report = BenchReport {
+        bench: "throughput_vs_cores",
+        workload: format!(
+            "transfer accounts={} initial_balance={} locality={}% total_per_scenario={} clients=2*workers",
+            wl.accounts, wl.initial_balance, locality_pct, total_per_scenario
+        ),
+        physical_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        quick: args.quick,
+        runs,
+    };
+    print!("{}", report.to_table());
+
+    let out = args
+        .out
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| workspace_root().join("BENCH_throughput_vs_cores.json"));
+    report
+        .write_json(&out, baseline.as_deref())
+        .expect("write bench JSON");
+    println!("wrote {}", out.display());
+}

@@ -1,0 +1,353 @@
+//! Shared measurement loop for the wired benches.
+//!
+//! Drives the [`dora_workloads::transfer`] workload through either engine
+//! with a configurable number of client threads, checks the conserved
+//! total balance afterwards (a bench that corrupts data must fail loudly,
+//! not report a fast number), and returns a
+//! [`Scenario`] row ready for the JSON report.
+//!
+//! Methodology: every client runs an untimed **warmup** slice first
+//! (threads spawned, pages touched, engine queues primed), then all
+//! clients release from a barrier together and only that window is timed.
+//! Client request streams are deterministic per seed, so both engines see
+//! byte-identical inputs, including the workload's configured
+//! partition-**locality** (`locality_pct`% of transfers stay inside one
+//! partition block — the TPC-C-style mix; the DORA side builds
+//! routing-aware flows via `transfer_flow_routed`, which is exactly the
+//! designer knowledge the conventional engine cannot exploit).
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use dora_core::executor::{DoraEngine, DoraEngineConfig};
+use dora_engine_conv::{ConvEngine, ConvEngineConfig};
+use dora_storage::db::Database;
+use dora_workloads::transfer::{
+    transfer_flow_routed, transfer_request, TransferMix, TransferWorkload,
+};
+
+use crate::report::Scenario;
+
+/// Which engine a scenario drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The DORA thread-to-data engine.
+    Dora,
+    /// The conventional thread-to-transaction baseline.
+    Conventional,
+}
+
+/// One engine × worker-count measurement of the transfer workload.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferRun {
+    /// Engine under test.
+    pub engine: EngineKind,
+    /// Worker threads (and, for DORA, logical partitions).
+    pub workers: usize,
+    /// Client threads offering load.
+    pub clients: usize,
+    /// Transfers each client submits in the timed window.
+    pub per_client: usize,
+    /// Percentage of transfers whose destination stays in the source's
+    /// partition block (TPC-C-style locality).
+    pub locality_pct: u64,
+    /// Retries a client grants a transfer that aborted for transient
+    /// reasons (lock timeouts); matches the conventional engine's internal
+    /// retry budget so both sides see comparable offered load.
+    pub client_retries: u32,
+}
+
+impl TransferRun {
+    /// Untimed per-client warmup slice run before the barrier.
+    fn warmup(&self) -> usize {
+        (self.per_client / 10).max(5)
+    }
+}
+
+/// Executes one measurement and returns the report row.
+///
+/// Panics if the engines lose money: the conserved total balance is
+/// re-checked after every run.
+pub fn run_transfer(wl: &TransferWorkload, run: TransferRun) -> Scenario {
+    match run.engine {
+        EngineKind::Dora => run_dora(wl, run),
+        EngineKind::Conventional => run_conv(wl, run),
+    }
+}
+
+/// Runs the measurement `repeats` times and keeps the highest-throughput
+/// sample. On shared/oversubscribed hosts interference only ever slows a
+/// run down, so the fastest sample is the closest estimate of the
+/// engine's true cost; inputs are deterministic, so every repeat does
+/// identical work.
+pub fn run_transfer_best_of(wl: &TransferWorkload, run: TransferRun, repeats: usize) -> Scenario {
+    let mut best: Option<Scenario> = None;
+    for _ in 0..repeats.max(1) {
+        let sample = run_transfer(wl, run);
+        let better = best
+            .as_ref()
+            .is_none_or(|b| sample.throughput_tps() > b.throughput_tps());
+        if better {
+            best = Some(sample);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
+    let db = Arc::new(Database::default());
+    let table = wl.load(&db);
+    let engine = Arc::new(DoraEngine::new(
+        db.clone(),
+        wl.routing(table, run.workers),
+        DoraEngineConfig {
+            workers: run.workers,
+            ..Default::default()
+        },
+    ));
+    let routing = engine.routing();
+    // Two barriers: after `ready` every client is blocked on `go`, so the
+    // main thread's pre-measurement samples (clock, lock-stats) are taken
+    // while nothing runs — no timed work can slip in before the samples.
+    let ready = Arc::new(Barrier::new(run.clients + 1));
+    let go = Arc::new(Barrier::new(run.clients + 1));
+
+    let mut clients = Vec::new();
+    for c in 0..run.clients {
+        let engine = engine.clone();
+        let routing = routing.clone();
+        let ready = ready.clone();
+        let go = go.clone();
+        let accounts = wl.accounts;
+        clients.push(std::thread::spawn(move || {
+            let mut mix =
+                TransferMix::with_locality(accounts, c as u64 + 1, run.workers, run.locality_pct);
+            let transfer = |mix: &mut TransferMix| {
+                let (from, to, amount) = mix.next_transfer();
+                let mut attempts = 0;
+                loop {
+                    if engine
+                        .execute(transfer_flow_routed(&routing, table, from, to, amount))
+                        .is_committed()
+                    {
+                        return true;
+                    }
+                    attempts += 1;
+                    if attempts > run.client_retries {
+                        return false;
+                    }
+                }
+            };
+            for _ in 0..run.warmup() {
+                transfer(&mut mix);
+            }
+            ready.wait();
+            go.wait();
+            let (mut committed, mut aborted) = (0u64, 0u64);
+            for _ in 0..run.per_client {
+                if transfer(&mut mix) {
+                    committed += 1;
+                } else {
+                    aborted += 1;
+                }
+            }
+            (committed, aborted)
+        }));
+    }
+    ready.wait();
+    let crit_before = db.lock_stats().critical_sections;
+    let started = Instant::now();
+    go.wait();
+    let (committed, aborted) = join_clients(clients);
+    let elapsed = started.elapsed();
+
+    let stats = engine.stats();
+    let extra = vec![
+        ("deferrals", stats.deferrals as f64),
+        ("actions", stats.actions as f64),
+        (
+            "wakeups",
+            stats.workers.iter().map(|w| w.wakeups).sum::<u64>() as f64,
+        ),
+        (
+            "rescans_avoided",
+            stats.workers.iter().map(|w| w.rescans_avoided).sum::<u64>() as f64,
+        ),
+    ];
+    let crit = db.lock_stats().critical_sections - crit_before;
+    assert_eq!(
+        wl.current_total(&db, table),
+        wl.total_balance(),
+        "DORA lost money — refusing to report a corrupt run"
+    );
+    Scenario {
+        engine: "dora",
+        workers: run.workers,
+        clients: run.clients,
+        committed,
+        aborted,
+        elapsed_secs: elapsed.as_secs_f64(),
+        critical_sections: crit,
+        extra,
+    }
+}
+
+fn run_conv(wl: &TransferWorkload, run: TransferRun) -> Scenario {
+    let db = Arc::new(Database::default());
+    let table = wl.load(&db);
+    let engine = Arc::new(ConvEngine::new(
+        db.clone(),
+        ConvEngineConfig {
+            workers: run.workers,
+            max_retries: run.client_retries,
+        },
+    ));
+    // Two barriers: after `ready` every client is blocked on `go`, so the
+    // main thread's pre-measurement samples (clock, lock-stats) are taken
+    // while nothing runs — no timed work can slip in before the samples.
+    let ready = Arc::new(Barrier::new(run.clients + 1));
+    let go = Arc::new(Barrier::new(run.clients + 1));
+
+    let mut clients = Vec::new();
+    for c in 0..run.clients {
+        let engine = engine.clone();
+        let ready = ready.clone();
+        let go = go.clone();
+        let accounts = wl.accounts;
+        clients.push(std::thread::spawn(move || {
+            let mut mix =
+                TransferMix::with_locality(accounts, c as u64 + 1, run.workers, run.locality_pct);
+            for _ in 0..run.warmup() {
+                let (from, to, amount) = mix.next_transfer();
+                let _ = engine.execute(transfer_request(table, from, to, amount));
+            }
+            ready.wait();
+            go.wait();
+            let (mut committed, mut aborted) = (0u64, 0u64);
+            for _ in 0..run.per_client {
+                let (from, to, amount) = mix.next_transfer();
+                if engine
+                    .execute(transfer_request(table, from, to, amount))
+                    .is_committed()
+                {
+                    committed += 1;
+                } else {
+                    aborted += 1;
+                }
+            }
+            (committed, aborted)
+        }));
+    }
+    ready.wait();
+    let crit_before = db.lock_stats().critical_sections;
+    let started = Instant::now();
+    go.wait();
+    let (committed, aborted) = join_clients(clients);
+    let elapsed = started.elapsed();
+
+    let stats = engine.stats();
+    let extra = vec![("retries", stats.retries as f64)];
+    let crit = db.lock_stats().critical_sections - crit_before;
+    assert_eq!(
+        wl.current_total(&db, table),
+        wl.total_balance(),
+        "conventional engine lost money — refusing to report a corrupt run"
+    );
+    Scenario {
+        engine: "conventional",
+        workers: run.workers,
+        clients: run.clients,
+        committed,
+        aborted,
+        elapsed_secs: elapsed.as_secs_f64(),
+        critical_sections: crit,
+        extra,
+    }
+}
+
+fn join_clients(clients: Vec<std::thread::JoinHandle<(u64, u64)>>) -> (u64, u64) {
+    clients.into_iter().fold((0, 0), |(c, a), h| {
+        let (hc, ha) = h.join().expect("bench client panicked");
+        (c + hc, a + ha)
+    })
+}
+
+/// Parses the common bench flags: `--quick`, `--compare <path>`,
+/// `--out <path>`, `--accounts <n>`, `--total <n>`.
+#[derive(Debug, Default, Clone)]
+pub struct BenchArgs {
+    /// CI smoke mode: tiny configuration, marked `"quick"` in the JSON.
+    pub quick: bool,
+    /// Path of a previous report to embed as `"baseline"`.
+    pub compare: Option<String>,
+    /// Override for the JSON output path.
+    pub out: Option<String>,
+    /// Override for the account count (smaller = hotter contention).
+    pub accounts: Option<i64>,
+    /// Override for the per-scenario transaction total.
+    pub total: Option<usize>,
+}
+
+impl BenchArgs {
+    /// Parses from an iterator of raw arguments (program name excluded).
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut parsed = BenchArgs::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                // `cargo bench` appends `--bench` to the binary's args.
+                "--bench" => {}
+                "--quick" => parsed.quick = true,
+                "--compare" => parsed.compare = args.next(),
+                "--out" => parsed.out = args.next(),
+                "--accounts" => parsed.accounts = args.next().and_then(|v| v.parse().ok()),
+                "--total" => parsed.total = args.next().and_then(|v| v.parse().ok()),
+                other => eprintln!("ignoring unknown bench argument: {other}"),
+            }
+        }
+        parsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bench_args() {
+        let a = BenchArgs::parse(
+            ["--quick", "--compare", "x.json", "--out", "y.json"]
+                .into_iter()
+                .map(String::from),
+        );
+        assert!(a.quick);
+        assert_eq!(a.compare.as_deref(), Some("x.json"));
+        assert_eq!(a.out.as_deref(), Some("y.json"));
+        let b = BenchArgs::parse(std::iter::empty());
+        assert!(!b.quick && b.compare.is_none() && b.out.is_none());
+    }
+
+    #[test]
+    fn tiny_transfer_run_reports_sane_numbers_on_both_engines() {
+        let wl = TransferWorkload {
+            accounts: 32,
+            initial_balance: 100,
+        };
+        for engine in [EngineKind::Dora, EngineKind::Conventional] {
+            let s = run_transfer(
+                &wl,
+                TransferRun {
+                    engine,
+                    workers: 2,
+                    clients: 2,
+                    per_client: 10,
+                    locality_pct: 50,
+                    client_retries: 10,
+                },
+            );
+            assert_eq!(s.committed + s.aborted, 20, "{engine:?}");
+            assert!(s.elapsed_secs > 0.0);
+            assert!(s.throughput_tps() > 0.0);
+        }
+    }
+}

@@ -26,11 +26,23 @@
 //!   actions, single partition) to attribute the win.
 //! * `flowgen` — cost of flow-graph construction and dispatch itself.
 //!
-//! Each bench will print a small self-describing table (and eventually
-//! machine-readable JSON) rather than relying on an external benchmarking
-//! framework, keeping the crate dependency-free for offline builds.
+//! Each wired bench prints a small self-describing table and writes a
+//! machine-readable `BENCH_<name>.json` at the workspace root (no external
+//! benchmarking framework, keeping the crate dependency-free for offline
+//! builds). The JSON schema — and the `--compare` mechanism that embeds a
+//! committed baseline report for before/after tracking — is documented in
+//! [`report`]. `throughput_vs_cores` and `critical_sections` are wired to
+//! the [`dora_workloads::transfer`] workload today; the remaining targets
+//! are still stubs.
+//!
+//! Common bench flags (wired targets): `--quick` (CI smoke: tiny
+//! configuration), `--compare <path>` (embed a previous report as
+//! `"baseline"`), `--out <path>` (override the JSON destination).
 
 #![warn(missing_docs)]
+
+pub mod driver;
+pub mod report;
 
 pub use dora_core;
 pub use dora_designer;

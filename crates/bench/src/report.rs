@@ -1,0 +1,307 @@
+//! Machine-readable bench output: the `BENCH_*.json` report format.
+//!
+//! The build environment has no `serde_json`, so this module emits the
+//! JSON by hand — a deliberate, documented schema rather than an ad-hoc
+//! dump. Every wired bench produces one [`BenchReport`] and writes it as
+//! `BENCH_<name>.json` at the workspace root (plus a human-readable table
+//! on stdout).
+//!
+//! # Schema (`schema_version` 1)
+//!
+//! ```json
+//! {
+//!   "bench": "throughput_vs_cores",
+//!   "schema_version": 1,
+//!   "workload": "transfer accounts=1024 ...",
+//!   "physical_cores": 1,
+//!   "quick": false,
+//!   "runs": [
+//!     {
+//!       "engine": "dora",            // "dora" | "conventional"
+//!       "workers": 4,                 // worker threads / partitions
+//!       "clients": 8,                 // client threads offering load
+//!       "committed": 4000,           // transactions committed
+//!       "aborted": 12,               // terminal aborts (after retries)
+//!       "elapsed_secs": 1.25,
+//!       "throughput_tps": 3200.0,    // committed / elapsed_secs
+//!       "critical_sections": 0,      // centralized lock-manager entries
+//!       "extra": {"deferrals": 42.0} // engine-specific counters
+//!     }
+//!   ],
+//!   "baseline": { ... }              // optional: an embedded previous
+//!                                    // report (--compare), same schema
+//! }
+//! ```
+//!
+//! `baseline` lets a bench run carry its own before/after story: pass
+//! `--compare <path>` and the referenced report (typically a committed
+//! file under `crates/bench/baselines/`) is embedded verbatim.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One engine × configuration measurement.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Engine identifier: `"dora"` or `"conventional"`.
+    pub engine: &'static str,
+    /// Worker threads (equals logical partitions for DORA).
+    pub workers: usize,
+    /// Client threads offering load.
+    pub clients: usize,
+    /// Transactions committed.
+    pub committed: u64,
+    /// Transactions that terminally aborted (after any retries).
+    pub aborted: u64,
+    /// Wall-clock seconds for the measured window.
+    pub elapsed_secs: f64,
+    /// Centralized lock-manager critical sections entered during the run.
+    pub critical_sections: u64,
+    /// Engine-specific counters worth keeping (deferrals, wakeups, …).
+    pub extra: Vec<(&'static str, f64)>,
+}
+
+impl Scenario {
+    /// Committed transactions per second.
+    pub fn throughput_tps(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.committed as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A complete bench report, serializable to the documented JSON schema.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Bench name (`throughput_vs_cores`, `critical_sections`, …).
+    pub bench: &'static str,
+    /// One-line description of the workload parameters.
+    pub workload: String,
+    /// Physical cores of the machine the report was produced on.
+    pub physical_cores: usize,
+    /// Whether this was a `--quick` smoke run (CI) rather than a full
+    /// measurement.
+    pub quick: bool,
+    /// The measurements.
+    pub runs: Vec<Scenario>,
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float with enough precision for a report without dragging
+/// `NaN`/`inf` (not valid JSON) into the file.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "0.0".into()
+    }
+}
+
+impl BenchReport {
+    /// The report as a JSON document, optionally embedding a previous
+    /// report (already-valid JSON text) under `"baseline"`.
+    pub fn to_json(&self, baseline: Option<&str>) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"bench\": \"{}\",", escape_json(self.bench));
+        let _ = writeln!(out, "  \"schema_version\": 1,");
+        let _ = writeln!(out, "  \"workload\": \"{}\",", escape_json(&self.workload));
+        let _ = writeln!(out, "  \"physical_cores\": {},", self.physical_cores);
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        out.push_str("  \"runs\": [\n");
+        for (i, run) in self.runs.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"engine\": \"{}\",", escape_json(run.engine));
+            let _ = writeln!(out, "      \"workers\": {},", run.workers);
+            let _ = writeln!(out, "      \"clients\": {},", run.clients);
+            let _ = writeln!(out, "      \"committed\": {},", run.committed);
+            let _ = writeln!(out, "      \"aborted\": {},", run.aborted);
+            let _ = writeln!(
+                out,
+                "      \"elapsed_secs\": {},",
+                json_f64(run.elapsed_secs)
+            );
+            let _ = writeln!(
+                out,
+                "      \"throughput_tps\": {},",
+                json_f64(run.throughput_tps())
+            );
+            let _ = writeln!(
+                out,
+                "      \"critical_sections\": {},",
+                run.critical_sections
+            );
+            out.push_str("      \"extra\": {");
+            for (j, (k, v)) in run.extra.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\": {}", escape_json(k), json_f64(*v));
+            }
+            out.push_str("}\n");
+            out.push_str("    }");
+            out.push_str(if i + 1 < self.runs.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]");
+        if let Some(baseline) = baseline {
+            out.push_str(",\n  \"baseline\": ");
+            // Indent the embedded report so the merged file stays readable.
+            let trimmed = baseline.trim();
+            for (i, line) in trimmed.lines().enumerate() {
+                if i > 0 {
+                    out.push_str("\n  ");
+                }
+                out.push_str(line);
+            }
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Renders the human-readable table printed alongside the JSON.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== {} ({}{} physical core(s)) ==",
+            self.bench,
+            if self.quick { "quick run, " } else { "" },
+            self.physical_cores
+        );
+        let _ = writeln!(out, "workload: {}", self.workload);
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7} {:>8} {:>10} {:>8} {:>12} {:>12}",
+            "engine", "workers", "clients", "committed", "aborted", "tps", "crit.sects"
+        );
+        for run in &self.runs {
+            let _ = writeln!(
+                out,
+                "{:<14} {:>7} {:>8} {:>10} {:>8} {:>12.1} {:>12}",
+                run.engine,
+                run.workers,
+                run.clients,
+                run.committed,
+                run.aborted,
+                run.throughput_tps(),
+                run.critical_sections
+            );
+        }
+        out
+    }
+
+    /// Writes the JSON document to `path`.
+    pub fn write_json(&self, path: &Path, baseline: Option<&str>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json(baseline))
+    }
+}
+
+/// The workspace root, resolved from this crate's manifest location so
+/// bench binaries write `BENCH_*.json` to a stable place no matter what
+/// cargo sets as their working directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench is two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            bench: "throughput_vs_cores",
+            workload: "transfer accounts=64".into(),
+            physical_cores: 1,
+            quick: true,
+            runs: vec![
+                Scenario {
+                    engine: "dora",
+                    workers: 2,
+                    clients: 4,
+                    committed: 100,
+                    aborted: 1,
+                    elapsed_secs: 0.5,
+                    critical_sections: 0,
+                    extra: vec![("deferrals", 3.0)],
+                },
+                Scenario {
+                    engine: "conventional",
+                    workers: 2,
+                    clients: 4,
+                    committed: 80,
+                    aborted: 2,
+                    elapsed_secs: 0.5,
+                    critical_sections: 1234,
+                    extra: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_has_schema_fields_and_computed_throughput() {
+        let json = sample().to_json(None);
+        assert!(json.contains("\"bench\": \"throughput_vs_cores\""));
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"throughput_tps\": 200.000"));
+        assert!(json.contains("\"critical_sections\": 1234"));
+        assert!(json.contains("\"deferrals\": 3.000"));
+        // Two runs → exactly one separating comma between run objects.
+        assert_eq!(json.matches("\"engine\"").count(), 2);
+    }
+
+    #[test]
+    fn baseline_is_embedded_verbatim() {
+        let base = sample().to_json(None);
+        let json = sample().to_json(Some(&base));
+        assert!(json.contains("\"baseline\": {"));
+        assert_eq!(json.matches("\"schema_version\": 1").count(), 2);
+    }
+
+    #[test]
+    fn escaping_and_nonfinite_floats_stay_valid() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_f64(f64::NAN), "0.0");
+        assert_eq!(json_f64(f64::INFINITY), "0.0");
+        let mut r = sample();
+        r.runs[0].elapsed_secs = 0.0;
+        assert_eq!(r.runs[0].throughput_tps(), 0.0);
+    }
+
+    #[test]
+    fn table_lists_every_run() {
+        let table = sample().to_table();
+        assert!(table.contains("dora"));
+        assert!(table.contains("conventional"));
+        assert!(table.contains("crit.sects"));
+    }
+
+    #[test]
+    fn workspace_root_contains_the_bench_crate() {
+        let root = workspace_root();
+        assert!(root.join("crates").join("bench").exists());
+    }
+}

@@ -80,14 +80,30 @@ impl ActionSpec {
 
     /// A partition-aligned action over several routing keys of the same
     /// partition (e.g. a range of order lines of one order).
+    ///
+    /// Duplicate keys are normalized away, keeping the strongest access
+    /// intent per key (`Write` dominates `Read`): the executor's local
+    /// lock table and wait-list index both key on distinct `(table, key)`
+    /// pairs, and duplicates would inflate their bookkeeping.
     pub fn multi(
         table: TableId,
         keys: Vec<(i64, LockClass)>,
         body: impl FnOnce(&Database, TxnId, &WorkerCtx) -> StorageResult<Vec<Value>> + Send + 'static,
     ) -> Self {
+        let mut normalized: Vec<(i64, LockClass)> = Vec::with_capacity(keys.len());
+        for (key, class) in keys {
+            match normalized.iter_mut().find(|(k, _)| *k == key) {
+                Some(entry) => {
+                    if class == LockClass::Write {
+                        entry.1 = LockClass::Write;
+                    }
+                }
+                None => normalized.push((key, class)),
+            }
+        }
         ActionSpec {
             table,
-            keys,
+            keys: normalized,
             aligned: true,
             body: Box::new(body),
         }
@@ -217,6 +233,28 @@ mod tests {
         assert!(!s.aligned);
         assert!(s.keys.is_empty());
         assert!(!s.is_write());
+    }
+
+    #[test]
+    fn multi_normalizes_duplicate_keys_to_strongest_intent() {
+        let m = ActionSpec::multi(
+            2,
+            vec![
+                (1, LockClass::Read),
+                (2, LockClass::Read),
+                (1, LockClass::Write),
+                (2, LockClass::Read),
+            ],
+            |_, _, _| Ok(vec![]),
+        );
+        assert_eq!(m.keys, vec![(1, LockClass::Write), (2, LockClass::Read)]);
+        // Write is never weakened by a later Read on the same key.
+        let m = ActionSpec::multi(
+            2,
+            vec![(5, LockClass::Write), (5, LockClass::Read)],
+            |_, _, _| Ok(vec![]),
+        );
+        assert_eq!(m.keys, vec![(5, LockClass::Write)]);
     }
 
     #[test]

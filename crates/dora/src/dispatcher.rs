@@ -31,10 +31,31 @@ use crate::routing::{PartitionId, RoutingTable};
 pub enum WorkerMsg {
     /// Execute one action of some transaction.
     Action(ActionEnvelope),
-    /// A transaction finished system-wide: release every local lock it
-    /// holds in this partition's lock table.
-    Finish(TxnId),
+    /// A transaction finished system-wide. One message per involved
+    /// partition per transaction, carrying **every key the transaction
+    /// touched there** (batched across all its actions and phases): the
+    /// receiving worker releases exactly those keys and wakes only the
+    /// actions parked on them — no lock-table scan, no deferral-list
+    /// rescan.
+    Finish {
+        /// The finished transaction.
+        txn: TxnId,
+        /// Keys the transaction touched on the receiving partition.
+        keys: Vec<(TableId, i64)>,
+    },
+    /// A phase of the transaction failed while siblings are still out:
+    /// re-examine any of its actions parked here so doomed work aborts
+    /// now instead of waiting out a lock timeout. Releases nothing — the
+    /// transaction is not finished yet.
+    Probe {
+        /// The transaction whose phase failed.
+        txn: TxnId,
+    },
 }
+
+/// Per-partition involvement of a transaction: each involved partition
+/// with the routing keys the transaction touched there.
+pub type InvolvedKeys = Vec<(PartitionId, Vec<(TableId, i64)>)>;
 
 /// Shared, per-transaction execution state.
 pub struct TxnCtx {
@@ -46,8 +67,11 @@ pub struct TxnCtx {
     /// terminal pops from the front.
     pub phases: Mutex<VecDeque<PhaseGen>>,
     /// Partitions that have executed (or will execute) actions of this
-    /// transaction and therefore hold local locks for it.
-    pub involved: Mutex<Vec<PartitionId>>,
+    /// transaction, each with the routing keys the transaction touched
+    /// there (accumulated across phases, deduplicated). The finish
+    /// broadcast sends each partition its own key set so release and
+    /// wakeup are targeted.
+    pub involved: Mutex<InvolvedKeys>,
     /// Channel the final [`TxnOutcome`] is delivered on.
     pub reply: Sender<TxnOutcome>,
 }
@@ -69,16 +93,34 @@ impl TxnCtx {
         }
     }
 
-    /// Records that `partition` participates in the transaction.
-    pub fn mark_involved(&self, partition: PartitionId) {
+    /// Records that `partition` runs an action of this transaction
+    /// touching `keys` of `table` (empty for secondary actions).
+    pub fn mark_involved(&self, partition: PartitionId, table: TableId, keys: &[(i64, LockClass)]) {
         let mut involved = self.involved.lock();
-        if !involved.contains(&partition) {
-            involved.push(partition);
+        let entry = match involved.iter_mut().find(|(p, _)| *p == partition) {
+            Some(entry) => entry,
+            None => {
+                involved.push((partition, Vec::new()));
+                involved.last_mut().expect("just pushed")
+            }
+        };
+        for &(key, _) in keys {
+            if !entry.1.contains(&(table, key)) {
+                entry.1.push((table, key));
+            }
         }
     }
 
     /// The partitions involved so far.
     pub fn involved(&self) -> Vec<PartitionId> {
+        self.involved.lock().iter().map(|(p, _)| *p).collect()
+    }
+
+    /// A snapshot of the partitions involved so far, each with the keys
+    /// the transaction touched there. Observability/testing helper — the
+    /// executor's finish broadcast reads [`TxnCtx::involved`] directly to
+    /// avoid cloning on the hot path.
+    pub fn involved_keys(&self) -> InvolvedKeys {
         self.involved.lock().clone()
     }
 }
@@ -180,6 +222,13 @@ pub struct ActionEnvelope {
     /// here, so a conflicting action times out rather than waiting forever
     /// (DORA's cross-partition deadlock resolution).
     pub dispatched: Instant,
+    /// `true` for phase-1 actions dispatched by `submit`: admission went
+    /// through the partition's back-pressure gate and the action queues in
+    /// the worker's normal lane. `false` for later-phase actions
+    /// dispatched from RVP logic, which ride the priority lane — they can
+    /// unblock a rendezvous other partitions are already waiting on, so
+    /// they cut ahead of fresh work.
+    pub fresh: bool,
 }
 
 /// Failure modes of routing a phase.
@@ -400,12 +449,18 @@ mod tests {
     }
 
     #[test]
-    fn txn_ctx_tracks_involved_partitions() {
+    fn txn_ctx_tracks_involved_partitions_with_their_keys() {
         let (tx, _rx) = crossbeam_channel::bounded(1);
         let ctx = TxnCtx::new(7, "t", Vec::new(), tx);
-        ctx.mark_involved(2);
-        ctx.mark_involved(0);
-        ctx.mark_involved(2);
+        ctx.mark_involved(2, 1, &[(10, LockClass::Write)]);
+        ctx.mark_involved(0, 1, &[]);
+        // Re-marking accumulates and deduplicates keys per partition.
+        ctx.mark_involved(2, 1, &[(10, LockClass::Read), (11, LockClass::Read)]);
+        ctx.mark_involved(2, 3, &[(10, LockClass::Read)]);
         assert_eq!(ctx.involved(), vec![2, 0]);
+        assert_eq!(
+            ctx.involved_keys(),
+            vec![(2, vec![(1, 10), (1, 11), (3, 10)]), (0, vec![]),]
+        );
     }
 }

@@ -18,12 +18,34 @@
 //! centralized lock manager is skipped entirely because every access to a
 //! partition's keys is funneled through the one thread that owns them.
 //!
-//! An action whose local locks are unavailable is **deferred** — parked in
-//! the worker's deferral list and retried as transactions finish — never
-//! blocking the worker thread. A deferral that outlives
-//! [`DoraEngineConfig::lock_timeout`] aborts its transaction, which is
-//! also how cross-partition deadlocks (two multi-partition transactions
-//! acquiring in opposite orders) are resolved.
+//! The worker's hot path is organized around three structures:
+//!
+//! * **Lock-keyed wait list** — an action whose local locks are
+//!   unavailable is parked in the worker's wait list (`wait_list`
+//!   module), indexed by the keys it waits on.
+//!   A transaction's finish releases its keys and wakes **only** the
+//!   actions parked on those keys; nothing else is re-examined (the old
+//!   executor rescanned the whole deferral list after every message).
+//!   Waits are event-driven: the worker sleeps until a message arrives or
+//!   the earliest parked action hits
+//!   [`DoraEngineConfig::lock_timeout`] — a deferral that expires aborts
+//!   its transaction, which is also how cross-partition deadlocks (two
+//!   multi-partition transactions acquiring in opposite orders) resolve.
+//! * **Two-lane intake** — later-phase actions (dispatched from RVP
+//!   logic) ride a priority lane ahead of fresh phase-1 work, because a
+//!   rendezvous other partitions already executed for is waiting on them;
+//!   this bounds multi-partition transaction latency under load. A
+//!   later-phase action targeting the very partition whose worker runs
+//!   the RVP logic is executed inline, skipping the queue round-trip
+//!   entirely.
+//! * **Bounded admission** — each partition admits at most
+//!   [`DoraEngineConfig::queue_capacity`] fresh actions;
+//!   [`DoraEngine::submit`] blocks (back-pressure) up to
+//!   [`DoraEngineConfig::submit_timeout`] for space and then rejects with
+//!   a visible abort — overload degrades gracefully instead of ballooning
+//!   queue memory, and nothing is ever silently dropped. Worker-to-worker
+//!   messages (later phases, finishes) bypass the gate: a worker blocking
+//!   on another worker's admission could deadlock the engine.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -31,31 +53,38 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::RwLock;
+use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use parking_lot::{Condvar, Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
 use dora_storage::db::{Database, LockingPolicy};
 use dora_storage::error::StorageError;
 use dora_storage::trace::{AccessTrace, WorkerCtx};
+use dora_storage::types::TableId;
 
 use crate::action::{ActionSpec, FlowGraph};
 use crate::dispatcher::{route_phase, ActionEnvelope, PhaseEnd, Rvp, TxnCtx, WorkerMsg};
 use crate::local_lock::{LocalLockStats, LocalLockTable};
 use crate::routing::RoutingTable;
+use crate::wait_list::{WaitList, FRESH_SEQ};
 
 /// The locking policy DORA passes to every storage operation: bypass the
 /// centralized lock manager, isolation is enforced by the partition-local
 /// lock tables.
 pub const DORA_POLICY: LockingPolicy = LockingPolicy::Bypass;
 
+/// How deep inline own-partition dispatch may recurse before next-phase
+/// actions detour through the priority lane (stack-depth bound for
+/// same-partition multi-phase chains).
+const INLINE_DISPATCH_DEPTH: u32 = 16;
+
 /// Final status of a submitted transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TxnOutcome {
     /// Every phase ran and the transaction committed.
     Committed,
-    /// The transaction aborted (action failure, local-lock timeout, or
-    /// engine shutdown).
+    /// The transaction aborted (action failure, local-lock timeout,
+    /// admission timeout under back-pressure, or engine shutdown).
     Aborted {
         /// Why the transaction aborted.
         reason: String,
@@ -74,11 +103,18 @@ impl TxnOutcome {
 pub struct DoraEngineConfig {
     /// Number of partition worker threads (micro-engines).
     pub workers: usize,
-    /// How long a deferred action may wait for local locks before its
+    /// How long a parked action may wait for local locks before its
     /// transaction aborts. Also the cross-partition deadlock bound.
     pub lock_timeout: Duration,
-    /// How often a worker with deferred actions re-polls its queue.
-    pub poll_interval: Duration,
+    /// Per-partition bound on admitted-but-unprocessed **fresh** (phase-1)
+    /// actions. When a partition is full, `submit` blocks — back-pressure —
+    /// instead of letting queues grow without bound. Later-phase actions
+    /// are not counted: they belong to transactions already inside the
+    /// engine.
+    pub queue_capacity: usize,
+    /// How long `submit` may block waiting for queue space before the
+    /// transaction is rejected with a visible abort (never a silent drop).
+    pub submit_timeout: Duration,
 }
 
 impl Default for DoraEngineConfig {
@@ -88,7 +124,8 @@ impl Default for DoraEngineConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             lock_timeout: Duration::from_millis(500),
-            poll_interval: Duration::from_micros(100),
+            queue_capacity: 1024,
+            submit_timeout: Duration::from_secs(2),
         }
     }
 }
@@ -113,6 +150,8 @@ struct PartitionCounters {
     lock_conflicts: AtomicU64,
     lock_released: AtomicU64,
     deferred_depth: AtomicU64,
+    wakeups: AtomicU64,
+    rescans_avoided: AtomicU64,
 }
 
 /// Snapshot of one partition worker's counters.
@@ -126,6 +165,13 @@ pub struct PartitionStatsSnapshot {
     pub locks: LocalLockStats,
     /// Actions currently parked waiting for local locks.
     pub deferred: u64,
+    /// Parked actions re-tried because a key they wait on was released.
+    pub wakeups: u64,
+    /// Parked actions **not** re-examined at lock-release events because
+    /// they wait on unrelated keys — each one is a lock probe the old
+    /// full-rescan executor would have paid. `wakeups + rescans_avoided`
+    /// per release event equals the rescan cost the wait list replaced.
+    pub rescans_avoided: u64,
 }
 
 /// Snapshot of the engine's counters plus per-partition breakdown.
@@ -145,12 +191,113 @@ pub struct DoraStatsSnapshot {
     pub workers: Vec<PartitionStatsSnapshot>,
 }
 
+/// Admission gate bounding one partition's fresh-action queue.
+///
+/// Only `submit` (client threads) ever waits here; workers release slots
+/// as they take fresh actions up for processing and **never acquire** —
+/// a worker blocking on another worker's admission would deadlock the
+/// engine.
+///
+/// The un-congested path — the engine's common case — is lock-free: one
+/// CAS to acquire, one fetch-sub plus a waiter probe to release. The
+/// mutex/condvar pair only comes into play while some submitter actually
+/// waits for space.
+struct QueueGate {
+    capacity: usize,
+    used: AtomicUsize,
+    /// Submitters currently blocked in the slow path.
+    waiting: AtomicUsize,
+    sleep: Mutex<()>,
+    freed: Condvar,
+}
+
+impl QueueGate {
+    fn new(capacity: usize) -> Self {
+        QueueGate {
+            capacity: capacity.max(1),
+            used: AtomicUsize::new(0),
+            waiting: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Reserves `n` slots, blocking until space frees up or `timeout`
+    /// elapses (the clock is only consulted on the slow path — the fast
+    /// path is one CAS). A phase needing more slots than the entire
+    /// capacity is admitted alone (when the partition is idle) rather
+    /// than being rejected forever.
+    fn acquire(&self, n: usize, timeout: Duration) -> bool {
+        self.acquire_inner(n, None, timeout)
+    }
+
+    /// Like [`acquire`](Self::acquire) with an externally fixed deadline —
+    /// used when one admission budget spans several gates.
+    fn acquire_by(&self, n: usize, deadline: Instant) -> bool {
+        self.acquire_inner(n, Some(deadline), Duration::ZERO)
+    }
+
+    fn acquire_inner(&self, n: usize, deadline: Option<Instant>, timeout: Duration) -> bool {
+        let mut deadline = deadline;
+        loop {
+            let current = self.used.load(Ordering::SeqCst);
+            if current == 0 || current + n <= self.capacity {
+                if self
+                    .used
+                    .compare_exchange_weak(current, current + n, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    return true;
+                }
+                continue;
+            }
+            // Full: register as a waiter, then re-check before sleeping —
+            // a release between the check above and the registration must
+            // not be missed. The `waiting` store and the `used` re-load
+            // (and their mirror images in `release`) are SeqCst: with
+            // weaker orderings the two sides could each read the other's
+            // pre-update value (store-buffer reordering) and the last
+            // wakeup would be lost.
+            self.waiting.fetch_add(1, Ordering::SeqCst);
+            let mut guard = self.sleep.lock();
+            let current = self.used.load(Ordering::SeqCst);
+            if current == 0 || current + n <= self.capacity {
+                drop(guard);
+                self.waiting.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            let now = Instant::now();
+            let deadline = *deadline.get_or_insert(now + timeout);
+            if now >= deadline {
+                drop(guard);
+                self.waiting.fetch_sub(1, Ordering::SeqCst);
+                return false;
+            }
+            self.freed.wait_for(&mut guard, deadline - now);
+            drop(guard);
+            self.waiting.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    fn release(&self, n: usize) {
+        self.used.fetch_sub(n, Ordering::SeqCst);
+        if self.waiting.load(Ordering::SeqCst) > 0 {
+            // Taking the sleep mutex orders this notify after any waiter
+            // that registered but has not started waiting yet.
+            let _guard = self.sleep.lock();
+            self.freed.notify_all();
+        }
+    }
+}
+
 struct Inner {
     db: Arc<Database>,
     routing: RwLock<RoutingTable>,
     /// Senders to every partition queue. Cleared by shutdown, which is
     /// what lets workers observe disconnection and exit.
     senders: RwLock<Vec<Sender<WorkerMsg>>>,
+    /// One admission gate per partition (back-pressure on `submit`).
+    gates: Vec<QueueGate>,
     counters: EngineCounters,
     partitions: Vec<PartitionCounters>,
     trace: Arc<AccessTrace>,
@@ -164,7 +311,7 @@ struct Inner {
     /// Serializes concurrent `update_routing` calls — overlapping
     /// quiesce windows would let one caller clear `quiescing` while the
     /// other is still swapping the table.
-    rebalance: parking_lot::Mutex<()>,
+    rebalance: Mutex<()>,
     /// Round-robin cursor for secondary (non-aligned) actions.
     next_secondary: AtomicUsize,
     config: DoraEngineConfig,
@@ -191,6 +338,9 @@ impl DoraEngine {
             db,
             routing: RwLock::new(routing),
             senders: RwLock::new(senders),
+            gates: (0..config.workers)
+                .map(|_| QueueGate::new(config.queue_capacity))
+                .collect(),
             counters: EngineCounters::default(),
             partitions: (0..config.workers)
                 .map(|_| PartitionCounters::default())
@@ -199,7 +349,7 @@ impl DoraEngine {
             active: AtomicUsize::new(0),
             accepting: AtomicBool::new(true),
             quiescing: AtomicBool::new(false),
-            rebalance: parking_lot::Mutex::new(()),
+            rebalance: Mutex::new(()),
             next_secondary: AtomicUsize::new(0),
             config,
         });
@@ -262,7 +412,10 @@ impl DoraEngine {
             }
         }
         let _resume = ResumeIntake(&self.inner.quiescing);
-        let deadline = Instant::now() + self.inner.config.lock_timeout + Duration::from_secs(30);
+        let deadline = Instant::now()
+            + self.inner.config.lock_timeout
+            + self.inner.config.submit_timeout
+            + Duration::from_secs(30);
         while self.inner.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_micros(200));
         }
@@ -276,6 +429,12 @@ impl DoraEngine {
 
     /// Submits a transaction flow graph; the returned channel yields its
     /// outcome once the terminal RVP decides commit or abort.
+    ///
+    /// Partition queues are bounded: when the first phase targets a
+    /// partition whose queue is full, this call **blocks** (back-pressure)
+    /// up to [`DoraEngineConfig::submit_timeout`] and then rejects the
+    /// transaction with an abort outcome — overload is never a silent
+    /// drop.
     pub fn submit(&self, flow: FlowGraph) -> Receiver<TxnOutcome> {
         let (reply_tx, reply_rx) = bounded(1);
         // A routing quiesce is short; wait it out rather than bouncing the
@@ -338,12 +497,14 @@ impl DoraEngine {
                         released: p.lock_released.load(Ordering::Relaxed),
                     },
                     deferred: p.deferred_depth.load(Ordering::Relaxed),
+                    wakeups: p.wakeups.load(Ordering::Relaxed),
+                    rescans_avoided: p.rescans_avoided.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
     }
 
-    /// Stops accepting work, lets in-flight transactions finish (deferred
+    /// Stops accepting work, lets in-flight transactions finish (parked
     /// actions resolve or time out), then joins all workers.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
@@ -351,10 +512,15 @@ impl DoraEngine {
 
     fn shutdown_inner(&mut self) {
         self.inner.accepting.store(false, Ordering::Release);
-        // In-flight transactions always terminate: every deferred action
-        // either acquires its locks or aborts after `lock_timeout`. The
-        // deadline below is a defensive backstop, not the normal path.
-        let deadline = Instant::now() + self.inner.config.lock_timeout + Duration::from_secs(30);
+        // In-flight transactions always terminate: every parked action
+        // either acquires its locks or aborts after `lock_timeout`, and a
+        // submission blocked on admission resolves within
+        // `submit_timeout`. The deadline below is a defensive backstop,
+        // not the normal path.
+        let deadline = Instant::now()
+            + self.inner.config.lock_timeout
+            + self.inner.config.submit_timeout
+            + Duration::from_secs(30);
         while self.inner.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_micros(200));
         }
@@ -371,14 +537,66 @@ impl Drop for DoraEngine {
     }
 }
 
+/// All mutable state a partition worker owns. Touched only by its thread;
+/// passed down the call tree so RVP logic running on this worker can
+/// release locks, wake parked actions, and execute next-phase actions
+/// inline.
+struct WorkerState {
+    id: usize,
+    /// The worker's identity for storage-level access tracing.
+    ctx: WorkerCtx,
+    locks: LocalLockTable,
+    waiting: WaitList,
+    /// Keys released on this worker since wakeups were last drained
+    /// (by local finalizes and incoming finish messages).
+    pending_wake: Vec<(TableId, i64)>,
+    /// Priority lane: later-phase actions — they can unblock an RVP other
+    /// partitions already executed for.
+    priority: VecDeque<ActionEnvelope>,
+    /// Normal lane: fresh phase-1 actions admitted through the gate.
+    fresh: VecDeque<ActionEnvelope>,
+    /// Last deferred depth published to the shared snapshot (stats are
+    /// exported on transitions, not per loop iteration).
+    exported_deferred: u64,
+    /// Whether lock/queue counters changed since the last export — the
+    /// idle-path export is skipped entirely when nothing moved.
+    stats_dirty: bool,
+    /// Current nesting of inline own-partition dispatch (report → advance
+    /// → handle_action → report …). Bounded so a same-partition
+    /// multi-phase chain cannot grow the worker stack without limit.
+    inline_depth: u32,
+}
+
+impl WorkerState {
+    fn new(id: usize, trace: Arc<AccessTrace>) -> Self {
+        WorkerState {
+            id,
+            ctx: WorkerCtx::new(id, trace),
+            locks: LocalLockTable::new(),
+            waiting: WaitList::new(),
+            pending_wake: Vec::new(),
+            priority: VecDeque::new(),
+            fresh: VecDeque::new(),
+            exported_deferred: 0,
+            stats_dirty: false,
+            inline_depth: 0,
+        }
+    }
+
+    fn has_intake(&self) -> bool {
+        !self.priority.is_empty() || !self.fresh.is_empty() || !self.pending_wake.is_empty()
+    }
+}
+
 /// Dispatches the next phase of `ctx`'s transaction (or commits it when
-/// `specs` is empty). `local` is the calling worker's own lock table when
-/// invoked from RVP logic; `None` when invoked from `submit`.
+/// `specs` is empty). `local` is the calling worker's state when invoked
+/// from RVP logic; `None` when invoked from `submit` — which is also what
+/// routes fresh phases through the partition admission gates.
 fn advance(
     inner: &Arc<Inner>,
     ctx: &Arc<TxnCtx>,
     specs: Vec<ActionSpec>,
-    local: Option<(usize, &mut LocalLockTable)>,
+    local: Option<&mut WorkerState>,
 ) {
     if specs.is_empty() {
         // An empty phase ends the transaction — but only legitimately when
@@ -416,13 +634,34 @@ fn advance(
             return;
         }
     };
+    // Back-pressure: a fresh (phase-1) dispatch reserves queue slots for
+    // the whole phase up front — all partitions or none, so admission
+    // timeouts never leave a half-dispatched phase behind. Later phases
+    // bypass the gates (their transactions are already inside the engine,
+    // and a worker must never block here).
+    let fresh = local.is_none();
+    if fresh && !admit(inner, &assignments) {
+        drop(senders);
+        finalize(
+            inner,
+            ctx,
+            Some(StorageError::Aborted(
+                "partition queue full: admission timed out under back-pressure".into(),
+            )),
+            local,
+        );
+        return;
+    }
+    let local_id = local.as_ref().map(|st| st.id);
     let rvp = Arc::new(Rvp::new(specs.len()));
     let now = Instant::now();
+    let mut inline = Vec::new();
+    let mut dead_failure = None;
     for (slot, (spec, partition)) in specs.into_iter().zip(assignments).enumerate() {
         if !spec.aligned {
             inner.counters.secondary.fetch_add(1, Ordering::Relaxed);
         }
-        ctx.mark_involved(partition);
+        ctx.mark_involved(partition, spec.table, &spec.keys);
         let envelope = ActionEnvelope {
             slot,
             table: spec.table,
@@ -431,34 +670,98 @@ fn advance(
             txn: ctx.clone(),
             rvp: rvp.clone(),
             dispatched: now,
+            fresh,
         };
+        // An action for this very worker's partition runs inline below —
+        // no queue round-trip; it IS the front of the priority lane.
+        if Some(partition) == local_id {
+            inline.push(envelope);
+            continue;
+        }
         // Shutdown cannot drop the receivers underneath us (we hold the
-        // senders read lock), but a worker whose action body panicked is
-        // gone for good — report the slot as failed so the RVP still
-        // converges and the transaction aborts instead of the engine
-        // panicking or hanging.
+        // senders read lock), but a worker whose thread died is gone for
+        // good — report the slot as failed so the RVP still converges and
+        // the transaction aborts instead of the engine hanging.
         if senders[partition]
             .send(WorkerMsg::Action(envelope))
             .is_err()
         {
+            if fresh {
+                inner.gates[partition].release(1);
+            }
             let dead = StorageError::Internal(format!("partition worker {partition} is gone"));
             if let PhaseEnd::Last { failure, .. } = rvp.report(slot, Err(dead.clone())) {
-                drop(senders);
-                finalize(inner, ctx, Some(failure.unwrap_or(dead)), local);
-                return;
+                // Last implies every other slot already reported, so no
+                // inline action can be pending here.
+                dead_failure = Some(failure.unwrap_or(dead));
+                break;
+            }
+        }
+    }
+    drop(senders);
+    if let Some(failure) = dead_failure {
+        finalize(inner, ctx, Some(failure), local);
+        return;
+    }
+    if let Some(st) = local {
+        for envelope in inline {
+            // Inline execution recurses (report → advance → here); past a
+            // fixed depth, fall back to the priority lane so an arbitrarily
+            // long same-partition phase chain unwinds through the worker
+            // loop instead of overflowing the stack. The lane keeps its
+            // cut-ahead-of-fresh-work property either way.
+            if st.inline_depth >= INLINE_DISPATCH_DEPTH {
+                st.priority.push_back(envelope);
+            } else {
+                st.inline_depth += 1;
+                handle_action(inner, st, envelope);
+                st.inline_depth -= 1;
             }
         }
     }
 }
 
+/// Reserves admission slots for every action of a fresh phase — all
+/// partitions or none, so an admission timeout never leaves a
+/// half-dispatched phase behind. Returns `false` when back-pressure could
+/// not clear within `submit_timeout` — one budget shared by the whole
+/// phase, however many partitions it spans.
+fn admit(inner: &Arc<Inner>, assignments: &[usize]) -> bool {
+    // The dominant case — a single-action phase — needs no bookkeeping
+    // (and no clock read unless the gate is actually full).
+    if let [partition] = assignments {
+        return inner.gates[*partition].acquire(1, inner.config.submit_timeout);
+    }
+    // Per-partition slot demand (phases are small, so a linear-dedup list
+    // beats a workers-sized table).
+    let mut need: Vec<(usize, usize)> = Vec::with_capacity(assignments.len());
+    for &partition in assignments {
+        match need.iter_mut().find(|(p, _)| *p == partition) {
+            Some(entry) => entry.1 += 1,
+            None => need.push((partition, 1)),
+        }
+    }
+    let deadline = Instant::now() + inner.config.submit_timeout;
+    for (i, &(partition, n)) in need.iter().enumerate() {
+        if !inner.gates[partition].acquire_by(n, deadline) {
+            for &(acquired, m) in &need[..i] {
+                inner.gates[acquired].release(m);
+            }
+            return false;
+        }
+    }
+    true
+}
+
 /// Terminates a transaction: commit (when `failure` is `None`) or abort.
-/// Releases the calling worker's local locks directly and broadcasts
-/// `Finish` to every other involved partition.
+/// Releases the calling worker's local locks directly (queueing wakeups
+/// for actions parked on them) and sends every other involved partition
+/// one batched `Finish` carrying the keys the transaction touched there.
 fn finalize(
     inner: &Arc<Inner>,
     ctx: &Arc<TxnCtx>,
     failure: Option<StorageError>,
-    local: Option<(usize, &mut LocalLockTable)>,
+    local: Option<&mut WorkerState>,
 ) {
     let outcome = match failure {
         None => match inner.db.commit_policy(ctx.txn, DORA_POLICY) {
@@ -474,18 +777,37 @@ fn finalize(
             }
         }
     };
-    let local_id = local.as_ref().map(|(id, _)| *id);
-    if let Some((_, locks)) = local {
-        locks.release_all(ctx.txn);
-    }
+    let local_id = local.as_ref().map(|st| st.id);
+    // Split the involvement list once: release this worker's keys in
+    // place, clone only what must travel to other partitions. The common
+    // single-partition transaction clones nothing and — having no remote
+    // partitions — never touches the senders lock.
+    let mut remote: Vec<(usize, Vec<(TableId, i64)>)> = Vec::new();
     {
-        let senders = inner.senders.read();
-        for partition in ctx.involved() {
-            if Some(partition) == local_id {
-                continue;
+        let involved = ctx.involved.lock();
+        if let Some(st) = local {
+            if let Some((_, keys)) = involved.iter().find(|(p, _)| Some(*p) == local_id) {
+                let released = st.locks.release_keys(ctx.txn, keys);
+                st.pending_wake.extend(released);
             }
+            // A transaction completing here is a natural transition point
+            // to publish this worker's counters (the per-iteration export
+            // is gone).
+            export_stats(inner, st);
+        }
+        for (partition, keys) in involved.iter() {
+            // A partition that only ran secondary (lock-free) actions has
+            // nothing to release and no one to wake.
+            if Some(*partition) != local_id && !keys.is_empty() {
+                remote.push((*partition, keys.clone()));
+            }
+        }
+    }
+    if !remote.is_empty() {
+        let senders = inner.senders.read();
+        for (partition, keys) in remote {
             if let Some(sender) = senders.get(partition) {
-                let _ = sender.send(WorkerMsg::Finish(ctx.txn));
+                let _ = sender.send(WorkerMsg::Finish { txn: ctx.txn, keys });
             }
         }
     }
@@ -498,173 +820,232 @@ fn finalize(
 }
 
 /// The partition worker ("micro-engine") main loop.
+///
+/// Event-driven: the worker blocks on its queue when it has nothing
+/// actionable, with a timeout only when parked actions exist — sized to
+/// the earliest lock-timeout deadline, not a fixed poll interval. Each
+/// iteration drains everything already queued (finishes apply their lock
+/// releases immediately; actions sort into the two lanes), wakes parked
+/// actions whose keys were released, then runs one action — priority lane
+/// first.
 fn worker_loop(inner: Arc<Inner>, id: usize, rx: Receiver<WorkerMsg>) {
-    let mut locks = LocalLockTable::new();
-    let mut deferred: VecDeque<ActionEnvelope> = VecDeque::new();
-    let ctx = WorkerCtx::new(id, inner.trace.clone());
-    loop {
-        let msg = if deferred.is_empty() {
-            match rx.recv() {
-                Ok(m) => Some(m),
-                Err(_) => break,
+    let mut st = WorkerState::new(id, inner.trace.clone());
+    let mut connected = true;
+    while connected {
+        if !st.has_intake() {
+            // Nothing actionable: publish counters if they moved, then
+            // sleep until a message arrives or the earliest parked
+            // deadline passes.
+            if st.stats_dirty {
+                export_stats(&inner, &mut st);
             }
-        } else {
-            match rx.recv_timeout(inner.config.poll_interval) {
-                Ok(m) => Some(m),
-                Err(RecvTimeoutError::Timeout) => None,
-                Err(RecvTimeoutError::Disconnected) => break,
+            match st.waiting.next_deadline(inner.config.lock_timeout) {
+                None => match rx.recv() {
+                    Ok(msg) => intake(&inner, &mut st, msg),
+                    Err(_) => break,
+                },
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if deadline > now {
+                        match rx.recv_timeout(deadline - now) {
+                            Ok(msg) => intake(&inner, &mut st, msg),
+                            // Fall through: the sweep below handles it.
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                }
             }
-        };
-        match msg {
-            Some(WorkerMsg::Action(envelope)) => {
-                handle_action(&inner, id, &ctx, &mut locks, &mut deferred, envelope);
-            }
-            Some(WorkerMsg::Finish(txn)) => {
-                locks.release_all(txn);
-            }
-            None => {}
         }
-        retry_deferred(&inner, id, &ctx, &mut locks, &mut deferred);
-        export_stats(&inner, id, &locks, deferred.len());
+        loop {
+            match rx.try_recv() {
+                Ok(msg) => intake(&inner, &mut st, msg),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    connected = false;
+                    break;
+                }
+            }
+        }
+        drain_wakeups(&inner, &mut st);
+        let next = st.priority.pop_front().or_else(|| {
+            // Taking a fresh action up for processing frees its
+            // admission slot.
+            st.fresh.pop_front().inspect(|_| inner.gates[id].release(1))
+        });
+        if let Some(envelope) = next {
+            handle_action(&inner, &mut st, envelope);
+        }
+        // Busy-path backstop: abort parked actions whose lock timeout
+        // passed while the worker was occupied (the idle path already
+        // wakes up exactly on time).
+        if !st.waiting.is_empty()
+            && st
+                .waiting
+                .deadline_passed(inner.config.lock_timeout, Instant::now())
+        {
+            sweep_expired(&inner, &mut st);
+        }
+        sync_deferred(&inner, &mut st);
     }
-    // Shutdown: whatever is still deferred can never be granted (no new
-    // Finish messages will arrive) — abort those transactions.
-    for envelope in deferred.drain(..) {
+    // Shutdown: whatever is still queued or parked can never complete (no
+    // further messages will arrive) — abort those transactions.
+    let mut leftovers: Vec<ActionEnvelope> = st.priority.drain(..).collect();
+    leftovers.extend(st.fresh.drain(..));
+    leftovers.extend(st.waiting.drain());
+    for envelope in leftovers {
         complete(
             &inner,
-            id,
-            &mut locks,
+            &mut st,
             envelope,
             Err(StorageError::Aborted("engine is shutting down".into())),
         );
     }
-    export_stats(&inner, id, &locks, 0);
+    export_stats(&inner, &mut st);
 }
 
-/// Whether `envelope` must wait behind an already-parked conflicting
-/// action of another transaction. This is the worker's FIFO fairness
-/// barrier: without it, a steady stream of newly arriving readers on a
-/// key would be granted ahead of a parked writer forever, starving it
-/// into a spurious `LockTimeout` abort.
+/// Applies one incoming message: finishes release their keys immediately
+/// (queueing targeted wakeups); actions sort into the priority or normal
+/// lane.
+fn intake(inner: &Arc<Inner>, st: &mut WorkerState, msg: WorkerMsg) {
+    match msg {
+        WorkerMsg::Action(envelope) => {
+            if envelope.fresh {
+                st.fresh.push_back(envelope);
+            } else {
+                st.priority.push_back(envelope);
+            }
+        }
+        WorkerMsg::Finish { txn, keys } => {
+            let released = st.locks.release_keys(txn, &keys);
+            if !released.is_empty() {
+                st.stats_dirty = true;
+                st.pending_wake.extend(released);
+            }
+        }
+        WorkerMsg::Probe { txn } => probe_txn(inner, st, txn),
+    }
+}
+
+/// Wakes parked actions whose keys were released — and only those: every
+/// other parked action stays untouched, which is the wait list's entire
+/// win over the old full-rescan (`rescans_avoided` counts it).
 ///
-/// Keys the envelope's transaction already holds *in any mode* are
-/// exempt: a parked stranger wanting such a key cannot be granted until
-/// this transaction finishes, so queueing behind it would deadlock —
-/// whether the action re-takes its own lock or upgrades its read to a
-/// write (`try_acquire` grants a sole-reader upgrade directly).
-fn conflicts_with_parked(
-    locks: &LocalLockTable,
-    parked: &VecDeque<ActionEnvelope>,
-    envelope: &ActionEnvelope,
-) -> bool {
-    let txn = envelope.txn.txn;
-    envelope.keys.iter().any(|&(key, class)| {
-        !locks.holds_any(txn, envelope.table, key)
-            && parked.iter().any(|p| {
-                p.txn.txn != txn
-                    && p.table == envelope.table
-                    && p.keys.iter().any(|&(parked_key, parked_class)| {
-                        key == parked_key && class.conflicts(parked_class)
-                    })
-            })
-    })
+/// Running a woken action can finish its transaction and release more
+/// keys on this worker; the loop drains those cascades too.
+fn drain_wakeups(inner: &Arc<Inner>, st: &mut WorkerState) {
+    while !st.pending_wake.is_empty() {
+        let keys = std::mem::take(&mut st.pending_wake);
+        let parked_before = st.waiting.len() as u64;
+        if parked_before == 0 {
+            continue;
+        }
+        let woken = st.waiting.candidates(&keys);
+        let counters = &inner.partitions[st.id];
+        counters
+            .wakeups
+            .fetch_add(woken.len() as u64, Ordering::Relaxed);
+        counters
+            .rescans_avoided
+            .fetch_add(parked_before - woken.len() as u64, Ordering::Relaxed);
+        for (seq, envelope) in woken {
+            if let Some(envelope) = try_run(inner, st, seq, envelope) {
+                // Still blocked: back to the wait list under its original
+                // sequence number, keeping its place in the fairness
+                // order.
+                st.waiting.park_at(seq, envelope);
+            }
+        }
+    }
+}
+
+/// Aborts (or, if their locks freed up at the last moment, runs) parked
+/// actions whose deferral outlived the lock timeout.
+fn sweep_expired(inner: &Arc<Inner>, st: &mut WorkerState) {
+    let now = Instant::now();
+    let expired = st.waiting.expired(inner.config.lock_timeout, now);
+    for (seq, envelope) in expired {
+        if let Some(envelope) = try_run(inner, st, seq, envelope) {
+            st.waiting.park_at(seq, envelope);
+        }
+    }
 }
 
 /// Attempts to run one action: skip it when a sibling already failed,
 /// execute it when its local locks are grantable and no earlier-parked
 /// conflicting action is waiting, abort its transaction when it outlived
 /// the lock timeout. Returns the envelope back when the action must stay
-/// parked. `parked` holds the actions queued *ahead* of this one.
+/// parked. `seq` is the action's position in the fairness order
+/// ([`FRESH_SEQ`] for actions not parked yet).
 #[must_use]
 fn try_run(
     inner: &Arc<Inner>,
-    id: usize,
-    ctx: &WorkerCtx,
-    locks: &mut LocalLockTable,
-    parked: &VecDeque<ActionEnvelope>,
+    st: &mut WorkerState,
+    seq: u64,
     envelope: ActionEnvelope,
 ) -> Option<ActionEnvelope> {
     // A sibling action already failed: the transaction will abort, don't
     // run (or wait for locks on) work whose effects would only be undone.
     if envelope.rvp.failed() {
+        wake_successors(st, seq, &envelope);
         complete(
             inner,
-            id,
-            locks,
+            st,
             envelope,
             Err(StorageError::Aborted("sibling action failed".into())),
         );
         return None;
     }
-    if !conflicts_with_parked(locks, parked, &envelope) {
+    // Any attempt below moves a lock counter (grant or conflict).
+    st.stats_dirty = true;
+    if !st.waiting.conflicts_with_earlier(seq, &envelope, &st.locks) {
         let requests: Vec<_> = envelope
             .keys
             .iter()
             .map(|&(key, class)| (envelope.table, key, class))
             .collect();
-        if locks.try_acquire(envelope.txn.txn, &requests) {
-            execute(inner, id, ctx, locks, envelope);
+        if st.locks.try_acquire(envelope.txn.txn, &requests) {
+            execute(inner, st, envelope);
             return None;
         }
     }
     if envelope.dispatched.elapsed() >= inner.config.lock_timeout {
+        wake_successors(st, seq, &envelope);
         let txn = envelope.txn.txn;
-        complete(
-            inner,
-            id,
-            locks,
-            envelope,
-            Err(StorageError::LockTimeout(txn)),
-        );
+        complete(inner, st, envelope, Err(StorageError::LockTimeout(txn)));
         None
     } else {
         Some(envelope)
     }
 }
 
-/// Executes one incoming action, deferring it when its locks are taken
-/// or a parked conflicting action is ahead of it.
-fn handle_action(
-    inner: &Arc<Inner>,
-    id: usize,
-    ctx: &WorkerCtx,
-    locks: &mut LocalLockTable,
-    deferred: &mut VecDeque<ActionEnvelope>,
-    envelope: ActionEnvelope,
-) {
-    if let Some(envelope) = try_run(inner, id, ctx, locks, deferred, envelope) {
-        inner.counters.deferrals.fetch_add(1, Ordering::Relaxed);
-        deferred.push_back(envelope);
+/// A **parked** action leaving the wait list without running (timeout
+/// abort, doomed-sibling skip) held no locks, but it may have been the
+/// fairness barrier actions behind it queued on — and some of its keys
+/// may have no holder at all, so no future release will ever name them.
+/// Queue its keys for a wakeup pass so successors are re-examined now
+/// instead of stalling until their own timeouts.
+fn wake_successors(st: &mut WorkerState, seq: u64, envelope: &ActionEnvelope) {
+    if seq == FRESH_SEQ {
+        // Never parked: nothing could be queued behind it.
+        return;
     }
+    st.pending_wake
+        .extend(envelope.keys.iter().map(|&(key, _)| (envelope.table, key)));
 }
 
-/// Re-examines parked actions in FIFO order: acquire and run those whose
-/// locks freed up (unless a conflicting action parked *earlier* is still
-/// waiting), abort those that outlived the lock timeout.
-fn retry_deferred(
-    inner: &Arc<Inner>,
-    id: usize,
-    ctx: &WorkerCtx,
-    locks: &mut LocalLockTable,
-    deferred: &mut VecDeque<ActionEnvelope>,
-) {
-    let mut still_parked = VecDeque::with_capacity(deferred.len());
-    while let Some(envelope) = deferred.pop_front() {
-        if let Some(envelope) = try_run(inner, id, ctx, locks, &still_parked, envelope) {
-            still_parked.push_back(envelope);
-        }
+/// Executes one incoming action, parking it in the wait list when its
+/// locks are taken or a parked conflicting action is ahead of it.
+fn handle_action(inner: &Arc<Inner>, st: &mut WorkerState, envelope: ActionEnvelope) {
+    if let Some(envelope) = try_run(inner, st, FRESH_SEQ, envelope) {
+        inner.counters.deferrals.fetch_add(1, Ordering::Relaxed);
+        st.waiting.park(envelope);
+        sync_deferred(inner, st);
     }
-    *deferred = still_parked;
 }
 
 /// Runs an action body (locks already held) and reports to its RVP.
-fn execute(
-    inner: &Arc<Inner>,
-    id: usize,
-    ctx: &WorkerCtx,
-    locks: &mut LocalLockTable,
-    envelope: ActionEnvelope,
-) {
+fn execute(inner: &Arc<Inner>, st: &mut WorkerState, envelope: ActionEnvelope) {
     let start = Instant::now();
     let ActionEnvelope {
         slot,
@@ -677,25 +1058,24 @@ fn execute(
     // queue and lock table would die with it, and the transaction would
     // leak — RVP slot never reported, `active` never decremented, locks on
     // other partitions never released. Convert the panic into an abort.
-    let result = catch_panic(|| body(&inner.db, txn.txn, ctx), "action body");
+    let result = catch_panic(|| body(&inner.db, txn.txn, &st.ctx), "action body");
     let elapsed = start.elapsed().as_nanos() as u64;
-    let counters = &inner.partitions[id];
+    let counters = &inner.partitions[st.id];
     counters.executed.fetch_add(1, Ordering::Relaxed);
     counters.busy_ns.fetch_add(elapsed, Ordering::Relaxed);
     inner.counters.actions.fetch_add(1, Ordering::Relaxed);
-    report(inner, id, locks, &txn, &rvp, slot, result);
+    report(inner, st, &txn, &rvp, slot, result);
 }
 
 /// Reports a result for an action that did not execute (skip/timeout).
 fn complete(
     inner: &Arc<Inner>,
-    id: usize,
-    locks: &mut LocalLockTable,
+    st: &mut WorkerState,
     envelope: ActionEnvelope,
     result: Result<Vec<dora_storage::types::Value>, StorageError>,
 ) {
     let ActionEnvelope { slot, txn, rvp, .. } = envelope;
-    report(inner, id, locks, &txn, &rvp, slot, result);
+    report(inner, st, &txn, &rvp, slot, result);
 }
 
 /// Runs a piece of user code (action body or phase generator), converting
@@ -721,39 +1101,88 @@ fn catch_panic<T>(
 /// worker thread.
 fn report(
     inner: &Arc<Inner>,
-    id: usize,
-    locks: &mut LocalLockTable,
+    st: &mut WorkerState,
     txn: &Arc<TxnCtx>,
     rvp: &Arc<Rvp>,
     slot: usize,
     result: Result<Vec<dora_storage::types::Value>, StorageError>,
 ) {
+    let failed_now = result.is_err();
     match rvp.report(slot, result) {
-        PhaseEnd::NotLast => {}
+        PhaseEnd::NotLast => {
+            // The phase just became doomed but siblings are still out.
+            // Any of them parked on a lock would otherwise only notice
+            // `rvp.failed()` at a key release or its own lock-timeout —
+            // up to lock_timeout of needless lock-holding and reply
+            // latency. Probe the involved partitions so parked doomed
+            // actions complete (abort) immediately.
+            if failed_now {
+                nudge_doomed(inner, st, txn);
+            }
+        }
         PhaseEnd::Last { outputs, failure } => {
             if let Some(e) = failure {
-                finalize(inner, txn, Some(e), Some((id, locks)));
+                finalize(inner, txn, Some(e), Some(st));
                 return;
             }
             let next = txn.phases.lock().pop_front();
             match next {
-                None => finalize(inner, txn, None, Some((id, locks))),
+                None => finalize(inner, txn, None, Some(st)),
                 // Generators are user code like action bodies: a panic must
                 // abort the transaction, not unwind (and kill) the worker.
                 Some(gen) => match catch_panic(|| gen(&outputs), "phase generator") {
-                    Ok(specs) => advance(inner, txn, specs, Some((id, locks))),
-                    Err(e) => finalize(inner, txn, Some(e), Some((id, locks))),
+                    Ok(specs) => advance(inner, txn, specs, Some(st)),
+                    Err(e) => finalize(inner, txn, Some(e), Some(st)),
                 },
             }
         }
     }
 }
 
+/// On the first failure of a still-running phase: re-examine this
+/// worker's parked actions of the transaction right away and send every
+/// other involved partition a [`WorkerMsg::Probe`] to do the same.
+/// Rare path (a phase failed) — one small message per partition.
+fn nudge_doomed(inner: &Arc<Inner>, st: &mut WorkerState, ctx: &Arc<TxnCtx>) {
+    probe_txn(inner, st, ctx.txn);
+    let remote: Vec<usize> = {
+        let involved = ctx.involved.lock();
+        involved
+            .iter()
+            .filter(|(p, keys)| *p != st.id && !keys.is_empty())
+            .map(|(p, _)| *p)
+            .collect()
+    };
+    if !remote.is_empty() {
+        let senders = inner.senders.read();
+        for partition in remote {
+            if let Some(sender) = senders.get(partition) {
+                let _ = sender.send(WorkerMsg::Probe { txn: ctx.txn });
+            }
+        }
+    }
+}
+
+/// Re-examines this worker's parked actions belonging to `txn`: a doomed
+/// one (failed RVP) completes immediately — waking its successors — and
+/// anything else simply re-parks at its old position.
+fn probe_txn(inner: &Arc<Inner>, st: &mut WorkerState, txn: dora_storage::types::TxnId) {
+    for (seq, envelope) in st.waiting.take_txn(txn) {
+        if let Some(envelope) = try_run(inner, st, seq, envelope) {
+            st.waiting.park_at(seq, envelope);
+        }
+    }
+    sync_deferred(inner, st);
+}
+
 /// Publishes the worker's private counters into the shared snapshot slots
-/// (plain stores by the single owner; readers only snapshot).
-fn export_stats(inner: &Arc<Inner>, id: usize, locks: &LocalLockTable, deferred: usize) {
-    let stats = locks.stats();
-    let counters = &inner.partitions[id];
+/// (plain stores by the single owner; readers only snapshot). Called on
+/// transitions — a transaction finishing here, the worker going idle,
+/// shutdown — instead of every loop iteration.
+fn export_stats(inner: &Arc<Inner>, st: &mut WorkerState) {
+    st.stats_dirty = false;
+    let stats = st.locks.stats();
+    let counters = &inner.partitions[st.id];
     counters
         .lock_acquired
         .store(stats.acquired, Ordering::Relaxed);
@@ -763,14 +1192,26 @@ fn export_stats(inner: &Arc<Inner>, id: usize, locks: &LocalLockTable, deferred:
     counters
         .lock_released
         .store(stats.released, Ordering::Relaxed);
-    counters
-        .deferred_depth
-        .store(deferred as u64, Ordering::Relaxed);
+    let deferred = st.waiting.len() as u64;
+    st.exported_deferred = deferred;
+    counters.deferred_depth.store(deferred, Ordering::Relaxed);
+}
+
+/// Publishes the deferred depth iff it changed since the last export.
+fn sync_deferred(inner: &Arc<Inner>, st: &mut WorkerState) {
+    let deferred = st.waiting.len() as u64;
+    if deferred != st.exported_deferred {
+        st.exported_deferred = deferred;
+        inner.partitions[st.id]
+            .deferred_depth
+            .store(deferred, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::local_lock::LockClass;
     use crate::routing::RoutingRule;
     use dora_storage::schema::{ColumnDef, TableSchema};
     use dora_storage::types::{DataType, TableId, Value};
@@ -819,7 +1260,7 @@ mod tests {
             DoraEngineConfig {
                 workers,
                 lock_timeout: Duration::from_millis(200),
-                poll_interval: Duration::from_micros(50),
+                ..Default::default()
             },
         )
     }
@@ -1190,8 +1631,8 @@ mod tests {
         let (db, t, routing) = setup(16, 2);
         let e = Arc::new(engine(db.clone(), routing, 2));
         // Stress opposing lock orders: transactions that write (a, b) and
-        // (b, a) where a and b live on different partitions. Deferral plus
-        // the lock timeout guarantees global progress.
+        // (b, a) where a and b live on different partitions. The wait list
+        // plus the lock-timeout tick guarantees global progress.
         let mut clients = Vec::new();
         for c in 0..2 {
             let e = e.clone();
@@ -1340,8 +1781,8 @@ mod tests {
         let e = Arc::new(engine(db.clone(), routing, 4));
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
         // Two clients keep a continuous stream of read transactions on key
-        // 1 flowing; without the FIFO fairness barrier the shared read
-        // lock would never drain and the writer below would abort with a
+        // 1 flowing; without the fairness barrier the shared read lock
+        // would never drain and the writer below would abort with a
         // spurious LockTimeout.
         let mut readers = Vec::new();
         for _ in 0..2 {
@@ -1428,6 +1869,440 @@ mod tests {
         // Uniform keys over a uniform rule: every partition did something.
         assert!(stats.workers.iter().all(|w| w.executed > 0));
         assert!(stats.workers.iter().all(|w| w.locks.acquired > 0));
+        e.shutdown();
+    }
+
+    /// Parks a transaction's locks on given keys: a two-action phase whose
+    /// second action (on the `hold` partition) blocks on a channel until
+    /// the test signals it, keeping the first action's locks (on the other
+    /// partition) held across messages. Returns `(outcome_rx, release_tx,
+    /// ready_rx)`.
+    fn holder(
+        e: &DoraEngine,
+        t: TableId,
+        lock_key: i64,
+        block_key: i64,
+    ) -> (
+        Receiver<TxnOutcome>,
+        crossbeam_channel::Sender<()>,
+        Receiver<()>,
+    ) {
+        let (release_tx, release_rx) = crossbeam_channel::bounded::<()>(1);
+        let (ready_tx, ready_rx) = crossbeam_channel::bounded::<()>(1);
+        let flow = FlowGraph::new(
+            "Holder",
+            vec![
+                ActionSpec::write(t, lock_key, move |_, _, _| {
+                    let _ = ready_tx.send(());
+                    Ok(vec![])
+                }),
+                ActionSpec::write(t, block_key, move |_, _, _| {
+                    let _ = release_rx.recv();
+                    Ok(vec![])
+                }),
+            ],
+        );
+        (e.submit(flow), release_tx, ready_rx)
+    }
+
+    #[test]
+    fn finish_wakes_only_actions_parked_on_released_keys() {
+        // Two workers: keys 0..7 live on partition 0, keys 8..15 on
+        // partition 1. Two holder transactions pin write locks on keys 0
+        // and 1 of partition 0 (each blocked inside an action on partition
+        // 1), and two waiters park behind them. Finishing the first holder
+        // must wake ONLY the key-0 waiter — the key-1 waiter stays parked,
+        // proving the wait list replaced the full rescan.
+        let (db, t, routing) = setup(16, 2);
+        let e = engine(db.clone(), routing, 2);
+        let (h1_rx, h1_release, h1_ready) = holder(&e, t, 0, 8);
+        let (h2_rx, h2_release, h2_ready) = holder(&e, t, 1, 9);
+        h1_ready
+            .recv_timeout(Duration::from_secs(5))
+            .expect("holder 1 locked key 0");
+        h2_ready
+            .recv_timeout(Duration::from_secs(5))
+            .expect("holder 2 locked key 1");
+
+        let waiter_a = e.submit(increment(t, 0));
+        let waiter_b = e.submit(increment(t, 1));
+        // Both waiters must be parked before any release happens.
+        let parked_deadline = Instant::now() + Duration::from_secs(5);
+        while e.stats().deferrals < 2 {
+            assert!(Instant::now() < parked_deadline, "waiters never parked");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(e.stats().workers[0].wakeups, 0);
+
+        // Finish holder 1: its Finish carries exactly key 0 for partition
+        // 0; only waiter A may wake.
+        h1_release.send(()).unwrap();
+        assert!(h1_rx.recv().unwrap().is_committed());
+        assert!(waiter_a
+            .recv_timeout(Duration::from_secs(5))
+            .expect("waiter A woken by key-0 release")
+            .is_committed());
+        let w0 = e.stats().workers[0];
+        assert_eq!(
+            w0.wakeups, 1,
+            "exactly one parked action re-tried: the key-0 waiter"
+        );
+        assert!(
+            w0.rescans_avoided >= 1,
+            "the key-1 waiter was never re-examined"
+        );
+        assert!(
+            waiter_b.try_recv().is_err(),
+            "waiter B must still be parked on key 1"
+        );
+
+        // Finish holder 2: now waiter B completes too.
+        h2_release.send(()).unwrap();
+        assert!(h2_rx.recv().unwrap().is_committed());
+        assert!(waiter_b
+            .recv_timeout(Duration::from_secs(5))
+            .expect("waiter B woken by key-1 release")
+            .is_committed());
+        assert_eq!(e.stats().workers[0].wakeups, 2);
+        assert_eq!(read_value(&db, t, 0), 1);
+        assert_eq!(read_value(&db, t, 1), 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn submit_blocks_under_backpressure_then_succeeds() {
+        let (db, t, routing) = setup(4, 1);
+        let e = DoraEngine::new(
+            db.clone(),
+            routing,
+            DoraEngineConfig {
+                workers: 1,
+                lock_timeout: Duration::from_millis(500),
+                queue_capacity: 2,
+                submit_timeout: Duration::from_secs(10),
+            },
+        );
+        // Each action occupies the single worker for a while, so fresh
+        // submissions pile up against the 2-slot admission gate.
+        let slow = |t: TableId| {
+            FlowGraph::new(
+                "Slow",
+                vec![ActionSpec::write(t, 0, move |db, txn, _| {
+                    std::thread::sleep(Duration::from_millis(30));
+                    db.get(txn, t, &[Value::BigInt(0)], DORA_POLICY)?;
+                    Ok(vec![])
+                })],
+            )
+        };
+        let started = Instant::now();
+        let replies: Vec<_> = (0..6).map(|_| e.submit(slow(t))).collect();
+        let submit_elapsed = started.elapsed();
+        // 6 submissions, 2 admission slots, ~30ms per action: at least the
+        // excess beyond (capacity + 1 in flight) must have blocked.
+        assert!(
+            submit_elapsed >= Duration::from_millis(60),
+            "submit never felt back-pressure: {submit_elapsed:?}"
+        );
+        for r in replies {
+            assert!(
+                r.recv_timeout(Duration::from_secs(10))
+                    .unwrap()
+                    .is_committed(),
+                "blocked submissions must succeed, not drop"
+            );
+        }
+        e.shutdown();
+    }
+
+    #[test]
+    fn overloaded_submit_aborts_visibly_after_timeout() {
+        let (db, t, routing) = setup(4, 1);
+        let e = DoraEngine::new(
+            db,
+            routing,
+            DoraEngineConfig {
+                workers: 1,
+                lock_timeout: Duration::from_secs(2),
+                queue_capacity: 1,
+                submit_timeout: Duration::from_millis(50),
+            },
+        );
+        // Wedge the worker inside a body so the gate can never drain.
+        let (release_tx, release_rx) = crossbeam_channel::bounded::<()>(1);
+        let wedge = e.submit(FlowGraph::new(
+            "Wedge",
+            vec![ActionSpec::write(t, 0, move |_, _, _| {
+                let _ = release_rx.recv();
+                Ok(vec![])
+            })],
+        ));
+        // Fill the single admission slot, then one more: that submission
+        // must block for ~submit_timeout and come back as a visible abort.
+        let _queued = e.submit(increment(t, 1));
+        let started = Instant::now();
+        let outcome = e.execute(increment(t, 2));
+        assert!(
+            matches!(outcome, TxnOutcome::Aborted { ref reason } if reason.contains("back-pressure")),
+            "{outcome:?}"
+        );
+        assert!(
+            started.elapsed() >= Duration::from_millis(50),
+            "rejection must come after blocking, not immediately"
+        );
+        release_tx.send(()).unwrap();
+        assert!(wedge.recv().unwrap().is_committed());
+        e.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_a_full_bounded_queue_cleanly() {
+        let (db, t, routing) = setup(4, 1);
+        let e = DoraEngine::new(
+            db.clone(),
+            routing,
+            DoraEngineConfig {
+                workers: 1,
+                lock_timeout: Duration::from_millis(500),
+                queue_capacity: 2,
+                submit_timeout: Duration::from_secs(10),
+            },
+        );
+        let slowish = |t: TableId, id: i64| {
+            FlowGraph::new(
+                "Slowish",
+                vec![ActionSpec::write(t, id, move |db, txn, _| {
+                    std::thread::sleep(Duration::from_millis(10));
+                    let row = db
+                        .get(txn, t, &[Value::BigInt(id)], DORA_POLICY)?
+                        .ok_or(StorageError::NotFound)?;
+                    let v = row[1].as_i64().unwrap();
+                    db.update(
+                        txn,
+                        t,
+                        &[Value::BigInt(id)],
+                        &[(1, Value::BigInt(v + 1))],
+                        DORA_POLICY,
+                    )?;
+                    Ok(vec![])
+                })],
+            )
+        };
+        // Saturate the bounded queue, then shut down: every admitted
+        // transaction must complete (drained, not dropped).
+        let replies: Vec<_> = (0..8).map(|i| e.submit(slowish(t, i % 4))).collect();
+        e.shutdown();
+        for r in replies {
+            assert!(r.recv().unwrap().is_committed(), "admitted work must drain");
+        }
+        let total: i64 = (0..4).map(|i| read_value(&db, t, i)).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn priority_lane_cuts_multi_partition_latency_under_fresh_load() {
+        // Partition 0 is flooded with slow fresh actions. A two-phase
+        // transaction whose phase 2 lands on partition 0 must ride the
+        // priority lane past that backlog instead of queueing behind it.
+        let (db, t, routing) = setup(16, 2);
+        let e = Arc::new(engine(db.clone(), routing, 2));
+        let slow_fill = |t: TableId| {
+            FlowGraph::new(
+                "Fill",
+                vec![ActionSpec::write(t, 2, move |db, txn, _| {
+                    std::thread::sleep(Duration::from_millis(5));
+                    db.get(txn, t, &[Value::BigInt(2)], DORA_POLICY)?;
+                    Ok(vec![])
+                })],
+            )
+        };
+        let fillers: Vec<_> = (0..40).map(|_| e.submit(slow_fill(t))).collect();
+        // Phase 1 on partition 1 (key 8), phase 2 on partition 0 (key 0).
+        let cross = FlowGraph::new(
+            "CrossPhase",
+            vec![ActionSpec::read(t, 8, move |db, txn, _| {
+                db.get(txn, t, &[Value::BigInt(8)], DORA_POLICY)?;
+                Ok(vec![])
+            })],
+        )
+        .then(move |_| {
+            Ok(vec![ActionSpec::write(t, 0, move |db, txn, _| {
+                let row = db.get(txn, t, &[Value::BigInt(0)], DORA_POLICY)?.unwrap();
+                let v = row[1].as_i64().unwrap();
+                db.update(
+                    txn,
+                    t,
+                    &[Value::BigInt(0)],
+                    &[(1, Value::BigInt(v + 1))],
+                    DORA_POLICY,
+                )?;
+                Ok(vec![])
+            })])
+        });
+        let started = Instant::now();
+        let outcome = e.execute(cross);
+        let waited = started.elapsed();
+        assert!(outcome.is_committed(), "{outcome:?}");
+        // The backlog needs ~200ms (40 x 5ms) on partition 0; the
+        // priority-lane transaction must not wait for it.
+        assert!(
+            waited < Duration::from_millis(100),
+            "phase-2 action should cut ahead of ~200ms of fresh backlog, waited {waited:?}"
+        );
+        for f in fillers {
+            assert!(f.recv().unwrap().is_committed());
+        }
+        assert_eq!(read_value(&db, t, 0), 1);
+    }
+
+    #[test]
+    fn aborted_blocker_wakes_successors_parked_on_free_keys() {
+        // T2 parks on {key 0 (free), key 1 (held by T1)}; T3 then parks
+        // behind T2 on key 0 (fairness barrier). When T2 times out it
+        // held nothing — no key release will ever name key 0 — but its
+        // departure must still wake T3 promptly, not strand it until its
+        // own timeout.
+        let (db, t, routing) = setup(16, 2);
+        let e = engine(db.clone(), routing, 2);
+        let (h_rx, h_release, h_ready) = holder(&e, t, 1, 8);
+        h_ready.recv_timeout(Duration::from_secs(5)).unwrap();
+
+        let blocked = e.submit(FlowGraph::new(
+            "NeedsBoth",
+            vec![ActionSpec::multi(
+                t,
+                vec![(0, LockClass::Write), (1, LockClass::Write)],
+                |_, _, _| Ok(vec![]),
+            )],
+        ));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while e.stats().deferrals < 1 {
+            assert!(Instant::now() < deadline, "T2 never parked");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // Age T2 so its 200ms lock timeout fires well before T3's would.
+        std::thread::sleep(Duration::from_millis(100));
+        let started = Instant::now();
+        let successor = e.submit(increment(t, 0));
+        let outcome = successor
+            .recv_timeout(Duration::from_secs(5))
+            .expect("successor resolves");
+        let waited = started.elapsed();
+        assert!(outcome.is_committed(), "{outcome:?}");
+        assert!(
+            waited < Duration::from_millis(180),
+            "successor must ride the aborted blocker's wakeup (~100ms), \
+             not its own timeout (~200ms): waited {waited:?}"
+        );
+        let blocked_outcome = blocked.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(!blocked_outcome.is_committed(), "{blocked_outcome:?}");
+        h_release.send(()).unwrap();
+        assert!(h_rx.recv().unwrap().is_committed());
+        assert_eq!(read_value(&db, t, 0), 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn failed_sibling_aborts_parked_actions_promptly() {
+        // T's action on partition 0 parks behind a holder's lock; 50ms
+        // later T's sibling on partition 2 fails. The failure probe must
+        // abort the parked action (and deliver T's reply) right away —
+        // not after the parked action's own 200ms lock timeout.
+        let (db, t, routing) = setup(24, 3);
+        let e = engine(db, routing, 3);
+        let (h_rx, h_release, h_ready) = holder(&e, t, 0, 8);
+        h_ready.recv_timeout(Duration::from_secs(5)).unwrap();
+
+        let started = Instant::now();
+        let doomed = e.submit(FlowGraph::new(
+            "DoomedPair",
+            vec![
+                ActionSpec::write(t, 0, |_, _, _| Ok(vec![])),
+                ActionSpec::write(t, 16, |_, _, _| {
+                    std::thread::sleep(Duration::from_millis(50));
+                    Err(StorageError::Aborted("business rule".into()))
+                }),
+            ],
+        ));
+        let outcome = doomed
+            .recv_timeout(Duration::from_secs(5))
+            .expect("doomed txn resolves");
+        let waited = started.elapsed();
+        assert!(!outcome.is_committed(), "{outcome:?}");
+        assert!(
+            waited < Duration::from_millis(150),
+            "abort must ride the failure probe (~50ms), not the parked \
+             action's lock timeout (~250ms): waited {waited:?}"
+        );
+        h_release.send(()).unwrap();
+        assert!(h_rx.recv().unwrap().is_committed());
+        e.shutdown();
+    }
+
+    #[test]
+    fn deep_same_partition_phase_chain_does_not_overflow_the_stack() {
+        // Every phase lands on the same single partition, so each next
+        // phase is dispatched inline by the RVP terminal — past the depth
+        // bound it must detour through the priority lane instead of
+        // growing the worker stack once per phase.
+        let (db, t, routing) = setup(4, 1);
+        let e = engine(db.clone(), routing, 1);
+        let phases = 2_000;
+        let mut flow = FlowGraph::new(
+            "DeepChain",
+            vec![ActionSpec::write(t, 0, move |db, txn, _| bump(db, txn, t))],
+        );
+        for _ in 0..phases {
+            flow = flow.then(move |_| {
+                Ok(vec![ActionSpec::write(t, 0, move |db, txn, _| {
+                    bump(db, txn, t)
+                })])
+            });
+        }
+        fn bump(
+            db: &Database,
+            txn: dora_storage::types::TxnId,
+            t: TableId,
+        ) -> Result<Vec<Value>, StorageError> {
+            let row = db
+                .get(txn, t, &[Value::BigInt(0)], DORA_POLICY)?
+                .ok_or(StorageError::NotFound)?;
+            let v = row[1].as_i64().unwrap();
+            db.update(
+                txn,
+                t,
+                &[Value::BigInt(0)],
+                &[(1, Value::BigInt(v + 1))],
+                DORA_POLICY,
+            )?;
+            Ok(vec![])
+        }
+        assert!(e.execute(flow).is_committed());
+        assert_eq!(read_value(&db, t, 0), phases as i64 + 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn deferred_depth_exports_on_transitions() {
+        let (db, t, routing) = setup(16, 2);
+        let e = engine(db, routing, 2);
+        let (h_rx, h_release, h_ready) = holder(&e, t, 0, 8);
+        h_ready.recv_timeout(Duration::from_secs(5)).unwrap();
+        let waiter = e.submit(increment(t, 0));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        // The park transition must be visible in the exported snapshot.
+        while e.stats().workers[0].deferred != 1 {
+            assert!(Instant::now() < deadline, "deferred depth never exported");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        h_release.send(()).unwrap();
+        assert!(h_rx.recv().unwrap().is_committed());
+        assert!(waiter.recv().unwrap().is_committed());
+        // The unpark transition must be visible too.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while e.stats().workers[0].deferred != 0 {
+            assert!(Instant::now() < deadline, "unpark never exported");
+            std::thread::sleep(Duration::from_millis(1));
+        }
         e.shutdown();
     }
 }

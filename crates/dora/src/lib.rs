@@ -24,9 +24,13 @@
 //! * [`dispatcher`] — routes the actions of a phase to their partition
 //!   queues and tracks RVP completion.
 //! * [`executor`] — the [`executor::DoraEngine`]: one worker thread per
-//!   partition with a private action queue and local lock table, executing
-//!   under [`executor::DORA_POLICY`] (`LockingPolicy::Bypass`) because
-//!   isolation is already enforced at the partition boundary.
+//!   partition with a private action queue, local lock table, and
+//!   lock-keyed wait list (parked actions wake only when a key they wait
+//!   on is released), executing under [`executor::DORA_POLICY`]
+//!   (`LockingPolicy::Bypass`) because isolation is already enforced at
+//!   the partition boundary. Later-phase actions ride a priority lane;
+//!   fresh intake is bounded with back-pressure on
+//!   [`executor::DoraEngine::submit`].
 //!
 //! ```
 //! use std::sync::Arc;
@@ -70,6 +74,7 @@ pub mod dispatcher;
 pub mod executor;
 pub mod local_lock;
 pub mod routing;
+mod wait_list;
 
 pub use action::{ActionSpec, FlowGraph};
 pub use executor::{DoraEngine, DoraEngineConfig, DoraStatsSnapshot, TxnOutcome, DORA_POLICY};

@@ -117,6 +117,37 @@ impl LocalLockTable {
         true
     }
 
+    /// Releases `txn`'s holds on exactly the given keys and returns the
+    /// keys where something was actually released — the set a worker must
+    /// wake parked actions on.
+    ///
+    /// This is the executor's hot release path: a `Finish` message carries
+    /// the keys the finished transaction touched on this partition, so
+    /// release is O(keys held by the transaction) instead of a scan of the
+    /// whole table (which [`release_all`](Self::release_all) performs).
+    pub fn release_keys(&mut self, txn: TxnId, keys: &[(TableId, i64)]) -> Vec<(TableId, i64)> {
+        let mut released = Vec::new();
+        for &(table, key) in keys {
+            let Some(state) = self.keys.get_mut(&(table, key)) else {
+                continue;
+            };
+            let before = state.readers.len() + usize::from(state.writer.is_some());
+            state.readers.retain(|&r| r != txn);
+            if state.writer == Some(txn) {
+                state.writer = None;
+            }
+            let after = state.readers.len() + usize::from(state.writer.is_some());
+            if after < before {
+                self.stats.released += (before - after) as u64;
+                released.push((table, key));
+            }
+            if state.is_free() {
+                self.keys.remove(&(table, key));
+            }
+        }
+        released
+    }
+
     /// Releases every lock held by `txn` (called when the transaction
     /// finishes system-wide). Returns the number of released entries.
     pub fn release_all(&mut self, txn: TxnId) -> usize {
@@ -311,6 +342,48 @@ mod tests {
         assert!(t.holds(1, 1, 5, LockClass::Write));
         t.release_all(1);
         assert!(!t.holds_any(1, 1, 5));
+    }
+
+    #[test]
+    fn release_keys_frees_only_named_keys_and_reports_what_changed() {
+        let mut t = LocalLockTable::new();
+        assert!(t.try_acquire(
+            1,
+            &[
+                (1, 10, LockClass::Write),
+                (1, 11, LockClass::Write),
+                (1, 12, LockClass::Read)
+            ]
+        ));
+        assert!(t.try_acquire(2, &[(1, 12, LockClass::Read)]));
+        // Release keys 10 and 12 only; 11 stays held.
+        let released = t.release_keys(1, &[(1, 10), (1, 12), (1, 99)]);
+        assert_eq!(released, vec![(1, 10), (1, 12)]);
+        assert!(t.try_acquire(3, &[(1, 10, LockClass::Write)]));
+        assert!(!t.try_acquire(3, &[(1, 11, LockClass::Read)]), "11 held");
+        // Key 12 still has txn 2's read: shared with a new reader, closed
+        // to a writer.
+        assert!(t.try_acquire(3, &[(1, 12, LockClass::Read)]));
+        assert!(!t.try_acquire(4, &[(1, 12, LockClass::Write)]));
+        assert_eq!(t.release_keys(1, &[(1, 11)]), vec![(1, 11)]);
+        // Releasing keys the txn does not (or no longer) hold reports
+        // nothing — no spurious wakeups.
+        assert_eq!(t.release_keys(1, &[(1, 11)]), vec![]);
+        assert_eq!(t.release_keys(99, &[(1, 12)]), vec![]);
+    }
+
+    #[test]
+    fn release_keys_and_release_all_agree_on_stats() {
+        let mut a = LocalLockTable::new();
+        let mut b = LocalLockTable::new();
+        for t in [&mut a, &mut b] {
+            assert!(t.try_acquire(1, &[(1, 1, LockClass::Write), (1, 2, LockClass::Read)]));
+            assert!(t.try_acquire(2, &[(1, 2, LockClass::Read)]));
+        }
+        assert_eq!(a.release_keys(1, &[(1, 1), (1, 2)]).len(), 2);
+        assert_eq!(b.release_all(1), 2);
+        assert_eq!(a.stats().released, b.stats().released);
+        assert_eq!(a.locked_keys(), b.locked_keys());
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Lock-keyed wait lists for deferred actions.
+//!
+//! The original executor parked lock-blocked actions in a FIFO `VecDeque`
+//! and **rescanned the whole list** after every worker message — O(deferred)
+//! lock probes per event, the exact per-transaction overhead DORA exists to
+//! remove. The [`WaitList`] replaces that: parked actions are indexed by
+//! the `(table, key)` pairs they wait on, so a lock release wakes **only**
+//! the actions parked on the released keys, and everything else is never
+//! re-examined (the executor's `rescans_avoided` counter measures this).
+//!
+//! Fairness is preserved across the rewrite. Every parked action keeps a
+//! monotonically increasing sequence number; a woken action may only run
+//! if no *earlier-parked* conflicting action of another transaction is
+//! still waiting on one of its keys ([`WaitList::conflicts_with_earlier`]).
+//! Keys the action's transaction already holds in any mode are exempt —
+//! a parked stranger wanting such a key cannot be granted until this
+//! transaction finishes, so queueing behind it would deadlock (this covers
+//! re-acquisition and the sole-reader write upgrade).
+//!
+//! Lock-timeout expiry no longer rides on a poll loop either: the wait
+//! list tracks the earliest parked deadline in a lazy min-heap, and the
+//! worker sleeps exactly until a message arrives or that deadline passes
+//! ([`WaitList::next_deadline`] / [`WaitList::expired`]).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+use std::time::{Duration, Instant};
+
+use dora_storage::types::TableId;
+
+use crate::dispatcher::ActionEnvelope;
+use crate::local_lock::LocalLockTable;
+
+/// Sequence number used for the fairness probe of an action that has not
+/// been parked yet: every already-parked action counts as "earlier".
+pub(crate) const FRESH_SEQ: u64 = u64::MAX;
+
+/// A single worker's parked actions, indexed by the lock keys they wait
+/// on. Like the [`LocalLockTable`], it is owned by exactly one worker
+/// thread and needs no synchronization.
+#[derive(Default)]
+pub(crate) struct WaitList {
+    /// Parked actions in park order (the BTreeMap keeps sequence order for
+    /// fair candidate iteration).
+    parked: BTreeMap<u64, ActionEnvelope>,
+    /// `(table, key)` → sequence numbers of parked actions touching it.
+    by_key: HashMap<(TableId, i64), Vec<u64>>,
+    /// Lazy min-heap of `(dispatch instant, seq)`; entries whose seq is no
+    /// longer parked are skipped on pop. Re-parking pushes a duplicate,
+    /// which is harmless (same deadline, first pop wins).
+    deadlines: BinaryHeap<Reverse<(Instant, u64)>>,
+    next_seq: u64,
+}
+
+impl WaitList {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.parked.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parked.is_empty()
+    }
+
+    /// Parks an action under a fresh sequence number.
+    pub fn park(&mut self, envelope: ActionEnvelope) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.index(seq, &envelope);
+        self.deadlines.push(Reverse((envelope.dispatched, seq)));
+        self.parked.insert(seq, envelope);
+        seq
+    }
+
+    /// Re-parks a woken action under its **original** sequence number so
+    /// it keeps its place in the fairness order.
+    pub fn park_at(&mut self, seq: u64, envelope: ActionEnvelope) {
+        self.index(seq, &envelope);
+        self.deadlines.push(Reverse((envelope.dispatched, seq)));
+        self.parked.insert(seq, envelope);
+    }
+
+    fn index(&mut self, seq: u64, envelope: &ActionEnvelope) {
+        for &(key, _) in &envelope.keys {
+            self.by_key
+                .entry((envelope.table, key))
+                .or_default()
+                .push(seq);
+        }
+    }
+
+    fn unindex(&mut self, seq: u64, envelope: &ActionEnvelope) {
+        for &(key, _) in &envelope.keys {
+            if let Some(seqs) = self.by_key.get_mut(&(envelope.table, key)) {
+                seqs.retain(|&s| s != seq);
+                if seqs.is_empty() {
+                    self.by_key.remove(&(envelope.table, key));
+                }
+            }
+        }
+    }
+
+    /// Removes and returns, in park order, every action parked on at least
+    /// one of `keys`. Actions parked on other keys are not touched — that
+    /// is the whole point of the structure.
+    pub fn candidates(&mut self, keys: &[(TableId, i64)]) -> Vec<(u64, ActionEnvelope)> {
+        let mut seqs = BTreeSet::new();
+        for key in keys {
+            if let Some(list) = self.by_key.get(key) {
+                seqs.extend(list.iter().copied());
+            }
+        }
+        seqs.into_iter()
+            .filter_map(|seq| {
+                let envelope = self.parked.remove(&seq)?;
+                self.unindex(seq, &envelope);
+                Some((seq, envelope))
+            })
+            .collect()
+    }
+
+    /// The executor's fairness barrier: whether `envelope` (probing at
+    /// position `seq`; use [`FRESH_SEQ`] for a not-yet-parked action) must
+    /// wait behind an earlier-parked conflicting action of another
+    /// transaction. Keys the envelope's transaction already holds in any
+    /// mode are exempt (see the module docs).
+    pub fn conflicts_with_earlier(
+        &self,
+        seq: u64,
+        envelope: &ActionEnvelope,
+        locks: &LocalLockTable,
+    ) -> bool {
+        // The overwhelmingly common case on an uncontended partition:
+        // nothing parked, nothing to conflict with, no index probes.
+        if self.parked.is_empty() {
+            return false;
+        }
+        let txn = envelope.txn.txn;
+        envelope.keys.iter().any(|&(key, class)| {
+            !locks.holds_any(txn, envelope.table, key)
+                && self.by_key.get(&(envelope.table, key)).is_some_and(|seqs| {
+                    seqs.iter().any(|&earlier| {
+                        earlier < seq
+                            && self.parked.get(&earlier).is_some_and(|parked| {
+                                parked.txn.txn != txn
+                                    && parked.keys.iter().any(|&(parked_key, parked_class)| {
+                                        parked_key == key && class.conflicts(parked_class)
+                                    })
+                            })
+                    })
+                })
+        })
+    }
+
+    /// The instant the earliest-dispatched parked action hits the lock
+    /// timeout — how long the owning worker may sleep without missing an
+    /// expiry. `None` when nothing is parked.
+    pub fn next_deadline(&mut self, timeout: Duration) -> Option<Instant> {
+        while let Some(&Reverse((dispatched, seq))) = self.deadlines.peek() {
+            if self.parked.contains_key(&seq) {
+                return Some(dispatched + timeout);
+            }
+            self.deadlines.pop();
+        }
+        None
+    }
+
+    /// Whether the earliest parked deadline has already passed — the cheap
+    /// per-iteration probe deciding if an expiry sweep is due.
+    pub fn deadline_passed(&mut self, timeout: Duration, now: Instant) -> bool {
+        self.next_deadline(timeout).is_some_and(|d| d <= now)
+    }
+
+    /// Removes and returns every parked action whose deferral outlived
+    /// `timeout`, in park order.
+    pub fn expired(&mut self, timeout: Duration, now: Instant) -> Vec<(u64, ActionEnvelope)> {
+        let mut out = Vec::new();
+        while let Some(&Reverse((dispatched, seq))) = self.deadlines.peek() {
+            if dispatched + timeout > now {
+                break;
+            }
+            self.deadlines.pop();
+            if let Some(envelope) = self.parked.remove(&seq) {
+                self.unindex(seq, &envelope);
+                out.push((seq, envelope));
+            }
+        }
+        out
+    }
+
+    /// Removes and returns, in park order, every action belonging to
+    /// `txn` — the doomed-transaction probe. A linear scan, but it only
+    /// runs on the rare phase-failure path and parked lists are small.
+    pub fn take_txn(&mut self, txn: dora_storage::types::TxnId) -> Vec<(u64, ActionEnvelope)> {
+        let seqs: Vec<u64> = self
+            .parked
+            .iter()
+            .filter(|(_, env)| env.txn.txn == txn)
+            .map(|(&seq, _)| seq)
+            .collect();
+        seqs.into_iter()
+            .filter_map(|seq| {
+                let envelope = self.parked.remove(&seq)?;
+                self.unindex(seq, &envelope);
+                Some((seq, envelope))
+            })
+            .collect()
+    }
+
+    /// Removes and returns everything (shutdown: the engine aborts what is
+    /// still parked).
+    pub fn drain(&mut self) -> Vec<ActionEnvelope> {
+        self.by_key.clear();
+        self.deadlines.clear();
+        std::mem::take(&mut self.parked).into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatcher::{Rvp, TxnCtx};
+    use crate::local_lock::LockClass;
+    use std::sync::Arc;
+
+    fn envelope(txn: u64, table: TableId, keys: Vec<(i64, LockClass)>) -> ActionEnvelope {
+        let (reply, _rx) = crossbeam_channel::bounded(1);
+        // The receiver is dropped, but nothing in these tests reports.
+        std::mem::forget(_rx);
+        ActionEnvelope {
+            slot: 0,
+            table,
+            keys,
+            body: Box::new(|_, _, _| Ok(vec![])),
+            txn: Arc::new(TxnCtx::new(txn, "wait-list-test", Vec::new(), reply)),
+            rvp: Arc::new(Rvp::new(1)),
+            dispatched: Instant::now(),
+            fresh: true,
+        }
+    }
+
+    #[test]
+    fn candidates_wake_only_matching_keys_in_park_order() {
+        let mut wl = WaitList::new();
+        let a = wl.park(envelope(1, 7, vec![(10, LockClass::Write)]));
+        let b = wl.park(envelope(2, 7, vec![(11, LockClass::Write)]));
+        let c = wl.park(envelope(3, 7, vec![(10, LockClass::Read)]));
+        assert_eq!(wl.len(), 3);
+
+        let woken = wl.candidates(&[(7, 10)]);
+        let seqs: Vec<u64> = woken.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![a, c], "only key-10 waiters, in park order");
+        assert_eq!(wl.len(), 1, "key-11 waiter untouched");
+
+        // Unknown keys and a different table wake nothing.
+        assert!(wl.candidates(&[(7, 99), (8, 11)]).is_empty());
+        let woken = wl.candidates(&[(7, 11)]);
+        assert_eq!(woken.len(), 1);
+        assert_eq!(woken[0].0, b);
+        assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn fairness_barrier_orders_by_sequence_and_exempts_own_locks() {
+        let mut locks = LocalLockTable::new();
+        let mut wl = WaitList::new();
+        let writer = envelope(1, 7, vec![(10, LockClass::Write)]);
+        let writer_seq = wl.park(writer);
+
+        // A fresh reader on the same key conflicts with the parked writer.
+        let reader = envelope(2, 7, vec![(10, LockClass::Read)]);
+        assert!(wl.conflicts_with_earlier(FRESH_SEQ, &reader, &locks));
+        // A fresh reader on another key does not.
+        let other = envelope(2, 7, vec![(11, LockClass::Read)]);
+        assert!(!wl.conflicts_with_earlier(FRESH_SEQ, &other, &locks));
+        // The parked writer itself probes at its own seq: nothing earlier.
+        let probe = envelope(1, 7, vec![(10, LockClass::Write)]);
+        assert!(!wl.conflicts_with_earlier(writer_seq, &probe, &locks));
+        // A transaction that already holds the key in any mode is exempt
+        // (upgrade / re-acquire must not queue behind strangers).
+        assert!(locks.try_acquire(2, &[(7, 10, LockClass::Read)]));
+        let upgrade = envelope(2, 7, vec![(10, LockClass::Write)]);
+        assert!(!wl.conflicts_with_earlier(FRESH_SEQ, &upgrade, &locks));
+    }
+
+    #[test]
+    fn deadlines_expire_in_dispatch_order_and_tolerate_reparking() {
+        let mut wl = WaitList::new();
+        let timeout = Duration::from_millis(50);
+        let a = wl.park(envelope(1, 7, vec![(10, LockClass::Write)]));
+        std::thread::sleep(Duration::from_millis(2));
+        let _b = wl.park(envelope(2, 7, vec![(11, LockClass::Write)]));
+        let now = Instant::now();
+        assert!(!wl.deadline_passed(timeout, now));
+        assert!(wl.expired(timeout, now).is_empty());
+
+        // Wake the first action and re-park it: the duplicate heap entry
+        // must not confuse expiry.
+        let woken = wl.candidates(&[(7, 10)]);
+        assert_eq!(woken.len(), 1);
+        let (seq, env) = woken.into_iter().next().unwrap();
+        assert_eq!(seq, a);
+        wl.park_at(seq, env);
+
+        let late = now + Duration::from_millis(100);
+        assert!(wl.deadline_passed(timeout, late));
+        let expired = wl.expired(timeout, late);
+        let seqs: Vec<u64> = expired.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs.len(), 2, "both outlived the timeout");
+        assert_eq!(seqs[0], a, "earliest dispatch expires first");
+        assert!(wl.is_empty());
+        assert!(wl.next_deadline(timeout).is_none());
+    }
+
+    #[test]
+    fn take_txn_removes_only_that_transactions_actions() {
+        let mut wl = WaitList::new();
+        let a = wl.park(envelope(1, 7, vec![(10, LockClass::Write)]));
+        let _b = wl.park(envelope(2, 7, vec![(10, LockClass::Read)]));
+        let c = wl.park(envelope(1, 7, vec![(11, LockClass::Write)]));
+        let taken = wl.take_txn(1);
+        let seqs: Vec<u64> = taken.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![a, c], "both of txn 1's actions, park order");
+        assert_eq!(wl.len(), 1, "txn 2's action stays");
+        assert!(wl.take_txn(1).is_empty());
+        // The index was cleaned: only txn 2's key-10 entry can wake.
+        assert_eq!(wl.candidates(&[(7, 10), (7, 11)]).len(), 1);
+    }
+
+    #[test]
+    fn drain_empties_everything() {
+        let mut wl = WaitList::new();
+        wl.park(envelope(1, 7, vec![(10, LockClass::Write)]));
+        wl.park(envelope(2, 7, vec![(11, LockClass::Write)]));
+        assert_eq!(wl.drain().len(), 2);
+        assert!(wl.is_empty());
+        assert!(wl.candidates(&[(7, 10)]).is_empty());
+        assert!(wl.next_deadline(Duration::from_millis(1)).is_none());
+    }
+}

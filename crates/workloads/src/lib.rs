@@ -24,11 +24,15 @@
 //! harness in `dora-bench` consumes both forms to A/B the engines; see
 //! `docs/architecture.md` for where this sits in the workspace.
 //!
-//! Nothing is implemented yet — the crate currently only re-exports its
-//! dependencies' entry points so downstream code can compile against one
-//! name.
+//! The first implemented workload is [`transfer`]: a multi-partition
+//! account-transfer stream (both engine forms, loader, routing preset,
+//! and a deterministic request mix) that `dora-bench` drives for the
+//! throughput and critical-section figures. TATP and TPC-C remain open
+//! items (see ROADMAP.md).
 
 #![warn(missing_docs)]
+
+pub mod transfer;
 
 pub use dora_core;
 pub use dora_engine_conv;

@@ -1,0 +1,541 @@
+//! The multi-partition **account transfer** workload.
+//!
+//! The first real workload wired into `dora-bench`: a bank-style table of
+//! accounts and a stream of `Transfer(from, to, amount)` transactions,
+//! each touching **two** routing keys that usually live on different
+//! partitions. It stresses exactly what the paper measures — lock-manager
+//! critical sections on the conventional side, cross-partition rendezvous
+//! on the DORA side — while staying small enough to serve as a unit-test
+//! fixture.
+//!
+//! Every transaction exists in both execution forms:
+//!
+//! * [`transfer_request`] — a conventional [`TxnRequest`] body that reads
+//!   both balances and writes both sides under centralized locking;
+//! * [`transfer_flow`] — the DORA [`FlowGraph`]: phase 1 reads both
+//!   balances on their owning partitions (write intents, so the locks are
+//!   held through the rendezvous), the RVP checks funds, phase 2 writes
+//!   both sides.
+//!
+//! [`TransferWorkload`] owns the schema/loader/routing preset and
+//! [`TransferMix`] generates a deterministic request stream, so two
+//! engines can be driven with byte-identical inputs.
+
+use dora_core::action::{ActionSpec, FlowGraph};
+use dora_core::executor::DORA_POLICY;
+use dora_core::local_lock::LockClass;
+use dora_core::routing::{RoutingRule, RoutingTable};
+use dora_engine_conv::{TxnRequest, CONV_POLICY};
+use dora_storage::db::Database;
+use dora_storage::error::StorageError;
+use dora_storage::schema::{ColumnDef, TableSchema};
+use dora_storage::types::{DataType, TableId, Value};
+
+/// Schema, loader, and routing preset for the transfer workload.
+#[derive(Debug, Clone, Copy)]
+pub struct TransferWorkload {
+    /// Number of accounts loaded (keys `0..accounts`).
+    pub accounts: i64,
+    /// Balance every account starts with.
+    pub initial_balance: i64,
+}
+
+impl Default for TransferWorkload {
+    fn default() -> Self {
+        TransferWorkload {
+            accounts: 1024,
+            initial_balance: 1_000,
+        }
+    }
+}
+
+impl TransferWorkload {
+    /// Creates and populates `accounts(id BIGINT, balance BIGINT)`,
+    /// returning the table id.
+    pub fn load(&self, db: &Database) -> TableId {
+        let t = db
+            .create_table(TableSchema::new(
+                "accounts",
+                vec![
+                    ColumnDef::new("id", DataType::BigInt),
+                    ColumnDef::new("balance", DataType::BigInt),
+                ],
+                vec![0],
+            ))
+            .expect("create accounts table");
+        let txn = db.begin();
+        for i in 0..self.accounts {
+            db.insert(
+                txn,
+                t,
+                vec![Value::BigInt(i), Value::BigInt(self.initial_balance)],
+                CONV_POLICY,
+            )
+            .expect("load account row");
+        }
+        db.commit(txn).expect("commit load");
+        t
+    }
+
+    /// A uniform routing rule splitting the key space over `partitions`
+    /// logical partitions owned by as many workers.
+    pub fn routing(&self, table: TableId, partitions: usize) -> RoutingTable {
+        let mut rt = RoutingTable::new();
+        rt.set_rule(RoutingRule::uniform(
+            table,
+            0,
+            0,
+            self.accounts.max(1) - 1,
+            partitions,
+            partitions,
+        ));
+        rt
+    }
+
+    /// The conserved quantity: sum of all balances at load time (and, if
+    /// the engines are correct, at any later time).
+    pub fn total_balance(&self) -> i64 {
+        self.accounts * self.initial_balance
+    }
+
+    /// Sum of all balances currently in the table.
+    pub fn current_total(&self, db: &Database, table: TableId) -> i64 {
+        db.scan(table)
+            .expect("scan accounts")
+            .iter()
+            .map(|row| row[1].as_i64().expect("balance column"))
+            .sum()
+    }
+}
+
+/// The transfer as a **routing-aware** DORA flow graph — what the paper's
+/// designer tooling produces when it knows the partitioning.
+///
+/// When both accounts live on the same partition the whole transfer
+/// becomes a single multi-key action: one queue hop, locks taken
+/// atomically in one partition-local table, no rendezvous fan-out, no
+/// finish broadcast. Only genuinely cross-partition transfers pay the
+/// two-phase RVP protocol of [`transfer_flow`]. The conventional engine
+/// cannot exploit this distinction — every access goes through the
+/// centralized lock manager either way — which is precisely the
+/// asymmetry the paper measures.
+pub fn transfer_flow_routed(
+    routing: &RoutingTable,
+    t: TableId,
+    from: i64,
+    to: i64,
+    amount: i64,
+) -> FlowGraph {
+    if routing.owner_of(t, from) != routing.owner_of(t, to) {
+        return transfer_flow(t, from, to, amount);
+    }
+    FlowGraph::new(
+        "TransferLocal",
+        vec![ActionSpec::multi(
+            t,
+            vec![(from, LockClass::Write), (to, LockClass::Write)],
+            move |db, txn, ctx| {
+                ctx.record(t, from, true);
+                ctx.record(t, to, true);
+                let from_row = db
+                    .get(txn, t, &[Value::BigInt(from)], DORA_POLICY)?
+                    .ok_or(StorageError::NotFound)?;
+                let from_balance = from_row[1].as_i64().ok_or(StorageError::NotFound)?;
+                if from_balance < amount {
+                    return Err(StorageError::Aborted("insufficient funds".into()));
+                }
+                let to_row = db
+                    .get(txn, t, &[Value::BigInt(to)], DORA_POLICY)?
+                    .ok_or(StorageError::NotFound)?;
+                let to_balance = to_row[1].as_i64().ok_or(StorageError::NotFound)?;
+                db.update(
+                    txn,
+                    t,
+                    &[Value::BigInt(from)],
+                    &[(1, Value::BigInt(from_balance - amount))],
+                    DORA_POLICY,
+                )?;
+                db.update(
+                    txn,
+                    t,
+                    &[Value::BigInt(to)],
+                    &[(1, Value::BigInt(to_balance + amount))],
+                    DORA_POLICY,
+                )?;
+                Ok(vec![])
+            },
+        )],
+    )
+}
+
+/// The transfer as a DORA flow graph: phase 1 reads both balances under
+/// write intents on their own partitions, the RVP checks funds, phase 2
+/// writes both sides. Outputs reach the generator in action order
+/// (`outputs[0]` is the `from` read) regardless of completion order.
+pub fn transfer_flow(t: TableId, from: i64, to: i64, amount: i64) -> FlowGraph {
+    FlowGraph::new(
+        "Transfer",
+        vec![
+            ActionSpec::write(t, from, move |db, txn, ctx| {
+                ctx.record(t, from, true);
+                let row = db
+                    .get(txn, t, &[Value::BigInt(from)], DORA_POLICY)?
+                    .ok_or(StorageError::NotFound)?;
+                Ok(vec![row[1].clone()])
+            }),
+            ActionSpec::write(t, to, move |db, txn, ctx| {
+                ctx.record(t, to, true);
+                let row = db
+                    .get(txn, t, &[Value::BigInt(to)], DORA_POLICY)?
+                    .ok_or(StorageError::NotFound)?;
+                Ok(vec![row[1].clone()])
+            }),
+        ],
+    )
+    .then(move |outputs| {
+        let from_balance = outputs[0][0].as_i64().ok_or(StorageError::NotFound)?;
+        let to_balance = outputs[1][0].as_i64().ok_or(StorageError::NotFound)?;
+        if from_balance < amount {
+            return Err(StorageError::Aborted("insufficient funds".into()));
+        }
+        Ok(vec![
+            ActionSpec::write(t, from, move |db, txn, _| {
+                db.update(
+                    txn,
+                    t,
+                    &[Value::BigInt(from)],
+                    &[(1, Value::BigInt(from_balance - amount))],
+                    DORA_POLICY,
+                )?;
+                Ok(vec![])
+            }),
+            ActionSpec::write(t, to, move |db, txn, _| {
+                db.update(
+                    txn,
+                    t,
+                    &[Value::BigInt(to)],
+                    &[(1, Value::BigInt(to_balance + amount))],
+                    DORA_POLICY,
+                )?;
+                Ok(vec![])
+            }),
+        ])
+    })
+}
+
+/// The same transfer as a conventional transaction body (centralized
+/// locking, re-runnable for the engine's deadlock retries).
+pub fn transfer_request(t: TableId, from: i64, to: i64, amount: i64) -> TxnRequest {
+    TxnRequest::new("Transfer", move |db, txn, ctx| {
+        ctx.record(t, from, true);
+        let from_row = db
+            .get(txn, t, &[Value::BigInt(from)], CONV_POLICY)?
+            .ok_or(StorageError::NotFound)?;
+        let from_balance = from_row[1].as_i64().ok_or(StorageError::NotFound)?;
+        if from_balance < amount {
+            return Err(StorageError::Aborted("insufficient funds".into()));
+        }
+        ctx.record(t, to, true);
+        let to_row = db
+            .get(txn, t, &[Value::BigInt(to)], CONV_POLICY)?
+            .ok_or(StorageError::NotFound)?;
+        let to_balance = to_row[1].as_i64().ok_or(StorageError::NotFound)?;
+        db.update(
+            txn,
+            t,
+            &[Value::BigInt(from)],
+            &[(1, Value::BigInt(from_balance - amount))],
+            CONV_POLICY,
+        )?;
+        db.update(
+            txn,
+            t,
+            &[Value::BigInt(to)],
+            &[(1, Value::BigInt(to_balance + amount))],
+            CONV_POLICY,
+        )?;
+        Ok(())
+    })
+}
+
+/// A deterministic stream of `(from, to, amount)` transfer parameters.
+///
+/// Uses an xorshift generator seeded per client so several client threads
+/// can each draw an independent, reproducible stream — the same inputs
+/// drive both engines in the benches.
+///
+/// A **locality** can be configured, mirroring how real OLTP payments
+/// behave (TPC-C's Payment touches a remote warehouse ~15% of the time):
+/// with probability `locality_pct`/100 the destination account is drawn
+/// from the same uniform partition block as the source, so a
+/// routing-aware flow ([`transfer_flow_routed`]) stays partition-local.
+#[derive(Debug, Clone)]
+pub struct TransferMix {
+    accounts: i64,
+    state: u64,
+    partitions: usize,
+    locality_pct: u64,
+}
+
+impl TransferMix {
+    /// A fully uniform stream over `accounts` keys (no locality); distinct
+    /// `seed`s give distinct streams.
+    pub fn new(accounts: i64, seed: u64) -> Self {
+        Self::with_locality(accounts, seed, 1, 0)
+    }
+
+    /// A stream where `locality_pct`% of transfers stay inside the
+    /// source's partition block (the blocks of
+    /// [`RoutingRule::uniform`] over `partitions` partitions).
+    pub fn with_locality(accounts: i64, seed: u64, partitions: usize, locality_pct: u64) -> Self {
+        TransferMix {
+            accounts: accounts.max(2),
+            // xorshift must not start at 0; fold the seed away from it.
+            state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+            partitions: partitions.max(1),
+            locality_pct: locality_pct.min(100),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+
+    /// The uniform-rule block containing `key`: `[lo, hi]` inclusive,
+    /// matching the boundaries [`RoutingRule::uniform`] derives.
+    fn block_of(&self, key: i64) -> (i64, i64) {
+        let parts = self.partitions as i64;
+        let idx = (key * parts) / self.accounts;
+        let lo = (self.accounts * idx) / parts;
+        let hi = (self.accounts * (idx + 1)) / parts - 1;
+        (lo, hi.min(self.accounts - 1))
+    }
+
+    /// Draws the next transfer: two distinct accounts and a small amount.
+    pub fn next_transfer(&mut self) -> (i64, i64, i64) {
+        let from = (self.next_u64() % self.accounts as u64) as i64;
+        let local = self.next_u64() % 100 < self.locality_pct;
+        let (lo, hi) = if local && self.partitions > 1 {
+            self.block_of(from)
+        } else {
+            (0, self.accounts - 1)
+        };
+        // A single-key block degenerates to a forced neighbor; the clamp
+        // below keeps `to` in range (such a transfer is simply
+        // cross-partition).
+        let span = (hi - lo + 1).max(2);
+        let mut to = lo + (self.next_u64() % span as u64) as i64;
+        if to == from {
+            to = lo + (to - lo + 1) % span;
+        }
+        if to >= self.accounts {
+            to = from - 1;
+        }
+        let amount = (self.next_u64() % 3) as i64 + 1;
+        (from, to, amount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use dora_core::executor::{DoraEngine, DoraEngineConfig};
+    use dora_engine_conv::{ConvEngine, ConvEngineConfig};
+
+    #[test]
+    fn mix_is_deterministic_and_well_formed() {
+        let mut a = TransferMix::new(64, 7);
+        let mut b = TransferMix::new(64, 7);
+        let mut c = TransferMix::new(64, 8);
+        let mut diverged = false;
+        for _ in 0..256 {
+            let ta = a.next_transfer();
+            assert_eq!(ta, b.next_transfer(), "same seed, same stream");
+            if ta != c.next_transfer() {
+                diverged = true;
+            }
+            let (from, to, amount) = ta;
+            assert!(from != to, "transfer endpoints must differ");
+            assert!((0..64).contains(&from) && (0..64).contains(&to));
+            assert!((1..=3).contains(&amount));
+        }
+        assert!(diverged, "different seeds must give different streams");
+    }
+
+    #[test]
+    fn both_engine_forms_agree_on_state_and_conserve_total() {
+        let wl = TransferWorkload {
+            accounts: 32,
+            initial_balance: 100,
+        };
+        let dora_db = Arc::new(Database::default());
+        let conv_db = Arc::new(Database::default());
+        let dora_t = wl.load(&dora_db);
+        let conv_t = wl.load(&conv_db);
+
+        let dora = DoraEngine::new(
+            dora_db.clone(),
+            wl.routing(dora_t, 2),
+            DoraEngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let conv = ConvEngine::new(
+            conv_db.clone(),
+            ConvEngineConfig {
+                workers: 2,
+                max_retries: 10,
+            },
+        );
+
+        let mut mix = TransferMix::new(wl.accounts, 42);
+        for _ in 0..40 {
+            let (from, to, amount) = mix.next_transfer();
+            assert!(dora
+                .execute(transfer_flow(dora_t, from, to, amount))
+                .is_committed());
+            assert!(conv
+                .execute(transfer_request(conv_t, from, to, amount))
+                .is_committed());
+        }
+
+        assert_eq!(wl.current_total(&dora_db, dora_t), wl.total_balance());
+        assert_eq!(wl.current_total(&conv_db, conv_t), wl.total_balance());
+        // Identical inputs serially applied: identical final states.
+        let rows = |db: &Database, t| {
+            let mut r: Vec<(i64, i64)> = db
+                .scan(t)
+                .unwrap()
+                .into_iter()
+                .map(|row| (row[0].as_i64().unwrap(), row[1].as_i64().unwrap()))
+                .collect();
+            r.sort_unstable();
+            r
+        };
+        assert_eq!(rows(&dora_db, dora_t), rows(&conv_db, conv_t));
+
+        dora.shutdown();
+        conv.shutdown();
+    }
+
+    #[test]
+    fn locality_mix_keeps_transfers_inside_partition_blocks() {
+        let wl = TransferWorkload {
+            accounts: 64,
+            initial_balance: 100,
+        };
+        let routing = wl.routing(1, 4);
+        let mut local_mix = TransferMix::with_locality(64, 3, 4, 100);
+        for _ in 0..256 {
+            let (from, to, _) = local_mix.next_transfer();
+            assert_ne!(from, to);
+            assert!((0..64).contains(&from) && (0..64).contains(&to));
+            assert_eq!(
+                routing.owner_of(1, from),
+                routing.owner_of(1, to),
+                "100% locality must stay partition-local ({from} -> {to})"
+            );
+        }
+        // 0% locality over 4 partitions is mostly cross-partition.
+        let mut cross_mix = TransferMix::with_locality(64, 3, 4, 0);
+        let cross = (0..256)
+            .filter(|_| {
+                let (from, to, _) = cross_mix.next_transfer();
+                routing.owner_of(1, from) != routing.owner_of(1, to)
+            })
+            .count();
+        assert!(cross > 128, "uniform picks should usually cross: {cross}");
+    }
+
+    #[test]
+    fn routed_flow_collapses_local_transfers_to_one_action() {
+        let wl = TransferWorkload {
+            accounts: 64,
+            initial_balance: 100,
+        };
+        let db = Arc::new(Database::default());
+        let t = wl.load(&db);
+        let routing = wl.routing(t, 4);
+        // Keys 1 and 2 share partition 0; keys 1 and 63 do not.
+        let local = transfer_flow_routed(&routing, t, 1, 2, 5);
+        assert_eq!(local.phase_count(), 1);
+        assert_eq!(local.first_phase_len(), 1);
+        let cross = transfer_flow_routed(&routing, t, 1, 63, 5);
+        assert_eq!(cross.phase_count(), 2);
+        assert_eq!(cross.first_phase_len(), 2);
+
+        // Both shapes move the money and conserve the total.
+        let e = DoraEngine::new(
+            db.clone(),
+            routing.clone(),
+            DoraEngineConfig {
+                workers: 4,
+                ..Default::default()
+            },
+        );
+        assert!(e
+            .execute(transfer_flow_routed(&e.routing(), t, 1, 2, 5))
+            .is_committed());
+        assert!(e
+            .execute(transfer_flow_routed(&e.routing(), t, 1, 63, 7))
+            .is_committed());
+        assert_eq!(wl.current_total(&db, t), wl.total_balance());
+        let read = |id: i64| {
+            let txn = db.begin();
+            let row = db
+                .get(txn, t, &[Value::BigInt(id)], DORA_POLICY)
+                .unwrap()
+                .unwrap();
+            db.commit(txn).unwrap();
+            row[1].as_i64().unwrap()
+        };
+        assert_eq!(read(1), 100 - 5 - 7);
+        assert_eq!(read(2), 105);
+        assert_eq!(read(63), 107);
+        // Local transfers bounce on funds like cross ones do.
+        assert!(!e
+            .execute(transfer_flow_routed(&e.routing(), t, 3, 4, 999))
+            .is_committed());
+        assert_eq!(wl.current_total(&db, t), wl.total_balance());
+        e.shutdown();
+    }
+
+    #[test]
+    fn insufficient_funds_aborts_both_forms() {
+        let wl = TransferWorkload {
+            accounts: 8,
+            initial_balance: 10,
+        };
+        let dora_db = Arc::new(Database::default());
+        let conv_db = Arc::new(Database::default());
+        let dora_t = wl.load(&dora_db);
+        let conv_t = wl.load(&conv_db);
+        let dora = DoraEngine::new(
+            dora_db.clone(),
+            wl.routing(dora_t, 2),
+            DoraEngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let conv = ConvEngine::new(conv_db.clone(), ConvEngineConfig::default());
+        assert!(!dora
+            .execute(transfer_flow(dora_t, 1, 2, 999))
+            .is_committed());
+        assert!(!conv
+            .execute(transfer_request(conv_t, 1, 2, 999))
+            .is_committed());
+        assert_eq!(wl.current_total(&dora_db, dora_t), wl.total_balance());
+        assert_eq!(wl.current_total(&conv_db, conv_t), wl.total_balance());
+        dora.shutdown();
+        conv.shutdown();
+    }
+}
