@@ -1,1 +1,98 @@
-fn main() {}
+//! Oversubscription curve: committed transactions per second as the
+//! number of client (submitter) threads grows past a fixed worker count.
+//!
+//! This is the workload that stresses partition-mailbox **admission**
+//! hardest: every client thread races the others for fresh-ring slots, so
+//! the cost of the admission path (one CAS when uncontended, back-pressure
+//! when a partition saturates) is what separates the curves. A flat or
+//! rising DORA curve under 8x oversubscription means intake does not
+//! become the bottleneck the centralized lock manager is for the
+//! conventional engine.
+//!
+//! Run with `cargo bench --bench throughput_vs_clients`. Flags:
+//! `--quick` (CI smoke), `--compare <path>` (embed a previous report as
+//! `"baseline"`), `--out <path>`, `--accounts <n>`, `--total <n>`, `--repeats <n>`. Writes
+//! `BENCH_throughput_vs_clients.json` at the workspace root; the JSON
+//! schema is documented in `dora_bench::report`.
+
+use dora_bench::driver::{run_transfer_best_of, BenchArgs, EngineKind, TransferRun};
+use dora_bench::report::{workspace_root, BenchReport};
+use dora_workloads::transfer::TransferWorkload;
+
+fn main() {
+    let args = BenchArgs::parse(std::env::args().skip(1));
+    // Read the comparison report up front: a bad path must fail before
+    // minutes of measurement, not after.
+    let baseline = args.compare.as_deref().map(|p| {
+        std::fs::read_to_string(p)
+            .or_else(|_| std::fs::read_to_string(workspace_root().join(p)))
+            .expect("read --compare report")
+    });
+    let wl = TransferWorkload {
+        accounts: args.accounts.unwrap_or(if args.quick { 128 } else { 1024 }),
+        initial_balance: 1_000,
+    };
+    // Partitions stay fixed; only the offered-load side scales.
+    let workers = if args.quick { 2 } else { 4 };
+    let client_counts: &[usize] = if args.quick {
+        &[2, 8]
+    } else {
+        &[2, 4, 8, 16, 32]
+    };
+    // Fixed offered load per scenario, split across however many clients
+    // submit it, so every scenario commits comparable work.
+    let total_per_scenario = args
+        .total
+        .unwrap_or(if args.quick { 2_000 } else { 64_000 });
+    let locality_pct = 90;
+
+    let mut runs = Vec::new();
+    let repeats = args.repeats.unwrap_or(if args.quick { 1 } else { 3 });
+    for &clients in client_counts {
+        for engine in [EngineKind::Conventional, EngineKind::Dora] {
+            let scenario = run_transfer_best_of(
+                &wl,
+                TransferRun {
+                    engine,
+                    workers,
+                    clients,
+                    per_client: (total_per_scenario / clients).max(1),
+                    locality_pct,
+                    client_retries: 10,
+                },
+                repeats,
+            );
+            eprintln!(
+                "  {:<13} clients={:<3} committed={:<6} tps={:.1}",
+                scenario.engine,
+                clients,
+                scenario.committed,
+                scenario.throughput_tps()
+            );
+            runs.push(scenario);
+        }
+    }
+
+    let report = BenchReport {
+        bench: "throughput_vs_clients",
+        workload: format!(
+            "transfer accounts={} initial_balance={} locality={}% total_per_scenario={} workers={}",
+            wl.accounts, wl.initial_balance, locality_pct, total_per_scenario, workers
+        ),
+        physical_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        quick: args.quick,
+        runs,
+    };
+    print!("{}", report.to_table());
+
+    let out = args
+        .out
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| workspace_root().join("BENCH_throughput_vs_clients.json"));
+    report
+        .write_json(&out, baseline.as_deref())
+        .expect("write bench JSON");
+    println!("wrote {}", out.display());
+}

@@ -4,7 +4,8 @@
 //!
 //! Run with `cargo bench --bench throughput_vs_cores`. Flags:
 //! `--quick` (CI smoke), `--compare <path>` (embed a previous report as
-//! `"baseline"`), `--out <path>`. Writes
+//! `"baseline"`), `--out <path>`, `--accounts <n>`, `--total <n>`,
+//! `--repeats <n>`. Writes
 //! `BENCH_throughput_vs_cores.json` at the workspace root; the JSON schema
 //! is documented in `dora_bench::report`.
 //!
@@ -45,7 +46,7 @@ fn main() {
     let mut runs = Vec::new();
     // Best-of-N damps scheduler noise on shared hosts; inputs are
     // deterministic so repeats do identical work.
-    let repeats = if args.quick { 1 } else { 3 };
+    let repeats = args.repeats.unwrap_or(if args.quick { 1 } else { 3 });
     for &workers in worker_counts {
         for engine in [EngineKind::Conventional, EngineKind::Dora] {
             let clients = workers * 2;

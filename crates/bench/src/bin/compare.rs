@@ -1,0 +1,411 @@
+//! `dora-bench` report comparator: the CI regression gate.
+//!
+//! Compares a freshly produced `BENCH_*.json` against a committed
+//! baseline report and **exits non-zero** when throughput regressed by
+//! more than the threshold, so a PR that slows the engine down fails its
+//! pipeline instead of silently shipping.
+//!
+//! ```text
+//! cargo run -p dora-bench --bin compare -- \
+//!     --candidate BENCH_throughput_vs_cores.json \
+//!     --baseline crates/bench/baselines/ci_quick_throughput_vs_cores.json \
+//!     [--threshold-pct 10] [--metric ratio|tps] [--strict-coverage]
+//! ```
+//!
+//! Metrics:
+//!
+//! * `ratio` (default) — for every `(workers, clients)` configuration
+//!   present in both reports, compare the **DORA : conventional
+//!   throughput ratio**. The ratio divides out the host's absolute speed,
+//!   so a baseline recorded on one machine still gates runs on another
+//!   (CI runners differ; the two engines ran on the same box in the same
+//!   process, so their quotient is the portable signal).
+//! * `tps` — compare absolute committed-per-second per
+//!   `(engine, workers, clients)` row. Only meaningful when candidate and
+//!   baseline come from the same machine (e.g. the committed full-run
+//!   baselines under `crates/bench/baselines/`).
+//!
+//! A configuration present in only one report cannot be gated — whether
+//! the candidate grew a config the baseline lacks or the bench grid
+//! shrank so a baseline config is no longer measured. Each one prints a
+//! `WARNING: … SKIPPED` line so coverage loss from a drifted scenario
+//! grid is visible in CI logs, and `--strict-coverage` turns any skip
+//! into a failure (CI passes it: the quick grids of candidate and
+//! committed baseline are meant to be identical).
+//!
+//! Relative paths are tried against the current directory first, then the
+//! workspace root (cargo sets a package directory as cwd for `run`).
+
+use std::process::ExitCode;
+
+use dora_bench::report::workspace_root;
+
+/// One measurement row pulled out of a report.
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    engine: String,
+    workers: u64,
+    clients: u64,
+    tps: f64,
+}
+
+/// Extracts the top-level `runs` rows from a `BENCH_*.json` document.
+///
+/// The report format is this workspace's own hand-rolled schema
+/// (`dora_bench::report`), so a full JSON parser is not needed: rows are
+/// flat objects whose fields sit on their own lines. Everything from the
+/// top-level `"baseline"` key on is ignored — an embedded baseline
+/// carries its own `runs`, which must not be mistaken for the report's.
+fn parse_rows(text: &str) -> Vec<Row> {
+    let own = match text.find("\n  \"baseline\":") {
+        Some(pos) => &text[..pos],
+        None => text,
+    };
+    let mut rows = Vec::new();
+    let mut current: Option<Row> = None;
+    for line in own.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if let Some(value) = line.strip_prefix("\"engine\": ") {
+            current = Some(Row {
+                engine: value.trim_matches('"').to_string(),
+                workers: 0,
+                clients: 0,
+                tps: 0.0,
+            });
+        } else if let Some(row) = current.as_mut() {
+            if let Some(value) = line.strip_prefix("\"workers\": ") {
+                row.workers = value.parse().unwrap_or(0);
+            } else if let Some(value) = line.strip_prefix("\"clients\": ") {
+                row.clients = value.parse().unwrap_or(0);
+            } else if let Some(value) = line.strip_prefix("\"throughput_tps\": ") {
+                row.tps = value.parse().unwrap_or(0.0);
+                rows.push(current.take().expect("row in progress"));
+            }
+        }
+    }
+    rows
+}
+
+fn read_report(path: &str) -> String {
+    std::fs::read_to_string(path)
+        .or_else(|_| std::fs::read_to_string(workspace_root().join(path)))
+        .unwrap_or_else(|e| panic!("read report {path}: {e}"))
+}
+
+fn find_tps(rows: &[Row], engine: &str, workers: u64, clients: u64) -> Option<f64> {
+    rows.iter()
+        .find(|r| r.engine == engine && r.workers == workers && r.clients == clients)
+        .map(|r| r.tps)
+}
+
+/// Outcome of one comparison pass.
+///
+/// `skipped` counts configurations that could not be gated — candidate
+/// rows with no baseline counterpart, baseline rows the candidate no
+/// longer produces (a shrunken bench grid), or degenerate
+/// zero-throughput rows: grid drift in either direction would otherwise
+/// silently shrink coverage.
+#[derive(Debug, Default, PartialEq)]
+struct Outcome {
+    compared: usize,
+    skipped: usize,
+    regressed: bool,
+}
+
+/// Sorted, deduplicated `(workers, clients)` configurations of a report.
+fn configs_of(rows: &[Row]) -> Vec<(u64, u64)> {
+    rows.iter()
+        .map(|r| (r.workers, r.clients))
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect()
+}
+
+/// Compares per-configuration DORA:conventional ratios.
+fn compare_ratio(candidate: &[Row], baseline: &[Row], threshold_pct: f64) -> Outcome {
+    let mut out = Outcome::default();
+    let configs = configs_of(candidate);
+    // Baseline configurations the candidate no longer measures lose
+    // their gate coverage just as silently as the reverse drift.
+    for &(workers, clients) in configs_of(baseline).iter().filter(|c| !configs.contains(c)) {
+        out.skipped += 1;
+        eprintln!(
+            "WARNING: workers={workers} clients={clients}: baseline configuration \
+             missing from candidate — SKIPPED, not gated"
+        );
+    }
+    for (workers, clients) in configs {
+        let (Some(cand_dora), Some(cand_conv), Some(base_dora), Some(base_conv)) = (
+            find_tps(candidate, "dora", workers, clients),
+            find_tps(candidate, "conventional", workers, clients),
+            find_tps(baseline, "dora", workers, clients),
+            find_tps(baseline, "conventional", workers, clients),
+        ) else {
+            out.skipped += 1;
+            eprintln!(
+                "WARNING: workers={workers} clients={clients}: no baseline \
+                 counterpart (or missing engine row) — SKIPPED, not gated"
+            );
+            continue;
+        };
+        if cand_conv <= 0.0 || base_conv <= 0.0 {
+            out.skipped += 1;
+            eprintln!(
+                "WARNING: workers={workers} clients={clients}: zero conventional \
+                 throughput — SKIPPED, not gated"
+            );
+            continue;
+        }
+        out.compared += 1;
+        let cand_ratio = cand_dora / cand_conv;
+        let base_ratio = base_dora / base_conv;
+        let floor = base_ratio * (1.0 - threshold_pct / 100.0);
+        let verdict = if cand_ratio < floor {
+            out.regressed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "workers={workers} clients={clients}: dora/conv ratio {cand_ratio:.3} \
+             vs baseline {base_ratio:.3} (floor {floor:.3}) — {verdict}"
+        );
+    }
+    out
+}
+
+/// Compares absolute throughput per `(engine, workers, clients)` row.
+fn compare_tps(candidate: &[Row], baseline: &[Row], threshold_pct: f64) -> Outcome {
+    let mut out = Outcome::default();
+    for base in baseline {
+        if find_tps(candidate, &base.engine, base.workers, base.clients).is_none() {
+            out.skipped += 1;
+            eprintln!(
+                "WARNING: {} workers={} clients={}: baseline row missing from \
+                 candidate — SKIPPED, not gated",
+                base.engine, base.workers, base.clients
+            );
+        }
+    }
+    for row in candidate {
+        let Some(base) = find_tps(baseline, &row.engine, row.workers, row.clients) else {
+            out.skipped += 1;
+            eprintln!(
+                "WARNING: {} workers={} clients={}: no baseline row — SKIPPED, not gated",
+                row.engine, row.workers, row.clients
+            );
+            continue;
+        };
+        if base <= 0.0 {
+            out.skipped += 1;
+            eprintln!(
+                "WARNING: {} workers={} clients={}: zero baseline throughput — \
+                 SKIPPED, not gated",
+                row.engine, row.workers, row.clients
+            );
+            continue;
+        }
+        out.compared += 1;
+        let floor = base * (1.0 - threshold_pct / 100.0);
+        let verdict = if row.tps < floor {
+            out.regressed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{} workers={} clients={}: {:.1} tps vs baseline {:.1} (floor {:.1}) — {verdict}",
+            row.engine, row.workers, row.clients, row.tps, base, floor
+        );
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let mut candidate = None;
+    let mut baseline = None;
+    let mut threshold_pct = 10.0f64;
+    let mut metric = String::from("ratio");
+    let mut strict_coverage = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--candidate" => candidate = args.next(),
+            "--baseline" => baseline = args.next(),
+            "--threshold-pct" => {
+                threshold_pct = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold-pct takes a number")
+            }
+            "--metric" => metric = args.next().expect("--metric takes ratio|tps"),
+            "--strict-coverage" => strict_coverage = true,
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: compare --candidate <new.json> --baseline <old.json> \
+                     [--threshold-pct 10] [--metric ratio|tps] [--strict-coverage]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(candidate), Some(baseline)) = (candidate, baseline) else {
+        eprintln!("compare needs --candidate and --baseline report paths");
+        return ExitCode::FAILURE;
+    };
+    let cand_rows = parse_rows(&read_report(&candidate));
+    let base_rows = parse_rows(&read_report(&baseline));
+    println!(
+        "comparing {candidate} ({} rows) against {baseline} ({} rows), \
+         metric={metric}, threshold={threshold_pct}%",
+        cand_rows.len(),
+        base_rows.len()
+    );
+    let outcome = match metric.as_str() {
+        "ratio" => compare_ratio(&cand_rows, &base_rows, threshold_pct),
+        "tps" => compare_tps(&cand_rows, &base_rows, threshold_pct),
+        other => {
+            eprintln!("unknown metric {other} (expected ratio or tps)");
+            return ExitCode::FAILURE;
+        }
+    };
+    if outcome.compared == 0 {
+        eprintln!("no comparable configurations between the two reports");
+        return ExitCode::FAILURE;
+    }
+    if outcome.skipped > 0 && strict_coverage {
+        eprintln!(
+            "FAIL: --strict-coverage and {} configuration(s) exist in only one \
+             report (grid drift? re-baseline or fix the bench grid)",
+            outcome.skipped
+        );
+        return ExitCode::FAILURE;
+    }
+    if outcome.regressed {
+        eprintln!("FAIL: regression beyond {threshold_pct}% detected");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "PASS: no regression beyond {threshold_pct}% across {} configuration(s){}",
+        outcome.compared,
+        if outcome.skipped > 0 {
+            format!(" ({} skipped — see warnings)", outcome.skipped)
+        } else {
+            String::new()
+        }
+    );
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dora_bench::report::{BenchReport, Scenario};
+
+    fn report(rows: &[(&'static str, usize, usize, u64)]) -> String {
+        BenchReport {
+            bench: "throughput_vs_cores",
+            workload: "test".into(),
+            physical_cores: 1,
+            quick: true,
+            runs: rows
+                .iter()
+                .map(|&(engine, workers, clients, committed)| Scenario {
+                    engine,
+                    workers,
+                    clients,
+                    committed,
+                    aborted: 0,
+                    elapsed_secs: 1.0,
+                    critical_sections: 0,
+                    extra: vec![],
+                })
+                .collect(),
+        }
+        .to_json(None)
+    }
+
+    #[test]
+    fn parses_rows_and_skips_embedded_baseline() {
+        let inner = report(&[("dora", 2, 4, 100)]);
+        let outer = BenchReport {
+            bench: "throughput_vs_cores",
+            workload: "test".into(),
+            physical_cores: 1,
+            quick: true,
+            runs: vec![Scenario {
+                engine: "conventional",
+                workers: 2,
+                clients: 4,
+                committed: 80,
+                aborted: 0,
+                elapsed_secs: 1.0,
+                critical_sections: 9,
+                extra: vec![],
+            }],
+        }
+        .to_json(Some(&inner));
+        let rows = parse_rows(&outer);
+        assert_eq!(rows.len(), 1, "embedded baseline rows must be ignored");
+        assert_eq!(rows[0].engine, "conventional");
+        assert_eq!(rows[0].tps, 80.0);
+    }
+
+    #[test]
+    fn ratio_metric_flags_only_real_regressions() {
+        let base = report(&[("conventional", 2, 4, 100), ("dora", 2, 4, 120)]);
+        // Same ratio, different absolute speed (slower host): passes.
+        let same = report(&[("conventional", 2, 4, 50), ("dora", 2, 4, 60)]);
+        let out = compare_ratio(&parse_rows(&same), &parse_rows(&base), 10.0);
+        assert_eq!(out.compared, 1);
+        assert_eq!(out.skipped, 0);
+        assert!(!out.regressed);
+        // Ratio dropped 25%: fails the 10% gate.
+        let worse = report(&[("conventional", 2, 4, 100), ("dora", 2, 4, 90)]);
+        let out = compare_ratio(&parse_rows(&worse), &parse_rows(&base), 10.0);
+        assert!(out.regressed);
+    }
+
+    #[test]
+    fn tps_metric_compares_absolute_rows() {
+        let base = report(&[("dora", 2, 4, 100)]);
+        let ok = report(&[("dora", 2, 4, 95)]);
+        let out = compare_tps(&parse_rows(&ok), &parse_rows(&base), 10.0);
+        assert_eq!(out.compared, 1);
+        assert!(!out.regressed);
+        let bad = report(&[("dora", 2, 4, 80)]);
+        let out = compare_tps(&parse_rows(&bad), &parse_rows(&base), 10.0);
+        assert!(out.regressed);
+    }
+
+    #[test]
+    fn grid_drift_is_counted_not_silently_dropped() {
+        // Baseline only knows workers=2; a candidate that grew a workers=4
+        // configuration must surface the uncovered config via `skipped`.
+        let base = report(&[("conventional", 2, 4, 100), ("dora", 2, 4, 120)]);
+        let drifted = report(&[
+            ("conventional", 2, 4, 100),
+            ("dora", 2, 4, 120),
+            ("conventional", 4, 8, 100),
+            ("dora", 4, 8, 120),
+        ]);
+        let out = compare_ratio(&parse_rows(&drifted), &parse_rows(&base), 10.0);
+        assert_eq!(out.compared, 1);
+        assert_eq!(out.skipped, 1);
+        assert!(!out.regressed);
+        let out = compare_tps(&parse_rows(&drifted), &parse_rows(&base), 10.0);
+        assert_eq!(out.compared, 2);
+        assert_eq!(out.skipped, 2);
+        // Reverse drift — the bench grid SHRANK, so a baseline config is
+        // no longer measured: coverage loss must be counted too, not
+        // silently passed (the candidate rows all still match).
+        let out = compare_ratio(&parse_rows(&base), &parse_rows(&drifted), 10.0);
+        assert_eq!(out.compared, 1);
+        assert_eq!(out.skipped, 1);
+        assert!(!out.regressed);
+        let out = compare_tps(&parse_rows(&base), &parse_rows(&drifted), 10.0);
+        assert_eq!(out.compared, 2);
+        assert_eq!(out.skipped, 2);
+    }
+}

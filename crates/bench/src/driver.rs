@@ -173,6 +173,14 @@ fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
             "rescans_avoided",
             stats.workers.iter().map(|w| w.rescans_avoided).sum::<u64>() as f64,
         ),
+        (
+            "outbox_msgs",
+            stats.workers.iter().map(|w| w.outbox_msgs).sum::<u64>() as f64,
+        ),
+        (
+            "outbox_pushes",
+            stats.workers.iter().map(|w| w.outbox_pushes).sum::<u64>() as f64,
+        ),
     ];
     let crit = db.lock_stats().critical_sections - crit_before;
     assert_eq!(
@@ -273,7 +281,7 @@ fn join_clients(clients: Vec<std::thread::JoinHandle<(u64, u64)>>) -> (u64, u64)
 }
 
 /// Parses the common bench flags: `--quick`, `--compare <path>`,
-/// `--out <path>`, `--accounts <n>`, `--total <n>`.
+/// `--out <path>`, `--accounts <n>`, `--total <n>`, `--repeats <n>`.
 #[derive(Debug, Default, Clone)]
 pub struct BenchArgs {
     /// CI smoke mode: tiny configuration, marked `"quick"` in the JSON.
@@ -286,6 +294,9 @@ pub struct BenchArgs {
     pub accounts: Option<i64>,
     /// Override for the per-scenario transaction total.
     pub total: Option<usize>,
+    /// Override for the best-of-N repeat count (default 3 full, 1 quick).
+    /// Committed baselines use `--repeats 6` to damp scheduler noise.
+    pub repeats: Option<usize>,
 }
 
 impl BenchArgs {
@@ -302,6 +313,7 @@ impl BenchArgs {
                 "--out" => parsed.out = args.next(),
                 "--accounts" => parsed.accounts = args.next().and_then(|v| v.parse().ok()),
                 "--total" => parsed.total = args.next().and_then(|v| v.parse().ok()),
+                "--repeats" => parsed.repeats = args.next().and_then(|v| v.parse().ok()),
                 other => eprintln!("ignoring unknown bench argument: {other}"),
             }
         }
@@ -316,15 +328,24 @@ mod tests {
     #[test]
     fn parses_bench_args() {
         let a = BenchArgs::parse(
-            ["--quick", "--compare", "x.json", "--out", "y.json"]
-                .into_iter()
-                .map(String::from),
+            [
+                "--quick",
+                "--compare",
+                "x.json",
+                "--out",
+                "y.json",
+                "--repeats",
+                "6",
+            ]
+            .into_iter()
+            .map(String::from),
         );
         assert!(a.quick);
         assert_eq!(a.compare.as_deref(), Some("x.json"));
         assert_eq!(a.out.as_deref(), Some("y.json"));
+        assert_eq!(a.repeats, Some(6));
         let b = BenchArgs::parse(std::iter::empty());
-        assert!(!b.quick && b.compare.is_none() && b.out.is_none());
+        assert!(!b.quick && b.compare.is_none() && b.out.is_none() && b.repeats.is_none());
     }
 
     #[test]

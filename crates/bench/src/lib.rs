@@ -31,13 +31,19 @@
 //! benchmarking framework, keeping the crate dependency-free for offline
 //! builds). The JSON schema — and the `--compare` mechanism that embeds a
 //! committed baseline report for before/after tracking — is documented in
-//! [`report`]. `throughput_vs_cores` and `critical_sections` are wired to
-//! the [`dora_workloads::transfer`] workload today; the remaining targets
-//! are still stubs.
+//! [`report`]. `throughput_vs_cores`, `throughput_vs_clients` and
+//! `critical_sections` are wired to the [`dora_workloads::transfer`]
+//! workload today; the remaining targets are still stubs.
 //!
 //! Common bench flags (wired targets): `--quick` (CI smoke: tiny
 //! configuration), `--compare <path>` (embed a previous report as
-//! `"baseline"`), `--out <path>` (override the JSON destination).
+//! `"baseline"`), `--out <path>` (override the JSON destination),
+//! `--accounts <n>`, `--total <n>`.
+//!
+//! The crate also ships the `compare` binary (`src/bin/compare.rs`): CI's
+//! regression gate, which diffs a fresh report against a committed
+//! baseline and exits non-zero past a throughput (or DORA:conventional
+//! ratio) threshold — see its module docs for usage.
 
 #![warn(missing_docs)]
 

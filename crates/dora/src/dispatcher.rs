@@ -16,7 +16,6 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use crossbeam_channel::Sender;
 use parking_lot::Mutex;
 
 use dora_storage::error::{StorageError, StorageResult};
@@ -25,6 +24,7 @@ use dora_storage::types::{TableId, TxnId, Value};
 use crate::action::{ActionBody, ActionSpec, PhaseGen};
 use crate::executor::TxnOutcome;
 use crate::local_lock::LockClass;
+use crate::oneshot;
 use crate::routing::{PartitionId, RoutingTable};
 
 /// A message consumed by a partition worker thread.
@@ -51,6 +51,11 @@ pub enum WorkerMsg {
         /// The transaction whose phase failed.
         txn: TxnId,
     },
+    /// Several messages for the same partition coalesced into one mailbox
+    /// push: a worker's drain batch can produce multiple sends to one
+    /// target (next-phase actions plus finishes), and its outbox folds
+    /// them into a single priority-lane reservation. Never nested.
+    Batch(Vec<WorkerMsg>),
 }
 
 /// Per-partition involvement of a transaction: each involved partition
@@ -72,8 +77,8 @@ pub struct TxnCtx {
     /// broadcast sends each partition its own key set so release and
     /// wakeup are targeted.
     pub involved: Mutex<InvolvedKeys>,
-    /// Channel the final [`TxnOutcome`] is delivered on.
-    pub reply: Sender<TxnOutcome>,
+    /// One-shot cell the final [`TxnOutcome`] is delivered on.
+    pub reply: oneshot::Sender<TxnOutcome>,
 }
 
 impl TxnCtx {
@@ -82,7 +87,7 @@ impl TxnCtx {
         txn: TxnId,
         name: &'static str,
         phases: Vec<PhaseGen>,
-        reply: Sender<TxnOutcome>,
+        reply: oneshot::Sender<TxnOutcome>,
     ) -> Self {
         TxnCtx {
             txn,
@@ -222,13 +227,6 @@ pub struct ActionEnvelope {
     /// here, so a conflicting action times out rather than waiting forever
     /// (DORA's cross-partition deadlock resolution).
     pub dispatched: Instant,
-    /// `true` for phase-1 actions dispatched by `submit`: admission went
-    /// through the partition's back-pressure gate and the action queues in
-    /// the worker's normal lane. `false` for later-phase actions
-    /// dispatched from RVP logic, which ride the priority lane — they can
-    /// unblock a rendezvous other partitions are already waiting on, so
-    /// they cut ahead of fresh work.
-    pub fresh: bool,
 }
 
 /// Failure modes of routing a phase.
@@ -450,7 +448,7 @@ mod tests {
 
     #[test]
     fn txn_ctx_tracks_involved_partitions_with_their_keys() {
-        let (tx, _rx) = crossbeam_channel::bounded(1);
+        let (tx, _rx) = crate::oneshot::channel();
         let ctx = TxnCtx::new(7, "t", Vec::new(), tx);
         ctx.mark_involved(2, 1, &[(10, LockClass::Write)]);
         ctx.mark_involved(0, 1, &[]);

@@ -31,21 +31,30 @@
 //!   [`DoraEngineConfig::lock_timeout`] — a deferral that expires aborts
 //!   its transaction, which is also how cross-partition deadlocks (two
 //!   multi-partition transactions acquiring in opposite orders) resolve.
-//! * **Two-lane intake** — later-phase actions (dispatched from RVP
-//!   logic) ride a priority lane ahead of fresh phase-1 work, because a
-//!   rendezvous other partitions already executed for is waiting on them;
-//!   this bounds multi-partition transaction latency under load. A
-//!   later-phase action targeting the very partition whose worker runs
-//!   the RVP logic is executed inline, skipping the queue round-trip
-//!   entirely.
-//! * **Bounded admission** — each partition admits at most
-//!   [`DoraEngineConfig::queue_capacity`] fresh actions;
-//!   [`DoraEngine::submit`] blocks (back-pressure) up to
-//!   [`DoraEngineConfig::submit_timeout`] for space and then rejects with
-//!   a visible abort — overload degrades gracefully instead of ballooning
-//!   queue memory, and nothing is ever silently dropped. Worker-to-worker
-//!   messages (later phases, finishes) bypass the gate: a worker blocking
-//!   on another worker's admission could deadlock the engine.
+//! * **Lock-free mailbox** (the [`mailbox`](crate::mailbox) module) — each
+//!   partition's only input, with lane selection at enqueue time. The
+//!   **fresh lane** is a bounded MPSC ring whose capacity *is* the
+//!   admission bound: [`DoraEngine::submit`] reserves a slot per phase-1
+//!   action (one CAS), blocks — back-pressure — up to
+//!   [`DoraEngineConfig::submit_timeout`] while a partition is full, and
+//!   then rejects with a visible abort; nothing is ever silently
+//!   dropped. The **priority lane** is an unbounded lock-free list for
+//!   worker-to-worker traffic (later-phase actions, finishes, probes):
+//!   later phases can unblock a rendezvous other partitions already
+//!   executed for, so they cut ahead of fresh work — and a worker can
+//!   never block sending to another worker, which rules out send-side
+//!   deadlock by construction. A later-phase action targeting the very
+//!   partition whose worker runs the RVP logic is executed inline,
+//!   skipping the queue round-trip entirely. Workers **batch-drain**:
+//!   one atomic swap empties the priority lane, one lazily published
+//!   counter covers a whole fresh segment, and parking happens only on
+//!   verified-empty (eventcount), so the uncontended path touches no
+//!   mutex and no SeqCst handshake.
+//! * **Coalesced outboxes** — the cross-partition messages one drain
+//!   batch produces (finishes, next-phase actions, probes) are buffered
+//!   per target partition and flushed as **one** mailbox push each
+//!   ([`WorkerMsg::Batch`]), so a multi-send iteration pays one
+//!   reservation per target instead of one per message.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -53,8 +62,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use parking_lot::{Condvar, Mutex, RwLock};
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 
 use dora_storage::db::{Database, LockingPolicy};
@@ -65,6 +73,8 @@ use dora_storage::types::TableId;
 use crate::action::{ActionSpec, FlowGraph};
 use crate::dispatcher::{route_phase, ActionEnvelope, PhaseEnd, Rvp, TxnCtx, WorkerMsg};
 use crate::local_lock::{LocalLockStats, LocalLockTable};
+use crate::mailbox::{Mailbox, PushError};
+use crate::oneshot;
 use crate::routing::RoutingTable;
 use crate::wait_list::{WaitList, FRESH_SEQ};
 
@@ -107,10 +117,11 @@ pub struct DoraEngineConfig {
     /// transaction aborts. Also the cross-partition deadlock bound.
     pub lock_timeout: Duration,
     /// Per-partition bound on admitted-but-unprocessed **fresh** (phase-1)
-    /// actions. When a partition is full, `submit` blocks — back-pressure —
-    /// instead of letting queues grow without bound. Later-phase actions
-    /// are not counted: they belong to transactions already inside the
-    /// engine.
+    /// actions — the capacity of the partition mailbox's fresh ring
+    /// (rounded up to a power of two). When a partition is full, `submit`
+    /// blocks — back-pressure — instead of letting queues grow without
+    /// bound. Later-phase actions are not counted: they belong to
+    /// transactions already inside the engine.
     pub queue_capacity: usize,
     /// How long `submit` may block waiting for queue space before the
     /// transaction is rejected with a visible abort (never a silent drop).
@@ -152,6 +163,8 @@ struct PartitionCounters {
     deferred_depth: AtomicU64,
     wakeups: AtomicU64,
     rescans_avoided: AtomicU64,
+    outbox_msgs: AtomicU64,
+    outbox_pushes: AtomicU64,
 }
 
 /// Snapshot of one partition worker's counters.
@@ -172,6 +185,13 @@ pub struct PartitionStatsSnapshot {
     /// full-rescan executor would have paid. `wakeups + rescans_avoided`
     /// per release event equals the rescan cost the wait list replaced.
     pub rescans_avoided: u64,
+    /// Cross-partition messages this worker produced (finishes,
+    /// next-phase actions, probes).
+    pub outbox_msgs: u64,
+    /// Mailbox pushes those messages actually cost after same-target
+    /// coalescing; `outbox_msgs - outbox_pushes` is the number of
+    /// reservations (and wakeup probes) the outbox saved.
+    pub outbox_pushes: u64,
 }
 
 /// Snapshot of the engine's counters plus per-partition breakdown.
@@ -191,113 +211,18 @@ pub struct DoraStatsSnapshot {
     pub workers: Vec<PartitionStatsSnapshot>,
 }
 
-/// Admission gate bounding one partition's fresh-action queue.
-///
-/// Only `submit` (client threads) ever waits here; workers release slots
-/// as they take fresh actions up for processing and **never acquire** —
-/// a worker blocking on another worker's admission would deadlock the
-/// engine.
-///
-/// The un-congested path — the engine's common case — is lock-free: one
-/// CAS to acquire, one fetch-sub plus a waiter probe to release. The
-/// mutex/condvar pair only comes into play while some submitter actually
-/// waits for space.
-struct QueueGate {
-    capacity: usize,
-    used: AtomicUsize,
-    /// Submitters currently blocked in the slow path.
-    waiting: AtomicUsize,
-    sleep: Mutex<()>,
-    freed: Condvar,
-}
-
-impl QueueGate {
-    fn new(capacity: usize) -> Self {
-        QueueGate {
-            capacity: capacity.max(1),
-            used: AtomicUsize::new(0),
-            waiting: AtomicUsize::new(0),
-            sleep: Mutex::new(()),
-            freed: Condvar::new(),
-        }
-    }
-
-    /// Reserves `n` slots, blocking until space frees up or `timeout`
-    /// elapses (the clock is only consulted on the slow path — the fast
-    /// path is one CAS). A phase needing more slots than the entire
-    /// capacity is admitted alone (when the partition is idle) rather
-    /// than being rejected forever.
-    fn acquire(&self, n: usize, timeout: Duration) -> bool {
-        self.acquire_inner(n, None, timeout)
-    }
-
-    /// Like [`acquire`](Self::acquire) with an externally fixed deadline —
-    /// used when one admission budget spans several gates.
-    fn acquire_by(&self, n: usize, deadline: Instant) -> bool {
-        self.acquire_inner(n, Some(deadline), Duration::ZERO)
-    }
-
-    fn acquire_inner(&self, n: usize, deadline: Option<Instant>, timeout: Duration) -> bool {
-        let mut deadline = deadline;
-        loop {
-            let current = self.used.load(Ordering::SeqCst);
-            if current == 0 || current + n <= self.capacity {
-                if self
-                    .used
-                    .compare_exchange_weak(current, current + n, Ordering::SeqCst, Ordering::SeqCst)
-                    .is_ok()
-                {
-                    return true;
-                }
-                continue;
-            }
-            // Full: register as a waiter, then re-check before sleeping —
-            // a release between the check above and the registration must
-            // not be missed. The `waiting` store and the `used` re-load
-            // (and their mirror images in `release`) are SeqCst: with
-            // weaker orderings the two sides could each read the other's
-            // pre-update value (store-buffer reordering) and the last
-            // wakeup would be lost.
-            self.waiting.fetch_add(1, Ordering::SeqCst);
-            let mut guard = self.sleep.lock();
-            let current = self.used.load(Ordering::SeqCst);
-            if current == 0 || current + n <= self.capacity {
-                drop(guard);
-                self.waiting.fetch_sub(1, Ordering::SeqCst);
-                continue;
-            }
-            let now = Instant::now();
-            let deadline = *deadline.get_or_insert(now + timeout);
-            if now >= deadline {
-                drop(guard);
-                self.waiting.fetch_sub(1, Ordering::SeqCst);
-                return false;
-            }
-            self.freed.wait_for(&mut guard, deadline - now);
-            drop(guard);
-            self.waiting.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
-
-    fn release(&self, n: usize) {
-        self.used.fetch_sub(n, Ordering::SeqCst);
-        if self.waiting.load(Ordering::SeqCst) > 0 {
-            // Taking the sleep mutex orders this notify after any waiter
-            // that registered but has not started waiting yet.
-            let _guard = self.sleep.lock();
-            self.freed.notify_all();
-        }
-    }
-}
-
 struct Inner {
     db: Arc<Database>,
     routing: RwLock<RoutingTable>,
-    /// Senders to every partition queue. Cleared by shutdown, which is
-    /// what lets workers observe disconnection and exit.
-    senders: RwLock<Vec<Sender<WorkerMsg>>>,
-    /// One admission gate per partition (back-pressure on `submit`).
-    gates: Vec<QueueGate>,
+    /// One mailbox per partition — the immutable handle table. `submit`
+    /// and worker sends index it with **no lock at all** (the old
+    /// `RwLock<Vec<Sender>>` read lock on every message is gone): the
+    /// table never changes for the engine's lifetime, and shutdown flips
+    /// each mailbox's `closed` flag instead of clearing the table, which
+    /// is what lets workers observe disconnection and exit. Admission is
+    /// fused into each mailbox's fresh-ring capacity, so the per-partition
+    /// `QueueGate` and its SeqCst handshake are gone too.
+    mailboxes: Vec<Mailbox<WorkerMsg>>,
     counters: EngineCounters,
     partitions: Vec<PartitionCounters>,
     trace: Arc<AccessTrace>,
@@ -327,19 +252,11 @@ impl DoraEngine {
     /// Creates the engine and spawns one worker thread per partition.
     pub fn new(db: Arc<Database>, routing: RoutingTable, config: DoraEngineConfig) -> Self {
         assert!(config.workers > 0, "need at least one partition worker");
-        let mut senders = Vec::with_capacity(config.workers);
-        let mut receivers = Vec::with_capacity(config.workers);
-        for _ in 0..config.workers {
-            let (tx, rx) = unbounded::<WorkerMsg>();
-            senders.push(tx);
-            receivers.push(rx);
-        }
         let inner = Arc::new(Inner {
             db,
             routing: RwLock::new(routing),
-            senders: RwLock::new(senders),
-            gates: (0..config.workers)
-                .map(|_| QueueGate::new(config.queue_capacity))
+            mailboxes: (0..config.workers)
+                .map(|_| Mailbox::new(config.queue_capacity))
                 .collect(),
             counters: EngineCounters::default(),
             partitions: (0..config.workers)
@@ -353,14 +270,12 @@ impl DoraEngine {
             next_secondary: AtomicUsize::new(0),
             config,
         });
-        let workers = receivers
-            .into_iter()
-            .enumerate()
-            .map(|(id, rx)| {
+        let workers = (0..inner.config.workers)
+            .map(|id| {
                 let inner = inner.clone();
                 std::thread::Builder::new()
                     .name(format!("dora-worker-{id}"))
-                    .spawn(move || worker_loop(inner, id, rx))
+                    .spawn(move || worker_loop(inner, id))
                     .expect("spawn DORA partition worker")
             })
             .collect();
@@ -422,21 +337,22 @@ impl DoraEngine {
         f(&mut self.inner.routing.write());
     }
 
-    /// Total number of actions waiting in partition queues.
+    /// Total number of messages waiting in partition mailboxes (both
+    /// lanes; admitted-but-unprocessed fresh actions included).
     pub fn queue_len(&self) -> usize {
-        self.inner.senders.read().iter().map(|s| s.len()).sum()
+        self.inner.mailboxes.iter().map(|m| m.len()).sum()
     }
 
-    /// Submits a transaction flow graph; the returned channel yields its
-    /// outcome once the terminal RVP decides commit or abort.
+    /// Submits a transaction flow graph; the returned one-shot receiver
+    /// yields its outcome once the terminal RVP decides commit or abort.
     ///
     /// Partition queues are bounded: when the first phase targets a
     /// partition whose queue is full, this call **blocks** (back-pressure)
     /// up to [`DoraEngineConfig::submit_timeout`] and then rejects the
     /// transaction with an abort outcome — overload is never a silent
     /// drop.
-    pub fn submit(&self, flow: FlowGraph) -> Receiver<TxnOutcome> {
-        let (reply_tx, reply_rx) = bounded(1);
+    pub fn submit(&self, flow: FlowGraph) -> oneshot::Receiver<TxnOutcome> {
+        let (reply_tx, reply_rx) = oneshot::channel();
         // A routing quiesce is short; wait it out rather than bouncing the
         // client. Shutdown, by contrast, is final: reject immediately.
         // Order matters: become visible in `active` *first*, then re-check
@@ -499,6 +415,8 @@ impl DoraEngine {
                     deferred: p.deferred_depth.load(Ordering::Relaxed),
                     wakeups: p.wakeups.load(Ordering::Relaxed),
                     rescans_avoided: p.rescans_avoided.load(Ordering::Relaxed),
+                    outbox_msgs: p.outbox_msgs.load(Ordering::Relaxed),
+                    outbox_pushes: p.outbox_pushes.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -524,7 +442,9 @@ impl DoraEngine {
         while self.inner.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
             std::thread::sleep(Duration::from_micros(200));
         }
-        self.inner.senders.write().clear();
+        for mailbox in &self.inner.mailboxes {
+            mailbox.close();
+        }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -550,6 +470,10 @@ struct WorkerState {
     /// Keys released on this worker since wakeups were last drained
     /// (by local finalizes and incoming finish messages).
     pending_wake: Vec<(TableId, i64)>,
+    /// Second wake buffer: `drain_wakeups` ping-pongs it with
+    /// `pending_wake` so cascade rounds reuse the same two allocations
+    /// instead of reallocating per round.
+    wake_scratch: Vec<(TableId, i64)>,
     /// Priority lane: later-phase actions — they can unblock an RVP other
     /// partitions already executed for.
     priority: VecDeque<ActionEnvelope>,
@@ -565,33 +489,52 @@ struct WorkerState {
     /// → handle_action → report …). Bounded so a same-partition
     /// multi-phase chain cannot grow the worker stack without limit.
     inline_depth: u32,
+    /// Outbox: cross-partition messages produced during the current drain
+    /// batch, buffered per target partition. Flushed once per loop
+    /// iteration (and before parking) as **one** mailbox push per target —
+    /// same-target sends coalesce into a [`WorkerMsg::Batch`].
+    outbox: Vec<Vec<WorkerMsg>>,
+    /// Partitions with a non-empty outbox buffer.
+    outbox_dirty: Vec<usize>,
 }
 
 impl WorkerState {
-    fn new(id: usize, trace: Arc<AccessTrace>) -> Self {
+    fn new(id: usize, workers: usize, trace: Arc<AccessTrace>) -> Self {
         WorkerState {
             id,
             ctx: WorkerCtx::new(id, trace),
             locks: LocalLockTable::new(),
             waiting: WaitList::new(),
             pending_wake: Vec::new(),
+            wake_scratch: Vec::new(),
             priority: VecDeque::new(),
             fresh: VecDeque::new(),
             exported_deferred: 0,
             stats_dirty: false,
             inline_depth: 0,
+            outbox: (0..workers).map(|_| Vec::new()).collect(),
+            outbox_dirty: Vec::new(),
         }
     }
 
     fn has_intake(&self) -> bool {
         !self.priority.is_empty() || !self.fresh.is_empty() || !self.pending_wake.is_empty()
     }
+
+    /// Buffers one cross-partition message for the end-of-iteration flush.
+    fn send_later(&mut self, partition: usize, msg: WorkerMsg) {
+        if self.outbox[partition].is_empty() {
+            self.outbox_dirty.push(partition);
+        }
+        self.outbox[partition].push(msg);
+    }
 }
 
 /// Dispatches the next phase of `ctx`'s transaction (or commits it when
 /// `specs` is empty). `local` is the calling worker's state when invoked
 /// from RVP logic; `None` when invoked from `submit` — which is also what
-/// routes fresh phases through the partition admission gates.
+/// routes fresh phases through mailbox admission (reserving a fresh-ring
+/// slot *is* the admission gate).
 fn advance(
     inner: &Arc<Inner>,
     ctx: &Arc<TxnCtx>,
@@ -611,53 +554,37 @@ fn advance(
         finalize(inner, ctx, failure, local);
         return;
     }
-    let senders = inner.senders.read();
-    if senders.is_empty() {
-        drop(senders);
-        finalize(
-            inner,
-            ctx,
-            Some(StorageError::Aborted("engine is shutting down".into())),
-            local,
-        );
-        return;
-    }
     let assignments = {
         let routing = inner.routing.read();
-        route_phase(&routing, senders.len(), &inner.next_secondary, &specs)
+        route_phase(
+            &routing,
+            inner.config.workers,
+            &inner.next_secondary,
+            &specs,
+        )
     };
     let assignments = match assignments {
         Ok(a) => a,
         Err(e) => {
-            drop(senders);
             finalize(inner, ctx, Some(e.into()), local);
             return;
         }
     };
-    // Back-pressure: a fresh (phase-1) dispatch reserves queue slots for
-    // the whole phase up front — all partitions or none, so admission
-    // timeouts never leave a half-dispatched phase behind. Later phases
-    // bypass the gates (their transactions are already inside the engine,
-    // and a worker must never block here).
-    let fresh = local.is_none();
-    if fresh && !admit(inner, &assignments) {
-        drop(senders);
-        finalize(
-            inner,
-            ctx,
-            Some(StorageError::Aborted(
-                "partition queue full: admission timed out under back-pressure".into(),
-            )),
-            local,
-        );
-        return;
-    }
-    let local_id = local.as_ref().map(|st| st.id);
+    // A fresh (phase-1) dispatch pays admission: pushing onto a
+    // partition's fresh ring reserves the slot, blocking — back-pressure —
+    // while the ring is full, with one `submit_timeout` budget shared by
+    // the whole phase. Later phases ride the priority lanes (their
+    // transactions are already inside the engine, and a worker must never
+    // block sending to another worker).
+    let mut local = local;
+    let local_id = local.as_deref().map(|st| st.id);
     let rvp = Arc::new(Rvp::new(specs.len()));
     let now = Instant::now();
+    let admission_deadline = now + inner.config.submit_timeout;
     let mut inline = Vec::new();
-    let mut dead_failure = None;
-    for (slot, (spec, partition)) in specs.into_iter().zip(assignments).enumerate() {
+    let mut phase_failure = None;
+    let mut specs = specs.into_iter().zip(assignments).enumerate();
+    for (slot, (spec, partition)) in specs.by_ref() {
         if !spec.aligned {
             inner.counters.secondary.fetch_add(1, Ordering::Relaxed);
         }
@@ -670,7 +597,6 @@ fn advance(
             txn: ctx.clone(),
             rvp: rvp.clone(),
             dispatched: now,
-            fresh,
         };
         // An action for this very worker's partition runs inline below —
         // no queue round-trip; it IS the front of the priority lane.
@@ -678,28 +604,64 @@ fn advance(
             inline.push(envelope);
             continue;
         }
-        // Shutdown cannot drop the receivers underneath us (we hold the
-        // senders read lock), but a worker whose thread died is gone for
-        // good — report the slot as failed so the RVP still converges and
-        // the transaction aborts instead of the engine hanging.
-        if senders[partition]
-            .send(WorkerMsg::Action(envelope))
-            .is_err()
+        if let Some(st) = local.as_deref_mut() {
+            // Worker-side send: buffered and coalesced; flushed once per
+            // loop iteration as one push per target partition.
+            st.send_later(partition, WorkerMsg::Action(envelope));
+            continue;
+        }
+        match inner.mailboxes[partition].push_fresh(WorkerMsg::Action(envelope), admission_deadline)
         {
-            if fresh {
-                inner.gates[partition].release(1);
-            }
-            let dead = StorageError::Internal(format!("partition worker {partition} is gone"));
-            if let PhaseEnd::Last { failure, .. } = rvp.report(slot, Err(dead.clone())) {
-                // Last implies every other slot already reported, so no
-                // inline action can be pending here.
-                dead_failure = Some(failure.unwrap_or(dead));
+            Ok(()) => {}
+            Err(err) => {
+                // Admission failed for this slot: fail it and every
+                // not-yet-dispatched sibling at the RVP. Already-enqueued
+                // siblings that run observe `rvp.failed()` and skip their
+                // doomed work; the transaction aborts visibly, never
+                // silently.
+                let reason = match err {
+                    PushError::Full(_) => StorageError::Aborted(
+                        "partition queue full: admission timed out under back-pressure".into(),
+                    ),
+                    PushError::Closed(_) => StorageError::Aborted("engine is shutting down".into()),
+                };
+                let mut undispatched = vec![slot];
+                undispatched.extend(specs.by_ref().map(|(slot, _)| slot));
+                for slot in undispatched {
+                    if let PhaseEnd::Last { failure, .. } = rvp.report(slot, Err(reason.clone())) {
+                        phase_failure = Some(failure.unwrap_or_else(|| reason.clone()));
+                    }
+                }
+                if phase_failure.is_none() {
+                    // Dispatched siblings are still out, and one parked
+                    // on a lock would only notice `rvp.failed()` at a key
+                    // release or its own lock-timeout — up to lock_timeout
+                    // of needless lock-holding and reply latency. Probe
+                    // the involved partitions so parked doomed actions
+                    // abort now: the client-thread mirror of
+                    // `nudge_doomed` (one direct lock-free push each; a
+                    // closed mailbox means that worker is already
+                    // aborting everything).
+                    let remote: Vec<usize> = {
+                        let involved = ctx.involved.lock();
+                        involved
+                            .iter()
+                            .filter(|(_, keys)| !keys.is_empty())
+                            .map(|(p, _)| *p)
+                            .collect()
+                    };
+                    for partition in remote {
+                        let _ = inner.mailboxes[partition]
+                            .push_priority(WorkerMsg::Probe { txn: ctx.txn });
+                    }
+                }
                 break;
             }
         }
     }
-    drop(senders);
-    if let Some(failure) = dead_failure {
+    if let Some(failure) = phase_failure {
+        // Only reachable on the fresh path (no inline actions pending):
+        // every slot has reported, so the transaction ends here.
         finalize(inner, ctx, Some(failure), local);
         return;
     }
@@ -721,42 +683,12 @@ fn advance(
     }
 }
 
-/// Reserves admission slots for every action of a fresh phase — all
-/// partitions or none, so an admission timeout never leaves a
-/// half-dispatched phase behind. Returns `false` when back-pressure could
-/// not clear within `submit_timeout` — one budget shared by the whole
-/// phase, however many partitions it spans.
-fn admit(inner: &Arc<Inner>, assignments: &[usize]) -> bool {
-    // The dominant case — a single-action phase — needs no bookkeeping
-    // (and no clock read unless the gate is actually full).
-    if let [partition] = assignments {
-        return inner.gates[*partition].acquire(1, inner.config.submit_timeout);
-    }
-    // Per-partition slot demand (phases are small, so a linear-dedup list
-    // beats a workers-sized table).
-    let mut need: Vec<(usize, usize)> = Vec::with_capacity(assignments.len());
-    for &partition in assignments {
-        match need.iter_mut().find(|(p, _)| *p == partition) {
-            Some(entry) => entry.1 += 1,
-            None => need.push((partition, 1)),
-        }
-    }
-    let deadline = Instant::now() + inner.config.submit_timeout;
-    for (i, &(partition, n)) in need.iter().enumerate() {
-        if !inner.gates[partition].acquire_by(n, deadline) {
-            for &(acquired, m) in &need[..i] {
-                inner.gates[acquired].release(m);
-            }
-            return false;
-        }
-    }
-    true
-}
-
 /// Terminates a transaction: commit (when `failure` is `None`) or abort.
 /// Releases the calling worker's local locks directly (queueing wakeups
 /// for actions parked on them) and sends every other involved partition
-/// one batched `Finish` carrying the keys the transaction touched there.
+/// one batched `Finish` carrying the keys the transaction touched there —
+/// via the worker's outbox (coalesced with any other same-target sends of
+/// the drain batch) or, from a client thread, one direct lock-free push.
 fn finalize(
     inner: &Arc<Inner>,
     ctx: &Arc<TxnCtx>,
@@ -777,18 +709,18 @@ fn finalize(
             }
         }
     };
-    let local_id = local.as_ref().map(|st| st.id);
+    let mut local = local;
+    let local_id = local.as_deref().map(|st| st.id);
     // Split the involvement list once: release this worker's keys in
     // place, clone only what must travel to other partitions. The common
-    // single-partition transaction clones nothing and — having no remote
-    // partitions — never touches the senders lock.
+    // single-partition transaction clones nothing and sends nothing.
     let mut remote: Vec<(usize, Vec<(TableId, i64)>)> = Vec::new();
     {
         let involved = ctx.involved.lock();
-        if let Some(st) = local {
+        if let Some(st) = local.as_deref_mut() {
             if let Some((_, keys)) = involved.iter().find(|(p, _)| Some(*p) == local_id) {
-                let released = st.locks.release_keys(ctx.txn, keys);
-                st.pending_wake.extend(released);
+                st.locks
+                    .release_keys_into(ctx.txn, keys, &mut st.pending_wake);
             }
             // A transaction completing here is a natural transition point
             // to publish this worker's counters (the per-iteration export
@@ -803,11 +735,15 @@ fn finalize(
             }
         }
     }
-    if !remote.is_empty() {
-        let senders = inner.senders.read();
-        for (partition, keys) in remote {
-            if let Some(sender) = senders.get(partition) {
-                let _ = sender.send(WorkerMsg::Finish { txn: ctx.txn, keys });
+    for (partition, keys) in remote {
+        let msg = WorkerMsg::Finish { txn: ctx.txn, keys };
+        match local.as_deref_mut() {
+            Some(st) => st.send_later(partition, msg),
+            // Client-thread finalize (admission/routing failure): one
+            // lock-free push; a closed mailbox means the engine is gone
+            // and its locks with it.
+            None => {
+                let _ = inner.mailboxes[partition].push_priority(msg);
             }
         }
     }
@@ -821,57 +757,49 @@ fn finalize(
 
 /// The partition worker ("micro-engine") main loop.
 ///
-/// Event-driven: the worker blocks on its queue when it has nothing
-/// actionable, with a timeout only when parked actions exist — sized to
-/// the earliest lock-timeout deadline, not a fixed poll interval. Each
-/// iteration drains everything already queued (finishes apply their lock
-/// releases immediately; actions sort into the two lanes), wakes parked
-/// actions whose keys were released, then runs one action — priority lane
-/// first.
-fn worker_loop(inner: Arc<Inner>, id: usize, rx: Receiver<WorkerMsg>) {
-    let mut st = WorkerState::new(id, inner.trace.clone());
-    let mut connected = true;
-    while connected {
-        if !st.has_intake() {
-            // Nothing actionable: publish counters if they moved, then
-            // sleep until a message arrives or the earliest parked
-            // deadline passes.
+/// Event-driven: the worker parks on its mailbox when it has nothing
+/// actionable (eventcount — parking only on verified-empty), with a
+/// deadline only when parked actions exist — sized to the earliest
+/// lock-timeout expiry, not a fixed poll interval. Each iteration
+/// **batch-drains** the mailbox: the priority lane in one atomic swap
+/// (finishes apply their lock releases immediately), the fresh ring's
+/// published segment in one pass. It then wakes parked actions whose keys
+/// were released, runs one action — priority lane first — and flushes the
+/// outbox (one coalesced push per target partition touched this
+/// iteration).
+fn worker_loop(inner: Arc<Inner>, id: usize) {
+    let mut st = WorkerState::new(id, inner.config.workers, inner.trace.clone());
+    let mailbox = &inner.mailboxes[id];
+    let mut batch: Vec<WorkerMsg> = Vec::new();
+    loop {
+        if !st.has_intake() && !mailbox.has_pending() {
+            // Nothing actionable and nothing visibly queued: publish
+            // counters if they moved, then park until a message is
+            // published or the earliest parked deadline passes (the sweep
+            // below handles expiry). While traffic keeps flowing the
+            // `has_pending` probe skips the park handshake entirely.
             if st.stats_dirty {
                 export_stats(&inner, &mut st);
             }
-            match st.waiting.next_deadline(inner.config.lock_timeout) {
-                None => match rx.recv() {
-                    Ok(msg) => intake(&inner, &mut st, msg),
-                    Err(_) => break,
-                },
-                Some(deadline) => {
-                    let now = Instant::now();
-                    if deadline > now {
-                        match rx.recv_timeout(deadline - now) {
-                            Ok(msg) => intake(&inner, &mut st, msg),
-                            // Fall through: the sweep below handles it.
-                            Err(RecvTimeoutError::Timeout) => {}
-                            Err(RecvTimeoutError::Disconnected) => break,
-                        }
-                    }
-                }
-            }
+            mailbox.park(st.waiting.next_deadline(inner.config.lock_timeout));
         }
-        loop {
-            match rx.try_recv() {
-                Ok(msg) => intake(&inner, &mut st, msg),
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => {
-                    connected = false;
-                    break;
-                }
-            }
+        if mailbox.is_closed() {
+            break;
         }
+        // Priority lane first: one swap takes the whole segment.
+        mailbox.drain_priority_with(|msg| intake(&inner, &mut st, msg));
+        // Fresh ring: the published segment in one pass, straight into
+        // the local lane. Admission slots stay claimed until each action
+        // is taken up for processing.
+        mailbox.drain_fresh_with(|msg| match msg {
+            WorkerMsg::Action(envelope) => st.fresh.push_back(envelope),
+            other => intake(&inner, &mut st, other),
+        });
         drain_wakeups(&inner, &mut st);
         let next = st.priority.pop_front().or_else(|| {
             // Taking a fresh action up for processing frees its
             // admission slot.
-            st.fresh.pop_front().inspect(|_| inner.gates[id].release(1))
+            st.fresh.pop_front().inspect(|_| mailbox.free_fresh_slot())
         });
         if let Some(envelope) = next {
             handle_action(&inner, &mut st, envelope);
@@ -887,11 +815,38 @@ fn worker_loop(inner: Arc<Inner>, id: usize, rx: Receiver<WorkerMsg>) {
             sweep_expired(&inner, &mut st);
         }
         sync_deferred(&inner, &mut st);
+        flush_outbox(&inner, &mut st);
     }
     // Shutdown: whatever is still queued or parked can never complete (no
-    // further messages will arrive) — abort those transactions.
-    let mut leftovers: Vec<ActionEnvelope> = st.priority.drain(..).collect();
+    // further messages will arrive) — abort those transactions. The
+    // mailbox is drained too: a close never drops admitted work silently.
+    // Sealing the priority lane makes this drain final: a sender that
+    // raced past the closed-flag check can only land *before* the seal's
+    // swap (collected below) or fail with `Closed` — nothing can slip in
+    // behind the drain and strand. The fresh ring loops until quiescent
+    // for the same reason: a producer that claimed its slot before the
+    // close may still be mid-publication on the first pass.
+    mailbox.seal_priority_into(&mut batch);
+    loop {
+        let drained_fresh = mailbox.drain_fresh_into(&mut batch);
+        for _ in 0..drained_fresh {
+            mailbox.free_fresh_slot();
+        }
+        if mailbox.fresh_is_quiescent() {
+            break;
+        }
+        std::thread::yield_now();
+    }
+    let mut leftovers: Vec<ActionEnvelope> = Vec::new();
+    for msg in batch.drain(..) {
+        collect_leftover_actions(msg, &mut leftovers);
+    }
+    let fresh_backlog = st.fresh.len();
+    leftovers.extend(st.priority.drain(..));
     leftovers.extend(st.fresh.drain(..));
+    for _ in 0..fresh_backlog {
+        mailbox.free_fresh_slot();
+    }
     leftovers.extend(st.waiting.drain());
     for envelope in leftovers {
         complete(
@@ -901,29 +856,80 @@ fn worker_loop(inner: Arc<Inner>, id: usize, rx: Receiver<WorkerMsg>) {
             Err(StorageError::Aborted("engine is shutting down".into())),
         );
     }
+    // Completing leftovers can produce finish/probe messages for other
+    // partitions; push what still can be delivered, drop the rest (their
+    // mailboxes are as dead as this one).
+    flush_outbox(&inner, &mut st);
     export_stats(&inner, &mut st);
 }
 
-/// Applies one incoming message: finishes release their keys immediately
-/// (queueing targeted wakeups); actions sort into the priority or normal
-/// lane.
-fn intake(inner: &Arc<Inner>, st: &mut WorkerState, msg: WorkerMsg) {
+/// Pulls the action envelopes out of a message salvaged from a closed
+/// mailbox so their transactions can be aborted visibly.
+fn collect_leftover_actions(msg: WorkerMsg, out: &mut Vec<ActionEnvelope>) {
     match msg {
-        WorkerMsg::Action(envelope) => {
-            if envelope.fresh {
-                st.fresh.push_back(envelope);
-            } else {
-                st.priority.push_back(envelope);
+        WorkerMsg::Action(envelope) => out.push(envelope),
+        WorkerMsg::Batch(msgs) => {
+            for msg in msgs {
+                collect_leftover_actions(msg, out);
             }
         }
+        WorkerMsg::Finish { .. } | WorkerMsg::Probe { .. } => {}
+    }
+}
+
+/// Applies one incoming priority-lane message: finishes release their
+/// keys immediately (queueing targeted wakeups), later-phase actions join
+/// the priority lane, batches unpack (they are never nested).
+fn intake(inner: &Arc<Inner>, st: &mut WorkerState, msg: WorkerMsg) {
+    match msg {
+        WorkerMsg::Action(envelope) => st.priority.push_back(envelope),
         WorkerMsg::Finish { txn, keys } => {
-            let released = st.locks.release_keys(txn, &keys);
-            if !released.is_empty() {
+            if st.locks.release_keys_into(txn, &keys, &mut st.pending_wake) > 0 {
                 st.stats_dirty = true;
-                st.pending_wake.extend(released);
             }
         }
         WorkerMsg::Probe { txn } => probe_txn(inner, st, txn),
+        WorkerMsg::Batch(msgs) => {
+            for msg in msgs {
+                intake(inner, st, msg);
+            }
+        }
+    }
+}
+
+/// Delivers the outbox: one priority-lane push per target partition,
+/// however many messages this iteration produced for it (same-target
+/// sends coalesce into a [`WorkerMsg::Batch`]). A push only fails once
+/// the target's mailbox is closed (engine shutdown) — the envelopes it
+/// carried are failed at their RVPs so their transactions abort instead
+/// of hanging; the loop also covers messages those failures enqueue.
+fn flush_outbox(inner: &Arc<Inner>, st: &mut WorkerState) {
+    while let Some(partition) = st.outbox_dirty.pop() {
+        let mut msgs = std::mem::take(&mut st.outbox[partition]);
+        let batched = msgs.len() as u64;
+        let msg = if msgs.len() == 1 {
+            msgs.pop().expect("one message")
+        } else {
+            WorkerMsg::Batch(msgs)
+        };
+        // Counted before the push so the increments are ordered before
+        // the message's effects (an observer who saw the delivered work
+        // also sees them); a push rejected by a closed mailbox is not
+        // coalescing traffic the engine paid for, so the rare shutdown
+        // failure path takes the counts back out.
+        let counters = &inner.partitions[st.id];
+        counters.outbox_msgs.fetch_add(batched, Ordering::Relaxed);
+        counters.outbox_pushes.fetch_add(1, Ordering::Relaxed);
+        if let Err(err) = inner.mailboxes[partition].push_priority(msg) {
+            counters.outbox_msgs.fetch_sub(batched, Ordering::Relaxed);
+            counters.outbox_pushes.fetch_sub(1, Ordering::Relaxed);
+            let mut dead = Vec::new();
+            collect_leftover_actions(err.into_inner(), &mut dead);
+            let reason = StorageError::Internal(format!("partition worker {partition} is gone"));
+            for envelope in dead {
+                complete(inner, st, envelope, Err(reason.clone()));
+            }
+        }
     }
 }
 
@@ -934,13 +940,27 @@ fn intake(inner: &Arc<Inner>, st: &mut WorkerState, msg: WorkerMsg) {
 /// Running a woken action can finish its transaction and release more
 /// keys on this worker; the loop drains those cascades too.
 fn drain_wakeups(inner: &Arc<Inner>, st: &mut WorkerState) {
+    // The common case — keys released with nothing parked (every
+    // uncontended transaction) — must not churn allocations: `clear`
+    // keeps the buffer for the next release, where `take` would throw it
+    // away once per transaction.
+    if st.waiting.is_empty() {
+        st.pending_wake.clear();
+        return;
+    }
     while !st.pending_wake.is_empty() {
-        let keys = std::mem::take(&mut st.pending_wake);
+        // Swap this round's keys into the scratch buffer; releases the
+        // woken actions produce accumulate in the (emptied) pending
+        // buffer for the next round. Both allocations survive the whole
+        // cascade and the next transaction — nothing is reallocated.
+        std::mem::swap(&mut st.pending_wake, &mut st.wake_scratch);
+        st.pending_wake.clear();
         let parked_before = st.waiting.len() as u64;
         if parked_before == 0 {
-            continue;
+            st.wake_scratch.clear();
+            return;
         }
-        let woken = st.waiting.candidates(&keys);
+        let woken = st.waiting.candidates(&st.wake_scratch);
         let counters = &inner.partitions[st.id];
         counters
             .wakeups
@@ -956,6 +976,7 @@ fn drain_wakeups(inner: &Arc<Inner>, st: &mut WorkerState) {
                 st.waiting.park_at(seq, envelope);
             }
         }
+        st.wake_scratch.clear();
     }
 }
 
@@ -1142,7 +1163,7 @@ fn report(
 /// On the first failure of a still-running phase: re-examine this
 /// worker's parked actions of the transaction right away and send every
 /// other involved partition a [`WorkerMsg::Probe`] to do the same.
-/// Rare path (a phase failed) — one small message per partition.
+/// Rare path (a phase failed) — one small outbox message per partition.
 fn nudge_doomed(inner: &Arc<Inner>, st: &mut WorkerState, ctx: &Arc<TxnCtx>) {
     probe_txn(inner, st, ctx.txn);
     let remote: Vec<usize> = {
@@ -1153,13 +1174,8 @@ fn nudge_doomed(inner: &Arc<Inner>, st: &mut WorkerState, ctx: &Arc<TxnCtx>) {
             .map(|(p, _)| *p)
             .collect()
     };
-    if !remote.is_empty() {
-        let senders = inner.senders.read();
-        for partition in remote {
-            if let Some(sender) = senders.get(partition) {
-                let _ = sender.send(WorkerMsg::Probe { txn: ctx.txn });
-            }
-        }
+    for partition in remote {
+        st.send_later(partition, WorkerMsg::Probe { txn: ctx.txn });
     }
 }
 
@@ -1883,9 +1899,9 @@ mod tests {
         lock_key: i64,
         block_key: i64,
     ) -> (
-        Receiver<TxnOutcome>,
+        oneshot::Receiver<TxnOutcome>,
         crossbeam_channel::Sender<()>,
-        Receiver<()>,
+        crossbeam_channel::Receiver<()>,
     ) {
         let (release_tx, release_rx) = crossbeam_channel::bounded::<()>(1);
         let (ready_tx, ready_rx) = crossbeam_channel::bounded::<()>(1);
@@ -2239,6 +2255,56 @@ mod tests {
     }
 
     #[test]
+    fn admission_failure_probes_parked_siblings_promptly() {
+        // The client-thread mirror of the failure probe: T's action on
+        // partition 0 parks behind a holder's lock, then T's next slot
+        // fails *admission* (partition 1's ring is full) on the client
+        // thread. The client must probe the dispatched partitions so the
+        // parked action aborts right away — not after its own 2s lock
+        // timeout.
+        let (db, t, routing) = setup(24, 3);
+        let e = DoraEngine::new(
+            db,
+            routing,
+            DoraEngineConfig {
+                workers: 3,
+                lock_timeout: Duration::from_secs(2),
+                queue_capacity: 1,
+                submit_timeout: Duration::from_millis(50),
+            },
+        );
+        // Holder keeps key 0 (partition 0) locked while wedging partition
+        // 1's worker inside a body; one more submission fills partition
+        // 1's single admission slot.
+        let (h_rx, h_release, h_ready) = holder(&e, t, 0, 8);
+        h_ready.recv_timeout(Duration::from_secs(5)).unwrap();
+        let queued = e.submit(increment(t, 9));
+
+        let started = Instant::now();
+        let outcome = e.execute(FlowGraph::new(
+            "DoomedByAdmission",
+            vec![
+                ActionSpec::write(t, 0, |_, _, _| Ok(vec![])),
+                ActionSpec::write(t, 15, |_, _, _| Ok(vec![])),
+            ],
+        ));
+        let waited = started.elapsed();
+        assert!(
+            matches!(outcome, TxnOutcome::Aborted { ref reason } if reason.contains("back-pressure")),
+            "{outcome:?}"
+        );
+        assert!(
+            waited < Duration::from_millis(700),
+            "abort must ride the admission-failure probe (~50ms), not the \
+             parked action's 2s lock timeout: waited {waited:?}"
+        );
+        h_release.send(()).unwrap();
+        assert!(h_rx.recv().unwrap().is_committed());
+        assert!(queued.recv().unwrap().is_committed());
+        e.shutdown();
+    }
+
+    #[test]
     fn deep_same_partition_phase_chain_does_not_overflow_the_stack() {
         // Every phase lands on the same single partition, so each next
         // phase is dispatched inline by the RVP terminal — past the depth
@@ -2278,6 +2344,73 @@ mod tests {
         }
         assert!(e.execute(flow).is_committed());
         assert_eq!(read_value(&db, t, 0), phases as i64 + 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn same_target_sends_coalesce_into_one_push() {
+        // Keys 0..7 live on partition 0, keys 8..15 on partition 1. Phase
+        // 1 runs on partition 1; its RVP terminal dispatches a phase 2 of
+        // TWO actions, both owned by partition 0 — worker 1's outbox must
+        // fold them into a single mailbox push (a `Batch`).
+        let (db, t, routing) = setup(16, 2);
+        let e = engine(db.clone(), routing, 2);
+        let flow = FlowGraph::new(
+            "FanOutPhase2",
+            vec![ActionSpec::read(t, 8, move |db, txn, _| {
+                db.get(txn, t, &[Value::BigInt(8)], DORA_POLICY)?;
+                Ok(vec![])
+            })],
+        )
+        .then(move |_| {
+            Ok(vec![
+                ActionSpec::write(t, 0, move |db, txn, _| {
+                    db.update(
+                        txn,
+                        t,
+                        &[Value::BigInt(0)],
+                        &[(1, Value::BigInt(1))],
+                        DORA_POLICY,
+                    )?;
+                    Ok(vec![])
+                }),
+                ActionSpec::write(t, 1, move |db, txn, _| {
+                    db.update(
+                        txn,
+                        t,
+                        &[Value::BigInt(1)],
+                        &[(1, Value::BigInt(2))],
+                        DORA_POLICY,
+                    )?;
+                    Ok(vec![])
+                }),
+            ])
+        });
+        assert!(e.execute(flow).is_committed());
+        let w1 = e.stats().workers[1];
+        assert_eq!(
+            w1.outbox_msgs, 2,
+            "worker 1 sent exactly the two phase-2 actions"
+        );
+        assert_eq!(
+            w1.outbox_pushes, 1,
+            "both same-target actions must ride one coalesced push"
+        );
+        // The finish travels the other way: worker 0 ran the terminal RVP
+        // and sent partition 1 one Finish for its key. The client reply
+        // races worker 0's outbox flush, so poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let w0 = loop {
+            let w0 = e.stats().workers[0];
+            if w0.outbox_pushes > 0 || Instant::now() >= deadline {
+                break w0;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(w0.outbox_msgs, 1);
+        assert_eq!(w0.outbox_pushes, 1);
+        assert_eq!(read_value(&db, t, 0), 1);
+        assert_eq!(read_value(&db, t, 1), 2);
         e.shutdown();
     }
 

@@ -23,14 +23,19 @@
 //!   lock manager's critical sections.
 //! * [`dispatcher`] — routes the actions of a phase to their partition
 //!   queues and tracks RVP completion.
+//! * [`mailbox`] — the lock-free per-partition intake: a bounded MPSC
+//!   ring whose capacity *is* the fresh-lane admission bound, an
+//!   unbounded priority lane for worker-to-worker messages (drained with
+//!   one atomic swap), and eventcount parking.
 //! * [`executor`] — the [`executor::DoraEngine`]: one worker thread per
-//!   partition with a private action queue, local lock table, and
-//!   lock-keyed wait list (parked actions wake only when a key they wait
-//!   on is released), executing under [`executor::DORA_POLICY`]
+//!   partition with a private mailbox, local lock table, and lock-keyed
+//!   wait list (parked actions wake only when a key they wait on is
+//!   released), executing under [`executor::DORA_POLICY`]
 //!   (`LockingPolicy::Bypass`) because isolation is already enforced at
-//!   the partition boundary. Later-phase actions ride a priority lane;
-//!   fresh intake is bounded with back-pressure on
-//!   [`executor::DoraEngine::submit`].
+//!   the partition boundary. Later-phase actions ride the mailbox's
+//!   priority lane; fresh intake is bounded with back-pressure on
+//!   [`executor::DoraEngine::submit`], and each worker coalesces the
+//!   cross-partition messages of a drain batch into one send per target.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -73,10 +78,13 @@ pub mod action;
 pub mod dispatcher;
 pub mod executor;
 pub mod local_lock;
+pub mod mailbox;
+pub mod oneshot;
 pub mod routing;
 mod wait_list;
 
 pub use action::{ActionSpec, FlowGraph};
 pub use executor::{DoraEngine, DoraEngineConfig, DoraStatsSnapshot, TxnOutcome, DORA_POLICY};
 pub use local_lock::{LocalLockStats, LocalLockTable, LockClass};
+pub use mailbox::Mailbox;
 pub use routing::{PartitionId, RoutingRule, RoutingTable};

@@ -127,6 +127,22 @@ impl LocalLockTable {
     /// whole table (which [`release_all`](Self::release_all) performs).
     pub fn release_keys(&mut self, txn: TxnId, keys: &[(TableId, i64)]) -> Vec<(TableId, i64)> {
         let mut released = Vec::new();
+        self.release_keys_into(txn, keys, &mut released);
+        released
+    }
+
+    /// Like [`release_keys`](Self::release_keys), but appends the
+    /// actually-released keys to a caller-owned buffer instead of
+    /// allocating — the executor feeds its per-worker wakeup list
+    /// directly, so the per-transaction release allocates nothing.
+    /// Returns how many keys were appended.
+    pub fn release_keys_into(
+        &mut self,
+        txn: TxnId,
+        keys: &[(TableId, i64)],
+        released: &mut Vec<(TableId, i64)>,
+    ) -> usize {
+        let before_len = released.len();
         for &(table, key) in keys {
             let Some(state) = self.keys.get_mut(&(table, key)) else {
                 continue;
@@ -145,7 +161,7 @@ impl LocalLockTable {
                 self.keys.remove(&(table, key));
             }
         }
-        released
+        released.len() - before_len
     }
 
     /// Releases every lock held by `txn` (called when the transaction

@@ -227,9 +227,8 @@ mod tests {
     use std::sync::Arc;
 
     fn envelope(txn: u64, table: TableId, keys: Vec<(i64, LockClass)>) -> ActionEnvelope {
-        let (reply, _rx) = crossbeam_channel::bounded(1);
         // The receiver is dropped, but nothing in these tests reports.
-        std::mem::forget(_rx);
+        let (reply, _rx) = crate::oneshot::channel();
         ActionEnvelope {
             slot: 0,
             table,
@@ -238,7 +237,6 @@ mod tests {
             txn: Arc::new(TxnCtx::new(txn, "wait-list-test", Vec::new(), reply)),
             rvp: Arc::new(Rvp::new(1)),
             dispatched: Instant::now(),
-            fresh: true,
         }
     }
 
