@@ -41,6 +41,7 @@ fn main() {
                 clients: workers * 2,
                 per_client,
                 locality_pct,
+                audit_pct: args.audit_pct.unwrap_or(0),
                 client_retries: 10,
             },
         );

@@ -58,6 +58,7 @@ fn main() {
                     clients,
                     per_client: total_per_scenario / clients,
                     locality_pct,
+                    audit_pct: args.audit_pct.unwrap_or(0),
                     client_retries: 10,
                 },
                 repeats,

@@ -47,6 +47,12 @@ struct Row {
     workers: u64,
     clients: u64,
     tps: f64,
+    /// Validated (versioned) record reads of the secondary audit mix.
+    /// Absent in schema-v1 reports — parsed as 0, which keeps committed
+    /// v1 baselines gating (back-compat read).
+    secondary_reads: u64,
+    /// Validated-read attempts retried or rejected. Absent in v1 → 0.
+    secondary_retries: u64,
 }
 
 /// Extracts the top-level `runs` rows from a `BENCH_*.json` document.
@@ -71,12 +77,18 @@ fn parse_rows(text: &str) -> Vec<Row> {
                 workers: 0,
                 clients: 0,
                 tps: 0.0,
+                secondary_reads: 0,
+                secondary_retries: 0,
             });
         } else if let Some(row) = current.as_mut() {
             if let Some(value) = line.strip_prefix("\"workers\": ") {
                 row.workers = value.parse().unwrap_or(0);
             } else if let Some(value) = line.strip_prefix("\"clients\": ") {
                 row.clients = value.parse().unwrap_or(0);
+            } else if let Some(value) = line.strip_prefix("\"secondary_reads\": ") {
+                row.secondary_reads = value.parse().unwrap_or(0);
+            } else if let Some(value) = line.strip_prefix("\"secondary_retries\": ") {
+                row.secondary_retries = value.parse().unwrap_or(0);
             } else if let Some(value) = line.strip_prefix("\"throughput_tps\": ") {
                 row.tps = value.parse().unwrap_or(0.0);
                 rows.push(current.take().expect("row in progress"));
@@ -221,6 +233,35 @@ fn compare_tps(candidate: &[Row], baseline: &[Row], threshold_pct: f64) -> Outco
     out
 }
 
+/// Secondary-read health check: the validated-read/park protocol is meant
+/// to be cheap — a retry rate above 1% of the candidate's validated reads
+/// means secondary readers are thrashing against writers (or the retry
+/// budget is mis-tuned). A warning, not a gate: legitimate write-hot mixes
+/// can exceed it, but CI logs must make that visible per configuration.
+fn warn_secondary_retry_rate(rows: &[Row]) -> usize {
+    let mut warned = 0;
+    for row in rows {
+        if row.secondary_reads == 0 {
+            continue;
+        }
+        let rate = row.secondary_retries as f64 / row.secondary_reads as f64;
+        if rate > 0.01 {
+            warned += 1;
+            eprintln!(
+                "WARNING: {} workers={} clients={}: secondary retry rate {:.2}% \
+                 ({} retries / {} validated reads) exceeds 1%",
+                row.engine,
+                row.workers,
+                row.clients,
+                rate * 100.0,
+                row.secondary_retries,
+                row.secondary_reads
+            );
+        }
+    }
+    warned
+}
+
 fn main() -> ExitCode {
     let mut candidate = None;
     let mut baseline = None;
@@ -270,6 +311,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    warn_secondary_retry_rate(&cand_rows);
     if outcome.compared == 0 {
         eprintln!("no comparable configurations between the two reports");
         return ExitCode::FAILURE;
@@ -317,6 +359,8 @@ mod tests {
                     clients,
                     committed,
                     aborted: 0,
+                    secondary_reads: 0,
+                    secondary_retries: 0,
                     elapsed_secs: 1.0,
                     critical_sections: 0,
                     extra: vec![],
@@ -340,6 +384,8 @@ mod tests {
                 clients: 4,
                 committed: 80,
                 aborted: 0,
+                secondary_reads: 0,
+                secondary_retries: 0,
                 elapsed_secs: 1.0,
                 critical_sections: 9,
                 extra: vec![],
@@ -377,6 +423,57 @@ mod tests {
         let bad = report(&[("dora", 2, 4, 80)]);
         let out = compare_tps(&parse_rows(&bad), &parse_rows(&base), 10.0);
         assert!(out.regressed);
+    }
+
+    #[test]
+    fn schema_v1_reports_without_secondary_fields_still_parse() {
+        // A committed v1 baseline has no secondary_reads/retries lines:
+        // the back-compat read must default them to 0 and keep the row.
+        let v1 = "{\n  \"bench\": \"throughput_vs_cores\",\n  \"schema_version\": 1,\n  \
+                  \"runs\": [\n    {\n      \"engine\": \"dora\",\n      \"workers\": 2,\n      \
+                  \"clients\": 4,\n      \"committed\": 100,\n      \"aborted\": 0,\n      \
+                  \"elapsed_secs\": 1.000,\n      \"throughput_tps\": 100.000,\n      \
+                  \"critical_sections\": 0,\n      \"extra\": {}\n    }\n  ]\n}\n";
+        let rows = parse_rows(v1);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].tps, 100.0);
+        assert_eq!(rows[0].secondary_reads, 0);
+        assert_eq!(rows[0].secondary_retries, 0);
+        assert_eq!(warn_secondary_retry_rate(&rows), 0, "0 reads never warn");
+    }
+
+    #[test]
+    fn secondary_retry_rate_warns_above_one_percent() {
+        let mut rows = parse_rows(&report(&[("dora", 2, 4, 100)]));
+        rows[0].secondary_reads = 1_000;
+        rows[0].secondary_retries = 9;
+        assert_eq!(warn_secondary_retry_rate(&rows), 0, "0.9% is healthy");
+        rows[0].secondary_retries = 11;
+        assert_eq!(warn_secondary_retry_rate(&rows), 1, "1.1% must warn");
+        // Round-trip through the v2 serializer: the fields survive parsing.
+        let json = BenchReport {
+            bench: "throughput_vs_cores",
+            workload: "test".into(),
+            physical_cores: 1,
+            quick: true,
+            runs: vec![Scenario {
+                engine: "dora",
+                workers: 2,
+                clients: 4,
+                committed: 100,
+                aborted: 0,
+                secondary_reads: 500,
+                secondary_retries: 20,
+                elapsed_secs: 1.0,
+                critical_sections: 0,
+                extra: vec![],
+            }],
+        }
+        .to_json(None);
+        let parsed = parse_rows(&json);
+        assert_eq!(parsed[0].secondary_reads, 500);
+        assert_eq!(parsed[0].secondary_retries, 20);
+        assert_eq!(warn_secondary_retry_rate(&parsed), 1);
     }
 
     #[test]

@@ -23,7 +23,8 @@ use dora_core::executor::{DoraEngine, DoraEngineConfig};
 use dora_engine_conv::{ConvEngine, ConvEngineConfig};
 use dora_storage::db::Database;
 use dora_workloads::transfer::{
-    transfer_flow_routed, transfer_request, TransferMix, TransferWorkload,
+    audit_flow, audit_request, transfer_flow_routed, transfer_request, TransferMix, TransferOp,
+    TransferWorkload,
 };
 
 use crate::report::Scenario;
@@ -51,6 +52,11 @@ pub struct TransferRun {
     /// Percentage of transfers whose destination stays in the source's
     /// partition block (TPC-C-style locality).
     pub locality_pct: u64,
+    /// Percentage of operations that are secondary balance audits (a
+    /// non-aligned validated scan of every account) instead of transfers.
+    /// 0 keeps the historical transfer-only mix, so committed baselines
+    /// stay comparable.
+    pub audit_pct: u64,
     /// Retries a client grants a transfer that aborted for transient
     /// reasons (lock timeouts); matches the conventional engine's internal
     /// retry budget so both sides see comparable offered load.
@@ -119,17 +125,40 @@ fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
         let ready = ready.clone();
         let go = go.clone();
         let accounts = wl.accounts;
+        let initial_balance = wl.initial_balance;
         clients.push(std::thread::spawn(move || {
-            let mut mix =
-                TransferMix::with_locality(accounts, c as u64 + 1, run.workers, run.locality_pct);
-            let transfer = |mix: &mut TransferMix| {
-                let (from, to, amount) = mix.next_transfer();
+            let mut mix = TransferMix::with_ops(
+                accounts,
+                c as u64 + 1,
+                run.workers,
+                run.locality_pct,
+                run.audit_pct,
+            );
+            let total = accounts * initial_balance;
+            let attempt_once = |op: TransferOp| match op {
+                TransferOp::Transfer { from, to, amount } => engine
+                    .execute(transfer_flow_routed(&routing, table, from, to, amount))
+                    .is_committed(),
+                TransferOp::Audit => {
+                    // A torn audit (inconsistent committed snapshot) is a
+                    // correctness bug, not load: fail the bench.
+                    match engine.execute(audit_flow(table, 0, accounts - 1, Some(total))) {
+                        o if o.is_committed() => true,
+                        dora_core::executor::TxnOutcome::Aborted { reason } => {
+                            assert!(!reason.contains("torn"), "torn audit: {reason}");
+                            false
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            };
+            // One draw per loop iteration; a transiently aborted operation
+            // is retried AS-IS, so both engines consume identical streams.
+            let operation = |mix: &mut TransferMix| {
+                let op = mix.next_op();
                 let mut attempts = 0;
                 loop {
-                    if engine
-                        .execute(transfer_flow_routed(&routing, table, from, to, amount))
-                        .is_committed()
-                    {
+                    if attempt_once(op) {
                         return true;
                     }
                     attempts += 1;
@@ -139,13 +168,13 @@ fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
                 }
             };
             for _ in 0..run.warmup() {
-                transfer(&mut mix);
+                operation(&mut mix);
             }
             ready.wait();
             go.wait();
             let (mut committed, mut aborted) = (0u64, 0u64);
             for _ in 0..run.per_client {
-                if transfer(&mut mix) {
+                if operation(&mut mix) {
                     committed += 1;
                 } else {
                     aborted += 1;
@@ -156,6 +185,7 @@ fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
     }
     ready.wait();
     let crit_before = db.lock_stats().critical_sections;
+    let validated_before = db.counters();
     let started = Instant::now();
     go.wait();
     let (committed, aborted) = join_clients(clients);
@@ -165,6 +195,7 @@ fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
     let extra = vec![
         ("deferrals", stats.deferrals as f64),
         ("actions", stats.actions as f64),
+        ("secondary_parked", stats.secondary_parked as f64),
         (
             "wakeups",
             stats.workers.iter().map(|w| w.wakeups).sum::<u64>() as f64,
@@ -183,6 +214,7 @@ fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
         ),
     ];
     let crit = db.lock_stats().critical_sections - crit_before;
+    let validated = db.counters();
     assert_eq!(
         wl.current_total(&db, table),
         wl.total_balance(),
@@ -194,6 +226,8 @@ fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
         clients: run.clients,
         committed,
         aborted,
+        secondary_reads: validated.validated_reads - validated_before.validated_reads,
+        secondary_retries: validated.validated_retries - validated_before.validated_retries,
         elapsed_secs: elapsed.as_secs_f64(),
         critical_sections: crit,
         extra,
@@ -222,22 +256,39 @@ fn run_conv(wl: &TransferWorkload, run: TransferRun) -> Scenario {
         let ready = ready.clone();
         let go = go.clone();
         let accounts = wl.accounts;
+        let initial_balance = wl.initial_balance;
         clients.push(std::thread::spawn(move || {
-            let mut mix =
-                TransferMix::with_locality(accounts, c as u64 + 1, run.workers, run.locality_pct);
+            let mut mix = TransferMix::with_ops(
+                accounts,
+                c as u64 + 1,
+                run.workers,
+                run.locality_pct,
+                run.audit_pct,
+            );
+            let total = accounts * initial_balance;
+            let operation = |mix: &mut TransferMix| match mix.next_op() {
+                TransferOp::Transfer { from, to, amount } => engine
+                    .execute(transfer_request(table, from, to, amount))
+                    .is_committed(),
+                TransferOp::Audit => {
+                    match engine.execute(audit_request(table, 0, accounts - 1, Some(total))) {
+                        o if o.is_committed() => true,
+                        dora_engine_conv::TxnOutcome::Aborted { reason } => {
+                            assert!(!reason.contains("torn"), "torn audit: {reason}");
+                            false
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            };
             for _ in 0..run.warmup() {
-                let (from, to, amount) = mix.next_transfer();
-                let _ = engine.execute(transfer_request(table, from, to, amount));
+                operation(&mut mix);
             }
             ready.wait();
             go.wait();
             let (mut committed, mut aborted) = (0u64, 0u64);
             for _ in 0..run.per_client {
-                let (from, to, amount) = mix.next_transfer();
-                if engine
-                    .execute(transfer_request(table, from, to, amount))
-                    .is_committed()
-                {
+                if operation(&mut mix) {
                     committed += 1;
                 } else {
                     aborted += 1;
@@ -248,6 +299,7 @@ fn run_conv(wl: &TransferWorkload, run: TransferRun) -> Scenario {
     }
     ready.wait();
     let crit_before = db.lock_stats().critical_sections;
+    let validated_before = db.counters();
     let started = Instant::now();
     go.wait();
     let (committed, aborted) = join_clients(clients);
@@ -256,6 +308,7 @@ fn run_conv(wl: &TransferWorkload, run: TransferRun) -> Scenario {
     let stats = engine.stats();
     let extra = vec![("retries", stats.retries as f64)];
     let crit = db.lock_stats().critical_sections - crit_before;
+    let validated = db.counters();
     assert_eq!(
         wl.current_total(&db, table),
         wl.total_balance(),
@@ -267,6 +320,8 @@ fn run_conv(wl: &TransferWorkload, run: TransferRun) -> Scenario {
         clients: run.clients,
         committed,
         aborted,
+        secondary_reads: validated.validated_reads - validated_before.validated_reads,
+        secondary_retries: validated.validated_retries - validated_before.validated_retries,
         elapsed_secs: elapsed.as_secs_f64(),
         critical_sections: crit,
         extra,
@@ -281,7 +336,8 @@ fn join_clients(clients: Vec<std::thread::JoinHandle<(u64, u64)>>) -> (u64, u64)
 }
 
 /// Parses the common bench flags: `--quick`, `--compare <path>`,
-/// `--out <path>`, `--accounts <n>`, `--total <n>`, `--repeats <n>`.
+/// `--out <path>`, `--accounts <n>`, `--total <n>`, `--repeats <n>`,
+/// `--audit-pct <n>`.
 #[derive(Debug, Default, Clone)]
 pub struct BenchArgs {
     /// CI smoke mode: tiny configuration, marked `"quick"` in the JSON.
@@ -297,6 +353,10 @@ pub struct BenchArgs {
     /// Override for the best-of-N repeat count (default 3 full, 1 quick).
     /// Committed baselines use `--repeats 6` to damp scheduler noise.
     pub repeats: Option<usize>,
+    /// Percentage of operations run as secondary balance audits (default
+    /// 0: the transfer-only mix the committed baselines were recorded
+    /// with).
+    pub audit_pct: Option<u64>,
 }
 
 impl BenchArgs {
@@ -314,6 +374,7 @@ impl BenchArgs {
                 "--accounts" => parsed.accounts = args.next().and_then(|v| v.parse().ok()),
                 "--total" => parsed.total = args.next().and_then(|v| v.parse().ok()),
                 "--repeats" => parsed.repeats = args.next().and_then(|v| v.parse().ok()),
+                "--audit-pct" => parsed.audit_pct = args.next().and_then(|v| v.parse().ok()),
                 other => eprintln!("ignoring unknown bench argument: {other}"),
             }
         }
@@ -363,12 +424,41 @@ mod tests {
                     clients: 2,
                     per_client: 10,
                     locality_pct: 50,
+                    audit_pct: 0,
                     client_retries: 10,
                 },
             );
             assert_eq!(s.committed + s.aborted, 20, "{engine:?}");
             assert!(s.elapsed_secs > 0.0);
             assert!(s.throughput_tps() > 0.0);
+            assert_eq!(s.secondary_reads, 0, "no audits in a 0% mix");
+        }
+    }
+
+    #[test]
+    fn audit_mix_exercises_validated_reads_on_both_engines() {
+        let wl = TransferWorkload {
+            accounts: 32,
+            initial_balance: 100,
+        };
+        for engine in [EngineKind::Dora, EngineKind::Conventional] {
+            let s = run_transfer(
+                &wl,
+                TransferRun {
+                    engine,
+                    workers: 2,
+                    clients: 2,
+                    per_client: 15,
+                    locality_pct: 50,
+                    audit_pct: 40,
+                    client_retries: 10,
+                },
+            );
+            assert_eq!(s.committed + s.aborted, 30, "{engine:?}");
+            assert!(
+                s.secondary_reads > 0,
+                "{engine:?}: audits must ride the validated read path"
+            );
         }
     }
 }

@@ -6,12 +6,12 @@
 //! `BENCH_<name>.json` at the workspace root (plus a human-readable table
 //! on stdout).
 //!
-//! # Schema (`schema_version` 1)
+//! # Schema (`schema_version` 2)
 //!
 //! ```json
 //! {
 //!   "bench": "throughput_vs_cores",
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "workload": "transfer accounts=1024 ...",
 //!   "physical_cores": 1,
 //!   "quick": false,
@@ -22,6 +22,8 @@
 //!       "clients": 8,                 // client threads offering load
 //!       "committed": 4000,           // transactions committed
 //!       "aborted": 12,               // terminal aborts (after retries)
+//!       "secondary_reads": 2048,     // validated (versioned) record reads
+//!       "secondary_retries": 3,      // validated-read attempts retried
 //!       "elapsed_secs": 1.25,
 //!       "throughput_tps": 3200.0,    // committed / elapsed_secs
 //!       "critical_sections": 0,      // centralized lock-manager entries
@@ -32,6 +34,11 @@
 //!                                    // report (--compare), same schema
 //! }
 //! ```
+//!
+//! Version history: **v2** added `secondary_reads` / `secondary_retries`
+//! (the validated-read counters of the secondary audit mix). Readers stay
+//! back-compatible with v1 documents by treating the absent fields as 0 —
+//! `compare.rs` does exactly that, so committed v1 baselines keep gating.
 //!
 //! `baseline` lets a bench run carry its own before/after story: pass
 //! `--compare <path>` and the referenced report (typically a committed
@@ -53,6 +60,12 @@ pub struct Scenario {
     pub committed: u64,
     /// Transactions that terminally aborted (after any retries).
     pub aborted: u64,
+    /// Record snapshots served by the validated (versioned) read path
+    /// during the measured window (the secondary audit mix).
+    pub secondary_reads: u64,
+    /// Validated-read attempts retried or rejected (torn words,
+    /// uncommitted stamps) during the measured window.
+    pub secondary_retries: u64,
     /// Wall-clock seconds for the measured window.
     pub elapsed_secs: f64,
     /// Centralized lock-manager critical sections entered during the run.
@@ -123,7 +136,7 @@ impl BenchReport {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"bench\": \"{}\",", escape_json(self.bench));
-        let _ = writeln!(out, "  \"schema_version\": 1,");
+        let _ = writeln!(out, "  \"schema_version\": 2,");
         let _ = writeln!(out, "  \"workload\": \"{}\",", escape_json(&self.workload));
         let _ = writeln!(out, "  \"physical_cores\": {},", self.physical_cores);
         let _ = writeln!(out, "  \"quick\": {},", self.quick);
@@ -135,6 +148,12 @@ impl BenchReport {
             let _ = writeln!(out, "      \"clients\": {},", run.clients);
             let _ = writeln!(out, "      \"committed\": {},", run.committed);
             let _ = writeln!(out, "      \"aborted\": {},", run.aborted);
+            let _ = writeln!(out, "      \"secondary_reads\": {},", run.secondary_reads);
+            let _ = writeln!(
+                out,
+                "      \"secondary_retries\": {},",
+                run.secondary_retries
+            );
             let _ = writeln!(
                 out,
                 "      \"elapsed_secs\": {},",
@@ -243,6 +262,8 @@ mod tests {
                     clients: 4,
                     committed: 100,
                     aborted: 1,
+                    secondary_reads: 640,
+                    secondary_retries: 2,
                     elapsed_secs: 0.5,
                     critical_sections: 0,
                     extra: vec![("deferrals", 3.0)],
@@ -253,6 +274,8 @@ mod tests {
                     clients: 4,
                     committed: 80,
                     aborted: 2,
+                    secondary_reads: 0,
+                    secondary_retries: 0,
                     elapsed_secs: 0.5,
                     critical_sections: 1234,
                     extra: vec![],
@@ -265,7 +288,9 @@ mod tests {
     fn json_has_schema_fields_and_computed_throughput() {
         let json = sample().to_json(None);
         assert!(json.contains("\"bench\": \"throughput_vs_cores\""));
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"secondary_reads\": 640"));
+        assert!(json.contains("\"secondary_retries\": 2"));
         assert!(json.contains("\"throughput_tps\": 200.000"));
         assert!(json.contains("\"critical_sections\": 1234"));
         assert!(json.contains("\"deferrals\": 3.000"));
@@ -278,7 +303,7 @@ mod tests {
         let base = sample().to_json(None);
         let json = sample().to_json(Some(&base));
         assert!(json.contains("\"baseline\": {"));
-        assert_eq!(json.matches("\"schema_version\": 1").count(), 2);
+        assert_eq!(json.matches("\"schema_version\": 2").count(), 2);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! either enqueues the next phase or decides commit/abort.
 
 use dora_storage::db::Database;
-use dora_storage::error::StorageResult;
+use dora_storage::error::{StorageError, StorageResult};
 use dora_storage::trace::WorkerCtx;
 use dora_storage::types::{TableId, TxnId, Value};
 
@@ -21,6 +21,59 @@ use crate::local_lock::LockClass;
 /// the next phase through the RVP.
 pub type ActionBody =
     Box<dyn FnOnce(&Database, TxnId, &WorkerCtx) -> StorageResult<Vec<Value>> + Send>;
+
+/// A re-runnable action body. Secondary (non-aligned) actions use this
+/// form: a validated read that hits an in-flight writer makes the executor
+/// park the action and **run the body again** once the writer finishes, so
+/// the logic must be a `Fn`, not a `FnOnce`.
+pub type RetryableActionBody =
+    Box<dyn Fn(&Database, TxnId, &WorkerCtx) -> StorageResult<Vec<Value>> + Send>;
+
+/// How an action's logic may be invoked by the executor.
+pub enum ActionLogic {
+    /// Runs exactly once — the aligned-action form. Locks are held before
+    /// the body starts, so it never needs to re-execute.
+    Once(ActionBody),
+    /// May run several times — the secondary form. The executor re-runs
+    /// the body after a [`StorageError::ReadUncommitted`] conflict parked
+    /// the action and the conflicting writer finished.
+    Retryable(RetryableActionBody),
+}
+
+impl ActionLogic {
+    /// Whether the executor may run this body more than once.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ActionLogic::Retryable(_))
+    }
+
+    /// Runs the body. A consumed `Once` body returns an internal error —
+    /// the executor never re-runs one; the stub guards the invariant.
+    pub fn run(&mut self, db: &Database, txn: TxnId, ctx: &WorkerCtx) -> StorageResult<Vec<Value>> {
+        match self {
+            ActionLogic::Once(body) => {
+                let body = std::mem::replace(
+                    body,
+                    Box::new(|_, _, _| {
+                        Err(StorageError::Internal(
+                            "one-shot action body already consumed".into(),
+                        ))
+                    }),
+                );
+                body(db, txn, ctx)
+            }
+            ActionLogic::Retryable(body) => body(db, txn, ctx),
+        }
+    }
+}
+
+impl std::fmt::Debug for ActionLogic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ActionLogic::Once(_) => "Once",
+            ActionLogic::Retryable(_) => "Retryable",
+        })
+    }
+}
 
 /// A phase generator: invoked by the last action of the previous phase (at
 /// the RVP) with the outputs of that phase, it produces the actions of the
@@ -41,12 +94,12 @@ pub struct ActionSpec {
     pub keys: Vec<(i64, LockClass)>,
     /// Whether the access is aligned with the table's routing field. A
     /// non-aligned ("secondary") action cannot be routed by key; it is sent
-    /// to an arbitrary partition, executed without local key locks, and
-    /// counted by the alignment monitor. Only read-only logic may be
-    /// non-aligned.
+    /// to an arbitrary partition and reads through the storage layer's
+    /// validated (versioned) API instead of local key locks. Only
+    /// read-only logic may be non-aligned.
     pub aligned: bool,
     /// The action body.
-    pub body: ActionBody,
+    pub body: ActionLogic,
 }
 
 impl ActionSpec {
@@ -60,7 +113,7 @@ impl ActionSpec {
             table,
             keys: vec![(key, LockClass::Read)],
             aligned: true,
-            body: Box::new(body),
+            body: ActionLogic::Once(Box::new(body)),
         }
     }
 
@@ -74,7 +127,7 @@ impl ActionSpec {
             table,
             keys: vec![(key, LockClass::Write)],
             aligned: true,
-            body: Box::new(body),
+            body: ActionLogic::Once(Box::new(body)),
         }
     }
 
@@ -105,28 +158,41 @@ impl ActionSpec {
             table,
             keys: normalized,
             aligned: true,
-            body: Box::new(body),
+            body: ActionLogic::Once(Box::new(body)),
         }
     }
 
     /// A non-partition-aligned (secondary), read-only action: the table is
-    /// being probed by a field other than its routing field.
+    /// being probed by a field other than its routing field, so the action
+    /// cannot be routed to a key owner up front and runs on an arbitrary
+    /// partition.
     ///
-    /// **Isolation caveat:** secondary actions take no local locks, so they
-    /// run at read-uncommitted — they can observe writes of concurrently
-    /// executing, not-yet-committed transactions on other partitions. This
-    /// matches the current executor's scope (the paper routes such probes
-    /// through heavier machinery); use aligned actions where consistency of
-    /// the read matters, until versioned reads land (see ROADMAP).
+    /// **Isolation — the validated-read/park protocol.** The body must do
+    /// its reads through the storage layer's versioned API
+    /// ([`Database::read_validated`](dora_storage::db::Database::read_validated),
+    /// `read_many_validated`, `scan_validated`, under
+    /// `LockingPolicy::Bypass`): every record's seqlock-style version word
+    /// and writer stamp are checked before and after decoding, so the body
+    /// only ever observes a **consistent committed snapshot** — never a
+    /// torn tuple or another transaction's uncommitted write. When a read
+    /// hits an in-flight writer it returns
+    /// [`StorageError::ReadUncommitted`] naming the conflicting record;
+    /// the executor then, after the storage layer's bounded retry, parks
+    /// the action on the **owning partition's** wait list under that
+    /// record's routing key (a shared read intent) and re-runs the body
+    /// when the writer's finish releases the key — which is why the body
+    /// is a re-runnable [`RetryableActionBody`]. The engine's
+    /// `secondary_retries` / `secondary_parked` counters expose the
+    /// protocol's cost.
     pub fn secondary(
         table: TableId,
-        body: impl FnOnce(&Database, TxnId, &WorkerCtx) -> StorageResult<Vec<Value>> + Send + 'static,
+        body: impl Fn(&Database, TxnId, &WorkerCtx) -> StorageResult<Vec<Value>> + Send + 'static,
     ) -> Self {
         ActionSpec {
             table,
             keys: Vec::new(),
             aligned: false,
-            body: Box::new(body),
+            body: ActionLogic::Retryable(Box::new(body)),
         }
     }
 
@@ -233,6 +299,33 @@ mod tests {
         assert!(!s.aligned);
         assert!(s.keys.is_empty());
         assert!(!s.is_write());
+        assert!(s.body.is_retryable(), "secondary bodies are re-runnable");
+        assert!(!r.body.is_retryable(), "aligned bodies run exactly once");
+    }
+
+    #[test]
+    fn retryable_logic_reruns_and_consumed_once_logic_errors() {
+        let db = Database::default();
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let c = counter.clone();
+        let mut retryable = ActionLogic::Retryable(Box::new(move |_, _, _| {
+            c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Ok(vec![])
+        }));
+        let trace = std::sync::Arc::new(dora_storage::trace::AccessTrace::new());
+        let ctx = WorkerCtx::new(0, trace);
+        assert!(retryable.run(&db, 1, &ctx).is_ok());
+        assert!(retryable.run(&db, 1, &ctx).is_ok());
+        assert_eq!(counter.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(format!("{retryable:?}"), "Retryable");
+
+        let mut once = ActionLogic::Once(Box::new(|_, _, _| Ok(vec![])));
+        assert_eq!(format!("{once:?}"), "Once");
+        assert!(once.run(&db, 1, &ctx).is_ok());
+        assert!(
+            matches!(once.run(&db, 1, &ctx), Err(StorageError::Internal(_))),
+            "a consumed one-shot body must fail loudly, not re-run"
+        );
     }
 
     #[test]

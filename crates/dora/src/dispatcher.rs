@@ -21,7 +21,7 @@ use parking_lot::Mutex;
 use dora_storage::error::{StorageError, StorageResult};
 use dora_storage::types::{TableId, TxnId, Value};
 
-use crate::action::{ActionBody, ActionSpec, PhaseGen};
+use crate::action::{ActionLogic, ActionSpec, PhaseGen};
 use crate::executor::TxnOutcome;
 use crate::local_lock::LockClass;
 use crate::oneshot;
@@ -99,7 +99,8 @@ impl TxnCtx {
     }
 
     /// Records that `partition` runs an action of this transaction
-    /// touching `keys` of `table` (empty for secondary actions).
+    /// touching `keys` of `table` (empty for a secondary action that has
+    /// not parked on a conflicting key yet).
     pub fn mark_involved(&self, partition: PartitionId, table: TableId, keys: &[(i64, LockClass)]) {
         let mut involved = self.involved.lock();
         let entry = match involved.iter_mut().find(|(p, _)| *p == partition) {
@@ -215,10 +216,14 @@ pub struct ActionEnvelope {
     pub slot: usize,
     /// Table the action touches.
     pub table: TableId,
-    /// Routing keys with access intents (empty for secondary actions).
+    /// Routing keys with access intents. Empty for a freshly dispatched
+    /// secondary action; the executor fills in a conflicting record's
+    /// routing key (as a read intent) when it parks the action on that
+    /// key's owning partition.
     pub keys: Vec<(i64, LockClass)>,
-    /// The action body (consumed on execution).
-    pub body: ActionBody,
+    /// The action body (one-shot for aligned actions, re-runnable for
+    /// secondary ones).
+    pub body: ActionLogic,
     /// Shared transaction state.
     pub txn: Arc<TxnCtx>,
     /// The RVP this action reports to.

@@ -55,6 +55,16 @@
 //!   per target partition and flushed as **one** mailbox push each
 //!   ([`WorkerMsg::Batch`]), so a multi-send iteration pays one
 //!   reservation per target instead of one per message.
+//!
+//! Non-aligned ("secondary") actions run lock-free but **consistent**:
+//! their bodies read through the storage layer's validated (versioned)
+//! API, which only ever serves a committed snapshot. A read that hits an
+//! in-flight writer names the conflicting record, and the executor
+//! re-routes the action to that key's owning partition where it parks in
+//! the ordinary wait list under a shared read intent — the writer's
+//! finish wakes it and the (re-runnable) body executes again
+//! (`secondary_retries` / `secondary_parked` in [`DoraStatsSnapshot`]
+//! count the protocol).
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -72,7 +82,7 @@ use dora_storage::types::TableId;
 
 use crate::action::{ActionSpec, FlowGraph};
 use crate::dispatcher::{route_phase, ActionEnvelope, PhaseEnd, Rvp, TxnCtx, WorkerMsg};
-use crate::local_lock::{LocalLockStats, LocalLockTable};
+use crate::local_lock::{LocalLockStats, LocalLockTable, LockClass};
 use crate::mailbox::{Mailbox, PushError};
 use crate::oneshot;
 use crate::routing::RoutingTable;
@@ -149,6 +159,8 @@ struct EngineCounters {
     actions: AtomicU64,
     deferrals: AtomicU64,
     secondary: AtomicU64,
+    secondary_retries: AtomicU64,
+    secondary_parked: AtomicU64,
 }
 
 /// Per-partition counters, written only by the owning worker (plain
@@ -207,6 +219,14 @@ pub struct DoraStatsSnapshot {
     pub deferrals: u64,
     /// Non-aligned (secondary) actions executed.
     pub secondary: u64,
+    /// Times a secondary action's validated read observed an in-flight
+    /// writer and was re-routed toward the conflicting key's owner (each
+    /// re-route re-runs the read once the key is reachable).
+    pub secondary_retries: u64,
+    /// Times a re-routed secondary action actually parked on the owning
+    /// partition's wait list (the writer was still holding the key on
+    /// arrival; the remainder re-ran immediately).
+    pub secondary_parked: u64,
     /// Per-partition counters.
     pub workers: Vec<PartitionStatsSnapshot>,
 }
@@ -400,6 +420,8 @@ impl DoraEngine {
             actions: c.actions.load(Ordering::Relaxed),
             deferrals: c.deferrals.load(Ordering::Relaxed),
             secondary: c.secondary.load(Ordering::Relaxed),
+            secondary_retries: c.secondary_retries.load(Ordering::Relaxed),
+            secondary_parked: c.secondary_parked.load(Ordering::Relaxed),
             workers: self
                 .inner
                 .partitions
@@ -719,17 +741,29 @@ fn finalize(
         let involved = ctx.involved.lock();
         if let Some(st) = local.as_deref_mut() {
             if let Some((_, keys)) = involved.iter().find(|(p, _)| Some(*p) == local_id) {
-                st.locks
-                    .release_keys_into(ctx.txn, keys, &mut st.pending_wake);
+                if st
+                    .locks
+                    .release_keys_into(ctx.txn, keys, &mut st.pending_wake)
+                    > 0
+                {
+                    st.stats_dirty = true;
+                }
             }
             // A transaction completing here is a natural transition point
-            // to publish this worker's counters (the per-iteration export
-            // is gone).
-            export_stats(inner, st);
+            // to publish this worker's counters — when any moved. A worker
+            // that only ran keyless secondary probes for this transaction
+            // has no lock or queue transition to export, so the dirty flag
+            // covers that case uniformly (no special-casing by action
+            // kind).
+            if st.stats_dirty {
+                export_stats(inner, st);
+            }
         }
         for (partition, keys) in involved.iter() {
-            // A partition that only ran secondary (lock-free) actions has
-            // nothing to release and no one to wake.
+            // An empty key set means the partition only ran secondary
+            // probes that never parked on a key (a diverted probe records
+            // its park key and is released like any aligned access):
+            // nothing to release, no one to wake, no Finish needed.
             if Some(*partition) != local_id && !keys.is_empty() {
                 remote.push((*partition, keys.clone()));
             }
@@ -1017,8 +1051,11 @@ fn try_run(
         );
         return None;
     }
-    // Any attempt below moves a lock counter (grant or conflict).
-    st.stats_dirty = true;
+    // Any keyed attempt below moves a lock counter (grant or conflict);
+    // a keyless secondary probe touches neither lock table nor wait list.
+    if !envelope.keys.is_empty() {
+        st.stats_dirty = true;
+    }
     if !st.waiting.conflicts_with_earlier(seq, &envelope, &st.locks) {
         let requests: Vec<_> = envelope
             .keys
@@ -1060,32 +1097,115 @@ fn wake_successors(st: &mut WorkerState, seq: u64, envelope: &ActionEnvelope) {
 fn handle_action(inner: &Arc<Inner>, st: &mut WorkerState, envelope: ActionEnvelope) {
     if let Some(envelope) = try_run(inner, st, FRESH_SEQ, envelope) {
         inner.counters.deferrals.fetch_add(1, Ordering::Relaxed);
+        if envelope.body.is_retryable() {
+            // A diverted secondary action found the conflicting writer
+            // still holding its key: parked until the finish releases it.
+            inner
+                .counters
+                .secondary_parked
+                .fetch_add(1, Ordering::Relaxed);
+        }
         st.waiting.park(envelope);
         sync_deferred(inner, st);
     }
 }
 
-/// Runs an action body (locks already held) and reports to its RVP.
-fn execute(inner: &Arc<Inner>, st: &mut WorkerState, envelope: ActionEnvelope) {
+/// Runs an action body (locks already held) and reports to its RVP — or,
+/// when a retryable (secondary) body's validated read observed an
+/// in-flight writer, re-routes the action toward the conflicting key's
+/// owning partition instead of reporting.
+fn execute(inner: &Arc<Inner>, st: &mut WorkerState, mut envelope: ActionEnvelope) {
     let start = Instant::now();
-    let ActionEnvelope {
-        slot,
-        body,
-        txn,
-        rvp,
-        ..
-    } = envelope;
     // A panicking body must not unwind the worker thread: the partition's
     // queue and lock table would die with it, and the transaction would
     // leak — RVP slot never reported, `active` never decremented, locks on
     // other partitions never released. Convert the panic into an abort.
-    let result = catch_panic(|| body(&inner.db, txn.txn, &st.ctx), "action body");
+    let result = catch_panic(
+        || envelope.body.run(&inner.db, envelope.txn.txn, &st.ctx),
+        "action body",
+    );
     let elapsed = start.elapsed().as_nanos() as u64;
     let counters = &inner.partitions[st.id];
     counters.executed.fetch_add(1, Ordering::Relaxed);
     counters.busy_ns.fetch_add(elapsed, Ordering::Relaxed);
     inner.counters.actions.fetch_add(1, Ordering::Relaxed);
+    if let Err(StorageError::ReadUncommitted { table, key, .. }) = &result {
+        if envelope.body.is_retryable() && !envelope.rvp.failed() {
+            let (table, key) = (*table, key.clone());
+            match divert_secondary(inner, st, envelope, table, &key) {
+                // Re-routed: the action reports after it re-runs.
+                Ok(()) => return,
+                Err(env) => envelope = env,
+            }
+        }
+    }
+    let ActionEnvelope { slot, txn, rvp, .. } = envelope;
     report(inner, st, &txn, &rvp, slot, result);
+}
+
+/// Re-routes a secondary action whose validated read hit the in-flight
+/// writer of `(table, key)`: the action gains that record's routing key as
+/// a shared read intent and is delivered to the key's owning partition,
+/// where the normal lock machinery takes over — the writer still holding
+/// its local write lock parks the action in the wait list, the writer's
+/// finish wakes it, and the (re-runnable) body executes again. Returns the
+/// envelope when the conflict cannot be keyed into the routing space or
+/// the action already outlived the lock timeout; the caller then reports
+/// the read's error and the transaction aborts **visibly** — dirty data is
+/// never returned.
+fn divert_secondary(
+    inner: &Arc<Inner>,
+    st: &mut WorkerState,
+    mut envelope: ActionEnvelope,
+    table: TableId,
+    key: &[dora_storage::types::Value],
+) -> Result<(), ActionEnvelope> {
+    if envelope.dispatched.elapsed() >= inner.config.lock_timeout {
+        return Err(envelope);
+    }
+    let Some(route_key) = secondary_route_key(inner, table, key) else {
+        return Err(envelope);
+    };
+    let partition = inner.routing.read().owner_of(table, route_key) % inner.config.workers.max(1);
+    inner
+        .counters
+        .secondary_retries
+        .fetch_add(1, Ordering::Relaxed);
+    envelope.table = table;
+    envelope.keys = vec![(route_key, LockClass::Read)];
+    // The read intent is held (and released by the finish broadcast) like
+    // any aligned key: record the involvement before delivery.
+    envelope.txn.mark_involved(partition, table, &envelope.keys);
+    if partition == st.id {
+        // Own partition: take the inline path, bounded exactly like
+        // next-phase inline dispatch.
+        if st.inline_depth >= INLINE_DISPATCH_DEPTH {
+            st.priority.push_back(envelope);
+        } else {
+            st.inline_depth += 1;
+            handle_action(inner, st, envelope);
+            st.inline_depth -= 1;
+        }
+    } else {
+        st.send_later(partition, WorkerMsg::Action(envelope));
+    }
+    Ok(())
+}
+
+/// Maps the primary key of a conflicting record to the table's routing-key
+/// space: the position of the routing field within the primary key, then
+/// the (integer) value there. `None` when the table routes on a non-key
+/// column or a non-integer value — such a conflict cannot be parked on and
+/// surfaces as a (retryable) abort instead.
+fn secondary_route_key(
+    inner: &Arc<Inner>,
+    table: TableId,
+    key: &[dora_storage::types::Value],
+) -> Option<i64> {
+    let field = inner.routing.read().rule(table)?.field;
+    let schema = inner.db.schema(table).ok()?;
+    let position = schema.primary_key.iter().position(|&col| col == field)?;
+    key.get(position)?.as_i64()
 }
 
 /// Reports a result for an action that did not execute (skip/timeout).
@@ -1748,6 +1868,233 @@ mod tests {
         assert!(e.execute(flow).is_committed());
         assert_eq!(e.stats().secondary, 1);
         e.shutdown();
+    }
+
+    #[test]
+    fn secondary_validated_read_parks_until_writer_finishes_never_dirty() {
+        // A holder updates key 0 (uncommitted, local write lock held) and
+        // wedges. A secondary auditor's validated read must reject the
+        // dirty value, divert to key 0's owning partition, park behind the
+        // writer's lock, and — once the holder ABORTS and undo restores the
+        // original value — re-run and observe 0. The dirty 777 must never
+        // surface.
+        let (db, t, routing) = setup(16, 2);
+        let e = DoraEngine::new(
+            db.clone(),
+            routing,
+            DoraEngineConfig {
+                workers: 2,
+                lock_timeout: Duration::from_secs(5),
+                ..Default::default()
+            },
+        );
+        // The dirty update happens on partition 0 (key 0) and RETURNS, so
+        // worker 0 stays free to park the diverted audit; the transaction
+        // is kept in flight (write lock on key 0 held) by a sibling action
+        // wedged on partition 1, whose eventual failure aborts the txn.
+        let (release_tx, release_rx) = crossbeam_channel::bounded::<()>(1);
+        let (ready_tx, ready_rx) = crossbeam_channel::bounded::<()>(1);
+        let holder = e.submit(FlowGraph::new(
+            "DirtyWriterThatAborts",
+            vec![
+                ActionSpec::write(t, 0, move |db, txn, _| {
+                    db.update(
+                        txn,
+                        t,
+                        &[Value::BigInt(0)],
+                        &[(1, Value::BigInt(777))],
+                        DORA_POLICY,
+                    )?;
+                    let _ = ready_tx.send(());
+                    Ok(vec![])
+                }),
+                ActionSpec::write(t, 8, move |_, _, _| {
+                    let _ = release_rx.recv();
+                    Err(StorageError::Aborted("writer changes its mind".into()))
+                }),
+            ],
+        ));
+        ready_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+
+        let audit = e.submit(
+            FlowGraph::new(
+                "Audit",
+                vec![ActionSpec::secondary(t, move |db, txn, _| {
+                    let row = db
+                        .read_validated(txn, t, &[Value::BigInt(0)], DORA_POLICY)?
+                        .ok_or(StorageError::NotFound)?;
+                    Ok(vec![row[1].clone()])
+                })],
+            )
+            .then(|outputs| {
+                let seen = outputs[0][0].as_i64().unwrap();
+                if seen == 0 {
+                    Ok(vec![])
+                } else {
+                    Err(StorageError::Internal(format!(
+                        "secondary read observed dirty value {seen}"
+                    )))
+                }
+            }),
+        );
+        // The audit must divert and park behind the holder's write lock.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while e.stats().secondary_parked < 1 {
+            assert!(Instant::now() < deadline, "audit never parked");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(e.stats().secondary_retries >= 1);
+        assert!(
+            audit.try_recv().is_err(),
+            "audit must wait for the writer, not reply"
+        );
+        release_tx.send(()).unwrap();
+        assert!(!holder.recv().unwrap().is_committed());
+        let outcome = audit.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(outcome.is_committed(), "{outcome:?}");
+        assert_eq!(e.stats().secondary, 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn secondary_read_blocked_past_lock_timeout_aborts_visibly() {
+        // The writer never finishes within the lock timeout: the parked
+        // audit must abort with a retryable error — dirty data is never
+        // the fallback.
+        let (db, t, routing) = setup(16, 2);
+        let e = engine(db, routing, 2); // 200ms lock timeout
+                                        // As above: the uncommitted write lands on partition 0 and the
+                                        // transaction is pinned in flight by a wedged sibling on partition
+                                        // 1, leaving worker 0 free to park (and expire) the audit.
+        let (release_tx, release_rx) = crossbeam_channel::bounded::<()>(1);
+        let (ready_tx, ready_rx) = crossbeam_channel::bounded::<()>(1);
+        let holder = e.submit(FlowGraph::new(
+            "SlowWriter",
+            vec![
+                ActionSpec::write(t, 3, move |db, txn, _| {
+                    db.update(
+                        txn,
+                        t,
+                        &[Value::BigInt(3)],
+                        &[(1, Value::BigInt(999))],
+                        DORA_POLICY,
+                    )?;
+                    let _ = ready_tx.send(());
+                    Ok(vec![])
+                }),
+                ActionSpec::write(t, 8, move |_, _, _| {
+                    let _ = release_rx.recv();
+                    Ok(vec![])
+                }),
+            ],
+        ));
+        ready_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let outcome = e.execute(FlowGraph::new(
+            "Audit",
+            vec![ActionSpec::secondary(t, move |db, txn, _| {
+                db.read_validated(txn, t, &[Value::BigInt(3)], DORA_POLICY)?;
+                Ok(vec![])
+            })],
+        ));
+        assert!(!outcome.is_committed(), "{outcome:?}");
+        release_tx.send(()).unwrap();
+        assert!(holder.recv().unwrap().is_committed());
+        e.shutdown();
+    }
+
+    #[test]
+    fn secondary_multi_record_read_is_one_consistent_snapshot() {
+        // Writers keep moving value between keys 2 and 13 (different
+        // partitions) while secondary audits sum both through
+        // read_many_validated: every committed audit must observe the
+        // conserved total.
+        let (db, t, routing) = setup(16, 4);
+        let init = db.begin();
+        db.update(
+            init,
+            t,
+            &[Value::BigInt(2)],
+            &[(1, Value::BigInt(100))],
+            DORA_POLICY,
+        )
+        .unwrap();
+        db.commit(init).unwrap();
+        let e = Arc::new(engine(db.clone(), routing, 4));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let e = e.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let flow = FlowGraph::new(
+                        "Move",
+                        vec![
+                            ActionSpec::write(t, 2, move |db, txn, _| {
+                                let v = db.get(txn, t, &[Value::BigInt(2)], DORA_POLICY)?.unwrap()
+                                    [1]
+                                .as_i64()
+                                .unwrap();
+                                db.update(
+                                    txn,
+                                    t,
+                                    &[Value::BigInt(2)],
+                                    &[(1, Value::BigInt(v - 1))],
+                                    DORA_POLICY,
+                                )?;
+                                Ok(vec![])
+                            }),
+                            ActionSpec::write(t, 13, move |db, txn, _| {
+                                let v = db.get(txn, t, &[Value::BigInt(13)], DORA_POLICY)?.unwrap()
+                                    [1]
+                                .as_i64()
+                                .unwrap();
+                                db.update(
+                                    txn,
+                                    t,
+                                    &[Value::BigInt(13)],
+                                    &[(1, Value::BigInt(v + 1))],
+                                    DORA_POLICY,
+                                )?;
+                                Ok(vec![])
+                            }),
+                        ],
+                    );
+                    let _ = e.execute(flow);
+                }
+            })
+        };
+        let mut audited = 0;
+        for _ in 0..50 {
+            let flow = FlowGraph::new(
+                "SumAudit",
+                vec![ActionSpec::secondary(t, move |db, txn, _| {
+                    let keys = vec![vec![Value::BigInt(2)], vec![Value::BigInt(13)]];
+                    let rows = db.read_many_validated(txn, t, &keys, DORA_POLICY)?;
+                    let sum: i64 = rows
+                        .iter()
+                        .map(|r| r.as_ref().unwrap()[1].as_i64().unwrap())
+                        .sum();
+                    if sum != 100 {
+                        return Err(StorageError::Internal(format!(
+                            "torn secondary snapshot: sum {sum}"
+                        )));
+                    }
+                    Ok(vec![])
+                })],
+            );
+            match e.execute(flow) {
+                TxnOutcome::Committed => audited += 1,
+                TxnOutcome::Aborted { reason } => {
+                    assert!(
+                        !reason.contains("torn"),
+                        "audit observed a torn snapshot: {reason}"
+                    );
+                }
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        assert!(audited > 0, "no audit ever committed");
     }
 
     #[test]

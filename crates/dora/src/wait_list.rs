@@ -233,7 +233,7 @@ mod tests {
             slot: 0,
             table,
             keys,
-            body: Box::new(|_, _, _| Ok(vec![])),
+            body: crate::action::ActionLogic::Once(Box::new(|_, _, _| Ok(vec![]))),
             txn: Arc::new(TxnCtx::new(txn, "wait-list-test", Vec::new(), reply)),
             rvp: Arc::new(Rvp::new(1)),
             dispatched: Instant::now(),

@@ -241,6 +241,111 @@ fn insufficient_funds_aborts_identically_on_both_engines() {
 }
 
 #[test]
+fn concurrent_secondary_audit_never_observes_torn_or_uncommitted_state() {
+    // Writers hammer cross-partition transfers while auditors continuously
+    // sum ALL balances through the secondary validated-read path — on both
+    // engines. Any torn tuple or uncommitted intermediate state would make
+    // an audit's sum diverge from the conserved total; the workload's
+    // audit forms flag exactly that with a distinctive "torn total" abort,
+    // which this test treats as fatal. Blocked audits (in-flight writers)
+    // may abort retryably — but only visibly, never by serving dirty data.
+    use dora_workloads::transfer::{
+        audit_flow, audit_request, transfer_flow as wl_transfer_flow,
+        transfer_request as wl_transfer_request, TransferMix, TransferWorkload,
+    };
+
+    let wl = TransferWorkload {
+        accounts: ACCOUNTS,
+        initial_balance: 100,
+    };
+    let dora_db = Arc::new(Database::default());
+    let conv_db = Arc::new(Database::default());
+    let dora_t = wl.load(&dora_db);
+    let conv_t = wl.load(&conv_db);
+    let total = wl.total_balance();
+
+    let dora = Arc::new(DoraEngine::new(
+        dora_db.clone(),
+        wl.routing(dora_t, WORKERS),
+        DoraEngineConfig {
+            workers: WORKERS,
+            ..Default::default()
+        },
+    ));
+    let conv = Arc::new(ConvEngine::new(
+        conv_db.clone(),
+        ConvEngineConfig {
+            workers: WORKERS,
+            max_retries: 50,
+        },
+    ));
+
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut writers = Vec::new();
+    for c in 0..2u64 {
+        let (dora, conv) = (dora.clone(), conv.clone());
+        let stop = stop.clone();
+        writers.push(std::thread::spawn(move || {
+            let mut mix = TransferMix::new(ACCOUNTS, c + 1);
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let (from, to, amount) = mix.next_transfer();
+                let _ = dora.execute(wl_transfer_flow(dora_t, from, to, amount));
+                let _ = conv.execute(wl_transfer_request(conv_t, from, to, amount));
+            }
+        }));
+    }
+
+    let mut auditors = Vec::new();
+    for _ in 0..2 {
+        let (dora, conv) = (dora.clone(), conv.clone());
+        auditors.push(std::thread::spawn(move || {
+            let (mut dora_ok, mut conv_ok) = (0u64, 0u64);
+            for _ in 0..25 {
+                match dora.execute(audit_flow(dora_t, 0, ACCOUNTS - 1, Some(total))) {
+                    dora_core::executor::TxnOutcome::Committed => dora_ok += 1,
+                    dora_core::executor::TxnOutcome::Aborted { reason } => {
+                        assert!(
+                            !reason.contains("torn"),
+                            "DORA audit observed a torn/uncommitted sum: {reason}"
+                        );
+                    }
+                }
+                match conv.execute(audit_request(conv_t, 0, ACCOUNTS - 1, Some(total))) {
+                    o if o.is_committed() => conv_ok += 1,
+                    dora_engine_conv::TxnOutcome::Aborted { reason } => {
+                        assert!(
+                            !reason.contains("torn"),
+                            "conv audit observed a torn/uncommitted sum: {reason}"
+                        );
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            (dora_ok, conv_ok)
+        }));
+    }
+
+    let (mut dora_ok, mut conv_ok) = (0u64, 0u64);
+    for a in auditors {
+        let (d, c) = a.join().unwrap();
+        dora_ok += d;
+        conv_ok += c;
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+
+    assert!(dora_ok > 0, "no DORA audit ever committed under contention");
+    assert!(conv_ok > 0, "no conv audit ever committed under contention");
+    let stats = dora.stats();
+    assert!(stats.secondary >= 50, "audits rode the secondary path");
+    // Quiesced end state: both engines still conserve the total and agree.
+    assert_eq!(wl.current_total(&dora_db, dora_t), total);
+    assert_eq!(wl.current_total(&conv_db, conv_t), total);
+}
+
+#[test]
 fn concurrent_transfer_mix_preserves_total_balance_on_both_engines() {
     let dora_db = Arc::new(Database::default());
     let conv_db = Arc::new(Database::default());

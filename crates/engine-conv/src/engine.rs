@@ -424,6 +424,52 @@ mod tests {
     }
 
     #[test]
+    fn validated_reads_retry_until_the_writer_commits_never_serving_dirty_data() {
+        // The conventional engine routes lock-free reads through the same
+        // VersionedRead API as DORA's secondary actions: an uncommitted
+        // record makes the body fail with the retryable ReadUncommitted
+        // error, and the engine's retry loop plays the role of DORA's
+        // park/re-run. The dirty value must never surface.
+        let (db, t) = db_with_counter_table();
+        let writer = db.begin();
+        db.update(
+            writer,
+            t,
+            &[Value::BigInt(0)],
+            &[(1, Value::BigInt(41))],
+            LockingPolicy::Centralized,
+        )
+        .unwrap();
+
+        let engine = ConvEngine::new(
+            db.clone(),
+            ConvEngineConfig {
+                workers: 1,
+                max_retries: u32::MAX,
+            },
+        );
+        let pending = engine.submit(TxnRequest::new("Audit", move |db, txn, _| {
+            let row = db
+                .read_validated(txn, t, &[Value::BigInt(0)], LockingPolicy::Bypass)?
+                .ok_or(StorageError::NotFound)?;
+            // Reachable only after the writer committed: the validated
+            // read rejects the in-flight image instead of returning it.
+            assert_eq!(row[1].as_i64(), Some(41), "dirty or stale value surfaced");
+            Ok(())
+        }));
+        // Let the audit bounce off the uncommitted write at least once.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while engine.stats().retries == 0 {
+            assert!(std::time::Instant::now() < deadline, "audit never retried");
+            std::thread::yield_now();
+        }
+        db.commit(writer).unwrap();
+        assert!(pending.recv().unwrap().is_committed());
+        assert!(engine.stats().retries > 0);
+        assert!(db.counters().validated_retries > 0);
+    }
+
+    #[test]
     fn lock_manager_critical_sections_grow_with_work() {
         let (db, t) = db_with_counter_table();
         let before = db.lock_stats().critical_sections;

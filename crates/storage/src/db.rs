@@ -6,6 +6,24 @@
 //! engine uses `Centralized` (hierarchical 2PL through the shared lock
 //! manager), while DORA passes `Bypass` because isolation is already
 //! guaranteed by the partition-local lock tables of its worker threads.
+//!
+//! Every heap record carries a [`crate::version`] header (seqlock-style
+//! version word + committing-txn stamp), minted on insert and advanced by
+//! update/delete. Lock-protected reads skip it; the **validated read**
+//! API ([`Database::read_validated`], [`Database::read_many_validated`],
+//! [`Database::scan_validated`]) uses it to serve lock-free readers a
+//! consistent committed snapshot: in-progress or uncommitted *images* are
+//! rejected, torn reads retry, and an unchanged set of version headers
+//! after decoding proves the rows were not rewritten mid-read.
+//!
+//! The protocol versions **record images**, not key *presence*: index
+//! entries are removed at delete time, so once a deleting transaction has
+//! detached a key, a validated reader observes the absence even while
+//! that delete is uncommitted (and the row may yet be undone back into
+//! existence). Symmetrically, `scan_validated`'s range membership is as
+//! of the index probe. Workloads that audit under concurrent
+//! inserts/deletes of rows — not just value updates — need the key-range
+//! versioning noted in the ROADMAP.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,7 +41,19 @@ use crate::schema::{Catalog, TableSchema};
 use crate::tuple;
 use crate::txn::{TxnManager, TxnState, UndoEntry};
 use crate::types::{IndexId, Key, RecordId, TableId, TxnId, Value};
+use crate::version::{self, RecordVersion};
 use crate::wal::{LogManager, LogPayload, LogStatsSnapshot};
+
+/// Attempts a validated read makes before giving up with
+/// [`StorageError::ReadUncommitted`] when version words keep moving
+/// underneath it (a torn read resolves within nanoseconds; a genuinely
+/// write-hot record is better parked on than spun on).
+const VALIDATED_READ_SPINS: usize = 32;
+
+/// Attempts a validated read grants a record whose stamp names an
+/// in-flight transaction. Commit latency dwarfs a spin loop, so the read
+/// fails fast and lets the caller decide between retrying and parking.
+const VALIDATED_UNCOMMITTED_SPINS: usize = 4;
 
 /// How an operation should interact with the centralized lock manager.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +102,11 @@ pub struct DbCounters {
     pub commits: AtomicU64,
     /// Transactions aborted.
     pub aborts: AtomicU64,
+    /// Record snapshots served by the validated (versioned) read path.
+    pub validated_reads: AtomicU64,
+    /// Validated-read attempts retried or rejected because of an
+    /// in-progress, uncommitted, or moved record version.
+    pub validated_retries: AtomicU64,
 }
 
 /// Point-in-time copy of [`DbCounters`].
@@ -89,6 +124,11 @@ pub struct DbCountersSnapshot {
     pub commits: u64,
     /// Transactions aborted.
     pub aborts: u64,
+    /// Record snapshots served by the validated (versioned) read path.
+    pub validated_reads: u64,
+    /// Validated-read attempts retried or rejected because of an
+    /// in-progress, uncommitted, or moved record version.
+    pub validated_retries: u64,
 }
 
 /// The storage-manager facade.
@@ -101,6 +141,13 @@ pub struct Database {
     log: Arc<LogManager>,
     txns: TxnManager,
     counters: DbCounters,
+    /// Mints the (even) version word of every freshly inserted record.
+    /// A database-wide clock instead of a constant start value: a slotted
+    /// page reuses deleted slots, so a record id can be recycled between
+    /// a validated read and its revalidation — distinct insert words (and
+    /// the full word+stamp comparison in `revalidate`) keep such an ABA
+    /// from passing as an unchanged record.
+    version_clock: AtomicU64,
 }
 
 impl Default for Database {
@@ -124,7 +171,13 @@ impl Database {
             log: Arc::new(LogManager::new()),
             txns: TxnManager::new(),
             counters: DbCounters::default(),
+            version_clock: AtomicU64::new(version::INITIAL_VERSION),
         }
+    }
+
+    /// The next fresh (even) version word for an inserted record.
+    fn next_version_word(&self) -> u64 {
+        self.version_clock.fetch_add(2, Ordering::Relaxed)
     }
 
     // --- schema management ------------------------------------------------
@@ -161,7 +214,7 @@ impl Database {
         // Back-fill from the heap.
         let heap = self.heap(table)?;
         for (rid, bytes) in heap.scan()? {
-            let values = tuple::decode(&bytes)?;
+            let values = decode_record(&bytes)?;
             let key: Key = key_columns.iter().map(|&c| values[c].clone()).collect();
             tree.insert(key, rid);
         }
@@ -305,7 +358,13 @@ impl Database {
                 tuple: values.clone(),
             },
         );
-        let rid = self.heap(table)?.insert(&tuple::encode(&values))?;
+        let rid = self.heap(table)?.insert(&version::encode_record(
+            RecordVersion {
+                word: self.next_version_word(),
+                stamp: txn,
+            },
+            &tuple::encode(&values),
+        ))?;
         primary.insert(key.clone(), rid);
         for (idx_id, cols, _) in self.secondary_defs(table) {
             let skey: Key = cols.iter().map(|&c| values[c].clone()).collect();
@@ -336,7 +395,7 @@ impl Database {
         match primary.get_first(key) {
             Some(rid) => {
                 let bytes = self.heap(table)?.get(rid)?;
-                Ok(Some(tuple::decode(&bytes)?))
+                Ok(Some(decode_record(&bytes)?))
             }
             None => Ok(None),
         }
@@ -364,7 +423,7 @@ impl Database {
         let schema = self.schema(def.table)?;
         let mut rows = Vec::new();
         for rid in tree.get(key) {
-            let values = tuple::decode(&heap.get(rid)?)?;
+            let values = decode_record(&heap.get(rid)?)?;
             if policy == LockingPolicy::Centralized {
                 let pk = schema.primary_key_of(&values);
                 self.lock_mgr
@@ -398,7 +457,7 @@ impl Database {
         let schema = self.schema(def.table)?;
         let mut rows = Vec::new();
         for (_, rid) in tree.scan_prefix(prefix) {
-            let values = tuple::decode(&heap.get(rid)?)?;
+            let values = decode_record(&heap.get(rid)?)?;
             if policy == LockingPolicy::Centralized {
                 let pk = schema.primary_key_of(&values);
                 self.lock_mgr
@@ -431,9 +490,211 @@ impl Database {
         let mut rows = Vec::new();
         for (_, rid) in tree.range(lo, hi) {
             self.counters.reads.fetch_add(1, Ordering::Relaxed);
-            rows.push(tuple::decode(&heap.get(rid)?)?);
+            rows.push(decode_record(&heap.get(rid)?)?);
         }
         Ok(rows)
+    }
+
+    // --- validated (versioned) reads ----------------------------------------
+
+    /// Validated point lookup by primary key: like [`Database::get`], but
+    /// safe to run **without any lock** on the key. The record's version
+    /// header is checked before and after decoding — an in-progress or
+    /// uncommitted image is never returned; the read retries briefly and
+    /// then reports the in-flight writer via
+    /// [`StorageError::ReadUncommitted`] so the caller can park on it.
+    ///
+    /// Under [`LockingPolicy::Centralized`] the usual IS/S locks are taken
+    /// first (validation then passes trivially); `Bypass` is the optimistic
+    /// lock-free path the DORA executor and the conventional engine's
+    /// audit transactions share.
+    pub fn read_validated(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        key: &[Value],
+        policy: LockingPolicy,
+    ) -> StorageResult<Option<Vec<Value>>> {
+        let mut rows = self.read_many_validated(txn, table, &[key.to_vec()], policy)?;
+        Ok(rows.pop().flatten())
+    }
+
+    /// Validated multi-key lookup: all `keys` are read and then revalidated
+    /// as **one consistent snapshot** — either every returned row coexisted
+    /// at a single point in time (none was rewritten between first read and
+    /// revalidation, none carries an in-flight writer's stamp), or the call
+    /// reports the conflicting record via [`StorageError::ReadUncommitted`].
+    ///
+    /// `None` entries report key **absence as of the index probe**: a key
+    /// detached by a still-uncommitted delete already reads as missing
+    /// (see the module docs — presence is not versioned, images are).
+    pub fn read_many_validated(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        keys: &[Key],
+        policy: LockingPolicy,
+    ) -> StorageResult<Vec<Option<Vec<Value>>>> {
+        self.txns.check_active(txn)?;
+        if policy == LockingPolicy::Centralized {
+            self.lock_mgr
+                .lock(txn, LockTarget::Table(table), LockMode::IS)?;
+            for key in keys {
+                self.lock_mgr
+                    .lock(txn, LockTarget::Key(table, key.clone()), LockMode::S)?;
+            }
+        }
+        let primary = self.primary_tree(table)?;
+        let heap = self.heap(table)?;
+        self.validated_attempt_loop(table, |db| {
+            let mut rows = Vec::with_capacity(keys.len());
+            let mut observed = Vec::with_capacity(keys.len());
+            let mut observed_keys = Vec::with_capacity(keys.len());
+            for key in keys {
+                match primary.get_first(key) {
+                    None => rows.push(None),
+                    Some(rid) => match db.snapshot_record(txn, &heap, key, rid)? {
+                        Ok((ver, values)) => {
+                            rows.push(Some(values));
+                            observed.push((rid, ver));
+                            observed_keys.push(key);
+                        }
+                        Err(conflict) => return Ok(Err(conflict)),
+                    },
+                }
+            }
+            Ok(match revalidate(&heap, &observed) {
+                Ok(()) => Ok(rows),
+                Err(idx) => Err(SnapshotConflict::torn(observed_keys[idx], 0)),
+            })
+        })
+    }
+
+    /// Validated primary-key range scan (inclusive bounds): the lock-free
+    /// counterpart of [`Database::primary_range`]. Record-level consistency
+    /// is validated exactly as in [`Database::read_many_validated`]; range
+    /// membership itself is as of the index probe (a concurrent insert or
+    /// delete of *other* keys is not re-checked — no key-range locks on
+    /// this path).
+    pub fn scan_validated(
+        &self,
+        txn: TxnId,
+        table: TableId,
+        lo: &[Value],
+        hi: &[Value],
+        policy: LockingPolicy,
+    ) -> StorageResult<Vec<Vec<Value>>> {
+        self.txns.check_active(txn)?;
+        if policy == LockingPolicy::Centralized {
+            self.lock_mgr
+                .lock(txn, LockTarget::Table(table), LockMode::S)?;
+        }
+        let primary = self.primary_tree(table)?;
+        let heap = self.heap(table)?;
+        self.validated_attempt_loop(table, |db| {
+            let entries = primary.range(lo, hi);
+            let mut rows = Vec::with_capacity(entries.len());
+            let mut observed = Vec::with_capacity(entries.len());
+            for (key, rid) in &entries {
+                match db.snapshot_record(txn, &heap, key, *rid)? {
+                    Ok((ver, values)) => {
+                        rows.push(values);
+                        observed.push((*rid, ver));
+                    }
+                    Err(conflict) => return Ok(Err(conflict)),
+                }
+            }
+            Ok(match revalidate(&heap, &observed) {
+                Ok(()) => Ok(rows),
+                Err(idx) => Err(SnapshotConflict::torn(&entries[idx].0, 0)),
+            })
+        })
+    }
+
+    /// Runs `attempt` under the validated-read retry policy: torn reads
+    /// (odd version words, words that moved between read and revalidation,
+    /// records relocated mid-probe) spin up to [`VALIDATED_READ_SPINS`]
+    /// times, uncommitted stamps give up after
+    /// [`VALIDATED_UNCOMMITTED_SPINS`], and exhaustion surfaces the last
+    /// conflict as [`StorageError::ReadUncommitted`].
+    fn validated_attempt_loop<R>(
+        &self,
+        table: TableId,
+        mut attempt: impl FnMut(&Self) -> StorageResult<Result<Vec<R>, SnapshotConflict>>,
+    ) -> StorageResult<Vec<R>> {
+        let mut uncommitted_hits = 0usize;
+        let mut last_conflict = None;
+        for _ in 0..VALIDATED_READ_SPINS {
+            match attempt(self)? {
+                Ok(rows) => {
+                    self.counters
+                        .validated_reads
+                        .fetch_add(rows.len() as u64, Ordering::Relaxed);
+                    return Ok(rows);
+                }
+                Err(conflict) => {
+                    self.counters
+                        .validated_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    if conflict.uncommitted {
+                        uncommitted_hits += 1;
+                    }
+                    last_conflict = Some(conflict);
+                    if uncommitted_hits >= VALIDATED_UNCOMMITTED_SPINS {
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+        }
+        let conflict = last_conflict.expect("retry loop only exits with a conflict");
+        Err(StorageError::ReadUncommitted {
+            table,
+            key: conflict.key,
+            writer: conflict.writer,
+        })
+    }
+
+    /// Reads one record under the snapshot protocol. Outer error: fatal
+    /// storage failure. Inner error: a retryable conflict (torn word,
+    /// uncommitted stamp, or record relocated since the index probe).
+    fn snapshot_record(
+        &self,
+        txn: TxnId,
+        heap: &HeapFile,
+        key: &[Value],
+        rid: RecordId,
+    ) -> StorageResult<Result<(RecordVersion, Vec<Value>), SnapshotConflict>> {
+        let (ver, payload) = match heap.get_versioned(rid) {
+            Ok(read) => read,
+            // Relocated or deleted between index probe and heap access:
+            // retry the attempt, the index resolves to the new location.
+            Err(StorageError::NotFound) => return Ok(Err(SnapshotConflict::torn(key, 0))),
+            Err(e) => return Err(e),
+        };
+        if ver.is_write_in_progress() {
+            return Ok(Err(SnapshotConflict::torn(key, ver.stamp)));
+        }
+        if !self.stamp_stable(txn, ver.stamp) {
+            return Ok(Err(SnapshotConflict::uncommitted(key, ver.stamp)));
+        }
+        Ok(Ok((ver, tuple::decode(&payload)?)))
+    }
+
+    /// Whether a record stamped by `stamp` holds a committed image from
+    /// `reader`'s point of view. Stamp 0 (loader/undo/recovery) and the
+    /// reader's own writes are always stable; `Active` writers are not,
+    /// and neither are `Aborted` ones — their undo may still be rewriting
+    /// records (each rewrite publishes a fresh stamp-0 header, so aborted
+    /// stamps are transient). A stamp the transaction manager no longer
+    /// knows belongs to a long-finished, garbage-collected transaction.
+    fn stamp_stable(&self, reader: TxnId, stamp: TxnId) -> bool {
+        stamp == 0
+            || stamp == reader
+            || !matches!(
+                self.txns.state(stamp),
+                Some(TxnState::Active) | Some(TxnState::Aborted)
+            )
     }
 
     /// Updates the row with primary key `key` by setting `(column, value)`
@@ -459,23 +720,33 @@ impl Database {
             return Ok(false);
         };
         let heap = self.heap(table)?;
-        let before = tuple::decode(&heap.get(rid)?)?;
+        // One page latch reads the pre-image AND stamps the record
+        // write-in-progress (odd version word): validated readers retry or
+        // park instead of decoding a record about to be rewritten. Every
+        // error path below must restore the stable header, or the record
+        // would block validated readers until this transaction finishes.
+        let (old_version, payload) = heap.get_for_update(rid, txn)?;
+        let restore = |e: StorageError| {
+            let _ = heap.write_version(rid, old_version);
+            e
+        };
+        let before = tuple::decode(&payload).map_err(&restore)?;
         let mut after = before.clone();
         for (col, value) in updates {
             if *col >= after.len() {
-                return Err(StorageError::SchemaMismatch(format!(
+                return Err(restore(StorageError::SchemaMismatch(format!(
                     "column {col} out of range for table {}",
                     schema.name
-                )));
+                ))));
             }
             if schema.primary_key.contains(col) {
-                return Err(StorageError::SchemaMismatch(
+                return Err(restore(StorageError::SchemaMismatch(
                     "updating primary-key columns is not supported; delete and re-insert".into(),
-                ));
+                )));
             }
             after[*col] = value.clone();
         }
-        schema.validate(&after)?;
+        schema.validate(&after).map_err(&restore)?;
         self.log.append(
             txn,
             LogPayload::Update {
@@ -485,7 +756,12 @@ impl Database {
                 after: after.clone(),
             },
         );
-        let outcome = heap.update(rid, &tuple::encode(&after))?;
+        let outcome = heap
+            .update(
+                rid,
+                &version::encode_record(old_version.publish(txn), &tuple::encode(&after)),
+            )
+            .map_err(&restore)?;
         let new_rid = match outcome {
             UpdateOutcome::InPlace => rid,
             UpdateOutcome::Moved(new_rid) => {
@@ -537,7 +813,18 @@ impl Database {
             return Ok(false);
         };
         let heap = self.heap(table)?;
-        let before = tuple::decode(&heap.get(rid)?)?;
+        // Stamp the record write-in-progress before it disappears: a
+        // validated reader still holding its record id then sees an odd
+        // version (retry/park) instead of a silently vanishing row whose
+        // delete might yet be rolled back. Like `update`, every error path
+        // below must restore the stable header — a record left odd would
+        // wedge validated readers of this key forever.
+        let (old_version, payload) = heap.get_for_update(rid, txn)?;
+        let restore = |e: StorageError| {
+            let _ = heap.write_version(rid, old_version);
+            e
+        };
+        let before = tuple::decode(&payload).map_err(&restore)?;
         self.log.append(
             txn,
             LogPayload::Delete {
@@ -546,7 +833,7 @@ impl Database {
                 before: before.clone(),
             },
         );
-        heap.delete(rid)?;
+        heap.delete(rid).map_err(&restore)?;
         primary.remove(key, rid);
         for (idx_id, cols, _) in self.secondary_defs(table) {
             let skey: Key = cols.iter().map(|&c| before[c].clone()).collect();
@@ -570,7 +857,7 @@ impl Database {
         let heap = self.heap(table)?;
         heap.scan()?
             .into_iter()
-            .map(|(_, bytes)| tuple::decode(&bytes))
+            .map(|(_, bytes)| decode_record(&bytes))
             .collect()
     }
 
@@ -608,6 +895,8 @@ impl Database {
             deletes: self.counters.deletes.load(Ordering::Relaxed),
             commits: self.counters.commits.load(Ordering::Relaxed),
             aborts: self.counters.aborts.load(Ordering::Relaxed),
+            validated_reads: self.counters.validated_reads.load(Ordering::Relaxed),
+            validated_retries: self.counters.validated_retries.load(Ordering::Relaxed),
         }
     }
 
@@ -632,7 +921,14 @@ impl Database {
         if primary.contains_key(&key) {
             return Err(StorageError::DuplicateKey(format!("{key:?}")));
         }
-        let rid = self.heap(table)?.insert(&tuple::encode(&values))?;
+        // Stamp 0: loader/undo/recovery images are stable by construction.
+        let rid = self.heap(table)?.insert(&version::encode_record(
+            RecordVersion {
+                word: self.next_version_word(),
+                stamp: 0,
+            },
+            &tuple::encode(&values),
+        ))?;
         primary.insert(key, rid);
         for (idx_id, cols, _) in self.secondary_defs(table) {
             let skey: Key = cols.iter().map(|&c| values[c].clone()).collect();
@@ -649,7 +945,7 @@ impl Database {
             return Ok(false);
         };
         let heap = self.heap(table)?;
-        let before = tuple::decode(&heap.get(rid)?)?;
+        let before = decode_record(&heap.get(rid)?)?;
         heap.delete(rid)?;
         primary.remove(key, rid);
         for (idx_id, cols, _) in self.secondary_defs(table) {
@@ -672,8 +968,15 @@ impl Database {
             return Ok(false);
         };
         let heap = self.heap(table)?;
-        let before = tuple::decode(&heap.get(rid)?)?;
-        let outcome = heap.update(rid, &tuple::encode(&image))?;
+        // Stamp 0 publishes a stable image: undo (which runs while its
+        // transaction is already marked aborted) and recovery redo both
+        // leave the record immediately readable by validated readers.
+        let (old_version, payload) = heap.get_for_update(rid, 0)?;
+        let before = tuple::decode(&payload)?;
+        let outcome = heap.update(
+            rid,
+            &version::encode_record(old_version.publish(0), &tuple::encode(&image)),
+        )?;
         let new_rid = match outcome {
             UpdateOutcome::InPlace => rid,
             UpdateOutcome::Moved(new_rid) => {
@@ -742,6 +1045,58 @@ impl Database {
             .into_iter()
             .map(|d| (d.id, d.key_columns.clone(), d.unique))
             .collect()
+    }
+}
+
+/// Splits a heap record into its version header and tuple bytes and
+/// decodes the tuple. The lock-protected read paths use this directly —
+/// version checking is only the lock-free (validated) path's business.
+fn decode_record(bytes: &[u8]) -> StorageResult<Vec<Value>> {
+    let (_, payload) = version::split(bytes)?;
+    tuple::decode(payload)
+}
+
+/// Revalidation pass of the snapshot protocol: every observed version
+/// header must still be in place — the **full** header, word and stamp,
+/// because slotted pages reuse deleted slots and a recycled record id
+/// carrying a coincidentally equal word (ABA) must not pass as unchanged.
+/// Returns the index of the first moved record.
+fn revalidate(heap: &HeapFile, observed: &[(RecordId, RecordVersion)]) -> Result<(), usize> {
+    for (idx, &(rid, ver)) in observed.iter().enumerate() {
+        let stable = heap.read_version(rid).map(|v| v == ver).unwrap_or(false);
+        if !stable {
+            return Err(idx);
+        }
+    }
+    Ok(())
+}
+
+/// A retryable conflict observed by one validated-read attempt.
+struct SnapshotConflict {
+    /// Primary key of the conflicting record.
+    key: Key,
+    /// The transaction stamped on it (0 when unknown — torn or moved).
+    writer: TxnId,
+    /// Whether the conflict was an uncommitted stamp (fail fast) rather
+    /// than a transient torn/moved word (spin).
+    uncommitted: bool,
+}
+
+impl SnapshotConflict {
+    fn torn(key: &[Value], writer: TxnId) -> Self {
+        SnapshotConflict {
+            key: key.to_vec(),
+            writer,
+            uncommitted: false,
+        }
+    }
+
+    fn uncommitted(key: &[Value], writer: TxnId) -> Self {
+        SnapshotConflict {
+            key: key.to_vec(),
+            writer,
+            uncommitted: true,
+        }
     }
 }
 
@@ -1111,5 +1466,431 @@ mod tests {
         let counters = db.counters();
         assert_eq!(counters.inserts, 1);
         assert_eq!(db.scan(t).unwrap().len(), 1);
+    }
+
+    /// The record id and current version header of a row (test access to
+    /// the versioned substrate beneath the facade).
+    fn version_of(db: &Database, t: TableId, key: &[Value]) -> (RecordId, RecordVersion) {
+        let rid = db.primary_tree(t).unwrap().get_first(key).unwrap();
+        (rid, db.heap(t).unwrap().read_version(rid).unwrap())
+    }
+
+    #[test]
+    fn validated_read_serves_committed_rows_and_rejects_uncommitted_writes() {
+        let (db, t) = test_db();
+        let setup = db.begin();
+        db.insert(setup, t, row(1, "alice", 100.0), LockingPolicy::Bypass)
+            .unwrap();
+        db.commit(setup).unwrap();
+
+        // Committed row: served, even without any lock.
+        let reader = db.begin();
+        let got = db
+            .read_validated(reader, t, &[Value::BigInt(1)], LockingPolicy::Bypass)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got[2], Value::Double(100.0));
+        // Missing key: None, not an error.
+        assert!(db
+            .read_validated(reader, t, &[Value::BigInt(9)], LockingPolicy::Bypass)
+            .unwrap()
+            .is_none());
+
+        // An uncommitted update must never surface: the reader is told who
+        // is in its way instead.
+        let writer = db.begin();
+        db.update(
+            writer,
+            t,
+            &[Value::BigInt(1)],
+            &[(2, Value::Double(0.0))],
+            LockingPolicy::Bypass,
+        )
+        .unwrap();
+        let err = db
+            .read_validated(reader, t, &[Value::BigInt(1)], LockingPolicy::Bypass)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            StorageError::ReadUncommitted {
+                table: t,
+                key: vec![Value::BigInt(1)],
+                writer,
+            }
+        );
+        assert!(err.is_retryable());
+        assert!(db.counters().validated_retries > 0);
+
+        // The writer itself sees its own write through the validated path.
+        let own = db
+            .read_validated(writer, t, &[Value::BigInt(1)], LockingPolicy::Bypass)
+            .unwrap()
+            .unwrap();
+        assert_eq!(own[2], Value::Double(0.0));
+
+        // Once committed, everyone does.
+        db.commit(writer).unwrap();
+        let got = db
+            .read_validated(reader, t, &[Value::BigInt(1)], LockingPolicy::Bypass)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got[2], Value::Double(0.0));
+        db.commit(reader).unwrap();
+    }
+
+    #[test]
+    fn validated_read_rejects_aborted_writers_until_undo_restores() {
+        let (db, t) = test_db();
+        let setup = db.begin();
+        db.insert(setup, t, row(1, "a", 50.0), LockingPolicy::Bypass)
+            .unwrap();
+        db.commit(setup).unwrap();
+
+        let writer = db.begin();
+        db.update(
+            writer,
+            t,
+            &[Value::BigInt(1)],
+            &[(2, Value::Double(-1.0))],
+            LockingPolicy::Bypass,
+        )
+        .unwrap();
+        db.abort(writer).unwrap();
+        // Undo rewrote the record with a stable stamp-0 header: the
+        // restored value is immediately readable, the dirty one never was.
+        let reader = db.begin();
+        let got = db
+            .read_validated(reader, t, &[Value::BigInt(1)], LockingPolicy::Bypass)
+            .unwrap()
+            .unwrap();
+        assert_eq!(got[2], Value::Double(50.0));
+        let (_, ver) = version_of(&db, t, &[Value::BigInt(1)]);
+        assert_eq!(ver.stamp, 0);
+        assert!(!ver.is_write_in_progress());
+        db.commit(reader).unwrap();
+    }
+
+    #[test]
+    fn validated_read_retries_torn_words_then_reports_the_marked_writer() {
+        let (db, t) = test_db();
+        let setup = db.begin();
+        db.insert(setup, t, row(1, "a", 1.0), LockingPolicy::Bypass)
+            .unwrap();
+        db.commit(setup).unwrap();
+        // Force a write-in-progress marker as a wedged writer would leave
+        // mid-rewrite: the validated read must spin, give up, and name the
+        // stamped writer — never decode the in-progress image.
+        let (rid, ver) = version_of(&db, t, &[Value::BigInt(1)]);
+        let heap = db.heap(t).unwrap();
+        heap.write_version(rid, ver.begin_write(777)).unwrap();
+        let reader = db.begin();
+        let before = db.counters().validated_retries;
+        let err = db
+            .read_validated(reader, t, &[Value::BigInt(1)], LockingPolicy::Bypass)
+            .unwrap_err();
+        assert!(
+            matches!(err, StorageError::ReadUncommitted { writer: 777, .. }),
+            "{err:?}"
+        );
+        assert!(db.counters().validated_retries >= before + VALIDATED_READ_SPINS as u64);
+        // Restoring the stable header unblocks the reader.
+        heap.write_version(rid, ver).unwrap();
+        assert!(db
+            .read_validated(reader, t, &[Value::BigInt(1)], LockingPolicy::Bypass)
+            .unwrap()
+            .is_some());
+        db.commit(reader).unwrap();
+    }
+
+    #[test]
+    fn read_many_and_scan_validated_return_consistent_snapshots() {
+        let (db, t) = test_db();
+        let setup = db.begin();
+        for i in 0..10 {
+            db.insert(setup, t, row(i, "x", i as f64), LockingPolicy::Bypass)
+                .unwrap();
+        }
+        db.commit(setup).unwrap();
+
+        let reader = db.begin();
+        let keys: Vec<Key> = vec![
+            vec![Value::BigInt(2)],
+            vec![Value::BigInt(99)], // missing
+            vec![Value::BigInt(7)],
+        ];
+        let rows = db
+            .read_many_validated(reader, t, &keys, LockingPolicy::Bypass)
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].as_ref().unwrap()[2], Value::Double(2.0));
+        assert!(rows[1].is_none());
+        assert_eq!(rows[2].as_ref().unwrap()[2], Value::Double(7.0));
+
+        let scanned = db
+            .scan_validated(
+                reader,
+                t,
+                &[Value::BigInt(3)],
+                &[Value::BigInt(6)],
+                LockingPolicy::Bypass,
+            )
+            .unwrap();
+        assert_eq!(scanned.len(), 4);
+        let locked = db
+            .primary_range(
+                reader,
+                t,
+                &[Value::BigInt(3)],
+                &[Value::BigInt(6)],
+                LockingPolicy::Bypass,
+            )
+            .unwrap();
+        assert_eq!(scanned, locked);
+        assert!(db.counters().validated_reads >= 6);
+        db.commit(reader).unwrap();
+    }
+
+    #[test]
+    fn validated_read_under_centralized_policy_takes_shared_locks() {
+        let (db, t) = test_db();
+        let setup = db.begin();
+        db.insert(setup, t, row(1, "a", 1.0), LockingPolicy::Bypass)
+            .unwrap();
+        db.commit(setup).unwrap();
+        let reader = db.begin();
+        db.read_validated(reader, t, &[Value::BigInt(1)], LockingPolicy::Centralized)
+            .unwrap()
+            .unwrap();
+        assert!(db.lock_manager().held_count(reader) > 0);
+        db.commit(reader).unwrap();
+        assert_eq!(db.lock_manager().held_count(reader), 0);
+    }
+
+    #[test]
+    fn failed_update_restores_the_stable_version_header() {
+        let (db, t) = test_db();
+        let setup = db.begin();
+        db.insert(setup, t, row(1, "a", 1.0), LockingPolicy::Bypass)
+            .unwrap();
+        db.commit(setup).unwrap();
+        let (_, before) = version_of(&db, t, &[Value::BigInt(1)]);
+
+        // A rejected update (primary-key column) must not leave the record
+        // marked write-in-progress.
+        let txn = db.begin();
+        assert!(db
+            .update(
+                txn,
+                t,
+                &[Value::BigInt(1)],
+                &[(0, Value::BigInt(2))],
+                LockingPolicy::Bypass,
+            )
+            .is_err());
+        let (_, after) = version_of(&db, t, &[Value::BigInt(1)]);
+        assert_eq!(after, before, "stable header restored on the error path");
+        assert!(db
+            .read_validated(txn, t, &[Value::BigInt(1)], LockingPolicy::Bypass)
+            .unwrap()
+            .is_some());
+    }
+}
+
+#[cfg(test)]
+mod version_proptests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::types::DataType;
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    /// Loads `pair(id BIGINT, value BIGINT)` with two rows whose values sum
+    /// to `total`, then forces both version words to the edge of
+    /// wrap-around so every publish in the test crosses `u64::MAX`.
+    fn wrapping_pair_db(total: i64) -> (Arc<Database>, TableId) {
+        let db = Arc::new(Database::default());
+        let t = db
+            .create_table(TableSchema::new(
+                "pair",
+                vec![
+                    ColumnDef::new("id", DataType::BigInt),
+                    ColumnDef::new("value", DataType::BigInt),
+                ],
+                vec![0],
+            ))
+            .unwrap();
+        let setup = db.begin();
+        for (id, value) in [(0i64, total), (1i64, 0i64)] {
+            db.insert(
+                setup,
+                t,
+                vec![Value::BigInt(id), Value::BigInt(value)],
+                LockingPolicy::Bypass,
+            )
+            .unwrap();
+        }
+        db.commit(setup).unwrap();
+        for id in 0..2i64 {
+            let rid = db
+                .primary_tree(t)
+                .unwrap()
+                .get_first(&[Value::BigInt(id)])
+                .unwrap();
+            db.heap(t)
+                .unwrap()
+                .write_version(
+                    rid,
+                    RecordVersion {
+                        word: u64::MAX - 5,
+                        stamp: 0,
+                    },
+                )
+                .unwrap();
+        }
+        (db, t)
+    }
+
+    proptest! {
+        /// N writer threads × M validated readers over version words forced
+        /// across wrap-around: no torn decode and no uncommitted value ever
+        /// surfaces. Writers either move an (even) delta between the two
+        /// rows and commit, or scribble odd "poison" values and abort — a
+        /// validated reader must only ever observe even values summing to
+        /// the conserved total.
+        #[test]
+        fn validated_readers_never_observe_uncommitted_or_torn_values(
+            params in (1usize..3, 1usize..3, 3u64..10, 1u64..200)
+        ) {
+            let (writers, readers, rounds, seed) = params;
+            const TOTAL: i64 = 1_000_000;
+            let (db, t) = wrapping_pair_db(TOTAL);
+            let writer_gate = Arc::new(parking_lot::Mutex::new(()));
+            let done = Arc::new(AtomicBool::new(false));
+
+            let writer_handles: Vec<_> = (0..writers)
+                .map(|w| {
+                    let db = db.clone();
+                    let gate = writer_gate.clone();
+                    let mut rng = seed.wrapping_mul(w as u64 + 1) | 1;
+                    std::thread::spawn(move || {
+                        for _ in 0..rounds {
+                            // xorshift
+                            rng ^= rng << 13;
+                            rng ^= rng >> 7;
+                            rng ^= rng << 17;
+                            let delta = ((rng % 50) as i64) * 2; // even
+                            let poison = rng % 2 == 0;
+                            // Writers serialize among themselves (the
+                            // engines' lock layers do this in production);
+                            // readers stay fully concurrent and lock-free.
+                            let _excl = gate.lock();
+                            let txn = db.begin();
+                            let read = |id: i64| {
+                                db.get(txn, t, &[Value::BigInt(id)], LockingPolicy::Bypass)
+                                    .unwrap()
+                                    .unwrap()[1]
+                                    .as_i64()
+                                    .unwrap()
+                            };
+                            let (v0, v1) = (read(0), read(1));
+                            if poison {
+                                for id in 0..2 {
+                                    db.update(
+                                        txn,
+                                        t,
+                                        &[Value::BigInt(id)],
+                                        &[(1, Value::BigInt(7_777_777))], // odd
+                                        LockingPolicy::Bypass,
+                                    )
+                                    .unwrap();
+                                }
+                                db.abort(txn).unwrap();
+                            } else {
+                                for (id, value) in [(0, v0 - delta), (1, v1 + delta)] {
+                                    db.update(
+                                        txn,
+                                        t,
+                                        &[Value::BigInt(id)],
+                                        &[(1, Value::BigInt(value))],
+                                        LockingPolicy::Bypass,
+                                    )
+                                    .unwrap();
+                                }
+                                db.commit(txn).unwrap();
+                            }
+                        }
+                    })
+                })
+                .collect();
+
+            let reader_handles: Vec<_> = (0..readers)
+                .map(|_| {
+                    let db = db.clone();
+                    let done = done.clone();
+                    std::thread::spawn(move || {
+                        let deadline = Instant::now() + Duration::from_secs(30);
+                        let mut observed = 0u64;
+                        let keys: Vec<Key> =
+                            vec![vec![Value::BigInt(0)], vec![Value::BigInt(1)]];
+                        while !done.load(AtomicOrdering::Acquire)
+                            || observed == 0
+                        {
+                            assert!(Instant::now() < deadline, "reader starved");
+                            let txn = db.begin();
+                            match db.read_many_validated(txn, t, &keys, LockingPolicy::Bypass)
+                            {
+                                Ok(rows) => {
+                                    let v0 = rows[0].as_ref().unwrap()[1].as_i64().unwrap();
+                                    let v1 = rows[1].as_ref().unwrap()[1].as_i64().unwrap();
+                                    assert_eq!(
+                                        v0 % 2, 0,
+                                        "odd poison value surfaced: {v0}"
+                                    );
+                                    assert_eq!(
+                                        v1 % 2, 0,
+                                        "odd poison value surfaced: {v1}"
+                                    );
+                                    assert_eq!(
+                                        v0 + v1, TOTAL,
+                                        "torn snapshot: {v0} + {v1} != {TOTAL}"
+                                    );
+                                    observed += 1;
+                                }
+                                // Blocked on an in-flight writer: retry.
+                                Err(StorageError::ReadUncommitted { .. }) => {}
+                                Err(e) => panic!("unexpected error: {e}"),
+                            }
+                            db.commit(txn).unwrap();
+                        }
+                        observed
+                    })
+                })
+                .collect();
+
+            for h in writer_handles {
+                h.join().unwrap();
+            }
+            done.store(true, AtomicOrdering::Release);
+            for h in reader_handles {
+                prop_assert!(h.join().unwrap() > 0, "every reader saw a snapshot");
+            }
+            // The version words crossed u64::MAX and stayed even-stable.
+            for id in 0..2i64 {
+                let rid = db
+                    .primary_tree(t)
+                    .unwrap()
+                    .get_first(&[Value::BigInt(id)])
+                    .unwrap();
+                let ver = db.heap(t).unwrap().read_version(rid).unwrap();
+                prop_assert!(!ver.is_write_in_progress());
+                prop_assert!(
+                    ver.word < u64::MAX - 5,
+                    "word {} never wrapped despite starting at MAX-5",
+                    ver.word
+                );
+            }
+        }
     }
 }

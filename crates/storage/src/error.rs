@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::types::{TableId, TxnId};
+use crate::types::{Key, TableId, TxnId};
 
 /// Errors produced by the storage manager and surfaced to both execution
 /// engines (conventional and DORA).
@@ -30,6 +30,19 @@ pub enum StorageError {
     TxnNotActive(TxnId),
     /// The transaction was aborted by user or system request.
     Aborted(String),
+    /// A validated (versioned) read could not produce a consistent
+    /// snapshot within its retry budget: a record's last writer is still
+    /// in flight (active, or aborted but not yet rolled back), or its
+    /// version word kept moving. Carries the conflicting record so the
+    /// DORA executor can park the reader on the key's owning partition.
+    ReadUncommitted {
+        /// Table of the conflicting record.
+        table: TableId,
+        /// Primary key of the conflicting record.
+        key: Key,
+        /// The in-flight transaction stamped on the record.
+        writer: TxnId,
+    },
     /// A page had no room for the record and the operation cannot proceed.
     PageFull,
     /// The buffer pool could not find an evictable frame.
@@ -55,6 +68,11 @@ impl fmt::Display for StorageError {
             }
             StorageError::TxnNotActive(t) => write!(f, "transaction {t} is not active"),
             StorageError::Aborted(m) => write!(f, "transaction aborted: {m}"),
+            StorageError::ReadUncommitted { table, key, writer } => write!(
+                f,
+                "validated read of table {table} key {key:?} observed uncommitted \
+                 state of transaction {writer}"
+            ),
             StorageError::PageFull => write!(f, "page full"),
             StorageError::BufferPoolFull => write!(f, "buffer pool full"),
             StorageError::LogCorrupt(m) => write!(f, "log corrupt: {m}"),
@@ -70,13 +88,16 @@ pub type StorageResult<T> = Result<T, StorageError>;
 
 impl StorageError {
     /// Returns `true` when the error is one the execution engine should
-    /// respond to by aborting and retrying the transaction (deadlock or
-    /// lock timeout), as opposed to a genuine application error or an
-    /// application-requested abort.
+    /// respond to by aborting and retrying the transaction (deadlock, lock
+    /// timeout, or a validated read blocked on an in-flight writer), as
+    /// opposed to a genuine application error or an application-requested
+    /// abort.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            StorageError::Deadlock(_) | StorageError::LockTimeout(_)
+            StorageError::Deadlock(_)
+                | StorageError::LockTimeout(_)
+                | StorageError::ReadUncommitted { .. }
         )
     }
 }
@@ -97,6 +118,12 @@ mod tests {
     fn retryable_classification() {
         assert!(StorageError::Deadlock(1).is_retryable());
         assert!(StorageError::LockTimeout(1).is_retryable());
+        assert!(StorageError::ReadUncommitted {
+            table: 1,
+            key: vec![],
+            writer: 2
+        }
+        .is_retryable());
         assert!(!StorageError::Aborted("x".into()).is_retryable());
         assert!(!StorageError::NotFound.is_retryable());
         assert!(!StorageError::PageFull.is_retryable());

@@ -1,4 +1,13 @@
 //! Heap files: unordered collections of records stored in slotted pages.
+//!
+//! The heap itself is byte-agnostic (`insert`/`get`/`update`/`delete` move
+//! opaque records), but it also understands the fixed 16-byte version
+//! header the database facade prepends to every tuple
+//! ([`crate::version`]): the `*_versioned` accessors split the header off,
+//! [`HeapFile::read_version`] reads *only* the header (the cheap
+//! revalidation probe of the validated-read protocol), and
+//! [`HeapFile::get_for_update`] reads a record and stamps it
+//! write-in-progress under a single page latch.
 
 use std::sync::Arc;
 
@@ -6,7 +15,8 @@ use parking_lot::RwLock;
 
 use crate::buffer::BufferPool;
 use crate::error::{StorageError, StorageResult};
-use crate::types::{PageId, RecordId, TableId};
+use crate::types::{PageId, RecordId, TableId, TxnId};
+use crate::version::{self, RecordVersion, RECORD_HEADER_BYTES};
 
 /// Result of an in-place update attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +92,63 @@ impl HeapFile {
         self.buffer
             .read_page(rid.page, |p| p.get(rid.slot).map(|r| r.to_vec()))?
             .ok_or(StorageError::NotFound)
+    }
+
+    /// Reads the record at `rid` and splits off its version header.
+    pub fn get_versioned(&self, rid: RecordId) -> StorageResult<(RecordVersion, Vec<u8>)> {
+        let bytes = self.get(rid)?;
+        let (ver, payload) = version::split(&bytes)?;
+        Ok((ver, payload.to_vec()))
+    }
+
+    /// Reads only the version header of the record at `rid` — the
+    /// revalidation probe of the validated-read protocol. Copies 16 bytes
+    /// instead of the whole record.
+    pub fn read_version(&self, rid: RecordId) -> StorageResult<RecordVersion> {
+        self.buffer
+            .read_page(rid.page, |p| {
+                p.prefix(rid.slot, RECORD_HEADER_BYTES)
+                    .map(RecordVersion::from_bytes)
+            })?
+            .ok_or(StorageError::NotFound)?
+    }
+
+    /// Overwrites only the version header of the record at `rid` (the
+    /// record's length and position never change).
+    pub fn write_version(&self, rid: RecordId, version: RecordVersion) -> StorageResult<()> {
+        let written = self.buffer.with_page(rid.page, |p| {
+            (p.write_prefix(rid.slot, &version.to_bytes()), true)
+        })?;
+        if written {
+            Ok(())
+        } else {
+            Err(StorageError::NotFound)
+        }
+    }
+
+    /// Reads the record at `rid` and, under the same page latch, stamps it
+    /// **write-in-progress** (odd version word, `stamp` as the writer) —
+    /// the seqlock entry point of the versioned update/delete path. The
+    /// caller must either publish a new image (an even header) or restore
+    /// the returned header on its error path; a record left odd blocks
+    /// validated readers until its writer's transaction finishes.
+    pub fn get_for_update(
+        &self,
+        rid: RecordId,
+        stamp: TxnId,
+    ) -> StorageResult<(RecordVersion, Vec<u8>)> {
+        self.buffer.with_page(rid.page, |p| {
+            let Some(bytes) = p.get(rid.slot) else {
+                return (Err(StorageError::NotFound), false);
+            };
+            let (ver, payload) = match version::split(bytes) {
+                Ok((ver, payload)) => (ver, payload.to_vec()),
+                Err(e) => return (Err(e), false),
+            };
+            let marked = p.write_prefix(rid.slot, &ver.begin_write(stamp).to_bytes());
+            debug_assert!(marked, "record present but header write failed");
+            (Ok((ver, payload)), true)
+        })?
     }
 
     /// Updates the record at `rid`, relocating it if it no longer fits.
@@ -204,6 +271,34 @@ mod tests {
         for r in rids {
             assert!(ids.contains(&r));
         }
+    }
+
+    #[test]
+    fn versioned_accessors_roundtrip_headers() {
+        let h = heap();
+        let v = RecordVersion::initial(7);
+        let rid = h.insert(&version::encode_record(v, b"tuple")).unwrap();
+        assert_eq!(h.get_versioned(rid).unwrap(), (v, b"tuple".to_vec()));
+        assert_eq!(h.read_version(rid).unwrap(), v);
+
+        // get_for_update returns the pre-image and leaves the record odd.
+        let (before, payload) = h.get_for_update(rid, 9).unwrap();
+        assert_eq!(before, v);
+        assert_eq!(payload, b"tuple");
+        let marked = h.read_version(rid).unwrap();
+        assert!(marked.is_write_in_progress());
+        assert_eq!(marked.stamp, 9);
+
+        // Publishing a new even header makes the record stable again.
+        h.write_version(rid, before.publish(9)).unwrap();
+        let published = h.read_version(rid).unwrap();
+        assert!(!published.is_write_in_progress());
+        assert_eq!(published.word, before.word + 2);
+
+        h.delete(rid).unwrap();
+        assert!(h.read_version(rid).is_err());
+        assert!(h.write_version(rid, v).is_err());
+        assert!(h.get_for_update(rid, 1).is_err());
     }
 
     #[test]

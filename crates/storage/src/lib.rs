@@ -56,6 +56,7 @@ pub mod trace;
 pub mod tuple;
 pub mod txn;
 pub mod types;
+pub mod version;
 pub mod wal;
 
 pub use db::{Database, DatabaseConfig, LockingPolicy};

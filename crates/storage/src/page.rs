@@ -170,6 +170,31 @@ impl SlottedPage {
         Some(&self.data[off as usize..off as usize + len as usize])
     }
 
+    /// Reads up to `len` leading bytes of the record in `slot` without
+    /// exposing the rest. Used by the versioned-read revalidation pass,
+    /// which only needs a record's fixed-size version header.
+    pub fn prefix(&self, slot: SlotId, len: usize) -> Option<&[u8]> {
+        let record = self.get(slot)?;
+        Some(&record[..len.min(record.len())])
+    }
+
+    /// Overwrites the leading bytes of the record in `slot` in place.
+    /// Returns `false` when the slot is empty or shorter than `prefix` —
+    /// the record's length and position never change, so this is safe to
+    /// run on a record other readers hold a [`RecordId`](crate::types) to
+    /// (the versioned write path uses it to flip a record's version word).
+    pub fn write_prefix(&mut self, slot: SlotId, prefix: &[u8]) -> bool {
+        let Some((off, len)) = self.slot(slot) else {
+            return false;
+        };
+        if (len as usize) < prefix.len() {
+            return false;
+        }
+        let off = off as usize;
+        self.data[off..off + prefix.len()].copy_from_slice(prefix);
+        true
+    }
+
     /// Deletes the record in `slot`. Returns `true` if a record was present.
     /// Space is reclaimed lazily (the record area is not compacted).
     pub fn delete(&mut self, slot: SlotId) -> bool {
@@ -265,6 +290,24 @@ mod tests {
         assert!(p.update(s, b"a much longer record than before"));
         assert_eq!(p.get(s).unwrap(), b"a much longer record than before");
         assert!(!p.update(99, b"x"));
+    }
+
+    #[test]
+    fn prefix_reads_and_writes_in_place() {
+        let mut p = SlottedPage::new();
+        let s = p.insert(b"versioned-record").unwrap();
+        assert_eq!(p.prefix(s, 9).unwrap(), b"versioned");
+        // A prefix longer than the record is clamped, not an error.
+        assert_eq!(p.prefix(s, 1000).unwrap(), b"versioned-record");
+        assert!(p.prefix(99, 4).is_none());
+
+        assert!(p.write_prefix(s, b"VERSIONED"));
+        assert_eq!(p.get(s).unwrap(), b"VERSIONED-record");
+        // Writing past the record's length is refused outright.
+        assert!(!p.write_prefix(s, &[0u8; 100]));
+        assert!(!p.write_prefix(99, b"x"));
+        p.delete(s);
+        assert!(!p.write_prefix(s, b"x"), "deleted slot rejects writes");
     }
 
     #[test]

@@ -269,6 +269,69 @@ mod tests {
     }
 
     #[test]
+    fn recovery_restores_stable_versions_for_validated_reads() {
+        // Versioning is not logged — the logical redo path mints fresh
+        // stable (even, stamp-0) headers — so a recovered database serves
+        // lock-free validated reads immediately, even when the crash
+        // happened mid-transaction (the loser's writes are skipped, never
+        // leaving an in-progress or uncommitted image behind).
+        let (db, t) = fresh_db();
+        let committed = db.begin();
+        for i in 0..8 {
+            db.insert(
+                committed,
+                t,
+                item(i, "stable", i as i32),
+                LockingPolicy::Bypass,
+            )
+            .unwrap();
+        }
+        db.update(
+            committed,
+            t,
+            &[Value::BigInt(2)],
+            &[(2, Value::Int(222))],
+            LockingPolicy::Bypass,
+        )
+        .unwrap();
+        db.commit(committed).unwrap();
+        // A loser crashes mid-flight with an update in place.
+        let loser = db.begin();
+        db.update(
+            loser,
+            t,
+            &[Value::BigInt(3)],
+            &[(2, Value::Int(-1))],
+            LockingPolicy::Bypass,
+        )
+        .unwrap();
+
+        let records = db.log().records();
+        let (db2, t2) = fresh_db();
+        recover(&db2, &records).unwrap();
+
+        let check = db2.begin();
+        let rows = db2
+            .scan_validated(
+                check,
+                t2,
+                &[Value::BigInt(0)],
+                &[Value::BigInt(7)],
+                LockingPolicy::Bypass,
+            )
+            .expect("validated scan must pass against a recovered database");
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[2][2], Value::Int(222), "winner's update redone");
+        assert_eq!(rows[3][2], Value::Int(3), "loser's update never applied");
+        assert_eq!(
+            db2.counters().validated_retries,
+            0,
+            "replayed records are stable on first probe"
+        );
+        db2.commit(check).unwrap();
+    }
+
+    #[test]
     fn recovery_from_encoded_log_bytes() {
         // Round-trip through the binary log encoding, as a real restart would.
         let (db, t) = fresh_db();

@@ -1,0 +1,187 @@
+//! Per-record versioning: the seqlock-style version word.
+//!
+//! Every heap record carries a fixed 16-byte header ahead of its tuple
+//! bytes:
+//!
+//! ```text
+//! +----------------+----------------+----------------....----+
+//! | word: u64 LE   | stamp: u64 LE  |      tuple bytes       |
+//! +----------------+----------------+----------------....----+
+//! ```
+//!
+//! * **word** — a seqlock-style version counter. An **odd** word marks a
+//!   write in progress (the record bytes may be mid-rewrite); an **even**
+//!   word marks a stable image. Every published write advances the word
+//!   past the next odd value, so the parity invariant survives wrap-around
+//!   (2⁶⁴ is even: an even word plus two wraps to an even word).
+//! * **stamp** — the id of the transaction that produced the image
+//!   (`0` for loader/undo/recovery writes, which are stable by
+//!   construction). A validated reader treats an image as *uncommitted*
+//!   while the stamped transaction is still `Active` — or `Aborted` but
+//!   not yet rolled back, since undo rewrites every record the aborted
+//!   transaction touched with a fresh stamp-0 header.
+//!
+//! The header is what makes the lock-free ("secondary") read path of the
+//! DORA executor safe: [`crate::db::Database::read_validated`] and friends
+//! collect `(record, word)` pairs, reject in-progress or uncommitted
+//! images, and re-read the words after decoding — any concurrent write
+//! moved a word, so an unchanged set of words proves the rows form one
+//! consistent snapshot. The write-ahead log stays purely logical (no
+//! version words are logged): undo and recovery replay through the raw
+//! operations in [`crate::db`], which mint fresh stable headers, so a
+//! restarted database serves validated reads immediately
+//! (`recovery::tests::recovery_restores_stable_versions_for_validated_reads`).
+
+use crate::error::{StorageError, StorageResult};
+use crate::types::TxnId;
+
+/// Bytes of the record header: version word + writer stamp.
+pub const RECORD_HEADER_BYTES: usize = 16;
+
+/// Version word of a freshly inserted record (even ⇒ stable).
+pub const INITIAL_VERSION: u64 = 2;
+
+/// The version header of one heap record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordVersion {
+    /// Seqlock-style version word; odd means a write is in progress.
+    pub word: u64,
+    /// Transaction that produced the current image (`0` = system write:
+    /// loader, undo, recovery — always stable).
+    pub stamp: TxnId,
+}
+
+impl RecordVersion {
+    /// Header of a brand-new record written by `stamp`.
+    pub fn initial(stamp: TxnId) -> Self {
+        RecordVersion {
+            word: INITIAL_VERSION,
+            stamp,
+        }
+    }
+
+    /// Whether the word marks a write in progress (odd).
+    pub fn is_write_in_progress(&self) -> bool {
+        self.word & 1 == 1
+    }
+
+    /// The in-progress marker a writer stamps before rewriting the record:
+    /// same version, odd, carrying the writer's id so a blocked reader can
+    /// report *who* it is waiting for.
+    pub fn begin_write(self, stamp: TxnId) -> Self {
+        RecordVersion {
+            word: self.word | 1,
+            stamp,
+        }
+    }
+
+    /// The header a writer publishes with the new image: strictly past the
+    /// in-progress value and even again. Wrap-around preserves parity (an
+    /// even word advances by exactly two).
+    pub fn publish(self, stamp: TxnId) -> Self {
+        RecordVersion {
+            word: (self.word | 1).wrapping_add(1),
+            stamp,
+        }
+    }
+
+    /// Serializes the header to its on-page form.
+    pub fn to_bytes(self) -> [u8; RECORD_HEADER_BYTES] {
+        let mut out = [0u8; RECORD_HEADER_BYTES];
+        out[..8].copy_from_slice(&self.word.to_le_bytes());
+        out[8..].copy_from_slice(&self.stamp.to_le_bytes());
+        out
+    }
+
+    /// Parses a header from the leading bytes of a record.
+    pub fn from_bytes(bytes: &[u8]) -> StorageResult<Self> {
+        if bytes.len() < RECORD_HEADER_BYTES {
+            return Err(StorageError::LogCorrupt(
+                "record too short for a version header".into(),
+            ));
+        }
+        Ok(RecordVersion {
+            word: u64::from_le_bytes(bytes[..8].try_into().expect("length checked")),
+            stamp: u64::from_le_bytes(bytes[8..16].try_into().expect("length checked")),
+        })
+    }
+}
+
+/// Prepends `version` to `tuple` bytes, producing the on-page record.
+pub fn encode_record(version: RecordVersion, tuple: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER_BYTES + tuple.len());
+    out.extend_from_slice(&version.to_bytes());
+    out.extend_from_slice(tuple);
+    out
+}
+
+/// Splits an on-page record into its version header and tuple bytes.
+pub fn split(record: &[u8]) -> StorageResult<(RecordVersion, &[u8])> {
+    let version = RecordVersion::from_bytes(record)?;
+    Ok((version, &record[RECORD_HEADER_BYTES..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let v = RecordVersion { word: 42, stamp: 7 };
+        let bytes = encode_record(v, b"payload");
+        let (back, tuple) = split(&bytes).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(tuple, b"payload");
+        assert!(split(&bytes[..10]).is_err(), "truncated header rejected");
+    }
+
+    #[test]
+    fn initial_is_stable_and_begin_write_is_odd() {
+        let v = RecordVersion::initial(9);
+        assert!(!v.is_write_in_progress());
+        assert_eq!(v.stamp, 9);
+        let marked = v.begin_write(11);
+        assert!(marked.is_write_in_progress());
+        assert_eq!(marked.stamp, 11);
+        // Marking an already-odd word keeps it odd and in place.
+        assert_eq!(marked.begin_write(11).word, marked.word);
+    }
+
+    #[test]
+    fn publish_advances_past_the_marker_and_stays_even() {
+        let v = RecordVersion::initial(1);
+        let published = v.publish(2);
+        assert_eq!(published.word, v.word + 2);
+        assert!(!published.is_write_in_progress());
+        // Publishing from the odd in-progress marker lands on the same word.
+        assert_eq!(v.begin_write(2).publish(2), published);
+    }
+
+    #[test]
+    fn wrap_around_preserves_the_parity_invariant() {
+        // An even word two steps from wrap-around: publish must wrap to 0
+        // and stay even; the odd marker just before it must stay odd.
+        let near_max = RecordVersion {
+            word: u64::MAX - 1,
+            stamp: 0,
+        };
+        assert!(!near_max.is_write_in_progress());
+        let marked = near_max.begin_write(5);
+        assert_eq!(marked.word, u64::MAX);
+        assert!(marked.is_write_in_progress());
+        let wrapped = near_max.publish(5);
+        assert_eq!(wrapped.word, 0);
+        assert!(!wrapped.is_write_in_progress());
+        // A long chain of publishes across the wrap never produces an even
+        // in-progress word or an odd stable word.
+        let mut v = RecordVersion {
+            word: u64::MAX - 9,
+            stamp: 0,
+        };
+        for i in 0..16 {
+            assert!(!v.is_write_in_progress(), "stable word went odd at {i}");
+            assert!(v.begin_write(1).is_write_in_progress());
+            v = v.publish(1);
+        }
+    }
+}

@@ -6,6 +6,11 @@
 //! logical (table + key + before/after images) which keeps redo/undo simple
 //! and independent of physical record placement; this mirrors the level at
 //! which the DORA paper reasons about logging (it reuses Shore-MT's log).
+//!
+//! Record version headers ([`crate::version`]) are deliberately **not**
+//! logged: replay goes through the raw operations of [`crate::db`], which
+//! mint fresh stable (even, stamp-0) headers, so a recovered database
+//! serves validated reads immediately.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 

@@ -17,16 +17,28 @@
 //!   held through the rendezvous), the RVP checks funds, phase 2 writes
 //!   both sides.
 //!
+//! The **balance audit** ([`audit_flow`] / [`audit_request`]) adds a
+//! secondary-read mix: a read-only transaction summing a whole account
+//! range *without* touching the routing field — on DORA a non-aligned
+//! [`ActionSpec::secondary`] action, on the conventional engine a plain
+//! request body. Both forms read through the storage layer's validated
+//! (versioned) API under `LockingPolicy::Bypass`, so the two engines run
+//! the identical lock-free snapshot protocol and the A/B comparison stays
+//! apples-to-apples. A consistent snapshot of transfer-only history always
+//! sums to the conserved total, which makes the audit self-checking.
+//!
 //! [`TransferWorkload`] owns the schema/loader/routing preset and
 //! [`TransferMix`] generates a deterministic request stream, so two
-//! engines can be driven with byte-identical inputs.
+//! engines can be driven with byte-identical inputs (optionally
+//! interleaving audits via [`TransferMix::with_ops`] /
+//! [`TransferMix::next_op`]).
 
 use dora_core::action::{ActionSpec, FlowGraph};
 use dora_core::executor::DORA_POLICY;
 use dora_core::local_lock::LockClass;
 use dora_core::routing::{RoutingRule, RoutingTable};
 use dora_engine_conv::{TxnRequest, CONV_POLICY};
-use dora_storage::db::Database;
+use dora_storage::db::{Database, LockingPolicy};
 use dora_storage::error::StorageError;
 use dora_storage::schema::{ColumnDef, TableSchema};
 use dora_storage::types::{DataType, TableId, Value};
@@ -258,6 +270,87 @@ pub fn transfer_request(t: TableId, from: i64, to: i64, amount: i64) -> TxnReque
     })
 }
 
+/// Sums the balances of accounts `[lo, hi]` through the validated read
+/// path and checks the conserved total when one is expected. The sum of a
+/// *consistent* snapshot always equals the loaded total (transfers
+/// conserve it), so a mismatch is a torn or dirty read — surfaced as a
+/// non-retryable internal error that fails tests and benches loudly.
+fn validated_balance_sum(
+    db: &Database,
+    txn: dora_storage::types::TxnId,
+    t: TableId,
+    lo: i64,
+    hi: i64,
+    expected_total: Option<i64>,
+) -> Result<i64, StorageError> {
+    // Bypass on BOTH engines: the audit's consistency comes from record
+    // versioning, not locks — the identical protocol either way.
+    let rows = db.scan_validated(
+        txn,
+        t,
+        &[Value::BigInt(lo)],
+        &[Value::BigInt(hi)],
+        LockingPolicy::Bypass,
+    )?;
+    let total: i64 = rows
+        .iter()
+        .map(|row| row[1].as_i64().ok_or(StorageError::NotFound))
+        .sum::<Result<i64, _>>()?;
+    if let Some(expected) = expected_total {
+        if total != expected {
+            return Err(StorageError::Internal(format!(
+                "balance audit observed a torn total: {total} != {expected}"
+            )));
+        }
+    }
+    Ok(total)
+}
+
+/// The balance audit as a DORA flow graph: one **secondary** (non-aligned)
+/// action scanning accounts `[lo, hi]` through
+/// [`Database::scan_validated`](dora_storage::db::Database::scan_validated).
+/// The executor may park the action on a conflicting writer's partition
+/// and re-run it (the validated-read/park protocol); a committed audit
+/// therefore proves a consistent committed snapshot was observed. With
+/// `expected_total` set, an inconsistent sum aborts with a distinctive
+/// "torn total" reason instead of committing.
+pub fn audit_flow(t: TableId, lo: i64, hi: i64, expected_total: Option<i64>) -> FlowGraph {
+    FlowGraph::new(
+        "BalanceAudit",
+        vec![ActionSpec::secondary(t, move |db, txn, _| {
+            let total = validated_balance_sum(db, txn, t, lo, hi, expected_total)?;
+            Ok(vec![Value::BigInt(total)])
+        })],
+    )
+}
+
+/// The same balance audit as a conventional transaction body. It reads
+/// through the identical validated API (lock-free, `Bypass`): a
+/// [`StorageError::ReadUncommitted`] conflict is retryable, so the
+/// conventional engine's retry loop plays the role of DORA's park/re-run.
+pub fn audit_request(t: TableId, lo: i64, hi: i64, expected_total: Option<i64>) -> TxnRequest {
+    TxnRequest::new("BalanceAudit", move |db, txn, _| {
+        validated_balance_sum(db, txn, t, lo, hi, expected_total)?;
+        Ok(())
+    })
+}
+
+/// One operation drawn from a [`TransferMix`] stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferOp {
+    /// Move `amount` from account `from` to account `to`.
+    Transfer {
+        /// Source account.
+        from: i64,
+        /// Destination account.
+        to: i64,
+        /// Amount moved.
+        amount: i64,
+    },
+    /// Audit the full account range with a secondary validated read.
+    Audit,
+}
+
 /// A deterministic stream of `(from, to, amount)` transfer parameters.
 ///
 /// Uses an xorshift generator seeded per client so several client threads
@@ -275,6 +368,7 @@ pub struct TransferMix {
     state: u64,
     partitions: usize,
     locality_pct: u64,
+    audit_pct: u64,
 }
 
 impl TransferMix {
@@ -288,13 +382,39 @@ impl TransferMix {
     /// source's partition block (the blocks of
     /// [`RoutingRule::uniform`] over `partitions` partitions).
     pub fn with_locality(accounts: i64, seed: u64, partitions: usize, locality_pct: u64) -> Self {
+        Self::with_ops(accounts, seed, partitions, locality_pct, 0)
+    }
+
+    /// A stream where, additionally, `audit_pct`% of the drawn operations
+    /// are [`TransferOp::Audit`]s — the secondary-read mix that exercises
+    /// the validated-read/park path under write contention. Audits only
+    /// surface through [`TransferMix::next_op`]; the plain
+    /// [`TransferMix::next_transfer`] stream is unchanged.
+    pub fn with_ops(
+        accounts: i64,
+        seed: u64,
+        partitions: usize,
+        locality_pct: u64,
+        audit_pct: u64,
+    ) -> Self {
         TransferMix {
             accounts: accounts.max(2),
             // xorshift must not start at 0; fold the seed away from it.
             state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
             partitions: partitions.max(1),
             locality_pct: locality_pct.min(100),
+            audit_pct: audit_pct.min(100),
         }
+    }
+
+    /// Draws the next operation: an audit with probability `audit_pct`%,
+    /// otherwise the next transfer of the stream.
+    pub fn next_op(&mut self) -> TransferOp {
+        if self.audit_pct > 0 && self.next_u64() % 100 < self.audit_pct {
+            return TransferOp::Audit;
+        }
+        let (from, to, amount) = self.next_transfer();
+        TransferOp::Transfer { from, to, amount }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -506,6 +626,79 @@ mod tests {
             .is_committed());
         assert_eq!(wl.current_total(&db, t), wl.total_balance());
         e.shutdown();
+    }
+
+    #[test]
+    fn audit_mix_draws_deterministic_audits() {
+        let mut none = TransferMix::with_ops(64, 5, 4, 50, 0);
+        assert!((0..128).all(|_| matches!(none.next_op(), TransferOp::Transfer { .. })));
+        let mut all = TransferMix::with_ops(64, 5, 4, 50, 100);
+        assert!((0..128).all(|_| all.next_op() == TransferOp::Audit));
+        let mut a = TransferMix::with_ops(64, 5, 4, 50, 20);
+        let mut b = TransferMix::with_ops(64, 5, 4, 50, 20);
+        let audits = (0..256)
+            .filter(|_| {
+                let op = a.next_op();
+                assert_eq!(op, b.next_op(), "same seed, same op stream");
+                op == TransferOp::Audit
+            })
+            .count();
+        assert!(
+            (20..100).contains(&audits),
+            "~20% of 256 ops should be audits: {audits}"
+        );
+    }
+
+    #[test]
+    fn balance_audit_commits_with_the_conserved_total_on_both_engines() {
+        let wl = TransferWorkload {
+            accounts: 32,
+            initial_balance: 100,
+        };
+        let dora_db = Arc::new(Database::default());
+        let conv_db = Arc::new(Database::default());
+        let dora_t = wl.load(&dora_db);
+        let conv_t = wl.load(&conv_db);
+        let dora = DoraEngine::new(
+            dora_db.clone(),
+            wl.routing(dora_t, 2),
+            DoraEngineConfig {
+                workers: 2,
+                ..Default::default()
+            },
+        );
+        let conv = ConvEngine::new(conv_db.clone(), ConvEngineConfig::default());
+
+        // Interleave transfers and audits; a correct audit commits, and an
+        // audit given a wrong expectation aborts with the torn marker
+        // (proving the self-check is wired through both engines).
+        let mut mix = TransferMix::new(wl.accounts, 11);
+        for _ in 0..10 {
+            let (from, to, amount) = mix.next_transfer();
+            assert!(dora
+                .execute(transfer_flow(dora_t, from, to, amount))
+                .is_committed());
+            assert!(conv
+                .execute(transfer_request(conv_t, from, to, amount))
+                .is_committed());
+            let expected = Some(wl.total_balance());
+            assert!(dora
+                .execute(audit_flow(dora_t, 0, wl.accounts - 1, expected))
+                .is_committed());
+            assert!(conv
+                .execute(audit_request(conv_t, 0, wl.accounts - 1, expected))
+                .is_committed());
+        }
+        assert!(dora.stats().secondary >= 10);
+        let wrong = dora.execute(audit_flow(dora_t, 0, wl.accounts - 1, Some(-1)));
+        assert!(
+            matches!(&wrong, dora_core::executor::TxnOutcome::Aborted { reason } if reason.contains("torn")),
+            "{wrong:?}"
+        );
+        let wrong = conv.execute(audit_request(conv_t, 0, wl.accounts - 1, Some(-1)));
+        assert!(!wrong.is_committed());
+        dora.shutdown();
+        conv.shutdown();
     }
 
     #[test]
