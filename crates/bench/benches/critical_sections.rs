@@ -2,8 +2,18 @@
 //! sections entered per committed transaction. The conventional engine
 //! pays several per data access; DORA must pay exactly zero.
 //!
+//! Since the storage layer went lock-free end to end, the bench also
+//! reports the two *global* acquisition counters the lock-manager number
+//! never covered: `log_waits` (contended WAL waits — group-commit rides,
+//! ring wrap-around, straggler stalls) and `txn_table_acquisitions`
+//! (transaction-table stripe locks; always slot-local). Per committed
+//! transaction, DORA's log waits must stay at group-commit-only (≤ 1
+//! contended wait per commit, enforced below) and validated reads
+//! contribute **zero** of either — stamp checks are plain atomic loads
+//! (`db::tests::validated_reads_take_zero_locks`).
+//!
 //! Run with `cargo bench --bench critical_sections`. Flags: `--quick`,
-//! `--compare <path>`, `--out <path>`. Writes
+//! `--compare <path>`, `--out <path>`, `--audit-pct <n>`. Writes
 //! `BENCH_critical_sections.json` at the workspace root (schema in
 //! `dora_bench::report`). The run aborts (panics) if DORA enters even one
 //! critical section — that would mean the bypass path regressed.
@@ -45,19 +55,27 @@ fn main() {
                 client_retries: 10,
             },
         );
-        let per_txn = if scenario.committed > 0 {
-            scenario.critical_sections as f64 / scenario.committed as f64
-        } else {
-            0.0
-        };
+        let committed = scenario.committed.max(1) as f64;
+        let per_txn = scenario.critical_sections as f64 / committed;
+        let log_per_txn = scenario.log_waits as f64 / committed;
+        let txn_per_txn = scenario.txn_acquisitions as f64 / committed;
         eprintln!(
-            "  {:<13} critical sections: {} total, {:.2}/txn",
-            scenario.engine, scenario.critical_sections, per_txn
+            "  {:<13} critical sections: {} total, {:.2}/txn | log waits {:.3}/txn | \
+             txn-table stripe acquisitions {:.2}/txn",
+            scenario.engine, scenario.critical_sections, per_txn, log_per_txn, txn_per_txn
         );
         if scenario.engine == "dora" {
             assert_eq!(
                 scenario.critical_sections, 0,
                 "DORA must never enter lock-manager critical sections"
+            );
+            // Group-commit-only: the one contended wait a commit may pay
+            // for riding a concurrent flush, plus (rare) wrap-around and
+            // straggler stalls. Several waits per transaction would mean
+            // a global lock crept back onto the log hot path.
+            assert!(
+                log_per_txn <= 1.5,
+                "DORA log waits {log_per_txn:.3}/txn exceed the group-commit-only bound"
             );
         }
         runs.push(scenario);

@@ -47,12 +47,19 @@ struct Row {
     workers: u64,
     clients: u64,
     tps: f64,
+    /// Transactions committed in the measured window (denominator of the
+    /// per-transaction lock-free-counter rates).
+    committed: u64,
     /// Validated (versioned) record reads of the secondary audit mix.
     /// Absent in schema-v1 reports — parsed as 0, which keeps committed
     /// v1 baselines gating (back-compat read).
     secondary_reads: u64,
     /// Validated-read attempts retried or rejected. Absent in v1 → 0.
     secondary_retries: u64,
+    /// Contended WAL waits (schema v3; absent in v1/v2 → 0).
+    log_waits: u64,
+    /// Transaction-table stripe acquisitions (schema v3; absent → 0).
+    txn_table_acquisitions: u64,
 }
 
 /// Extracts the top-level `runs` rows from a `BENCH_*.json` document.
@@ -77,18 +84,27 @@ fn parse_rows(text: &str) -> Vec<Row> {
                 workers: 0,
                 clients: 0,
                 tps: 0.0,
+                committed: 0,
                 secondary_reads: 0,
                 secondary_retries: 0,
+                log_waits: 0,
+                txn_table_acquisitions: 0,
             });
         } else if let Some(row) = current.as_mut() {
             if let Some(value) = line.strip_prefix("\"workers\": ") {
                 row.workers = value.parse().unwrap_or(0);
             } else if let Some(value) = line.strip_prefix("\"clients\": ") {
                 row.clients = value.parse().unwrap_or(0);
+            } else if let Some(value) = line.strip_prefix("\"committed\": ") {
+                row.committed = value.parse().unwrap_or(0);
             } else if let Some(value) = line.strip_prefix("\"secondary_reads\": ") {
                 row.secondary_reads = value.parse().unwrap_or(0);
             } else if let Some(value) = line.strip_prefix("\"secondary_retries\": ") {
                 row.secondary_retries = value.parse().unwrap_or(0);
+            } else if let Some(value) = line.strip_prefix("\"log_waits\": ") {
+                row.log_waits = value.parse().unwrap_or(0);
+            } else if let Some(value) = line.strip_prefix("\"txn_table_acquisitions\": ") {
+                row.txn_table_acquisitions = value.parse().unwrap_or(0);
             } else if let Some(value) = line.strip_prefix("\"throughput_tps\": ") {
                 row.tps = value.parse().unwrap_or(0.0);
                 rows.push(current.take().expect("row in progress"));
@@ -96,6 +112,23 @@ fn parse_rows(text: &str) -> Vec<Row> {
         }
     }
     rows
+}
+
+/// The report's own (top-level, not embedded-baseline) schema version;
+/// 0 when the line is missing entirely.
+fn parse_schema_version(text: &str) -> u64 {
+    let own = match text.find("\n  \"baseline\":") {
+        Some(pos) => &text[..pos],
+        None => text,
+    };
+    own.lines()
+        .find_map(|l| {
+            l.trim()
+                .trim_end_matches(',')
+                .strip_prefix("\"schema_version\": ")
+        })
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 fn read_report(path: &str) -> String {
@@ -262,6 +295,92 @@ fn warn_secondary_retry_rate(rows: &[Row]) -> usize {
     warned
 }
 
+/// Gates the schema-v3 lock-free counters: per-transaction `log_waits`
+/// and `txn_table_acquisitions` rates must not exceed the baseline's by
+/// more than the threshold (plus a small absolute epsilon — the rates sit
+/// near zero, where a pure percentage gate would be noise-triggered).
+/// Requires **both** documents at v3: an older baseline cannot gate, and
+/// an older *candidate* must not pass as a clean zero — its absent
+/// counters would be indistinguishable from proven lock-freedom, which
+/// is exactly the regression class (a revert that also drops the fields)
+/// the gate exists to catch. Either case skips loudly.
+fn gate_lock_free_counters(
+    candidate: &[Row],
+    baseline: &[Row],
+    candidate_version: u64,
+    baseline_version: u64,
+    threshold_pct: f64,
+) -> Outcome {
+    /// Rates this close to the baseline's are scheduler noise, not a
+    /// reintroduced lock (one extra contended wait per ~20 transactions).
+    const EPSILON: f64 = 0.05;
+    let mut out = Outcome::default();
+    if baseline_version < 3 {
+        eprintln!(
+            "WARNING: baseline is schema v{baseline_version} (< 3): log_waits / \
+             txn_table_acquisitions not gated — re-baseline to arm the gate"
+        );
+        out.skipped = candidate.len();
+        return out;
+    }
+    if candidate_version < 3 {
+        eprintln!(
+            "WARNING: candidate is schema v{candidate_version} (< 3): its missing \
+             lock-free counters would read as zeros, not as proof — SKIPPED, not gated"
+        );
+        out.skipped = candidate.len();
+        return out;
+    }
+    for row in candidate {
+        let base = baseline.iter().find(|b| {
+            b.engine == row.engine && b.workers == row.workers && b.clients == row.clients
+        });
+        let Some(base) = base else {
+            out.skipped += 1;
+            eprintln!(
+                "WARNING: {} workers={} clients={}: no baseline row for lock-free \
+                 counters — SKIPPED, not gated",
+                row.engine, row.workers, row.clients
+            );
+            continue;
+        };
+        if row.committed == 0 || base.committed == 0 {
+            out.skipped += 1;
+            eprintln!(
+                "WARNING: {} workers={} clients={}: zero committed transactions — \
+                 lock-free counters SKIPPED, not gated",
+                row.engine, row.workers, row.clients
+            );
+            continue;
+        }
+        out.compared += 1;
+        for (what, cand_count, base_count) in [
+            ("log_waits", row.log_waits, base.log_waits),
+            (
+                "txn_table_acquisitions",
+                row.txn_table_acquisitions,
+                base.txn_table_acquisitions,
+            ),
+        ] {
+            let cand_rate = cand_count as f64 / row.committed as f64;
+            let base_rate = base_count as f64 / base.committed as f64;
+            let ceiling = base_rate * (1.0 + threshold_pct / 100.0) + EPSILON;
+            let verdict = if cand_rate > ceiling {
+                out.regressed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "{} workers={} clients={}: {what}/txn {cand_rate:.3} vs baseline \
+                 {base_rate:.3} (ceiling {ceiling:.3}) — {verdict}",
+                row.engine, row.workers, row.clients
+            );
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let mut candidate = None;
     let mut baseline = None;
@@ -295,15 +414,17 @@ fn main() -> ExitCode {
         eprintln!("compare needs --candidate and --baseline report paths");
         return ExitCode::FAILURE;
     };
-    let cand_rows = parse_rows(&read_report(&candidate));
-    let base_rows = parse_rows(&read_report(&baseline));
+    let cand_text = read_report(&candidate);
+    let base_text = read_report(&baseline);
+    let cand_rows = parse_rows(&cand_text);
+    let base_rows = parse_rows(&base_text);
     println!(
         "comparing {candidate} ({} rows) against {baseline} ({} rows), \
          metric={metric}, threshold={threshold_pct}%",
         cand_rows.len(),
         base_rows.len()
     );
-    let outcome = match metric.as_str() {
+    let mut outcome = match metric.as_str() {
         "ratio" => compare_ratio(&cand_rows, &base_rows, threshold_pct),
         "tps" => compare_tps(&cand_rows, &base_rows, threshold_pct),
         other => {
@@ -311,6 +432,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The lock-free storage counters ride every comparison: a change that
+    // sneaks a global lock back onto the WAL or transaction-table hot
+    // path fails CI even when throughput hasn't collapsed yet. Its skips
+    // are advisory (a pre-v3 baseline cannot gate), so only `regressed`
+    // folds into the exit code.
+    let lock_free = gate_lock_free_counters(
+        &cand_rows,
+        &base_rows,
+        parse_schema_version(&cand_text),
+        parse_schema_version(&base_text),
+        threshold_pct,
+    );
+    outcome.regressed |= lock_free.regressed;
     warn_secondary_retry_rate(&cand_rows);
     if outcome.compared == 0 {
         eprintln!("no comparable configurations between the two reports");
@@ -361,6 +495,8 @@ mod tests {
                     aborted: 0,
                     secondary_reads: 0,
                     secondary_retries: 0,
+                    log_waits: 0,
+                    txn_acquisitions: 0,
                     elapsed_secs: 1.0,
                     critical_sections: 0,
                     extra: vec![],
@@ -386,6 +522,8 @@ mod tests {
                 aborted: 0,
                 secondary_reads: 0,
                 secondary_retries: 0,
+                log_waits: 0,
+                txn_acquisitions: 0,
                 elapsed_secs: 1.0,
                 critical_sections: 9,
                 extra: vec![],
@@ -464,6 +602,8 @@ mod tests {
                 aborted: 0,
                 secondary_reads: 500,
                 secondary_retries: 20,
+                log_waits: 0,
+                txn_acquisitions: 0,
                 elapsed_secs: 1.0,
                 critical_sections: 0,
                 extra: vec![],
@@ -504,5 +644,104 @@ mod tests {
         let out = compare_tps(&parse_rows(&base), &parse_rows(&drifted), 10.0);
         assert_eq!(out.compared, 2);
         assert_eq!(out.skipped, 2);
+    }
+
+    /// A one-row v3 report with explicit lock-free counters.
+    fn counter_report(committed: u64, log_waits: u64, txn_acquisitions: u64) -> String {
+        BenchReport {
+            bench: "critical_sections",
+            workload: "test".into(),
+            physical_cores: 1,
+            quick: true,
+            runs: vec![Scenario {
+                engine: "dora",
+                workers: 4,
+                clients: 8,
+                committed,
+                aborted: 0,
+                secondary_reads: 0,
+                secondary_retries: 0,
+                log_waits,
+                txn_acquisitions,
+                elapsed_secs: 1.0,
+                critical_sections: 0,
+                extra: vec![],
+            }],
+        }
+        .to_json(None)
+    }
+
+    #[test]
+    fn v3_counters_round_trip_and_version_is_parsed() {
+        let json = counter_report(1000, 900, 4000);
+        assert_eq!(parse_schema_version(&json), 3);
+        let rows = parse_rows(&json);
+        assert_eq!(rows[0].committed, 1000);
+        assert_eq!(rows[0].log_waits, 900);
+        assert_eq!(rows[0].txn_table_acquisitions, 4000);
+        // The embedded baseline's version must not shadow the report's.
+        let v1 = "{\n  \"bench\": \"x\",\n  \"schema_version\": 1,\n  \"runs\": []\n}\n";
+        assert_eq!(parse_schema_version(v1), 1);
+        let nested = BenchReport {
+            bench: "critical_sections",
+            workload: "test".into(),
+            physical_cores: 1,
+            quick: true,
+            runs: vec![],
+        }
+        .to_json(Some(v1));
+        assert_eq!(parse_schema_version(&nested), 3);
+    }
+
+    #[test]
+    fn lock_free_counter_gate_flags_reintroduced_locks() {
+        // Baseline: ~0.9 contended log waits and 4 stripe acquisitions
+        // per committed transaction (the group-commit-only profile).
+        let base = parse_rows(&counter_report(1000, 900, 4000));
+        // Same profile on a slower host: passes.
+        let same = parse_rows(&counter_report(500, 430, 2000));
+        let out = gate_lock_free_counters(&same, &base, 3, 3, 10.0);
+        assert_eq!(out.compared, 1);
+        assert!(!out.regressed);
+        // A mutex back on the append path: several waits per transaction.
+        let locked = parse_rows(&counter_report(1000, 3000, 4000));
+        let out = gate_lock_free_counters(&locked, &base, 3, 3, 10.0);
+        assert!(out.regressed);
+        // Stripe-acquisition blow-up (e.g. stamp checks taking the lock
+        // again) is caught independently.
+        let stamped = parse_rows(&counter_report(1000, 900, 40_000));
+        let out = gate_lock_free_counters(&stamped, &base, 3, 3, 10.0);
+        assert!(out.regressed);
+        // Near-zero rates need the absolute epsilon: 1 wait in 1000 txns
+        // against a zero baseline is noise, not a regression.
+        let zero_base = parse_rows(&counter_report(1000, 0, 4000));
+        let near_zero = parse_rows(&counter_report(1000, 1, 4000));
+        let out = gate_lock_free_counters(&near_zero, &zero_base, 3, 3, 10.0);
+        assert!(!out.regressed);
+    }
+
+    #[test]
+    fn lock_free_counter_gate_skips_pre_v3_baselines() {
+        let cand = parse_rows(&counter_report(1000, 900, 4000));
+        let base = parse_rows(&counter_report(1000, 900, 4000));
+        let out = gate_lock_free_counters(&cand, &base, 3, 2, 10.0);
+        assert_eq!(out.compared, 0);
+        assert_eq!(out.skipped, 1);
+        assert!(!out.regressed);
+        // A pre-v3 CANDIDATE must also be skipped, never passed as a
+        // clean zero: absent counters are not proof of lock-freedom.
+        let out = gate_lock_free_counters(&cand, &base, 2, 3, 10.0);
+        assert_eq!(out.compared, 0);
+        assert_eq!(out.skipped, 1);
+        assert!(!out.regressed);
+        // Unmatched rows and zero-committed rows are skipped, not gated.
+        let empty: Vec<Row> = vec![];
+        let out = gate_lock_free_counters(&cand, &empty, 3, 3, 10.0);
+        assert_eq!(out.compared, 0);
+        assert_eq!(out.skipped, 1);
+        let zero = parse_rows(&counter_report(0, 0, 0));
+        let out = gate_lock_free_counters(&zero, &base, 3, 3, 10.0);
+        assert_eq!(out.compared, 0);
+        assert_eq!(out.skipped, 1);
     }
 }

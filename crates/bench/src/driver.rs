@@ -186,14 +186,22 @@ fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
     ready.wait();
     let crit_before = db.lock_stats().critical_sections;
     let validated_before = db.counters();
+    let log_before = db.log_stats();
+    let txn_before = db.txn_stats();
     let started = Instant::now();
     go.wait();
     let (committed, aborted) = join_clients(clients);
     let elapsed = started.elapsed();
 
     let stats = engine.stats();
+    let log_after = db.log_stats();
+    let txn_after = db.txn_stats();
     let extra = vec![
         ("deferrals", stats.deferrals as f64),
+        (
+            "log_group_commits",
+            (log_after.group_commits - log_before.group_commits) as f64,
+        ),
         ("actions", stats.actions as f64),
         ("secondary_parked", stats.secondary_parked as f64),
         (
@@ -228,6 +236,8 @@ fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
         aborted,
         secondary_reads: validated.validated_reads - validated_before.validated_reads,
         secondary_retries: validated.validated_retries - validated_before.validated_retries,
+        log_waits: log_after.waits() - log_before.waits(),
+        txn_acquisitions: txn_after.stripe_acquisitions - txn_before.stripe_acquisitions,
         elapsed_secs: elapsed.as_secs_f64(),
         critical_sections: crit,
         extra,
@@ -300,13 +310,23 @@ fn run_conv(wl: &TransferWorkload, run: TransferRun) -> Scenario {
     ready.wait();
     let crit_before = db.lock_stats().critical_sections;
     let validated_before = db.counters();
+    let log_before = db.log_stats();
+    let txn_before = db.txn_stats();
     let started = Instant::now();
     go.wait();
     let (committed, aborted) = join_clients(clients);
     let elapsed = started.elapsed();
 
     let stats = engine.stats();
-    let extra = vec![("retries", stats.retries as f64)];
+    let log_after = db.log_stats();
+    let txn_after = db.txn_stats();
+    let extra = vec![
+        ("retries", stats.retries as f64),
+        (
+            "log_group_commits",
+            (log_after.group_commits - log_before.group_commits) as f64,
+        ),
+    ];
     let crit = db.lock_stats().critical_sections - crit_before;
     let validated = db.counters();
     assert_eq!(
@@ -322,6 +342,8 @@ fn run_conv(wl: &TransferWorkload, run: TransferRun) -> Scenario {
         aborted,
         secondary_reads: validated.validated_reads - validated_before.validated_reads,
         secondary_retries: validated.validated_retries - validated_before.validated_retries,
+        log_waits: log_after.waits() - log_before.waits(),
+        txn_acquisitions: txn_after.stripe_acquisitions - txn_before.stripe_acquisitions,
         elapsed_secs: elapsed.as_secs_f64(),
         critical_sections: crit,
         extra,
@@ -432,6 +454,15 @@ mod tests {
             assert!(s.elapsed_secs > 0.0);
             assert!(s.throughput_tps() > 0.0);
             assert_eq!(s.secondary_reads, 0, "no audits in a 0% mix");
+            // Every transfer writes twice: stripe acquisitions (begin
+            // clear + undo pushes + commit extraction) must register,
+            // while contended log waits stay group-commit bounded.
+            assert!(s.txn_acquisitions > 0, "{engine:?}: stripes uncounted");
+            assert!(
+                s.log_waits <= 2 * (s.committed + s.aborted),
+                "{engine:?}: log waits {} exceed the contention bound",
+                s.log_waits
+            );
         }
     }
 

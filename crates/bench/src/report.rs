@@ -6,12 +6,12 @@
 //! `BENCH_<name>.json` at the workspace root (plus a human-readable table
 //! on stdout).
 //!
-//! # Schema (`schema_version` 2)
+//! # Schema (`schema_version` 3)
 //!
 //! ```json
 //! {
 //!   "bench": "throughput_vs_cores",
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "workload": "transfer accounts=1024 ...",
 //!   "physical_cores": 1,
 //!   "quick": false,
@@ -24,6 +24,10 @@
 //!       "aborted": 12,               // terminal aborts (after retries)
 //!       "secondary_reads": 2048,     // validated (versioned) record reads
 //!       "secondary_retries": 3,      // validated-read attempts retried
+//!       "log_waits": 7,              // contended WAL waits (group-commit
+//!                                    // rides + wrap-around + stragglers)
+//!       "txn_table_acquisitions": 16000, // txn-table stripe (per-slot
+//!                                    // undo mutex) acquisitions
 //!       "elapsed_secs": 1.25,
 //!       "throughput_tps": 3200.0,    // committed / elapsed_secs
 //!       "critical_sections": 0,      // centralized lock-manager entries
@@ -36,9 +40,16 @@
 //! ```
 //!
 //! Version history: **v2** added `secondary_reads` / `secondary_retries`
-//! (the validated-read counters of the secondary audit mix). Readers stay
-//! back-compatible with v1 documents by treating the absent fields as 0 —
-//! `compare.rs` does exactly that, so committed v1 baselines keep gating.
+//! (the validated-read counters of the secondary audit mix). **v3** added
+//! `log_waits` / `txn_table_acquisitions` — the storage layer's last
+//! global critical sections (WAL mutex, transaction-table mutex) were
+//! replaced by a lock-free consolidation buffer and a striped atomic slot
+//! table, and these counters prove the hot path stays lock-free
+//! (`log_waits` per committed transaction ≤ group commit's single
+//! contended wait; stripe acquisitions are slot-local). Readers stay
+//! back-compatible with older documents by treating the absent fields as
+//! 0 — `compare.rs` does exactly that, and only gates the v3 counters
+//! when the baseline document is itself v3.
 //!
 //! `baseline` lets a bench run carry its own before/after story: pass
 //! `--compare <path>` and the referenced report (typically a committed
@@ -66,6 +77,17 @@ pub struct Scenario {
     /// Validated-read attempts retried or rejected (torn words,
     /// uncommitted stamps) during the measured window.
     pub secondary_retries: u64,
+    /// Contended waits on the write-ahead log during the measured window:
+    /// forces that waited for a concurrent group commit, appends stalled
+    /// by ring wrap-around, and drain stalls on straggler appenders.
+    /// Lock-free appends make this ≈ the group-commit contention alone —
+    /// at most one wait per committed writer.
+    pub log_waits: u64,
+    /// Transaction-table stripe (per-slot undo mutex) acquisitions during
+    /// the measured window. Slot-local and uncontended by design; state
+    /// lookups (stamp checks) never count here because they are lock-free
+    /// loads.
+    pub txn_acquisitions: u64,
     /// Wall-clock seconds for the measured window.
     pub elapsed_secs: f64,
     /// Centralized lock-manager critical sections entered during the run.
@@ -136,7 +158,7 @@ impl BenchReport {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"bench\": \"{}\",", escape_json(self.bench));
-        let _ = writeln!(out, "  \"schema_version\": 2,");
+        let _ = writeln!(out, "  \"schema_version\": 3,");
         let _ = writeln!(out, "  \"workload\": \"{}\",", escape_json(&self.workload));
         let _ = writeln!(out, "  \"physical_cores\": {},", self.physical_cores);
         let _ = writeln!(out, "  \"quick\": {},", self.quick);
@@ -153,6 +175,12 @@ impl BenchReport {
                 out,
                 "      \"secondary_retries\": {},",
                 run.secondary_retries
+            );
+            let _ = writeln!(out, "      \"log_waits\": {},", run.log_waits);
+            let _ = writeln!(
+                out,
+                "      \"txn_table_acquisitions\": {},",
+                run.txn_acquisitions
             );
             let _ = writeln!(
                 out,
@@ -264,6 +292,8 @@ mod tests {
                     aborted: 1,
                     secondary_reads: 640,
                     secondary_retries: 2,
+                    log_waits: 5,
+                    txn_acquisitions: 420,
                     elapsed_secs: 0.5,
                     critical_sections: 0,
                     extra: vec![("deferrals", 3.0)],
@@ -276,6 +306,8 @@ mod tests {
                     aborted: 2,
                     secondary_reads: 0,
                     secondary_retries: 0,
+                    log_waits: 0,
+                    txn_acquisitions: 0,
                     elapsed_secs: 0.5,
                     critical_sections: 1234,
                     extra: vec![],
@@ -288,9 +320,11 @@ mod tests {
     fn json_has_schema_fields_and_computed_throughput() {
         let json = sample().to_json(None);
         assert!(json.contains("\"bench\": \"throughput_vs_cores\""));
-        assert!(json.contains("\"schema_version\": 2"));
+        assert!(json.contains("\"schema_version\": 3"));
         assert!(json.contains("\"secondary_reads\": 640"));
         assert!(json.contains("\"secondary_retries\": 2"));
+        assert!(json.contains("\"log_waits\": 5"));
+        assert!(json.contains("\"txn_table_acquisitions\": 420"));
         assert!(json.contains("\"throughput_tps\": 200.000"));
         assert!(json.contains("\"critical_sections\": 1234"));
         assert!(json.contains("\"deferrals\": 3.000"));
@@ -303,7 +337,7 @@ mod tests {
         let base = sample().to_json(None);
         let json = sample().to_json(Some(&base));
         assert!(json.contains("\"baseline\": {"));
-        assert_eq!(json.matches("\"schema_version\": 2").count(), 2);
+        assert_eq!(json.matches("\"schema_version\": 3").count(), 2);
     }
 
     #[test]

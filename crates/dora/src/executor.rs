@@ -1197,14 +1197,23 @@ fn divert_secondary(
 /// the (integer) value there. `None` when the table routes on a non-key
 /// column or a non-integer value — such a conflict cannot be parked on and
 /// surfaces as a (retryable) abort instead.
+///
+/// Resolution goes through the storage layer's lock-free catalog snapshot
+/// (`table_handle`) — one atomic load and a borrowed schema, where the old
+/// path took the catalog read lock and cloned the whole `TableSchema` per
+/// diverted action.
 fn secondary_route_key(
     inner: &Arc<Inner>,
     table: TableId,
     key: &[dora_storage::types::Value],
 ) -> Option<i64> {
     let field = inner.routing.read().rule(table)?.field;
-    let schema = inner.db.schema(table).ok()?;
-    let position = schema.primary_key.iter().position(|&col| col == field)?;
+    let handle = inner.db.table_handle(table).ok()?;
+    let position = handle
+        .schema
+        .primary_key
+        .iter()
+        .position(|&col| col == field)?;
     key.get(position)?.as_i64()
 }
 
@@ -1444,6 +1453,34 @@ mod tests {
         assert_eq!(stats.aborted, 0);
         assert_eq!(stats.actions, 32);
         assert_eq!(read_value(&db, t, 0), 2);
+        e.shutdown();
+    }
+
+    #[test]
+    fn read_only_transactions_commit_without_touching_the_log() {
+        let (db, t, routing) = setup(16, 2);
+        let e = engine(db.clone(), routing, 2);
+        let before = db.log_stats();
+        for i in 0..8 {
+            let flow = FlowGraph::new(
+                "ReadOnly",
+                vec![ActionSpec::read(t, i, move |db, txn, _| {
+                    db.get(txn, t, &[Value::BigInt(i)], DORA_POLICY)?
+                        .ok_or(StorageError::NotFound)?;
+                    Ok(vec![])
+                })],
+            );
+            assert!(e.execute(flow).is_committed());
+        }
+        let after = db.log_stats();
+        // The read-only fast path: no Begin/Commit records, no force.
+        assert_eq!(after.appended, before.appended);
+        assert_eq!(after.forces, before.forces);
+        // A writer still logs and forces.
+        assert!(e.execute(increment(t, 0)).is_committed());
+        let wrote = db.log_stats();
+        assert_eq!(wrote.appended, before.appended + 3);
+        assert_eq!(wrote.forces, before.forces + 1);
         e.shutdown();
     }
 

@@ -384,6 +384,38 @@ mod tests {
     }
 
     #[test]
+    fn read_only_transactions_commit_without_touching_the_log() {
+        let (db, t) = db_with_counter_table();
+        let engine = ConvEngine::new(
+            db.clone(),
+            ConvEngineConfig {
+                workers: 2,
+                max_retries: 5,
+            },
+        );
+        let before = db.log_stats();
+        for i in 0..8 {
+            let outcome = engine.execute(TxnRequest::new("ReadOnly", move |db, txn, _| {
+                db.get(txn, t, &[Value::BigInt(i)], CONV_POLICY)?
+                    .ok_or(StorageError::NotFound)?;
+                Ok(())
+            }));
+            assert!(outcome.is_committed(), "{outcome:?}");
+        }
+        let after = db.log_stats();
+        // Read-only fast path on the conventional engine too: no records
+        // appended, no group commit forced.
+        assert_eq!(after.appended, before.appended);
+        assert_eq!(after.forces, before.forces);
+        // A writing transaction still logs (lazy Begin + Update + Commit)
+        // and forces once.
+        assert!(engine.execute(increment_request(t, 0)).is_committed());
+        let wrote = db.log_stats();
+        assert_eq!(wrote.appended, before.appended + 3);
+        assert_eq!(wrote.forces, before.forces + 1);
+    }
+
+    #[test]
     fn non_retryable_failure_aborts() {
         let (db, _t) = db_with_counter_table();
         let engine = ConvEngine::new(

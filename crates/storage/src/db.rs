@@ -24,13 +24,33 @@
 //! of the index probe. Workloads that audit under concurrent
 //! inserts/deletes of rows — not just value updates — need the key-range
 //! versioning noted in the ROADMAP.
+//!
+//! # Zero global critical sections per operation
+//!
+//! The per-operation hot path acquires **no global lock** under
+//! [`LockingPolicy::Bypass`]:
+//!
+//! * Catalog resolution rides an **Arc-swapped immutable snapshot**
+//!   ([`TableHandle`]): one atomic pointer load replaces the seven
+//!   `catalog.read()` / `heaps.read()` / `trees.read()` acquisitions an
+//!   operation used to pay. DDL builds a fresh snapshot and publishes it;
+//!   superseded snapshots are retained until the database drops, so a
+//!   loaded handle stays valid without reference-count traffic.
+//! * The WAL is a lock-free consolidation buffer ([`crate::wal`]); the
+//!   only contended wait left on the commit path is group commit's.
+//! * Transaction state is a striped atomic slot table ([`crate::txn`]);
+//!   stamp checks on the validated-read path are plain atomic loads.
+//! * **Read-only commits take the fast path**: `begin` logs nothing (the
+//!   Begin record is written lazily by the transaction's first write), so
+//!   a transaction with an empty undo list commits without appending
+//!   Begin/Commit records and without forcing the log at all.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::btree::BPlusTree;
 use crate::buffer::BufferPool;
@@ -39,7 +59,7 @@ use crate::heap::{HeapFile, UpdateOutcome};
 use crate::lock::{LockManager, LockMode, LockStatsSnapshot, LockTarget};
 use crate::schema::{Catalog, TableSchema};
 use crate::tuple;
-use crate::txn::{TxnManager, TxnState, UndoEntry};
+use crate::txn::{TxnManager, TxnState, TxnStatsSnapshot, UndoEntry};
 use crate::types::{IndexId, Key, RecordId, TableId, TxnId, Value};
 use crate::version::{self, RecordVersion};
 use crate::wal::{LogManager, LogPayload, LogStatsSnapshot};
@@ -131,12 +151,112 @@ pub struct DbCountersSnapshot {
     pub validated_retries: u64,
 }
 
+/// Everything an operation needs to touch one table, resolved once:
+/// schema, heap file, primary tree, and secondary index handles. Borrowed
+/// from the database's current catalog snapshot with **no lock** — see
+/// [`Database::table_handle`].
+pub struct TableHandle {
+    /// The table's id.
+    pub id: TableId,
+    /// The table's schema (frozen at snapshot build time; DDL publishes a
+    /// new snapshot rather than mutating this one).
+    pub schema: TableSchema,
+    /// The table's heap file.
+    pub heap: Arc<HeapFile>,
+    /// The primary-index tree.
+    pub primary: Arc<BPlusTree>,
+    /// Secondary indexes of the table, in catalog order.
+    pub secondaries: Vec<SecondaryHandle>,
+}
+
+/// One secondary index of a [`TableHandle`].
+pub struct SecondaryHandle {
+    /// The index id.
+    pub id: IndexId,
+    /// Positions of the indexed columns within the row.
+    pub key_columns: Vec<usize>,
+    /// Whether the index enforces uniqueness.
+    pub unique: bool,
+    /// The index tree.
+    pub tree: Arc<BPlusTree>,
+}
+
+impl SecondaryHandle {
+    /// The index key of `values` under this index.
+    fn key_of(&self, values: &[Value]) -> Key {
+        self.key_columns
+            .iter()
+            .map(|&c| values[c].clone())
+            .collect()
+    }
+}
+
+/// Index-id resolution entry of a snapshot (secondary lookups arrive by
+/// index id, not table id).
+struct IndexEntry {
+    table: TableId,
+    tree: Arc<BPlusTree>,
+}
+
+/// One immutable published view of the catalog: table handles plus the
+/// index-id resolution map.
+struct CatalogSnapshot {
+    tables: HashMap<TableId, TableHandle>,
+    indexes: HashMap<IndexId, IndexEntry>,
+}
+
+/// The Arc-swap cell holding the current [`CatalogSnapshot`].
+///
+/// `load` is one `Acquire` pointer read — no lock, no reference-count
+/// traffic. `publish` (DDL only) boxes the new snapshot, **retains** it in
+/// `history` for the lifetime of the database, and swaps the pointer with
+/// `Release`. Retention is what makes the lock-free borrow sound: an
+/// operation that loaded the previous snapshot keeps using a box that is
+/// never freed underneath it. Memory cost is one superseded snapshot per
+/// DDL statement — tables are created once, not on the hot path.
+struct SnapshotCell {
+    current: AtomicPtr<CatalogSnapshot>,
+    // The boxing is what keeps `current`'s pointee at a stable address
+    // when the history vector reallocates — Vec<CatalogSnapshot> would
+    // move the snapshots and dangle every loaded reference.
+    #[allow(clippy::vec_box)]
+    history: Mutex<Vec<Box<CatalogSnapshot>>>,
+}
+
+impl SnapshotCell {
+    fn new(initial: CatalogSnapshot) -> Self {
+        let cell = SnapshotCell {
+            current: AtomicPtr::new(std::ptr::null_mut()),
+            history: Mutex::new(Vec::new()),
+        };
+        cell.publish(initial);
+        cell
+    }
+
+    fn load(&self) -> &CatalogSnapshot {
+        // SAFETY: `current` always points at a box owned by `history`,
+        // which only grows; the snapshot outlives any `&self` borrow.
+        unsafe { &*self.current.load(Ordering::Acquire) }
+    }
+
+    fn publish(&self, snapshot: CatalogSnapshot) {
+        let boxed = Box::new(snapshot);
+        let ptr = &*boxed as *const CatalogSnapshot as *mut CatalogSnapshot;
+        // Retain before the swap so no reader can ever observe a pointer
+        // whose box is not yet (or no longer) owned.
+        self.history.lock().push(boxed);
+        self.current.store(ptr, Ordering::Release);
+    }
+}
+
 /// The storage-manager facade.
 pub struct Database {
+    /// DDL master copy of the catalog. Cold path only: name lookups and
+    /// snapshot rebuilds — no data operation takes this lock.
     catalog: RwLock<Catalog>,
+    /// The hot-path view: tables and indexes resolved to handles.
+    snapshot: SnapshotCell,
     buffer: Arc<BufferPool>,
-    heaps: RwLock<HashMap<TableId, Arc<HeapFile>>>,
-    trees: RwLock<HashMap<IndexId, Arc<BPlusTree>>>,
     lock_mgr: Arc<LockManager>,
     log: Arc<LogManager>,
     txns: TxnManager,
@@ -161,9 +281,11 @@ impl Database {
     pub fn new(config: DatabaseConfig) -> Self {
         Database {
             catalog: RwLock::new(Catalog::new()),
+            snapshot: SnapshotCell::new(CatalogSnapshot {
+                tables: HashMap::new(),
+                indexes: HashMap::new(),
+            }),
             buffer: Arc::new(BufferPool::in_memory(config.buffer_frames)),
-            heaps: RwLock::new(HashMap::new()),
-            trees: RwLock::new(HashMap::new()),
             lock_mgr: Arc::new(LockManager::with_config(
                 config.lock_buckets,
                 config.lock_timeout,
@@ -182,23 +304,96 @@ impl Database {
 
     // --- schema management ------------------------------------------------
 
+    /// Rebuilds and publishes the hot-path snapshot from the catalog.
+    /// Called with the catalog write lock held (DDL is serialized), so
+    /// two concurrent DDL statements cannot publish stale views over each
+    /// other. Existing heap/tree handles are carried over from the
+    /// superseded snapshot; brand-new ones arrive via `fresh_trees` /
+    /// `fresh_heaps`.
+    fn publish_snapshot(
+        &self,
+        catalog: &Catalog,
+        fresh_heaps: &HashMap<TableId, Arc<HeapFile>>,
+        fresh_trees: &HashMap<IndexId, Arc<BPlusTree>>,
+    ) {
+        let old = self.snapshot.load();
+        let tree_of = |id: IndexId| -> Arc<BPlusTree> {
+            fresh_trees
+                .get(&id)
+                .or_else(|| old.indexes.get(&id).map(|e| &e.tree))
+                .expect("every catalog index has a tree")
+                .clone()
+        };
+        let mut tables = HashMap::new();
+        let mut indexes = HashMap::new();
+        for def in catalog.tables() {
+            let heap = fresh_heaps
+                .get(&def.id)
+                .cloned()
+                .or_else(|| old.tables.get(&def.id).map(|h| h.heap.clone()))
+                .expect("every catalog table has a heap");
+            let primary = catalog
+                .primary_index(def.id)
+                .expect("every table has a primary index");
+            let secondaries = catalog
+                .secondary_indexes(def.id)
+                .into_iter()
+                .map(|idx| SecondaryHandle {
+                    id: idx.id,
+                    key_columns: idx.key_columns.clone(),
+                    unique: idx.unique,
+                    tree: tree_of(idx.id),
+                })
+                .collect();
+            for idx in &def.indexes {
+                indexes.insert(
+                    *idx,
+                    IndexEntry {
+                        table: def.id,
+                        tree: tree_of(*idx),
+                    },
+                );
+            }
+            tables.insert(
+                def.id,
+                TableHandle {
+                    id: def.id,
+                    schema: def.schema.clone(),
+                    heap,
+                    primary: tree_of(primary.id),
+                    secondaries,
+                },
+            );
+        }
+        self.snapshot.publish(CatalogSnapshot { tables, indexes });
+    }
+
     /// Creates a table together with its primary index.
     pub fn create_table(&self, schema: TableSchema) -> StorageResult<TableId> {
         let pk = schema.primary_key.clone();
         let name = schema.name.clone();
-        let table = self.catalog.write().add_table(schema)?;
-        let index = self
-            .catalog
-            .write()
-            .add_index(format!("pk_{name}"), table, pk, true, true)?;
-        self.heaps
-            .write()
-            .insert(table, Arc::new(HeapFile::new(table, self.buffer.clone())));
-        self.trees.write().insert(index, Arc::new(BPlusTree::new()));
+        let mut catalog = self.catalog.write();
+        let table = catalog.add_table(schema)?;
+        let index = catalog.add_index(format!("pk_{name}"), table, pk, true, true)?;
+        let mut fresh_heaps = HashMap::new();
+        fresh_heaps.insert(table, Arc::new(HeapFile::new(table, self.buffer.clone())));
+        let mut fresh_trees = HashMap::new();
+        fresh_trees.insert(index, Arc::new(BPlusTree::new()));
+        self.publish_snapshot(&catalog, &fresh_heaps, &fresh_trees);
         Ok(table)
     }
 
     /// Creates a secondary index and back-fills it from existing rows.
+    ///
+    /// **Not safe to run concurrently with writes to the same table**: a
+    /// writer that resolved its [`TableHandle`] before the new snapshot
+    /// publishes maintains only the secondary indexes that snapshot
+    /// knows, so a row inserted during (or racing the end of) the
+    /// back-fill can be missing from the new index. Build indexes before
+    /// opening the table to traffic — both engines only run DDL at load
+    /// time, and `DoraEngine::update_routing`-style quiescing is the
+    /// pattern for anything online. (The pre-snapshot implementation had
+    /// the same scan-then-publish race, with a narrower window.)
     pub fn create_secondary_index(
         &self,
         table: TableId,
@@ -206,10 +401,8 @@ impl Database {
         key_columns: Vec<usize>,
         unique: bool,
     ) -> StorageResult<IndexId> {
-        let index =
-            self.catalog
-                .write()
-                .add_index(name, table, key_columns.clone(), unique, false)?;
+        let mut catalog = self.catalog.write();
+        let index = catalog.add_index(name, table, key_columns.clone(), unique, false)?;
         let tree = Arc::new(BPlusTree::new());
         // Back-fill from the heap.
         let heap = self.heap(table)?;
@@ -218,8 +411,22 @@ impl Database {
             let key: Key = key_columns.iter().map(|&c| values[c].clone()).collect();
             tree.insert(key, rid);
         }
-        self.trees.write().insert(index, tree);
+        let mut fresh_trees = HashMap::new();
+        fresh_trees.insert(index, tree);
+        self.publish_snapshot(&catalog, &HashMap::new(), &fresh_trees);
         Ok(index)
+    }
+
+    /// Resolves a table to its hot-path handle (schema, heap, primary and
+    /// secondary trees) with **one atomic load and no lock**. Engines
+    /// resolve once per action/transaction; every data operation resolves
+    /// once internally.
+    pub fn table_handle(&self, table: TableId) -> StorageResult<&TableHandle> {
+        self.snapshot
+            .load()
+            .tables
+            .get(&table)
+            .ok_or(StorageError::UnknownTable(table))
     }
 
     /// Resolves a table name to its id.
@@ -227,9 +434,10 @@ impl Database {
         Ok(self.catalog.read().table_by_name(name)?.id)
     }
 
-    /// Returns a clone of a table's schema.
+    /// Returns a clone of a table's schema. Hot callers should prefer
+    /// [`Database::table_handle`] and borrow `handle.schema` instead.
     pub fn schema(&self, table: TableId) -> StorageResult<TableSchema> {
-        Ok(self.catalog.read().table(table)?.schema.clone())
+        Ok(self.table_handle(table)?.schema.clone())
     }
 
     /// Runs `f` with read access to the catalog.
@@ -252,11 +460,26 @@ impl Database {
 
     // --- transaction lifecycle ---------------------------------------------
 
-    /// Starts a transaction.
+    /// Starts a transaction. Logs **nothing**: the Begin record is
+    /// written lazily by the transaction's first data modification,
+    /// which is what lets a read-only transaction commit without
+    /// touching the log at all.
     pub fn begin(&self) -> TxnId {
-        let txn = self.txns.begin();
-        self.log.append(txn, LogPayload::Begin);
-        txn
+        self.txns.begin()
+    }
+
+    /// Writes the transaction's Begin record exactly once, before its
+    /// first logged operation. Concurrent first writes (DORA actions of
+    /// one transaction on different partitions) race on an atomic claim;
+    /// recovery's analysis pass does not depend on Begin preceding the
+    /// data record in LSN order — any record marks the transaction
+    /// started — so the rare claim-winner-publishes-second interleaving
+    /// is harmless.
+    fn log_begin_if_first(&self, txn: TxnId) -> StorageResult<()> {
+        if self.txns.claim_begin_log(txn)? {
+            self.log.append(txn, LogPayload::Begin);
+        }
+        Ok(())
     }
 
     /// Commits a transaction: forces the log and releases its centralized
@@ -273,8 +496,13 @@ impl Database {
     /// lock-manager critical sections.
     pub fn commit_policy(&self, txn: TxnId, policy: LockingPolicy) -> StorageResult<()> {
         self.txns.check_active(txn)?;
-        let lsn = self.log.append(txn, LogPayload::Commit);
-        self.log.force(lsn);
+        // Read-only fast path: a transaction that never logged anything
+        // has nothing to make durable — no Begin/Commit records, no
+        // force. Group commit is paid only by transactions that wrote.
+        if self.txns.begin_logged(txn) {
+            let lsn = self.log.append(txn, LogPayload::Commit);
+            self.log.force(lsn);
+        }
         self.txns.mark_committed(txn)?;
         if policy == LockingPolicy::Centralized {
             self.lock_mgr.unlock_all(txn);
@@ -297,9 +525,17 @@ impl Database {
         self.txns.check_active(txn)?;
         let undo = self.txns.mark_aborted(txn)?;
         for entry in undo {
+            // A failed undo leaves the slot in its mid-rollback state
+            // (never reclaimed, stamps stay unstable) — conservative by
+            // construction.
             self.apply_undo(&entry)?;
         }
-        self.log.append(txn, LogPayload::Abort);
+        // Read-only transactions logged nothing; an Abort record without
+        // a Begin would be noise.
+        if self.txns.begin_logged(txn) {
+            self.log.append(txn, LogPayload::Abort);
+        }
+        self.txns.finish_aborted(txn)?;
         if policy == LockingPolicy::Centralized {
             self.lock_mgr.unlock_all(txn);
         }
@@ -323,33 +559,34 @@ impl Database {
         policy: LockingPolicy,
     ) -> StorageResult<RecordId> {
         self.txns.check_active(txn)?;
-        let schema = self.schema(table)?;
-        schema.validate(&values)?;
-        let key = schema.primary_key_of(&values);
+        let handle = self.table_handle(table)?;
+        handle.schema.validate(&values)?;
+        let key = handle.schema.primary_key_of(&values);
         if policy == LockingPolicy::Centralized {
             self.lock_mgr
                 .lock(txn, LockTarget::Table(table), LockMode::IX)?;
             self.lock_mgr
                 .lock(txn, LockTarget::Key(table, key.clone()), LockMode::X)?;
         }
-        let primary = self.primary_tree(table)?;
-        if primary.contains_key(&key) {
+        if handle.primary.contains_key(&key) {
             return Err(StorageError::DuplicateKey(format!(
                 "{}: {:?}",
-                schema.name, key
+                handle.schema.name, key
             )));
         }
         // Unique secondary indexes.
-        for (idx_id, cols, unique) in self.secondary_defs(table) {
-            if unique {
-                let skey: Key = cols.iter().map(|&c| values[c].clone()).collect();
-                if self.tree(idx_id)?.contains_key(&skey) {
+        for sec in &handle.secondaries {
+            if sec.unique {
+                let skey = sec.key_of(&values);
+                if sec.tree.contains_key(&skey) {
                     return Err(StorageError::DuplicateKey(format!(
-                        "unique secondary index {idx_id}: {skey:?}"
+                        "unique secondary index {}: {skey:?}",
+                        sec.id
                     )));
                 }
             }
         }
+        self.log_begin_if_first(txn)?;
         self.log.append(
             txn,
             LogPayload::Insert {
@@ -358,17 +595,16 @@ impl Database {
                 tuple: values.clone(),
             },
         );
-        let rid = self.heap(table)?.insert(&version::encode_record(
+        let rid = handle.heap.insert(&version::encode_record(
             RecordVersion {
                 word: self.next_version_word(),
                 stamp: txn,
             },
             &tuple::encode(&values),
         ))?;
-        primary.insert(key.clone(), rid);
-        for (idx_id, cols, _) in self.secondary_defs(table) {
-            let skey: Key = cols.iter().map(|&c| values[c].clone()).collect();
-            self.tree(idx_id)?.insert(skey, rid);
+        handle.primary.insert(key.clone(), rid);
+        for sec in &handle.secondaries {
+            sec.tree.insert(sec.key_of(&values), rid);
         }
         self.txns.push_undo(txn, UndoEntry::Insert { table, key })?;
         self.counters.inserts.fetch_add(1, Ordering::Relaxed);
@@ -391,10 +627,10 @@ impl Database {
                 .lock(txn, LockTarget::Key(table, key.to_vec()), LockMode::S)?;
         }
         self.counters.reads.fetch_add(1, Ordering::Relaxed);
-        let primary = self.primary_tree(table)?;
-        match primary.get_first(key) {
+        let handle = self.table_handle(table)?;
+        match handle.primary.get_first(key) {
             Some(rid) => {
-                let bytes = self.heap(table)?.get(rid)?;
+                let bytes = handle.heap.get(rid)?;
                 Ok(Some(decode_record(&bytes)?))
             }
             None => Ok(None),
@@ -410,24 +646,19 @@ impl Database {
         policy: LockingPolicy,
     ) -> StorageResult<Vec<Vec<Value>>> {
         self.txns.check_active(txn)?;
-        let def = {
-            let catalog = self.catalog.read();
-            catalog.index(index)?.clone()
-        };
+        let (table, tree) = self.index_entry(index)?;
+        let handle = self.table_handle(table)?;
         if policy == LockingPolicy::Centralized {
             self.lock_mgr
-                .lock(txn, LockTarget::Table(def.table), LockMode::IS)?;
+                .lock(txn, LockTarget::Table(table), LockMode::IS)?;
         }
-        let tree = self.tree(index)?;
-        let heap = self.heap(def.table)?;
-        let schema = self.schema(def.table)?;
         let mut rows = Vec::new();
         for rid in tree.get(key) {
-            let values = decode_record(&heap.get(rid)?)?;
+            let values = decode_record(&handle.heap.get(rid)?)?;
             if policy == LockingPolicy::Centralized {
-                let pk = schema.primary_key_of(&values);
+                let pk = handle.schema.primary_key_of(&values);
                 self.lock_mgr
-                    .lock(txn, LockTarget::Key(def.table, pk), LockMode::S)?;
+                    .lock(txn, LockTarget::Key(table, pk), LockMode::S)?;
             }
             self.counters.reads.fetch_add(1, Ordering::Relaxed);
             rows.push(values);
@@ -444,24 +675,19 @@ impl Database {
         policy: LockingPolicy,
     ) -> StorageResult<Vec<Vec<Value>>> {
         self.txns.check_active(txn)?;
-        let def = {
-            let catalog = self.catalog.read();
-            catalog.index(index)?.clone()
-        };
+        let (table, tree) = self.index_entry(index)?;
+        let handle = self.table_handle(table)?;
         if policy == LockingPolicy::Centralized {
             self.lock_mgr
-                .lock(txn, LockTarget::Table(def.table), LockMode::IS)?;
+                .lock(txn, LockTarget::Table(table), LockMode::IS)?;
         }
-        let tree = self.tree(index)?;
-        let heap = self.heap(def.table)?;
-        let schema = self.schema(def.table)?;
         let mut rows = Vec::new();
         for (_, rid) in tree.scan_prefix(prefix) {
-            let values = decode_record(&heap.get(rid)?)?;
+            let values = decode_record(&handle.heap.get(rid)?)?;
             if policy == LockingPolicy::Centralized {
-                let pk = schema.primary_key_of(&values);
+                let pk = handle.schema.primary_key_of(&values);
                 self.lock_mgr
-                    .lock(txn, LockTarget::Key(def.table, pk), LockMode::S)?;
+                    .lock(txn, LockTarget::Key(table, pk), LockMode::S)?;
             }
             self.counters.reads.fetch_add(1, Ordering::Relaxed);
             rows.push(values);
@@ -485,12 +711,11 @@ impl Database {
             self.lock_mgr
                 .lock(txn, LockTarget::Table(table), LockMode::S)?;
         }
-        let tree = self.primary_tree(table)?;
-        let heap = self.heap(table)?;
+        let handle = self.table_handle(table)?;
         let mut rows = Vec::new();
-        for (_, rid) in tree.range(lo, hi) {
+        for (_, rid) in handle.primary.range(lo, hi) {
             self.counters.reads.fetch_add(1, Ordering::Relaxed);
-            rows.push(decode_record(&heap.get(rid)?)?);
+            rows.push(decode_record(&handle.heap.get(rid)?)?);
         }
         Ok(rows)
     }
@@ -544,16 +769,15 @@ impl Database {
                     .lock(txn, LockTarget::Key(table, key.clone()), LockMode::S)?;
             }
         }
-        let primary = self.primary_tree(table)?;
-        let heap = self.heap(table)?;
+        let handle = self.table_handle(table)?;
         self.validated_attempt_loop(table, |db| {
             let mut rows = Vec::with_capacity(keys.len());
             let mut observed = Vec::with_capacity(keys.len());
             let mut observed_keys = Vec::with_capacity(keys.len());
             for key in keys {
-                match primary.get_first(key) {
+                match handle.primary.get_first(key) {
                     None => rows.push(None),
-                    Some(rid) => match db.snapshot_record(txn, &heap, key, rid)? {
+                    Some(rid) => match db.snapshot_record(txn, &handle.heap, key, rid)? {
                         Ok((ver, values)) => {
                             rows.push(Some(values));
                             observed.push((rid, ver));
@@ -563,7 +787,7 @@ impl Database {
                     },
                 }
             }
-            Ok(match revalidate(&heap, &observed) {
+            Ok(match revalidate(&handle.heap, &observed) {
                 Ok(()) => Ok(rows),
                 Err(idx) => Err(SnapshotConflict::torn(observed_keys[idx], 0)),
             })
@@ -589,14 +813,13 @@ impl Database {
             self.lock_mgr
                 .lock(txn, LockTarget::Table(table), LockMode::S)?;
         }
-        let primary = self.primary_tree(table)?;
-        let heap = self.heap(table)?;
+        let handle = self.table_handle(table)?;
         self.validated_attempt_loop(table, |db| {
-            let entries = primary.range(lo, hi);
+            let entries = handle.primary.range(lo, hi);
             let mut rows = Vec::with_capacity(entries.len());
             let mut observed = Vec::with_capacity(entries.len());
             for (key, rid) in &entries {
-                match db.snapshot_record(txn, &heap, key, *rid)? {
+                match db.snapshot_record(txn, &handle.heap, key, *rid)? {
                     Ok((ver, values)) => {
                         rows.push(values);
                         observed.push((*rid, ver));
@@ -604,7 +827,7 @@ impl Database {
                     Err(conflict) => return Ok(Err(conflict)),
                 }
             }
-            Ok(match revalidate(&heap, &observed) {
+            Ok(match revalidate(&handle.heap, &observed) {
                 Ok(()) => Ok(rows),
                 Err(idx) => Err(SnapshotConflict::torn(&entries[idx].0, 0)),
             })
@@ -708,18 +931,18 @@ impl Database {
         policy: LockingPolicy,
     ) -> StorageResult<bool> {
         self.txns.check_active(txn)?;
-        let schema = self.schema(table)?;
+        let handle = self.table_handle(table)?;
+        let schema = &handle.schema;
         if policy == LockingPolicy::Centralized {
             self.lock_mgr
                 .lock(txn, LockTarget::Table(table), LockMode::IX)?;
             self.lock_mgr
                 .lock(txn, LockTarget::Key(table, key.to_vec()), LockMode::X)?;
         }
-        let primary = self.primary_tree(table)?;
-        let Some(rid) = primary.get_first(key) else {
+        let Some(rid) = handle.primary.get_first(key) else {
             return Ok(false);
         };
-        let heap = self.heap(table)?;
+        let heap = &handle.heap;
         // One page latch reads the pre-image AND stamps the record
         // write-in-progress (odd version word): validated readers retry or
         // park instead of decoding a record about to be rewritten. Every
@@ -747,6 +970,7 @@ impl Database {
             after[*col] = value.clone();
         }
         schema.validate(&after).map_err(&restore)?;
+        self.log_begin_if_first(txn).map_err(&restore)?;
         self.log.append(
             txn,
             LogPayload::Update {
@@ -765,20 +989,19 @@ impl Database {
         let new_rid = match outcome {
             UpdateOutcome::InPlace => rid,
             UpdateOutcome::Moved(new_rid) => {
-                primary.remove(key, rid);
-                primary.insert(key.to_vec(), new_rid);
+                handle.primary.remove(key, rid);
+                handle.primary.insert(key.to_vec(), new_rid);
                 new_rid
             }
         };
         // Maintain secondary indexes for changed key columns (and for moved
         // records, whose record id changed).
-        for (idx_id, cols, _) in self.secondary_defs(table) {
-            let old_key: Key = cols.iter().map(|&c| before[c].clone()).collect();
-            let new_key: Key = cols.iter().map(|&c| after[c].clone()).collect();
+        for sec in &handle.secondaries {
+            let old_key = sec.key_of(&before);
+            let new_key = sec.key_of(&after);
             if old_key != new_key || new_rid != rid {
-                let tree = self.tree(idx_id)?;
-                tree.remove(&old_key, rid);
-                tree.insert(new_key, new_rid);
+                sec.tree.remove(&old_key, rid);
+                sec.tree.insert(new_key, new_rid);
             }
         }
         self.txns.push_undo(
@@ -808,11 +1031,11 @@ impl Database {
             self.lock_mgr
                 .lock(txn, LockTarget::Key(table, key.to_vec()), LockMode::X)?;
         }
-        let primary = self.primary_tree(table)?;
-        let Some(rid) = primary.get_first(key) else {
+        let handle = self.table_handle(table)?;
+        let Some(rid) = handle.primary.get_first(key) else {
             return Ok(false);
         };
-        let heap = self.heap(table)?;
+        let heap = &handle.heap;
         // Stamp the record write-in-progress before it disappears: a
         // validated reader still holding its record id then sees an odd
         // version (retry/park) instead of a silently vanishing row whose
@@ -825,6 +1048,7 @@ impl Database {
             e
         };
         let before = tuple::decode(&payload).map_err(&restore)?;
+        self.log_begin_if_first(txn).map_err(&restore)?;
         self.log.append(
             txn,
             LogPayload::Delete {
@@ -834,10 +1058,9 @@ impl Database {
             },
         );
         heap.delete(rid).map_err(&restore)?;
-        primary.remove(key, rid);
-        for (idx_id, cols, _) in self.secondary_defs(table) {
-            let skey: Key = cols.iter().map(|&c| before[c].clone()).collect();
-            self.tree(idx_id)?.remove(&skey, rid);
+        handle.primary.remove(key, rid);
+        for sec in &handle.secondaries {
+            sec.tree.remove(&sec.key_of(&before), rid);
         }
         self.txns.push_undo(
             txn,
@@ -886,6 +1109,11 @@ impl Database {
         self.log.stats()
     }
 
+    /// Transaction-table statistics (stripe acquisitions, begin waits).
+    pub fn txn_stats(&self) -> TxnStatsSnapshot {
+        self.txns.stats()
+    }
+
     /// Operation counters.
     pub fn counters(&self) -> DbCountersSnapshot {
         DbCountersSnapshot {
@@ -915,24 +1143,22 @@ impl Database {
     /// Inserts a row bypassing transactions, locks and logging. Used by
     /// abort (undo of a delete) and by recovery redo.
     pub fn insert_raw(&self, table: TableId, values: Vec<Value>) -> StorageResult<()> {
-        let schema = self.schema(table)?;
-        let key = schema.primary_key_of(&values);
-        let primary = self.primary_tree(table)?;
-        if primary.contains_key(&key) {
+        let handle = self.table_handle(table)?;
+        let key = handle.schema.primary_key_of(&values);
+        if handle.primary.contains_key(&key) {
             return Err(StorageError::DuplicateKey(format!("{key:?}")));
         }
         // Stamp 0: loader/undo/recovery images are stable by construction.
-        let rid = self.heap(table)?.insert(&version::encode_record(
+        let rid = handle.heap.insert(&version::encode_record(
             RecordVersion {
                 word: self.next_version_word(),
                 stamp: 0,
             },
             &tuple::encode(&values),
         ))?;
-        primary.insert(key, rid);
-        for (idx_id, cols, _) in self.secondary_defs(table) {
-            let skey: Key = cols.iter().map(|&c| values[c].clone()).collect();
-            self.tree(idx_id)?.insert(skey, rid);
+        handle.primary.insert(key, rid);
+        for sec in &handle.secondaries {
+            sec.tree.insert(sec.key_of(&values), rid);
         }
         Ok(())
     }
@@ -940,17 +1166,15 @@ impl Database {
     /// Deletes a row by primary key bypassing transactions, locks and
     /// logging.
     pub fn delete_raw(&self, table: TableId, key: &[Value]) -> StorageResult<bool> {
-        let primary = self.primary_tree(table)?;
-        let Some(rid) = primary.get_first(key) else {
+        let handle = self.table_handle(table)?;
+        let Some(rid) = handle.primary.get_first(key) else {
             return Ok(false);
         };
-        let heap = self.heap(table)?;
-        let before = decode_record(&heap.get(rid)?)?;
-        heap.delete(rid)?;
-        primary.remove(key, rid);
-        for (idx_id, cols, _) in self.secondary_defs(table) {
-            let skey: Key = cols.iter().map(|&c| before[c].clone()).collect();
-            self.tree(idx_id)?.remove(&skey, rid);
+        let before = decode_record(&handle.heap.get(rid)?)?;
+        handle.heap.delete(rid)?;
+        handle.primary.remove(key, rid);
+        for sec in &handle.secondaries {
+            sec.tree.remove(&sec.key_of(&before), rid);
         }
         Ok(true)
     }
@@ -963,35 +1187,33 @@ impl Database {
         key: &[Value],
         image: Vec<Value>,
     ) -> StorageResult<bool> {
-        let primary = self.primary_tree(table)?;
-        let Some(rid) = primary.get_first(key) else {
+        let handle = self.table_handle(table)?;
+        let Some(rid) = handle.primary.get_first(key) else {
             return Ok(false);
         };
-        let heap = self.heap(table)?;
         // Stamp 0 publishes a stable image: undo (which runs while its
         // transaction is already marked aborted) and recovery redo both
         // leave the record immediately readable by validated readers.
-        let (old_version, payload) = heap.get_for_update(rid, 0)?;
+        let (old_version, payload) = handle.heap.get_for_update(rid, 0)?;
         let before = tuple::decode(&payload)?;
-        let outcome = heap.update(
+        let outcome = handle.heap.update(
             rid,
             &version::encode_record(old_version.publish(0), &tuple::encode(&image)),
         )?;
         let new_rid = match outcome {
             UpdateOutcome::InPlace => rid,
             UpdateOutcome::Moved(new_rid) => {
-                primary.remove(key, rid);
-                primary.insert(key.to_vec(), new_rid);
+                handle.primary.remove(key, rid);
+                handle.primary.insert(key.to_vec(), new_rid);
                 new_rid
             }
         };
-        for (idx_id, cols, _) in self.secondary_defs(table) {
-            let old_key: Key = cols.iter().map(|&c| before[c].clone()).collect();
-            let new_key: Key = cols.iter().map(|&c| image[c].clone()).collect();
+        for sec in &handle.secondaries {
+            let old_key = sec.key_of(&before);
+            let new_key = sec.key_of(&image);
             if old_key != new_key || new_rid != rid {
-                let tree = self.tree(idx_id)?;
-                tree.remove(&old_key, rid);
-                tree.insert(new_key, new_rid);
+                sec.tree.remove(&old_key, rid);
+                sec.tree.insert(new_key, new_rid);
             }
         }
         Ok(true)
@@ -1015,36 +1237,23 @@ impl Database {
     }
 
     fn heap(&self, table: TableId) -> StorageResult<Arc<HeapFile>> {
-        self.heaps
-            .read()
-            .get(&table)
-            .cloned()
-            .ok_or(StorageError::UnknownTable(table))
+        Ok(self.table_handle(table)?.heap.clone())
     }
 
-    fn tree(&self, index: IndexId) -> StorageResult<Arc<BPlusTree>> {
-        self.trees
-            .read()
+    /// Resolves an index id to `(owning table, tree)` through the
+    /// snapshot — lock-free like [`Database::table_handle`].
+    fn index_entry(&self, index: IndexId) -> StorageResult<(TableId, Arc<BPlusTree>)> {
+        self.snapshot
+            .load()
+            .indexes
             .get(&index)
-            .cloned()
+            .map(|e| (e.table, e.tree.clone()))
             .ok_or(StorageError::UnknownIndex(index))
     }
 
     /// Tree of the primary index of `table`.
     pub fn primary_tree(&self, table: TableId) -> StorageResult<Arc<BPlusTree>> {
-        let idx = self.catalog.read().primary_index(table)?.id;
-        self.tree(idx)
-    }
-
-    /// `(index id, key column positions, unique)` for every secondary index
-    /// of a table.
-    fn secondary_defs(&self, table: TableId) -> Vec<(IndexId, Vec<usize>, bool)> {
-        self.catalog
-            .read()
-            .secondary_indexes(table)
-            .into_iter()
-            .map(|d| (d.id, d.key_columns.clone(), d.unique))
-            .collect()
+        Ok(self.table_handle(table)?.primary.clone())
     }
 }
 
@@ -1664,6 +1873,111 @@ mod tests {
         assert!(db.lock_manager().held_count(reader) > 0);
         db.commit(reader).unwrap();
         assert_eq!(db.lock_manager().held_count(reader), 0);
+    }
+
+    #[test]
+    fn read_only_commit_skips_log_records_and_force() {
+        let (db, t) = test_db();
+        let setup = db.begin();
+        db.insert(setup, t, row(1, "a", 1.0), LockingPolicy::Bypass)
+            .unwrap();
+        db.commit(setup).unwrap();
+        let before = db.log_stats();
+
+        // A transaction that only reads must not touch the log: no Begin,
+        // no Commit, no force — on either policy.
+        for policy in [LockingPolicy::Bypass, LockingPolicy::Centralized] {
+            let reader = db.begin();
+            db.get(reader, t, &[Value::BigInt(1)], policy)
+                .unwrap()
+                .unwrap();
+            db.read_validated(reader, t, &[Value::BigInt(1)], policy)
+                .unwrap()
+                .unwrap();
+            db.commit_policy(reader, policy).unwrap();
+        }
+        let after = db.log_stats();
+        assert_eq!(after.appended, before.appended, "no records for readers");
+        assert_eq!(after.forces, before.forces, "no forces for readers");
+
+        // A read-only abort is equally silent.
+        let reader = db.begin();
+        db.get(reader, t, &[Value::BigInt(1)], LockingPolicy::Bypass)
+            .unwrap();
+        db.abort(reader).unwrap();
+        assert_eq!(db.log_stats().appended, before.appended);
+
+        // A writer still logs lazily (Begin rides the first write) and
+        // forces its commit.
+        let writer = db.begin();
+        assert_eq!(db.log_stats().appended, before.appended, "begin is lazy");
+        db.update(
+            writer,
+            t,
+            &[Value::BigInt(1)],
+            &[(2, Value::Double(2.0))],
+            LockingPolicy::Bypass,
+        )
+        .unwrap();
+        db.commit(writer).unwrap();
+        let wrote = db.log_stats();
+        assert_eq!(wrote.appended, before.appended + 3, "Begin+Update+Commit");
+        assert_eq!(wrote.forces, before.forces + 1);
+        assert_eq!(wrote.flushed_lsn, wrote.appended, "commit forced");
+    }
+
+    #[test]
+    fn validated_reads_take_zero_locks() {
+        let (db, t) = test_db();
+        let setup = db.begin();
+        for i in 0..8 {
+            db.insert(setup, t, row(i, "x", i as f64), LockingPolicy::Bypass)
+                .unwrap();
+        }
+        db.commit(setup).unwrap();
+
+        let reader = db.begin();
+        let stripes_before = db.txn_stats().stripe_acquisitions;
+        let keys: Vec<Key> = (0..8).map(|i| vec![Value::BigInt(i)]).collect();
+        db.read_many_validated(reader, t, &keys, LockingPolicy::Bypass)
+            .unwrap();
+        db.scan_validated(
+            reader,
+            t,
+            &[Value::BigInt(0)],
+            &[Value::BigInt(7)],
+            LockingPolicy::Bypass,
+        )
+        .unwrap();
+        // Every stamp check was a lock-free state load: no transaction-
+        // table stripe mutex, and no centralized lock, was touched.
+        assert_eq!(db.txn_stats().stripe_acquisitions, stripes_before);
+        assert_eq!(db.lock_manager().held_count(reader), 0);
+        db.commit(reader).unwrap();
+    }
+
+    #[test]
+    fn table_handles_resolve_lock_free_and_follow_ddl() {
+        let (db, t) = test_db();
+        let h = db.table_handle(t).unwrap();
+        assert_eq!(h.id, t);
+        assert_eq!(h.schema.name, "accounts");
+        assert!(h.secondaries.is_empty());
+        assert!(db.table_handle(999).is_err());
+
+        // DDL publishes a new snapshot; the old handle stays usable (the
+        // superseded snapshot is retained), the new one sees the index.
+        let idx = db
+            .create_secondary_index(t, "idx_owner", vec![1], false)
+            .unwrap();
+        assert!(h.secondaries.is_empty(), "old snapshot is immutable");
+        let h2 = db.table_handle(t).unwrap();
+        assert_eq!(h2.secondaries.len(), 1);
+        assert_eq!(h2.secondaries[0].id, idx);
+        assert!(!h2.secondaries[0].unique);
+        // Old and new handle share the same heap and primary tree.
+        assert!(Arc::ptr_eq(&h.heap, &h2.heap));
+        assert!(Arc::ptr_eq(&h.primary, &h2.primary));
     }
 
     #[test]

@@ -5,14 +5,63 @@
 //! aborted transactions. Locking policy (centralized 2PL vs. DORA's local
 //! lock tables) is decided by the caller of the [`crate::db::Database`]
 //! operations, not here.
+//!
+//! # The striped slot table
+//!
+//! The old `Mutex<HashMap<TxnId, TxnMeta>>` was a global critical section
+//! crossed on every begin/commit/abort **and on every validated-read
+//! stamp check** — the hottest read-side path in the system. It is
+//! replaced by a power-of-two array of slots, `slot = txn & mask`:
+//!
+//! * **State is an `AtomicU8`** per slot. [`TxnManager::state`] (and with
+//!   it `Database::stamp_stable`) is a lock-free load — validated reads
+//!   take **zero locks**.
+//! * **Generation tags**: a slot's `owner` word holds the (monotonically
+//!   increasing, never reused) transaction id occupying it. A finished
+//!   transaction's slot is recycled by the next id that maps to it; a
+//!   reader holding a stale stamp sees `owner != stamp` and correctly
+//!   reports the transaction as unknown (= long finished) instead of
+//!   aliasing the new occupant's state. Because ids never repeat, an
+//!   owner word can never return to an old value (no ABA).
+//! * **Striped undo**: each slot carries its own small mutex guarding the
+//!   undo list. It is touched only by the owning transaction's
+//!   begin/write/commit/abort — uncontended across transactions, and a
+//!   pure stripe: no other slot, and no reader, ever takes it.
+//!
+//! Slot lifecycle (`state` byte):
+//!
+//! ```text
+//!  FREE ──claim──▶ CLAIMED ──begin──▶ ACTIVE ──┬─▶ COMMITTING ─▶ COMMITTED
+//!  (or COMMITTED/ABORTED: reclaim)             └─▶ UNDOING ────▶ ABORTED
+//! ```
+//!
+//! `COMMITTING`/`UNDOING` exist so cleanup (extracting the undo list,
+//! applying undo) finishes before the slot becomes reclaimable: a stamp
+//! check during an abort's undo must still see `Aborted` (unstable), and
+//! a slot must never be recycled out from under an in-flight rollback.
+//! More concurrently active transactions than slots simply back-pressure
+//! `begin` (counted in `begin_waits`); the default table holds 1024.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
 use parking_lot::Mutex;
 
 use crate::error::{StorageError, StorageResult};
 use crate::types::{Key, TableId, TxnId, Value};
+
+/// Default slot count (power of two): far above any realistic number of
+/// concurrently active transactions, small enough that the checkpoint
+/// scan over all slots stays trivial.
+const DEFAULT_SLOTS: usize = 1024;
+
+// Slot state bytes — see the module lifecycle diagram.
+const STATE_FREE: u8 = 0;
+const STATE_CLAIMED: u8 = 1;
+const STATE_ACTIVE: u8 = 2;
+const STATE_COMMITTING: u8 = 3;
+const STATE_COMMITTED: u8 = 4;
+const STATE_UNDOING: u8 = 5;
+const STATE_ABORTED: u8 = 6;
 
 /// Lifecycle state of a transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,7 +70,9 @@ pub enum TxnState {
     Active,
     /// The transaction committed.
     Committed,
-    /// The transaction aborted (by request, deadlock, or failure).
+    /// The transaction aborted (by request, deadlock, or failure). While
+    /// this state is reported the abort's undo may still be rewriting
+    /// records.
     Aborted,
 }
 
@@ -56,16 +107,46 @@ pub enum UndoEntry {
     },
 }
 
-#[derive(Debug)]
-struct TxnMeta {
-    state: TxnState,
-    undo: Vec<UndoEntry>,
+/// One slot of the striped table. `owner` is the generation tag (the id
+/// occupying the slot; ids never repeat), `state` the lock-free lifecycle
+/// byte, `undo` the stripe-local list, `begin_logged` the lazy
+/// Begin-record flag used by the read-only commit fast path.
+struct TxnSlot {
+    owner: AtomicU64,
+    state: AtomicU8,
+    begin_logged: AtomicBool,
+    undo: Mutex<Vec<UndoEntry>>,
 }
 
-/// Assigns transaction ids and tracks per-transaction state and undo logs.
+/// Counters describing transaction-table activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TxnStatsSnapshot {
+    /// Transactions begun.
+    pub begins: u64,
+    /// Begin calls that had to wait for a slot whose occupant was still
+    /// running (more concurrently active transactions than slots —
+    /// back-pressure, counted once per stalled begin).
+    pub begin_waits: u64,
+    /// Stripe (per-slot undo mutex) acquisitions: begin's clear, each
+    /// undo push, and the commit/abort extraction. Always slot-local and
+    /// uncontended across transactions — the quantity the
+    /// `critical_sections` bench reports as `txn_table_acquisitions`.
+    ///
+    /// Deliberately **no** counter for lock-free state lookups: a shared
+    /// fetch-add on every stamp check would put one cache line back on
+    /// the multicore read path this table exists to decentralize.
+    pub stripe_acquisitions: u64,
+}
+
+/// Assigns transaction ids and tracks per-transaction state and undo logs
+/// in a striped, lock-free-readable slot table (see the module docs).
 pub struct TxnManager {
     next: AtomicU64,
-    txns: Mutex<HashMap<TxnId, TxnMeta>>,
+    slots: Box<[TxnSlot]>,
+    mask: u64,
+    begins: AtomicU64,
+    begin_waits: AtomicU64,
+    stripe_acquisitions: AtomicU64,
 }
 
 impl Default for TxnManager {
@@ -75,59 +156,173 @@ impl Default for TxnManager {
 }
 
 impl TxnManager {
-    /// Creates an empty transaction manager.
+    /// Creates an empty transaction manager with the default slot count.
     pub fn new() -> Self {
+        Self::with_slots(DEFAULT_SLOTS)
+    }
+
+    /// Creates an empty transaction manager with `slots` slots (rounded
+    /// up to a power of two). Tiny tables force slot recycling and
+    /// begin back-pressure; the recycling tests use them.
+    pub fn with_slots(slots: usize) -> Self {
+        let slots = slots.next_power_of_two().max(2);
         TxnManager {
             next: AtomicU64::new(1),
-            txns: Mutex::new(HashMap::new()),
+            slots: (0..slots)
+                .map(|_| TxnSlot {
+                    owner: AtomicU64::new(0),
+                    state: AtomicU8::new(STATE_FREE),
+                    begin_logged: AtomicBool::new(false),
+                    undo: Mutex::new(Vec::new()),
+                })
+                .collect(),
+            mask: slots as u64 - 1,
+            begins: AtomicU64::new(0),
+            begin_waits: AtomicU64::new(0),
+            stripe_acquisitions: AtomicU64::new(0),
         }
     }
 
-    /// Starts a new transaction.
+    fn slot(&self, txn: TxnId) -> &TxnSlot {
+        &self.slots[(txn & self.mask) as usize]
+    }
+
+    /// Verifies that `txn` still owns its slot; the ubiquitous guard of
+    /// every owner-side operation.
+    fn owned(&self, txn: TxnId) -> StorageResult<&TxnSlot> {
+        let slot = self.slot(txn);
+        if slot.owner.load(Ordering::Acquire) == txn {
+            Ok(slot)
+        } else {
+            Err(StorageError::TxnNotActive(txn))
+        }
+    }
+
+    /// How long `begin` politely waits for a colliding slot's occupant
+    /// before abandoning the drawn id and taking a fresh one. Transient
+    /// occupancy (CLAIMED, COMMITTING, UNDOING cleanup) resolves within a
+    /// few yields; a genuinely *active* occupant may run arbitrarily
+    /// long, and waiting on it would deadlock a caller that itself keeps
+    /// that transaction open.
+    const BEGIN_SPINS_BEFORE_REDRAW: usize = 128;
+
+    /// Starts a new transaction. Lock-free except for the stripe-local
+    /// undo clear. A drawn id whose slot is still occupied by a running
+    /// transaction is **abandoned** after a brief spin and a fresh id
+    /// drawn (consecutive ids map to consecutive slots, so the redraw is
+    /// a linear probe over the table): one long-lived transaction can
+    /// never wedge `begin`, even for the thread that holds it open.
+    /// Only a table with *every* slot occupied by active transactions
+    /// back-pressures — the documented more-active-than-slots case.
     pub fn begin(&self) -> TxnId {
-        let id = self.next.fetch_add(1, Ordering::Relaxed);
-        self.txns.lock().insert(
-            id,
-            TxnMeta {
-                state: TxnState::Active,
-                undo: Vec::new(),
-            },
-        );
+        self.begins.fetch_add(1, Ordering::Relaxed);
+        let mut stalled = false;
+        let (id, slot) = 'draw: loop {
+            let id = self.next.fetch_add(1, Ordering::Relaxed);
+            let slot = self.slot(id);
+            for _ in 0..Self::BEGIN_SPINS_BEFORE_REDRAW {
+                let state = slot.state.load(Ordering::Acquire);
+                let reclaimable = matches!(state, STATE_FREE | STATE_COMMITTED | STATE_ABORTED);
+                if !reclaimable {
+                    // Occupant still running or mid-cleanup: back-pressure
+                    // briefly, then redraw. Abandoned ids are harmless —
+                    // they were never returned, so nothing can query them.
+                    if !stalled {
+                        stalled = true;
+                        self.begin_waits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    std::thread::yield_now();
+                    continue;
+                }
+                // The CLAIMED CAS is the one winner-takes-the-slot step;
+                // two ids racing for the same slot serialize here.
+                if slot
+                    .state
+                    .compare_exchange(state, STATE_CLAIMED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    break 'draw (id, slot);
+                }
+            }
+        };
+        // We own the slot exclusively: install the generation tag before
+        // anything else, so state() readers of the *previous* occupant
+        // (whose id no longer matches `owner`) resolve to None, and
+        // readers can never attribute the upcoming ACTIVE byte to it.
+        // Nobody can query the new id before begin returns it.
+        slot.owner.store(id, Ordering::Release);
+        slot.begin_logged.store(false, Ordering::Relaxed);
+        self.stripe_acquisitions.fetch_add(1, Ordering::Relaxed);
+        slot.undo.lock().clear();
+        slot.state.store(STATE_ACTIVE, Ordering::Release);
         id
     }
 
-    /// Current state of a transaction (`None` if unknown).
+    /// Current state of a transaction (`None` if unknown — never begun,
+    /// or finished long enough ago that its slot was recycled or GC'd).
+    ///
+    /// **Lock-free**: two `owner` loads bracket the `state` load. Owner
+    /// ids are monotonic and never reused, so `owner == txn` both before
+    /// and after the state read proves the byte belongs to `txn` (an
+    /// owner word that ever leaves `txn` can never come back).
     pub fn state(&self, txn: TxnId) -> Option<TxnState> {
-        self.txns.lock().get(&txn).map(|m| m.state)
+        let slot = self.slot(txn);
+        if slot.owner.load(Ordering::Acquire) != txn {
+            return None;
+        }
+        let state = slot.state.load(Ordering::Acquire);
+        if slot.owner.load(Ordering::Acquire) != txn {
+            return None;
+        }
+        match state {
+            STATE_ACTIVE => Some(TxnState::Active),
+            STATE_COMMITTING | STATE_COMMITTED => Some(TxnState::Committed),
+            STATE_UNDOING | STATE_ABORTED => Some(TxnState::Aborted),
+            // FREE after gc, or a CLAIMED byte caught while the *next*
+            // occupant installs itself (then `txn` is long finished).
+            _ => None,
+        }
     }
 
     /// Number of currently active transactions.
     pub fn active_count(&self) -> usize {
-        self.txns
-            .lock()
-            .values()
-            .filter(|m| m.state == TxnState::Active)
+        self.slots
+            .iter()
+            .filter(|s| s.state.load(Ordering::Acquire) == STATE_ACTIVE)
             .count()
     }
 
     /// Ids of currently active transactions (for checkpoints).
     pub fn active_txns(&self) -> Vec<TxnId> {
-        self.txns
-            .lock()
+        self.slots
             .iter()
-            .filter(|(_, m)| m.state == TxnState::Active)
-            .map(|(id, _)| *id)
+            .filter_map(|s| {
+                // Owner first, state second, owner re-check: same torn-read
+                // bracket as `state()`.
+                let owner = s.owner.load(Ordering::Acquire);
+                (owner != 0
+                    && s.state.load(Ordering::Acquire) == STATE_ACTIVE
+                    && s.owner.load(Ordering::Acquire) == owner)
+                    .then_some(owner)
+            })
             .collect()
     }
 
     /// Records an undo entry for an active transaction.
     pub fn push_undo(&self, txn: TxnId, entry: UndoEntry) -> StorageResult<()> {
-        let mut txns = self.txns.lock();
-        let meta = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
-        if meta.state != TxnState::Active {
+        let slot = self.owned(txn)?;
+        self.stripe_acquisitions.fetch_add(1, Ordering::Relaxed);
+        let mut undo = slot.undo.lock();
+        // Re-check under the stripe lock: commit/abort extraction CASes
+        // the state away from ACTIVE *before* taking this lock, so an
+        // entry pushed here is guaranteed to be seen by the extraction
+        // (or rejected) — never silently lost.
+        if slot.owner.load(Ordering::Acquire) != txn
+            || slot.state.load(Ordering::Acquire) != STATE_ACTIVE
+        {
             return Err(StorageError::TxnNotActive(txn));
         }
-        meta.undo.push(entry);
+        undo.push(entry);
         Ok(())
     }
 
@@ -139,41 +334,116 @@ impl TxnManager {
         }
     }
 
+    /// Claims the right to write the transaction's Begin log record:
+    /// `true` exactly once per transaction, on its first logged write
+    /// (the read-only commit fast path skips Begin/Commit records and the
+    /// force entirely when this was never claimed).
+    pub fn claim_begin_log(&self, txn: TxnId) -> StorageResult<bool> {
+        let slot = self.owned(txn)?;
+        Ok(slot
+            .begin_logged
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok())
+    }
+
+    /// Whether the transaction ever claimed its Begin record (i.e. wrote).
+    pub fn begin_logged(&self, txn: TxnId) -> bool {
+        let slot = self.slot(txn);
+        slot.owner.load(Ordering::Acquire) == txn && slot.begin_logged.load(Ordering::Acquire)
+    }
+
     /// Transitions an active transaction to `Committed`, returning its undo
     /// log length (for statistics).
     pub fn mark_committed(&self, txn: TxnId) -> StorageResult<usize> {
-        let mut txns = self.txns.lock();
-        let meta = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
-        if meta.state != TxnState::Active {
-            return Err(StorageError::TxnNotActive(txn));
-        }
-        meta.state = TxnState::Committed;
-        let n = meta.undo.len();
-        meta.undo.clear();
+        let slot = self.owned(txn)?;
+        // The CAS is the serialization point against double commit /
+        // commit-after-abort and against concurrent push_undo.
+        slot.state
+            .compare_exchange(
+                STATE_ACTIVE,
+                STATE_COMMITTING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .map_err(|_| StorageError::TxnNotActive(txn))?;
+        self.stripe_acquisitions.fetch_add(1, Ordering::Relaxed);
+        let n = std::mem::take(&mut *slot.undo.lock()).len();
+        // Only now reclaimable: the undo extraction is complete.
+        slot.state.store(STATE_COMMITTED, Ordering::Release);
         Ok(n)
     }
 
     /// Transitions an active transaction to `Aborted` and returns its undo
-    /// log in reverse (application) order.
+    /// log in reverse (application) order. The slot stays **unreclaimable**
+    /// (and `state()` keeps answering `Aborted`) until the caller applies
+    /// the undo and calls [`TxnManager::finish_aborted`] — recycling it
+    /// earlier would let a stamp check mistake a mid-rollback record for a
+    /// stable one.
     pub fn mark_aborted(&self, txn: TxnId) -> StorageResult<Vec<UndoEntry>> {
-        let mut txns = self.txns.lock();
-        let meta = txns.get_mut(&txn).ok_or(StorageError::TxnNotActive(txn))?;
-        if meta.state != TxnState::Active {
-            return Err(StorageError::TxnNotActive(txn));
-        }
-        meta.state = TxnState::Aborted;
-        let mut undo = std::mem::take(&mut meta.undo);
+        let slot = self.owned(txn)?;
+        slot.state
+            .compare_exchange(
+                STATE_ACTIVE,
+                STATE_UNDOING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .map_err(|_| StorageError::TxnNotActive(txn))?;
+        self.stripe_acquisitions.fetch_add(1, Ordering::Relaxed);
+        let mut undo = std::mem::take(&mut *slot.undo.lock());
         undo.reverse();
         Ok(undo)
     }
 
+    /// Marks an aborted transaction's rollback complete, making its slot
+    /// reclaimable. Must follow [`TxnManager::mark_aborted`] once undo has
+    /// been fully applied.
+    pub fn finish_aborted(&self, txn: TxnId) -> StorageResult<()> {
+        let slot = self.owned(txn)?;
+        slot.state
+            .compare_exchange(
+                STATE_UNDOING,
+                STATE_ABORTED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .map_err(|_| StorageError::TxnNotActive(txn))?;
+        Ok(())
+    }
+
     /// Drops bookkeeping for finished transactions (garbage collection);
-    /// returns how many entries were removed.
+    /// returns how many slots were cleared. With the striped table this
+    /// is optional hygiene — recycling happens automatically on `begin` —
+    /// but it preserves the old "state of a GC'd transaction is unknown"
+    /// semantics.
     pub fn gc_finished(&self) -> usize {
-        let mut txns = self.txns.lock();
-        let before = txns.len();
-        txns.retain(|_, m| m.state == TxnState::Active);
-        before - txns.len()
+        let mut cleared = 0;
+        for slot in self.slots.iter() {
+            let state = slot.state.load(Ordering::Acquire);
+            if !matches!(state, STATE_COMMITTED | STATE_ABORTED) {
+                continue;
+            }
+            // Winner-takes-the-slot CAS, same as begin's claim; the owner
+            // tag stays in place (stale ids resolve to None via the FREE
+            // state, and the next claim overwrites it anyway).
+            if slot
+                .state
+                .compare_exchange(state, STATE_FREE, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                cleared += 1;
+            }
+        }
+        cleared
+    }
+
+    /// Transaction-table activity counters.
+    pub fn stats(&self) -> TxnStatsSnapshot {
+        TxnStatsSnapshot {
+            begins: self.begins.load(Ordering::Relaxed),
+            begin_waits: self.begin_waits.load(Ordering::Relaxed),
+            stripe_acquisitions: self.stripe_acquisitions.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -242,6 +512,12 @@ mod tests {
         // Reverse order: the update is undone before the insert.
         assert!(matches!(undo[0], UndoEntry::Update { .. }));
         assert!(matches!(undo[1], UndoEntry::Insert { .. }));
+        // Mid-undo the state still reads Aborted (stamp checks must treat
+        // the records as unstable); finish makes the slot reclaimable.
+        assert_eq!(tm.state(b), Some(TxnState::Aborted));
+        tm.finish_aborted(b).unwrap();
+        assert_eq!(tm.state(b), Some(TxnState::Aborted));
+        assert!(tm.finish_aborted(b).is_err(), "double finish rejected");
     }
 
     #[test]
@@ -280,5 +556,228 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 800);
+    }
+
+    #[test]
+    fn recycled_slot_never_aliases_a_stale_id() {
+        // Two slots: ids 1 and 3 share slot 1, ids 2 and 4 share slot 0.
+        let tm = TxnManager::with_slots(2);
+        let a = tm.begin();
+        tm.mark_committed(a).unwrap();
+        let b = tm.begin();
+        assert_eq!(tm.state(a), Some(TxnState::Committed));
+        let c = tm.begin(); // recycles a's slot
+        assert_eq!(c & 1, a & 1, "c reuses a's slot");
+        // The generation tag makes the stale id resolve to None — never
+        // to the new occupant's Active state.
+        assert_eq!(tm.state(a), None);
+        assert_eq!(tm.state(c), Some(TxnState::Active));
+        assert_eq!(tm.state(b), Some(TxnState::Active));
+        // Stale-owner guards: the old id can no longer do anything.
+        assert!(tm
+            .push_undo(
+                a,
+                UndoEntry::Insert {
+                    table: 1,
+                    key: vec![]
+                }
+            )
+            .is_err());
+        assert!(tm.mark_committed(a).is_err());
+        assert!(tm.claim_begin_log(a).is_err());
+    }
+
+    #[test]
+    fn begin_backpressures_when_all_slots_are_active() {
+        use std::sync::Arc;
+        let tm = Arc::new(TxnManager::with_slots(2));
+        let a = tm.begin();
+        let _b = tm.begin();
+        // Slot table full: a third begin must wait until one finishes.
+        let waiter = {
+            let tm = tm.clone();
+            std::thread::spawn(move || tm.begin())
+        };
+        // Give the waiter time to stall, then release a slot.
+        while tm.stats().begin_waits == 0 {
+            std::thread::yield_now();
+        }
+        tm.mark_committed(a).unwrap();
+        let c = waiter.join().unwrap();
+        assert_eq!(tm.state(c), Some(TxnState::Active));
+        assert!(tm.stats().begin_waits >= 1);
+    }
+
+    #[test]
+    fn long_lived_transaction_never_wedges_begin() {
+        // One transaction stays open while the SAME thread churns through
+        // more begins than the table has slots: every id colliding with
+        // the long-lived occupant's slot must be abandoned and redrawn,
+        // not spun on (which would deadlock — nobody else can finish it).
+        let tm = TxnManager::with_slots(2);
+        let long_lived = tm.begin();
+        for _ in 0..8 {
+            let t = tm.begin();
+            assert_eq!(tm.state(t), Some(TxnState::Active));
+            tm.mark_committed(t).unwrap();
+        }
+        assert_eq!(tm.state(long_lived), Some(TxnState::Active));
+        tm.mark_committed(long_lived).unwrap();
+        assert!(tm.stats().begin_waits >= 1, "collisions were redrawn");
+    }
+
+    #[test]
+    fn aborted_slot_is_not_reclaimable_until_undo_finishes() {
+        use std::sync::Arc;
+        let tm = Arc::new(TxnManager::with_slots(2));
+        let a = tm.begin();
+        let _b = tm.begin();
+        let undo = tm.mark_aborted(a).unwrap();
+        assert!(undo.is_empty());
+        // a's slot is UNDOING: the id that maps there must wait.
+        let waiter = {
+            let tm = tm.clone();
+            std::thread::spawn(move || tm.begin())
+        };
+        while tm.stats().begin_waits == 0 {
+            std::thread::yield_now();
+        }
+        assert_eq!(tm.state(a), Some(TxnState::Aborted), "mid-undo: aborted");
+        tm.finish_aborted(a).unwrap();
+        let c = waiter.join().unwrap();
+        assert_eq!(tm.state(c), Some(TxnState::Active));
+    }
+
+    #[test]
+    fn claim_begin_log_fires_once() {
+        let tm = TxnManager::new();
+        let a = tm.begin();
+        assert!(!tm.begin_logged(a));
+        assert!(tm.claim_begin_log(a).unwrap());
+        assert!(!tm.claim_begin_log(a).unwrap());
+        assert!(tm.begin_logged(a));
+        tm.mark_committed(a).unwrap();
+        // A recycled slot starts unclaimed again.
+        let b = tm.begin();
+        assert!(!tm.begin_logged(b));
+    }
+}
+
+#[cfg(test)]
+mod table_proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// What a writer thread recorded about one finished transaction.
+    #[derive(Clone, Copy)]
+    struct Finished {
+        id: TxnId,
+        committed: bool,
+    }
+
+    proptest! {
+        /// N writer threads hammer a tiny slot table (constant recycling)
+        /// while reader threads replay stamp checks against ids already
+        /// finished: a finished id must never read back as `Active`, and
+        /// never as the *wrong* finished state — exactly the generation
+        /// guarantee `stamp_stable` depends on.
+        #[test]
+        fn stamp_checks_never_misread_recycled_slots(
+            params in (1usize..4, 1usize..3, 20u64..80, 2usize..4)
+        ) {
+            let (writers, readers, per_thread, slots_log2) = params;
+            let tm = Arc::new(TxnManager::with_slots(1 << slots_log2));
+            let finished: Arc<parking_lot::Mutex<Vec<Finished>>> =
+                Arc::new(parking_lot::Mutex::new(Vec::new()));
+            let done = Arc::new(AtomicBool::new(false));
+
+            let writer_handles: Vec<_> = (0..writers as u64)
+                .map(|w| {
+                    let tm = tm.clone();
+                    let finished = finished.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..per_thread {
+                            let id = tm.begin();
+                            assert_eq!(tm.state(id), Some(TxnState::Active));
+                            let commit = (i + w) % 3 != 0;
+                            if commit {
+                                if i % 2 == 0 {
+                                    tm.push_undo(
+                                        id,
+                                        UndoEntry::Insert { table: 1, key: vec![] },
+                                    )
+                                    .unwrap();
+                                }
+                                tm.mark_committed(id).unwrap();
+                            } else {
+                                tm.mark_aborted(id).unwrap();
+                                // Mid-undo the id must read Aborted.
+                                assert_eq!(tm.state(id), Some(TxnState::Aborted));
+                                tm.finish_aborted(id).unwrap();
+                            }
+                            finished.lock().push(Finished { id, committed: commit });
+                        }
+                    })
+                })
+                .collect();
+
+            let reader_handles: Vec<_> = (0..readers)
+                .map(|_| {
+                    let tm = tm.clone();
+                    let finished = finished.clone();
+                    let done = done.clone();
+                    std::thread::spawn(move || {
+                        let mut checks = 0u64;
+                        let mut cursor = 0usize;
+                        while !done.load(Ordering::Acquire) || checks == 0 {
+                            let sample: Vec<Finished> = {
+                                let log = finished.lock();
+                                log.iter().skip(cursor).copied().collect()
+                            };
+                            cursor += sample.len();
+                            for f in sample {
+                                // Once recorded finished, the id may read as
+                                // its true final state or None (recycled /
+                                // GC'd) — never Active, never the opposite
+                                // outcome.
+                                match tm.state(f.id) {
+                                    None => {}
+                                    Some(TxnState::Committed) => assert!(
+                                        f.committed,
+                                        "aborted txn {} read back Committed",
+                                        f.id
+                                    ),
+                                    Some(TxnState::Aborted) => assert!(
+                                        !f.committed,
+                                        "committed txn {} read back Aborted",
+                                        f.id
+                                    ),
+                                    Some(TxnState::Active) => {
+                                        panic!("finished txn {} read back Active", f.id)
+                                    }
+                                }
+                                checks += 1;
+                            }
+                            std::thread::yield_now();
+                        }
+                        checks
+                    })
+                })
+                .collect();
+
+            for h in writer_handles {
+                h.join().unwrap();
+            }
+            done.store(true, Ordering::Release);
+            for h in reader_handles {
+                prop_assert!(h.join().unwrap() > 0, "every reader checked something");
+            }
+            let total = writers as u64 * per_thread;
+            let stats = tm.stats();
+            prop_assert_eq!(stats.begins, total);
+            prop_assert_eq!(tm.active_count(), 0);
+        }
     }
 }
