@@ -1,1 +1,103 @@
-fn main() {}
+//! Access-pattern sensitivity (the paper's §6 local-vs-remote study):
+//! TATP `UpdateLocation` throughput as the share of *remote* handoffs —
+//! updates whose new location row lives in another partition's key block
+//! — sweeps from fully partition-local to fully cross-partition.
+//!
+//! At `remote=0` every DORA flow is a single partition-local action; each
+//! step of the sweep converts more of the offered load into two-phase
+//! flows that pay a cross-partition rendezvous. The conventional engine
+//! has no notion of partition crossing, so its curve is flat by
+//! construction — the spread between the two curves *is* the measured
+//! cost of DORA's thread-to-data coupling as locality degrades.
+//!
+//! Run with `cargo bench --bench access_patterns`. Flags: `--quick` (CI
+//! smoke, sweeps a subset of remote shares), `--compare <path>`,
+//! `--out <path>`, `--subscribers <n>`, `--total <n>`, `--repeats <n>`.
+//! Writes `BENCH_access_patterns.json` at the workspace root; rows carry
+//! `scenario: "remote=<pct>"` keys (schema v4), so the quick sweep is a
+//! subset of the full sweep's scenarios, not a conflicting grid.
+
+use dora_bench::driver::{run_tatp_best_of, BenchArgs, EngineKind, TatpMixKind, TatpRun};
+use dora_bench::report::{workspace_root, BenchReport};
+use dora_workloads::tatp::TatpWorkload;
+
+fn main() {
+    let args = BenchArgs::parse(std::env::args().skip(1));
+    let baseline = args.compare.as_deref().map(|p| {
+        std::fs::read_to_string(p)
+            .or_else(|_| std::fs::read_to_string(workspace_root().join(p)))
+            .expect("read --compare report")
+    });
+    let workers = 4;
+    let clients = 8;
+    // Subscriber counts divide evenly by the worker count so the uniform
+    // routing blocks align with the mix's partition-block arithmetic.
+    let subscribers = args
+        .subscribers
+        .unwrap_or(if args.quick { 1_000 } else { 10_000 });
+    // Quick windows still need to be long enough that the dora/conv
+    // ratio is stable run-to-run on a 1-core CI runner; 8k per scenario
+    // was a ~80ms blink whose ratio swung past the 10% gate.
+    let total_per_scenario = args
+        .total
+        .unwrap_or(if args.quick { 16_000 } else { 48_000 });
+    let remote_pcts: &[u64] = if args.quick {
+        &[0, 50, 100]
+    } else {
+        &[0, 25, 50, 75, 100]
+    };
+    let repeats = args.repeats.unwrap_or(if args.quick { 1 } else { 3 });
+    let wl = TatpWorkload {
+        subscribers,
+        seed: 42,
+    };
+
+    let mut runs = Vec::new();
+    for &remote_pct in remote_pcts {
+        for engine in [EngineKind::Conventional, EngineKind::Dora] {
+            let scenario = run_tatp_best_of(
+                &wl,
+                TatpRun {
+                    engine,
+                    workers,
+                    clients,
+                    per_client: total_per_scenario / clients,
+                    mix: TatpMixKind::Handoff { remote_pct },
+                    client_retries: 10,
+                },
+                repeats,
+            );
+            eprintln!(
+                "  {:<13} remote={:<3} committed={:<6} tps={:.1}",
+                scenario.engine,
+                remote_pct,
+                scenario.committed,
+                scenario.throughput_tps()
+            );
+            runs.push(scenario);
+        }
+    }
+
+    let report = BenchReport {
+        bench: "access_patterns",
+        workload: format!(
+            "tatp update_location handoff subscribers={subscribers} workers={workers} \
+             clients={clients} total_per_scenario={total_per_scenario} remote_pct sweep"
+        ),
+        physical_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        quick: args.quick,
+        runs,
+    };
+    print!("{}", report.to_table());
+
+    let out = args
+        .out
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| workspace_root().join("BENCH_access_patterns.json"));
+    report
+        .write_json(&out, baseline.as_deref())
+        .expect("write bench JSON");
+    println!("wrote {}", out.display());
+}

@@ -1,1 +1,102 @@
-fn main() {}
+//! Load-balancing under skew (the paper's §5 Zipf study): the standard
+//! seven-transaction TATP mix with increasingly Zipf-skewed subscriber
+//! choice, DORA vs the conventional engine.
+//!
+//! DORA statically partitions subscribers across workers, so a skewed
+//! request stream concentrates load on the partitions owning the hot
+//! subscribers — the per-partition action counts (`p<i>_actions`) and the
+//! `partition_imbalance` ratio (max/mean actions) in each DORA row's
+//! `extra` map quantify exactly how unevenly the work lands as `theta`
+//! grows. The conventional engine's work-stealing worker pool rebalances
+//! naturally but pays its centralized locking instead; the throughput
+//! curves show which effect dominates at each skew level.
+//!
+//! Run with `cargo bench --bench load_balancing_skew`. Flags: `--quick`
+//! (CI smoke, sweeps a subset of theta values), `--compare <path>`,
+//! `--out <path>`, `--subscribers <n>`, `--total <n>`, `--repeats <n>`.
+//! Writes `BENCH_load_balancing_skew.json` at the workspace root; rows
+//! carry `scenario: "zipf=<theta>"` keys (schema v4), so the quick sweep
+//! is a subset of the full sweep's scenarios, not a conflicting grid.
+
+use dora_bench::driver::{run_tatp_best_of, BenchArgs, EngineKind, TatpMixKind, TatpRun};
+use dora_bench::report::{workspace_root, BenchReport};
+use dora_workloads::tatp::TatpWorkload;
+
+fn main() {
+    let args = BenchArgs::parse(std::env::args().skip(1));
+    let baseline = args.compare.as_deref().map(|p| {
+        std::fs::read_to_string(p)
+            .or_else(|_| std::fs::read_to_string(workspace_root().join(p)))
+            .expect("read --compare report")
+    });
+    let workers = 4;
+    let clients = 8;
+    let subscribers = args
+        .subscribers
+        .unwrap_or(if args.quick { 1_000 } else { 10_000 });
+    // Quick windows still need to be long enough that the dora/conv
+    // ratio is stable run-to-run on a 1-core CI runner; 8k per scenario
+    // was a ~80ms blink whose ratio swung past the 10% gate.
+    let total_per_scenario = args
+        .total
+        .unwrap_or(if args.quick { 16_000 } else { 48_000 });
+    let thetas: &[f64] = if args.quick {
+        &[0.0, 1.2]
+    } else {
+        &[0.0, 0.4, 0.8, 1.2]
+    };
+    let repeats = args.repeats.unwrap_or(if args.quick { 1 } else { 3 });
+    let wl = TatpWorkload {
+        subscribers,
+        seed: 42,
+    };
+
+    let mut runs = Vec::new();
+    for &theta in thetas {
+        for engine in [EngineKind::Conventional, EngineKind::Dora] {
+            let scenario = run_tatp_best_of(
+                &wl,
+                TatpRun {
+                    engine,
+                    workers,
+                    clients,
+                    per_client: total_per_scenario / clients,
+                    mix: TatpMixKind::Skewed { theta },
+                    client_retries: 10,
+                },
+                repeats,
+            );
+            eprintln!(
+                "  {:<13} zipf={:<4} committed={:<6} tps={:.1}",
+                scenario.engine,
+                theta,
+                scenario.committed,
+                scenario.throughput_tps()
+            );
+            runs.push(scenario);
+        }
+    }
+
+    let report = BenchReport {
+        bench: "load_balancing_skew",
+        workload: format!(
+            "tatp standard mix subscribers={subscribers} workers={workers} \
+             clients={clients} total_per_scenario={total_per_scenario} zipf theta sweep"
+        ),
+        physical_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        quick: args.quick,
+        runs,
+    };
+    print!("{}", report.to_table());
+
+    let out = args
+        .out
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| workspace_root().join("BENCH_load_balancing_skew.json"));
+    report
+        .write_json(&out, baseline.as_deref())
+        .expect("write bench JSON");
+    println!("wrote {}", out.display());
+}

@@ -14,24 +14,35 @@
 //!
 //! Metrics:
 //!
-//! * `ratio` (default) — for every `(workers, clients)` configuration
-//!   present in both reports, compare the **DORA : conventional
-//!   throughput ratio**. The ratio divides out the host's absolute speed,
-//!   so a baseline recorded on one machine still gates runs on another
-//!   (CI runners differ; the two engines ran on the same box in the same
-//!   process, so their quotient is the portable signal).
+//! * `ratio` (default) — for every `(scenario, workers, clients)`
+//!   configuration present in both reports, compare the **DORA :
+//!   conventional throughput ratio**. The ratio divides out the host's
+//!   absolute speed, so a baseline recorded on one machine still gates
+//!   runs on another (CI runners differ; the two engines ran on the same
+//!   box in the same process, so their quotient is the portable signal).
 //! * `tps` — compare absolute committed-per-second per
-//!   `(engine, workers, clients)` row. Only meaningful when candidate and
-//!   baseline come from the same machine (e.g. the committed full-run
-//!   baselines under `crates/bench/baselines/`).
+//!   `(engine, scenario, workers, clients)` row. Only meaningful when
+//!   candidate and baseline come from the same machine (e.g. the
+//!   committed full-run baselines under `crates/bench/baselines/`).
+//!
+//! The `scenario` key (schema v4) labels rows of benches that sweep a
+//! workload parameter (`remote=N`, `zipf=T`); single-scenario benches and
+//! pre-v4 documents read as `""`, so old baselines keep gating.
 //!
 //! A configuration present in only one report cannot be gated — whether
 //! the candidate grew a config the baseline lacks or the bench grid
 //! shrank so a baseline config is no longer measured. Each one prints a
-//! `WARNING: … SKIPPED` line so coverage loss from a drifted scenario
+//! `WARNING: … SKIPPED` line so coverage loss from a drifted config
 //! grid is visible in CI logs, and `--strict-coverage` turns any skip
 //! into a failure (CI passes it: the quick grids of candidate and
-//! committed baseline are meant to be identical).
+//! committed baseline are meant to be identical). One deliberate
+//! exception: a **scenario key that the other report lacks entirely** is
+//! warn-skipped but never fails `--strict-coverage`. The sweeping
+//! benches name scenarios after swept values, and `--quick` sweeps fewer
+//! values than a full run — comparing a quick candidate against a full
+//! baseline (or vice versa) is expected scenario naming, not grid drift.
+//! `(workers, clients)` drift *within* a scenario both reports know
+//! stays a strict-coverage failure.
 //!
 //! Relative paths are tried against the current directory first, then the
 //! workspace root (cargo sets a package directory as cwd for `run`).
@@ -44,6 +55,9 @@ use dora_bench::report::workspace_root;
 #[derive(Debug, Clone, PartialEq)]
 struct Row {
     engine: String,
+    /// Scenario key (schema v4). Pre-v4 documents and single-scenario
+    /// benches parse as `""`.
+    scenario: String,
     workers: u64,
     clients: u64,
     tps: f64,
@@ -81,6 +95,7 @@ fn parse_rows(text: &str) -> Vec<Row> {
         if let Some(value) = line.strip_prefix("\"engine\": ") {
             current = Some(Row {
                 engine: value.trim_matches('"').to_string(),
+                scenario: String::new(),
                 workers: 0,
                 clients: 0,
                 tps: 0.0,
@@ -91,7 +106,9 @@ fn parse_rows(text: &str) -> Vec<Row> {
                 txn_table_acquisitions: 0,
             });
         } else if let Some(row) = current.as_mut() {
-            if let Some(value) = line.strip_prefix("\"workers\": ") {
+            if let Some(value) = line.strip_prefix("\"scenario\": ") {
+                row.scenario = value.trim_matches('"').to_string();
+            } else if let Some(value) = line.strip_prefix("\"workers\": ") {
                 row.workers = value.parse().unwrap_or(0);
             } else if let Some(value) = line.strip_prefix("\"clients\": ") {
                 row.clients = value.parse().unwrap_or(0);
@@ -137,9 +154,14 @@ fn read_report(path: &str) -> String {
         .unwrap_or_else(|e| panic!("read report {path}: {e}"))
 }
 
-fn find_tps(rows: &[Row], engine: &str, workers: u64, clients: u64) -> Option<f64> {
+fn find_tps(rows: &[Row], engine: &str, scenario: &str, workers: u64, clients: u64) -> Option<f64> {
     rows.iter()
-        .find(|r| r.engine == engine && r.workers == workers && r.clients == clients)
+        .find(|r| {
+            r.engine == engine
+                && r.scenario == scenario
+                && r.workers == workers
+                && r.clients == clients
+        })
         .map(|r| r.tps)
 }
 
@@ -149,55 +171,103 @@ fn find_tps(rows: &[Row], engine: &str, workers: u64, clients: u64) -> Option<f6
 /// rows with no baseline counterpart, baseline rows the candidate no
 /// longer produces (a shrunken bench grid), or degenerate
 /// zero-throughput rows: grid drift in either direction would otherwise
-/// silently shrink coverage.
+/// silently shrink coverage. `scenario_skipped` counts configurations
+/// skipped only because their scenario key is absent from the other
+/// report *entirely* — quick runs sweep fewer scenario values than full
+/// runs, so this is expected naming, warned but exempt from
+/// `--strict-coverage`.
 #[derive(Debug, Default, PartialEq)]
 struct Outcome {
     compared: usize,
     skipped: usize,
+    scenario_skipped: usize,
     regressed: bool,
 }
 
-/// Sorted, deduplicated `(workers, clients)` configurations of a report.
-fn configs_of(rows: &[Row]) -> Vec<(u64, u64)> {
+impl Outcome {
+    /// Records one uncomparable configuration: a scenario key the other
+    /// report lacks entirely is the advisory bucket, anything else is
+    /// real (strict-gated) grid drift.
+    fn skip(&mut self, scenario_unknown: bool) {
+        if scenario_unknown {
+            self.scenario_skipped += 1;
+        } else {
+            self.skipped += 1;
+        }
+    }
+}
+
+/// Sorted, deduplicated `(scenario, workers, clients)` configurations.
+fn configs_of(rows: &[Row]) -> Vec<(&str, u64, u64)> {
     rows.iter()
-        .map(|r| (r.workers, r.clients))
+        .map(|r| (r.scenario.as_str(), r.workers, r.clients))
         .collect::<std::collections::BTreeSet<_>>()
         .into_iter()
         .collect()
+}
+
+/// The distinct scenario keys a report measured.
+fn scenario_keys(rows: &[Row]) -> std::collections::BTreeSet<&str> {
+    rows.iter().map(|r| r.scenario.as_str()).collect()
+}
+
+/// Human-readable configuration label (omits an empty scenario key).
+fn cfg_label(scenario: &str, workers: u64, clients: u64) -> String {
+    if scenario.is_empty() {
+        format!("workers={workers} clients={clients}")
+    } else {
+        format!("scenario={scenario} workers={workers} clients={clients}")
+    }
 }
 
 /// Compares per-configuration DORA:conventional ratios.
 fn compare_ratio(candidate: &[Row], baseline: &[Row], threshold_pct: f64) -> Outcome {
     let mut out = Outcome::default();
     let configs = configs_of(candidate);
+    let cand_scenarios = scenario_keys(candidate);
+    let base_scenarios = scenario_keys(baseline);
     // Baseline configurations the candidate no longer measures lose
     // their gate coverage just as silently as the reverse drift.
-    for &(workers, clients) in configs_of(baseline).iter().filter(|c| !configs.contains(c)) {
-        out.skipped += 1;
+    for &(scenario, workers, clients) in
+        configs_of(baseline).iter().filter(|c| !configs.contains(c))
+    {
+        let unknown = !cand_scenarios.contains(scenario);
+        out.skip(unknown);
         eprintln!(
-            "WARNING: workers={workers} clients={clients}: baseline configuration \
-             missing from candidate — SKIPPED, not gated"
+            "WARNING: {}: baseline {} missing from candidate — SKIPPED, not gated",
+            cfg_label(scenario, workers, clients),
+            if unknown {
+                "scenario key (quick vs full sweep naming?)"
+            } else {
+                "configuration"
+            }
         );
     }
-    for (workers, clients) in configs {
+    for (scenario, workers, clients) in configs {
         let (Some(cand_dora), Some(cand_conv), Some(base_dora), Some(base_conv)) = (
-            find_tps(candidate, "dora", workers, clients),
-            find_tps(candidate, "conventional", workers, clients),
-            find_tps(baseline, "dora", workers, clients),
-            find_tps(baseline, "conventional", workers, clients),
+            find_tps(candidate, "dora", scenario, workers, clients),
+            find_tps(candidate, "conventional", scenario, workers, clients),
+            find_tps(baseline, "dora", scenario, workers, clients),
+            find_tps(baseline, "conventional", scenario, workers, clients),
         ) else {
-            out.skipped += 1;
+            let unknown = !base_scenarios.contains(scenario);
+            out.skip(unknown);
             eprintln!(
-                "WARNING: workers={workers} clients={clients}: no baseline \
-                 counterpart (or missing engine row) — SKIPPED, not gated"
+                "WARNING: {}: no baseline counterpart ({}) — SKIPPED, not gated",
+                cfg_label(scenario, workers, clients),
+                if unknown {
+                    "scenario key unknown to baseline — quick vs full sweep naming?"
+                } else {
+                    "missing engine row or config"
+                }
             );
             continue;
         };
         if cand_conv <= 0.0 || base_conv <= 0.0 {
             out.skipped += 1;
             eprintln!(
-                "WARNING: workers={workers} clients={clients}: zero conventional \
-                 throughput — SKIPPED, not gated"
+                "WARNING: {}: zero conventional throughput — SKIPPED, not gated",
+                cfg_label(scenario, workers, clients)
             );
             continue;
         }
@@ -212,41 +282,72 @@ fn compare_ratio(candidate: &[Row], baseline: &[Row], threshold_pct: f64) -> Out
             "ok"
         };
         println!(
-            "workers={workers} clients={clients}: dora/conv ratio {cand_ratio:.3} \
-             vs baseline {base_ratio:.3} (floor {floor:.3}) — {verdict}"
+            "{}: dora/conv ratio {cand_ratio:.3} vs baseline {base_ratio:.3} \
+             (floor {floor:.3}) — {verdict}",
+            cfg_label(scenario, workers, clients)
         );
     }
     out
 }
 
-/// Compares absolute throughput per `(engine, workers, clients)` row.
+/// Compares absolute throughput per `(engine, scenario, workers,
+/// clients)` row.
 fn compare_tps(candidate: &[Row], baseline: &[Row], threshold_pct: f64) -> Outcome {
     let mut out = Outcome::default();
+    let cand_scenarios = scenario_keys(candidate);
+    let base_scenarios = scenario_keys(baseline);
     for base in baseline {
-        if find_tps(candidate, &base.engine, base.workers, base.clients).is_none() {
-            out.skipped += 1;
+        if find_tps(
+            candidate,
+            &base.engine,
+            &base.scenario,
+            base.workers,
+            base.clients,
+        )
+        .is_none()
+        {
+            let unknown = !cand_scenarios.contains(base.scenario.as_str());
+            out.skip(unknown);
             eprintln!(
-                "WARNING: {} workers={} clients={}: baseline row missing from \
-                 candidate — SKIPPED, not gated",
-                base.engine, base.workers, base.clients
+                "WARNING: {} {}: baseline {} missing from candidate — SKIPPED, not gated",
+                base.engine,
+                cfg_label(&base.scenario, base.workers, base.clients),
+                if unknown {
+                    "scenario key (quick vs full sweep naming?)"
+                } else {
+                    "row"
+                }
             );
         }
     }
     for row in candidate {
-        let Some(base) = find_tps(baseline, &row.engine, row.workers, row.clients) else {
-            out.skipped += 1;
+        let Some(base) = find_tps(
+            baseline,
+            &row.engine,
+            &row.scenario,
+            row.workers,
+            row.clients,
+        ) else {
+            let unknown = !base_scenarios.contains(row.scenario.as_str());
+            out.skip(unknown);
             eprintln!(
-                "WARNING: {} workers={} clients={}: no baseline row — SKIPPED, not gated",
-                row.engine, row.workers, row.clients
+                "WARNING: {} {}: no baseline row{} — SKIPPED, not gated",
+                row.engine,
+                cfg_label(&row.scenario, row.workers, row.clients),
+                if unknown {
+                    " (scenario key unknown to baseline — quick vs full sweep naming?)"
+                } else {
+                    ""
+                }
             );
             continue;
         };
         if base <= 0.0 {
             out.skipped += 1;
             eprintln!(
-                "WARNING: {} workers={} clients={}: zero baseline throughput — \
-                 SKIPPED, not gated",
-                row.engine, row.workers, row.clients
+                "WARNING: {} {}: zero baseline throughput — SKIPPED, not gated",
+                row.engine,
+                cfg_label(&row.scenario, row.workers, row.clients)
             );
             continue;
         }
@@ -259,8 +360,12 @@ fn compare_tps(candidate: &[Row], baseline: &[Row], threshold_pct: f64) -> Outco
             "ok"
         };
         println!(
-            "{} workers={} clients={}: {:.1} tps vs baseline {:.1} (floor {:.1}) — {verdict}",
-            row.engine, row.workers, row.clients, row.tps, base, floor
+            "{} {}: {:.1} tps vs baseline {:.1} (floor {:.1}) — {verdict}",
+            row.engine,
+            cfg_label(&row.scenario, row.workers, row.clients),
+            row.tps,
+            base,
+            floor
         );
     }
     out
@@ -281,11 +386,10 @@ fn warn_secondary_retry_rate(rows: &[Row]) -> usize {
         if rate > 0.01 {
             warned += 1;
             eprintln!(
-                "WARNING: {} workers={} clients={}: secondary retry rate {:.2}% \
+                "WARNING: {} {}: secondary retry rate {:.2}% \
                  ({} retries / {} validated reads) exceeds 1%",
                 row.engine,
-                row.workers,
-                row.clients,
+                cfg_label(&row.scenario, row.workers, row.clients),
                 rate * 100.0,
                 row.secondary_retries,
                 row.secondary_reads
@@ -331,25 +435,31 @@ fn gate_lock_free_counters(
         out.skipped = candidate.len();
         return out;
     }
+    let base_scenarios = scenario_keys(baseline);
     for row in candidate {
         let base = baseline.iter().find(|b| {
-            b.engine == row.engine && b.workers == row.workers && b.clients == row.clients
+            b.engine == row.engine
+                && b.scenario == row.scenario
+                && b.workers == row.workers
+                && b.clients == row.clients
         });
         let Some(base) = base else {
-            out.skipped += 1;
+            out.skip(!base_scenarios.contains(row.scenario.as_str()));
             eprintln!(
-                "WARNING: {} workers={} clients={}: no baseline row for lock-free \
+                "WARNING: {} {}: no baseline row for lock-free \
                  counters — SKIPPED, not gated",
-                row.engine, row.workers, row.clients
+                row.engine,
+                cfg_label(&row.scenario, row.workers, row.clients)
             );
             continue;
         };
         if row.committed == 0 || base.committed == 0 {
             out.skipped += 1;
             eprintln!(
-                "WARNING: {} workers={} clients={}: zero committed transactions — \
+                "WARNING: {} {}: zero committed transactions — \
                  lock-free counters SKIPPED, not gated",
-                row.engine, row.workers, row.clients
+                row.engine,
+                cfg_label(&row.scenario, row.workers, row.clients)
             );
             continue;
         }
@@ -372,9 +482,10 @@ fn gate_lock_free_counters(
                 "ok"
             };
             println!(
-                "{} workers={} clients={}: {what}/txn {cand_rate:.3} vs baseline \
+                "{} {}: {what}/txn {cand_rate:.3} vs baseline \
                  {base_rate:.3} (ceiling {ceiling:.3}) — {verdict}",
-                row.engine, row.workers, row.clients
+                row.engine,
+                cfg_label(&row.scenario, row.workers, row.clients)
             );
         }
     }
@@ -450,6 +561,9 @@ fn main() -> ExitCode {
         eprintln!("no comparable configurations between the two reports");
         return ExitCode::FAILURE;
     }
+    // Scenario-key drift (quick sweeps fewer values than full) is
+    // advisory even under --strict-coverage; only same-scenario
+    // (workers, clients) drift means the bench grid itself moved.
     if outcome.skipped > 0 && strict_coverage {
         eprintln!(
             "FAIL: --strict-coverage and {} configuration(s) exist in only one \
@@ -462,14 +576,22 @@ fn main() -> ExitCode {
         eprintln!("FAIL: regression beyond {threshold_pct}% detected");
         return ExitCode::FAILURE;
     }
+    let mut skipped_note = String::new();
+    if outcome.skipped > 0 {
+        skipped_note = format!(" ({} skipped — see warnings)", outcome.skipped);
+    }
+    if outcome.scenario_skipped > 0 {
+        let _ = std::fmt::Write::write_fmt(
+            &mut skipped_note,
+            format_args!(
+                " ({} scenario-key skip(s) — quick vs full sweep naming, not gated)",
+                outcome.scenario_skipped
+            ),
+        );
+    }
     println!(
         "PASS: no regression beyond {threshold_pct}% across {} configuration(s){}",
-        outcome.compared,
-        if outcome.skipped > 0 {
-            format!(" ({} skipped — see warnings)", outcome.skipped)
-        } else {
-            String::new()
-        }
+        outcome.compared, skipped_note
     );
     ExitCode::SUCCESS
 }
@@ -480,6 +602,17 @@ mod tests {
     use dora_bench::report::{BenchReport, Scenario};
 
     fn report(rows: &[(&'static str, usize, usize, u64)]) -> String {
+        report_s(
+            &rows
+                .iter()
+                .map(|&(engine, workers, clients, committed)| {
+                    (engine, "", workers, clients, committed)
+                })
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn report_s(rows: &[(&'static str, &'static str, usize, usize, u64)]) -> String {
         BenchReport {
             bench: "throughput_vs_cores",
             workload: "test".into(),
@@ -487,20 +620,23 @@ mod tests {
             quick: true,
             runs: rows
                 .iter()
-                .map(|&(engine, workers, clients, committed)| Scenario {
-                    engine,
-                    workers,
-                    clients,
-                    committed,
-                    aborted: 0,
-                    secondary_reads: 0,
-                    secondary_retries: 0,
-                    log_waits: 0,
-                    txn_acquisitions: 0,
-                    elapsed_secs: 1.0,
-                    critical_sections: 0,
-                    extra: vec![],
-                })
+                .map(
+                    |&(engine, scenario, workers, clients, committed)| Scenario {
+                        engine,
+                        scenario: scenario.into(),
+                        workers,
+                        clients,
+                        committed,
+                        aborted: 0,
+                        secondary_reads: 0,
+                        secondary_retries: 0,
+                        log_waits: 0,
+                        txn_acquisitions: 0,
+                        elapsed_secs: 1.0,
+                        critical_sections: 0,
+                        extra: vec![],
+                    },
+                )
                 .collect(),
         }
         .to_json(None)
@@ -516,6 +652,7 @@ mod tests {
             quick: true,
             runs: vec![Scenario {
                 engine: "conventional",
+                scenario: String::new(),
                 workers: 2,
                 clients: 4,
                 committed: 80,
@@ -596,6 +733,7 @@ mod tests {
             quick: true,
             runs: vec![Scenario {
                 engine: "dora",
+                scenario: String::new(),
                 workers: 2,
                 clients: 4,
                 committed: 100,
@@ -655,6 +793,7 @@ mod tests {
             quick: true,
             runs: vec![Scenario {
                 engine: "dora",
+                scenario: String::new(),
                 workers: 4,
                 clients: 8,
                 committed,
@@ -672,9 +811,9 @@ mod tests {
     }
 
     #[test]
-    fn v3_counters_round_trip_and_version_is_parsed() {
+    fn v4_counters_round_trip_and_version_is_parsed() {
         let json = counter_report(1000, 900, 4000);
-        assert_eq!(parse_schema_version(&json), 3);
+        assert_eq!(parse_schema_version(&json), 4);
         let rows = parse_rows(&json);
         assert_eq!(rows[0].committed, 1000);
         assert_eq!(rows[0].log_waits, 900);
@@ -690,7 +829,81 @@ mod tests {
             runs: vec![],
         }
         .to_json(Some(v1));
-        assert_eq!(parse_schema_version(&nested), 3);
+        assert_eq!(parse_schema_version(&nested), 4);
+    }
+
+    #[test]
+    fn scenario_keys_complete_the_row_identity() {
+        // Two rows share (engine, workers, clients) and differ only in the
+        // scenario key: both must parse, stay distinct, and gate
+        // independently.
+        let base = report_s(&[
+            ("conventional", "remote=0", 4, 8, 100),
+            ("dora", "remote=0", 4, 8, 200),
+            ("conventional", "remote=100", 4, 8, 100),
+            ("dora", "remote=100", 4, 8, 120),
+        ]);
+        let rows = parse_rows(&base);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].scenario, "remote=0");
+        assert_eq!(configs_of(&rows).len(), 2);
+        // Only the remote=100 ratio regresses; remote=0 stays fine.
+        let cand = report_s(&[
+            ("conventional", "remote=0", 4, 8, 100),
+            ("dora", "remote=0", 4, 8, 200),
+            ("conventional", "remote=100", 4, 8, 100),
+            ("dora", "remote=100", 4, 8, 60),
+        ]);
+        let out = compare_ratio(&parse_rows(&cand), &rows, 10.0);
+        assert_eq!(out.compared, 2);
+        assert!(out.regressed);
+    }
+
+    #[test]
+    fn unknown_scenario_keys_warn_skip_without_strict_failure() {
+        // A quick candidate sweeps a subset of the full baseline's
+        // scenario values: the missing keys are scenario_skipped
+        // (advisory), never `skipped` (strict-fatal).
+        let full = parse_rows(&report_s(&[
+            ("conventional", "remote=0", 4, 8, 100),
+            ("dora", "remote=0", 4, 8, 200),
+            ("conventional", "remote=50", 4, 8, 100),
+            ("dora", "remote=50", 4, 8, 160),
+            ("conventional", "remote=100", 4, 8, 100),
+            ("dora", "remote=100", 4, 8, 120),
+        ]));
+        let quick = parse_rows(&report_s(&[
+            ("conventional", "remote=0", 4, 8, 100),
+            ("dora", "remote=0", 4, 8, 200),
+            ("conventional", "remote=100", 4, 8, 100),
+            ("dora", "remote=100", 4, 8, 120),
+        ]));
+        let out = compare_ratio(&quick, &full, 10.0);
+        assert_eq!(out.compared, 2);
+        assert_eq!(out.skipped, 0, "scenario naming is not grid drift");
+        assert_eq!(out.scenario_skipped, 1);
+        assert!(!out.regressed);
+        // Reverse direction (full candidate, quick baseline) too.
+        let out = compare_ratio(&full, &quick, 10.0);
+        assert_eq!(out.compared, 2);
+        assert_eq!(out.skipped, 0);
+        assert_eq!(out.scenario_skipped, 1);
+        let out = compare_tps(&full, &quick, 10.0);
+        assert_eq!(out.compared, 4);
+        assert_eq!(out.skipped, 0);
+        assert_eq!(out.scenario_skipped, 2, "one per unmatched engine row");
+        // But (workers, clients) drift WITHIN a known scenario stays a
+        // real (strict-gated) skip.
+        let drifted = parse_rows(&report_s(&[
+            ("conventional", "remote=0", 4, 8, 100),
+            ("dora", "remote=0", 4, 8, 200),
+            ("conventional", "remote=100", 2, 4, 100),
+            ("dora", "remote=100", 2, 4, 120),
+        ]));
+        let out = compare_ratio(&drifted, &quick, 10.0);
+        assert_eq!(out.compared, 1);
+        assert_eq!(out.skipped, 2, "both directions of the config drift");
+        assert_eq!(out.scenario_skipped, 0);
     }
 
     #[test]
@@ -735,10 +948,12 @@ mod tests {
         assert_eq!(out.skipped, 1);
         assert!(!out.regressed);
         // Unmatched rows and zero-committed rows are skipped, not gated.
+        // An empty baseline has no scenario keys at all, so its skip
+        // lands in the advisory scenario bucket.
         let empty: Vec<Row> = vec![];
         let out = gate_lock_free_counters(&cand, &empty, 3, 3, 10.0);
         assert_eq!(out.compared, 0);
-        assert_eq!(out.skipped, 1);
+        assert_eq!(out.scenario_skipped, 1);
         let zero = parse_rows(&counter_report(0, 0, 0));
         let out = gate_lock_free_counters(&zero, &base, 3, 3, 10.0);
         assert_eq!(out.compared, 0);

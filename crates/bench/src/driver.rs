@@ -1,10 +1,12 @@
 //! Shared measurement loop for the wired benches.
 //!
-//! Drives the [`dora_workloads::transfer`] workload through either engine
-//! with a configurable number of client threads, checks the conserved
-//! total balance afterwards (a bench that corrupts data must fail loudly,
-//! not report a fast number), and returns a
-//! [`Scenario`] row ready for the JSON report.
+//! Drives the [`dora_workloads::transfer`] or [`dora_workloads::tatp`]
+//! workload through either engine with a configurable number of client
+//! threads, checks the workload's conserved invariant afterwards (total
+//! balance for transfers; referential integrity and the call-forwarding
+//! ledger for TATP — a bench that corrupts data must fail loudly, not
+//! report a fast number), and returns a [`Scenario`] row ready for the
+//! JSON report.
 //!
 //! Methodology: every client runs an untimed **warmup** slice first
 //! (threads spawned, pages touched, engine queues primed), then all
@@ -22,6 +24,7 @@ use std::time::Instant;
 use dora_core::executor::{DoraEngine, DoraEngineConfig};
 use dora_engine_conv::{ConvEngine, ConvEngineConfig};
 use dora_storage::db::Database;
+use dora_workloads::tatp::{flow_of, request_of, TatpMix, TatpTables, TatpWorkload, MISS};
 use dora_workloads::transfer::{
     audit_flow, audit_request, transfer_flow_routed, transfer_request, TransferMix, TransferOp,
     TransferWorkload,
@@ -230,6 +233,7 @@ fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
     );
     Scenario {
         engine: "dora",
+        scenario: String::new(),
         workers: run.workers,
         clients: run.clients,
         committed,
@@ -336,6 +340,7 @@ fn run_conv(wl: &TransferWorkload, run: TransferRun) -> Scenario {
     );
     Scenario {
         engine: "conventional",
+        scenario: String::new(),
         workers: run.workers,
         clients: run.clients,
         committed,
@@ -357,9 +362,403 @@ fn join_clients(clients: Vec<std::thread::JoinHandle<(u64, u64)>>) -> (u64, u64)
     })
 }
 
+/// Which request mix a TATP scenario offers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TatpMixKind {
+    /// The standard seven-transaction mix with Zipf-skewed subscriber
+    /// choice; `theta` 0.0 is uniform (the spec's default). The
+    /// load-balancing sweep's knob.
+    Skewed {
+        /// Zipf skew parameter (Gray et al.; 0.0 = uniform).
+        theta: f64,
+    },
+    /// Pure `UpdateLocation` traffic where `remote_pct`% of requests are
+    /// handoffs: the new VLR location lives in a *different* partition's
+    /// key block, so the DORA flow pays a cross-partition phase. The
+    /// access-pattern sweep's knob.
+    Handoff {
+        /// Percentage of updates whose location crosses partitions.
+        remote_pct: u64,
+    },
+}
+
+impl TatpMixKind {
+    /// The report's scenario key (`zipf=T` / `remote=N`): the swept value
+    /// is part of a row's identity, not a separate report.
+    pub fn scenario_label(&self) -> String {
+        match self {
+            TatpMixKind::Skewed { theta } => format!("zipf={theta:.2}"),
+            TatpMixKind::Handoff { remote_pct } => format!("remote={remote_pct}"),
+        }
+    }
+
+    fn build(&self, subscribers: i64, seed: u64, partitions: usize) -> TatpMix {
+        match *self {
+            TatpMixKind::Skewed { theta } => TatpMix::with_skew(subscribers, seed, theta),
+            TatpMixKind::Handoff { remote_pct } => {
+                TatpMix::update_location_handoff(subscribers, seed, partitions, remote_pct)
+            }
+        }
+    }
+}
+
+/// One engine × configuration measurement of the TATP workload.
+#[derive(Debug, Clone, Copy)]
+pub struct TatpRun {
+    /// Engine under test.
+    pub engine: EngineKind,
+    /// Worker threads (and, for DORA, logical partitions).
+    pub workers: usize,
+    /// Client threads offering load.
+    pub clients: usize,
+    /// Transactions each client submits in the timed window.
+    pub per_client: usize,
+    /// The offered request mix.
+    pub mix: TatpMixKind,
+    /// Retries granted a transiently aborted request (lock timeouts).
+    /// TATP's spec misses (absent subscriber, absent call-forwarding row,
+    /// duplicate insert) are *expected* outcomes, never retried.
+    pub client_retries: u32,
+}
+
+impl TatpRun {
+    fn warmup(&self) -> usize {
+        (self.per_client / 10).max(5)
+    }
+}
+
+/// Per-client tally of one TATP measurement window.
+#[derive(Debug, Default, Clone, Copy)]
+struct TatpTally {
+    committed: u64,
+    aborted: u64,
+    /// Spec-expected misses (a subset of `aborted`).
+    missed: u64,
+    /// Net call-forwarding rows added by this client's *committed*
+    /// inserts/deletes — the conservation check's ledger.
+    cf_delta: i64,
+}
+
+/// Executes one TATP measurement and returns the report row.
+///
+/// Panics if the engines break TATP's referential integrity or the
+/// call-forwarding row count stops matching the committed insert/delete
+/// ledger: a bench that corrupts data must fail loudly, not report a
+/// fast number.
+pub fn run_tatp(wl: &TatpWorkload, run: TatpRun) -> Scenario {
+    match run.engine {
+        EngineKind::Dora => run_tatp_dora(wl, run),
+        EngineKind::Conventional => run_tatp_conv(wl, run),
+    }
+}
+
+/// Best-of-N sampling for TATP, same rationale as
+/// [`run_transfer_best_of`].
+pub fn run_tatp_best_of(wl: &TatpWorkload, run: TatpRun, repeats: usize) -> Scenario {
+    let mut best: Option<Scenario> = None;
+    for _ in 0..repeats.max(1) {
+        let sample = run_tatp(wl, run);
+        let better = best
+            .as_ref()
+            .is_none_or(|b| sample.throughput_tps() > b.throughput_tps());
+        if better {
+            best = Some(sample);
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+/// Static keys for per-partition action counts in `extra` (the report's
+/// extra map wants `&'static str`; the swept benches run ≤ 8 workers).
+const PARTITION_ACTION_KEYS: [&str; 8] = [
+    "p0_actions",
+    "p1_actions",
+    "p2_actions",
+    "p3_actions",
+    "p4_actions",
+    "p5_actions",
+    "p6_actions",
+    "p7_actions",
+];
+
+fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
+    let db = Arc::new(Database::default());
+    let tables = wl.load(&db);
+    let engine = Arc::new(DoraEngine::new(
+        db.clone(),
+        wl.routing(tables, run.workers),
+        DoraEngineConfig {
+            workers: run.workers,
+            ..Default::default()
+        },
+    ));
+    let ready = Arc::new(Barrier::new(run.clients + 1));
+    let go = Arc::new(Barrier::new(run.clients + 1));
+
+    let mut clients = Vec::new();
+    for c in 0..run.clients {
+        let engine = engine.clone();
+        let ready = ready.clone();
+        let go = go.clone();
+        let subscribers = wl.subscribers;
+        clients.push(std::thread::spawn(move || {
+            let mut mix = run.mix.build(subscribers, c as u64 + 1, run.workers);
+            // Commit / expected-miss / transient-retry triage; a retried
+            // request is re-submitted AS-IS so both engines consume
+            // identical streams.
+            let operation = |mix: &mut TatpMix, tally: Option<&mut TatpTally>| {
+                let op = mix.next_op();
+                let mut attempts = 0;
+                let outcome = loop {
+                    match engine.execute(flow_of(tables, &op, None)) {
+                        o if o.is_committed() => break Ok(()),
+                        dora_core::executor::TxnOutcome::Aborted { reason } => {
+                            if reason.contains(MISS) {
+                                break Err(true);
+                            }
+                            attempts += 1;
+                            if attempts > run.client_retries {
+                                break Err(false);
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                };
+                if let Some(tally) = tally {
+                    match outcome {
+                        Ok(()) => {
+                            tally.committed += 1;
+                            tally.cf_delta += op.cf_delta();
+                        }
+                        Err(missed) => {
+                            tally.aborted += 1;
+                            tally.missed += u64::from(missed);
+                        }
+                    }
+                }
+            };
+            for _ in 0..run.warmup() {
+                operation(&mut mix, None);
+            }
+            ready.wait();
+            go.wait();
+            let mut tally = TatpTally::default();
+            for _ in 0..run.per_client {
+                operation(&mut mix, Some(&mut tally));
+            }
+            tally
+        }));
+    }
+    ready.wait();
+    // Quiet point: warmup is done, nothing runs until `go` releases, so
+    // these samples see no in-flight work.
+    let crit_before = db.lock_stats().critical_sections;
+    let validated_before = db.counters();
+    let log_before = db.log_stats();
+    let txn_before = db.txn_stats();
+    let cf_before = db
+        .row_count(tables.call_forwarding)
+        .expect("call_forwarding count") as i64;
+    let started = Instant::now();
+    go.wait();
+    let tally = join_tatp_clients(clients);
+    let elapsed = started.elapsed();
+
+    let stats = engine.stats();
+    let log_after = db.log_stats();
+    let txn_after = db.txn_stats();
+    let mut extra = vec![
+        ("missed", tally.missed as f64),
+        ("deferrals", stats.deferrals as f64),
+        ("actions", stats.actions as f64),
+        ("secondary_parked", stats.secondary_parked as f64),
+        (
+            "log_group_commits",
+            (log_after.group_commits - log_before.group_commits) as f64,
+        ),
+        (
+            "wakeups",
+            stats.workers.iter().map(|w| w.wakeups).sum::<u64>() as f64,
+        ),
+        (
+            "outbox_msgs",
+            stats.workers.iter().map(|w| w.outbox_msgs).sum::<u64>() as f64,
+        ),
+    ];
+    // Per-partition action counts are the load-balancing signal the skew
+    // sweep exists to plot; the imbalance ratio (max/mean executed)
+    // summarizes them in one number.
+    let executed: Vec<u64> = stats.workers.iter().map(|w| w.executed).collect();
+    for (i, &n) in executed
+        .iter()
+        .enumerate()
+        .take(PARTITION_ACTION_KEYS.len())
+    {
+        extra.push((PARTITION_ACTION_KEYS[i], n as f64));
+    }
+    let mean = executed.iter().sum::<u64>() as f64 / executed.len().max(1) as f64;
+    if mean > 0.0 {
+        let max = executed.iter().copied().max().unwrap_or(0) as f64;
+        extra.push(("partition_imbalance", max / mean));
+    }
+    let crit = db.lock_stats().critical_sections - crit_before;
+    let validated = db.counters();
+    check_tatp_consistency(&db, tables, cf_before, &tally, "DORA");
+    Scenario {
+        engine: "dora",
+        scenario: run.mix.scenario_label(),
+        workers: run.workers,
+        clients: run.clients,
+        committed: tally.committed,
+        aborted: tally.aborted,
+        secondary_reads: validated.validated_reads - validated_before.validated_reads,
+        secondary_retries: validated.validated_retries - validated_before.validated_retries,
+        log_waits: log_after.waits() - log_before.waits(),
+        txn_acquisitions: txn_after.stripe_acquisitions - txn_before.stripe_acquisitions,
+        elapsed_secs: elapsed.as_secs_f64(),
+        critical_sections: crit,
+        extra,
+    }
+}
+
+fn run_tatp_conv(wl: &TatpWorkload, run: TatpRun) -> Scenario {
+    let db = Arc::new(Database::default());
+    let tables = wl.load(&db);
+    let engine = Arc::new(ConvEngine::new(
+        db.clone(),
+        ConvEngineConfig {
+            workers: run.workers,
+            max_retries: run.client_retries,
+        },
+    ));
+    let ready = Arc::new(Barrier::new(run.clients + 1));
+    let go = Arc::new(Barrier::new(run.clients + 1));
+
+    let mut clients = Vec::new();
+    for c in 0..run.clients {
+        let engine = engine.clone();
+        let ready = ready.clone();
+        let go = go.clone();
+        let subscribers = wl.subscribers;
+        clients.push(std::thread::spawn(move || {
+            let mut mix = run.mix.build(subscribers, c as u64 + 1, run.workers);
+            // The conventional engine retries transient conflicts
+            // internally (`max_retries`); a spec miss is a non-retryable
+            // abort and surfaces here on the first attempt.
+            let operation = |mix: &mut TatpMix, tally: Option<&mut TatpTally>| {
+                let op = mix.next_op();
+                let outcome = match engine.execute(request_of(tables, &op, None)) {
+                    o if o.is_committed() => Ok(()),
+                    dora_engine_conv::TxnOutcome::Aborted { reason } => Err(reason.contains(MISS)),
+                    _ => unreachable!(),
+                };
+                if let Some(tally) = tally {
+                    match outcome {
+                        Ok(()) => {
+                            tally.committed += 1;
+                            tally.cf_delta += op.cf_delta();
+                        }
+                        Err(missed) => {
+                            tally.aborted += 1;
+                            tally.missed += u64::from(missed);
+                        }
+                    }
+                }
+            };
+            for _ in 0..run.warmup() {
+                operation(&mut mix, None);
+            }
+            ready.wait();
+            go.wait();
+            let mut tally = TatpTally::default();
+            for _ in 0..run.per_client {
+                operation(&mut mix, Some(&mut tally));
+            }
+            tally
+        }));
+    }
+    ready.wait();
+    let crit_before = db.lock_stats().critical_sections;
+    let validated_before = db.counters();
+    let log_before = db.log_stats();
+    let txn_before = db.txn_stats();
+    let cf_before = db
+        .row_count(tables.call_forwarding)
+        .expect("call_forwarding count") as i64;
+    let started = Instant::now();
+    go.wait();
+    let tally = join_tatp_clients(clients);
+    let elapsed = started.elapsed();
+
+    let stats = engine.stats();
+    let log_after = db.log_stats();
+    let txn_after = db.txn_stats();
+    let extra = vec![
+        ("missed", tally.missed as f64),
+        ("retries", stats.retries as f64),
+        (
+            "log_group_commits",
+            (log_after.group_commits - log_before.group_commits) as f64,
+        ),
+    ];
+    let crit = db.lock_stats().critical_sections - crit_before;
+    let validated = db.counters();
+    check_tatp_consistency(&db, tables, cf_before, &tally, "conventional");
+    Scenario {
+        engine: "conventional",
+        scenario: run.mix.scenario_label(),
+        workers: run.workers,
+        clients: run.clients,
+        committed: tally.committed,
+        aborted: tally.aborted,
+        secondary_reads: validated.validated_reads - validated_before.validated_reads,
+        secondary_retries: validated.validated_retries - validated_before.validated_retries,
+        log_waits: log_after.waits() - log_before.waits(),
+        txn_acquisitions: txn_after.stripe_acquisitions - txn_before.stripe_acquisitions,
+        elapsed_secs: elapsed.as_secs_f64(),
+        critical_sections: crit,
+        extra,
+    }
+}
+
+fn join_tatp_clients(clients: Vec<std::thread::JoinHandle<TatpTally>>) -> TatpTally {
+    clients.into_iter().fold(TatpTally::default(), |acc, h| {
+        let t = h.join().expect("bench client panicked");
+        TatpTally {
+            committed: acc.committed + t.committed,
+            aborted: acc.aborted + t.aborted,
+            missed: acc.missed + t.missed,
+            cf_delta: acc.cf_delta + t.cf_delta,
+        }
+    })
+}
+
+/// Post-run correctness gate shared by both TATP drivers: referential
+/// integrity and call-forwarding conservation against the committed
+/// insert/delete ledger.
+fn check_tatp_consistency(
+    db: &Database,
+    tables: TatpTables,
+    cf_before: i64,
+    tally: &TatpTally,
+    engine: &str,
+) {
+    TatpWorkload::check_integrity(db, tables)
+        .unwrap_or_else(|e| panic!("{engine} broke TATP integrity — refusing to report: {e}"));
+    let cf_after = db
+        .row_count(tables.call_forwarding)
+        .expect("call_forwarding count") as i64;
+    assert_eq!(
+        cf_after,
+        cf_before + tally.cf_delta,
+        "{engine} call-forwarding count diverged from the committed ledger — \
+         refusing to report a corrupt run"
+    );
+}
+
 /// Parses the common bench flags: `--quick`, `--compare <path>`,
-/// `--out <path>`, `--accounts <n>`, `--total <n>`, `--repeats <n>`,
-/// `--audit-pct <n>`.
+/// `--out <path>`, `--accounts <n>`, `--subscribers <n>`, `--total <n>`,
+/// `--repeats <n>`, `--audit-pct <n>`.
 #[derive(Debug, Default, Clone)]
 pub struct BenchArgs {
     /// CI smoke mode: tiny configuration, marked `"quick"` in the JSON.
@@ -370,6 +769,9 @@ pub struct BenchArgs {
     pub out: Option<String>,
     /// Override for the account count (smaller = hotter contention).
     pub accounts: Option<i64>,
+    /// Override for the TATP subscriber count (must divide evenly by the
+    /// worker count so the uniform routing blocks align).
+    pub subscribers: Option<i64>,
     /// Override for the per-scenario transaction total.
     pub total: Option<usize>,
     /// Override for the best-of-N repeat count (default 3 full, 1 quick).
@@ -394,6 +796,7 @@ impl BenchArgs {
                 "--compare" => parsed.compare = args.next(),
                 "--out" => parsed.out = args.next(),
                 "--accounts" => parsed.accounts = args.next().and_then(|v| v.parse().ok()),
+                "--subscribers" => parsed.subscribers = args.next().and_then(|v| v.parse().ok()),
                 "--total" => parsed.total = args.next().and_then(|v| v.parse().ok()),
                 "--repeats" => parsed.repeats = args.next().and_then(|v| v.parse().ok()),
                 "--audit-pct" => parsed.audit_pct = args.next().and_then(|v| v.parse().ok()),
@@ -464,6 +867,57 @@ mod tests {
                 s.log_waits
             );
         }
+    }
+
+    #[test]
+    fn tiny_tatp_runs_report_sane_numbers_for_both_mixes_and_engines() {
+        let wl = TatpWorkload {
+            subscribers: 64,
+            seed: 7,
+        };
+        for mix in [
+            TatpMixKind::Skewed { theta: 0.8 },
+            TatpMixKind::Handoff { remote_pct: 50 },
+        ] {
+            for engine in [EngineKind::Dora, EngineKind::Conventional] {
+                let s = run_tatp(
+                    &wl,
+                    TatpRun {
+                        engine,
+                        workers: 2,
+                        clients: 2,
+                        per_client: 20,
+                        mix,
+                        client_retries: 10,
+                    },
+                );
+                assert_eq!(s.committed + s.aborted, 40, "{engine:?} {mix:?}");
+                assert!(s.committed > 0, "{engine:?} {mix:?}");
+                assert_eq!(s.scenario, mix.scenario_label());
+                assert!(s.elapsed_secs > 0.0);
+                if let TatpMixKind::Skewed { .. } = mix {
+                    // GetNewDestination / UpdateLocation scans ride the
+                    // validated read path on both engines.
+                    assert!(s.secondary_reads > 0, "{engine:?} {mix:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tatp_scenario_labels_are_stable_keys() {
+        assert_eq!(
+            TatpMixKind::Skewed { theta: 0.0 }.scenario_label(),
+            "zipf=0.00"
+        );
+        assert_eq!(
+            TatpMixKind::Skewed { theta: 1.2 }.scenario_label(),
+            "zipf=1.20"
+        );
+        assert_eq!(
+            TatpMixKind::Handoff { remote_pct: 75 }.scenario_label(),
+            "remote=75"
+        );
     }
 
     #[test]

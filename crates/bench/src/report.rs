@@ -6,18 +6,20 @@
 //! `BENCH_<name>.json` at the workspace root (plus a human-readable table
 //! on stdout).
 //!
-//! # Schema (`schema_version` 3)
+//! # Schema (`schema_version` 4)
 //!
 //! ```json
 //! {
 //!   "bench": "throughput_vs_cores",
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "workload": "transfer accounts=1024 ...",
 //!   "physical_cores": 1,
 //!   "quick": false,
 //!   "runs": [
 //!     {
 //!       "engine": "dora",            // "dora" | "conventional"
+//!       "scenario": "remote=50",      // scenario key ("" = the bench's
+//!                                    // single default scenario)
 //!       "workers": 4,                 // worker threads / partitions
 //!       "clients": 8,                 // client threads offering load
 //!       "committed": 4000,           // transactions committed
@@ -49,7 +51,17 @@
 //! contended wait; stripe acquisitions are slot-local). Readers stay
 //! back-compatible with older documents by treating the absent fields as
 //! 0 — `compare.rs` does exactly that, and only gates the v3 counters
-//! when the baseline document is itself v3.
+//! when the baseline document is itself ≥ v3. **v4** added `scenario` —
+//! a per-row key for benches that sweep a workload parameter (the TATP
+//! access-pattern and skew sweeps label rows `remote=N` / `zipf=T`). A
+//! `(workers, clients)` pair no longer identifies a row in those
+//! benches; the scenario key completes it. Absent in ≤ v3 documents —
+//! readers parse it as `""`, which is also what single-scenario benches
+//! emit, so pre-v4 baselines keep gating unchanged. Because `--quick`
+//! sweeps fewer scenario values than a full run, `compare.rs` treats a
+//! scenario key that the other report lacks *entirely* as a warn-skip
+//! (never a `--strict-coverage` failure): a quick candidate against a
+//! full baseline is scenario naming, not grid drift.
 //!
 //! `baseline` lets a bench run carry its own before/after story: pass
 //! `--compare <path>` and the referenced report (typically a committed
@@ -63,6 +75,10 @@ use std::path::{Path, PathBuf};
 pub struct Scenario {
     /// Engine identifier: `"dora"` or `"conventional"`.
     pub engine: &'static str,
+    /// Scenario key for benches that sweep a workload parameter (e.g.
+    /// `"remote=50"`, `"zipf=0.80"`). Empty for single-scenario benches;
+    /// pre-v4 documents parse as empty too, so the two stay comparable.
+    pub scenario: String,
     /// Worker threads (equals logical partitions for DORA).
     pub workers: usize,
     /// Client threads offering load.
@@ -158,7 +174,7 @@ impl BenchReport {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"bench\": \"{}\",", escape_json(self.bench));
-        let _ = writeln!(out, "  \"schema_version\": 3,");
+        let _ = writeln!(out, "  \"schema_version\": 4,");
         let _ = writeln!(out, "  \"workload\": \"{}\",", escape_json(&self.workload));
         let _ = writeln!(out, "  \"physical_cores\": {},", self.physical_cores);
         let _ = writeln!(out, "  \"quick\": {},", self.quick);
@@ -166,6 +182,11 @@ impl BenchReport {
         for (i, run) in self.runs.iter().enumerate() {
             out.push_str("    {\n");
             let _ = writeln!(out, "      \"engine\": \"{}\",", escape_json(run.engine));
+            let _ = writeln!(
+                out,
+                "      \"scenario\": \"{}\",",
+                escape_json(&run.scenario)
+            );
             let _ = writeln!(out, "      \"workers\": {},", run.workers);
             let _ = writeln!(out, "      \"clients\": {},", run.clients);
             let _ = writeln!(out, "      \"committed\": {},", run.committed);
@@ -237,14 +258,19 @@ impl BenchReport {
         let _ = writeln!(out, "workload: {}", self.workload);
         let _ = writeln!(
             out,
-            "{:<14} {:>7} {:>8} {:>10} {:>8} {:>12} {:>12}",
-            "engine", "workers", "clients", "committed", "aborted", "tps", "crit.sects"
+            "{:<14} {:<12} {:>7} {:>8} {:>10} {:>8} {:>12} {:>12}",
+            "engine", "scenario", "workers", "clients", "committed", "aborted", "tps", "crit.sects"
         );
         for run in &self.runs {
             let _ = writeln!(
                 out,
-                "{:<14} {:>7} {:>8} {:>10} {:>8} {:>12.1} {:>12}",
+                "{:<14} {:<12} {:>7} {:>8} {:>10} {:>8} {:>12.1} {:>12}",
                 run.engine,
+                if run.scenario.is_empty() {
+                    "-"
+                } else {
+                    &run.scenario
+                },
                 run.workers,
                 run.clients,
                 run.committed,
@@ -286,6 +312,7 @@ mod tests {
             runs: vec![
                 Scenario {
                     engine: "dora",
+                    scenario: "remote=50".into(),
                     workers: 2,
                     clients: 4,
                     committed: 100,
@@ -300,6 +327,7 @@ mod tests {
                 },
                 Scenario {
                     engine: "conventional",
+                    scenario: String::new(),
                     workers: 2,
                     clients: 4,
                     committed: 80,
@@ -320,7 +348,9 @@ mod tests {
     fn json_has_schema_fields_and_computed_throughput() {
         let json = sample().to_json(None);
         assert!(json.contains("\"bench\": \"throughput_vs_cores\""));
-        assert!(json.contains("\"schema_version\": 3"));
+        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"scenario\": \"remote=50\""));
+        assert!(json.contains("\"scenario\": \"\""));
         assert!(json.contains("\"secondary_reads\": 640"));
         assert!(json.contains("\"secondary_retries\": 2"));
         assert!(json.contains("\"log_waits\": 5"));
@@ -337,7 +367,7 @@ mod tests {
         let base = sample().to_json(None);
         let json = sample().to_json(Some(&base));
         assert!(json.contains("\"baseline\": {"));
-        assert_eq!(json.matches("\"schema_version\": 3").count(), 2);
+        assert_eq!(json.matches("\"schema_version\": 4").count(), 2);
     }
 
     #[test]
@@ -356,6 +386,7 @@ mod tests {
         assert!(table.contains("dora"));
         assert!(table.contains("conventional"));
         assert!(table.contains("crit.sects"));
+        assert!(table.contains("remote=50"), "scenario key in the table");
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Serial replay harness: runs either transaction form on the calling
+//! thread, with no engine underneath.
+//!
+//! The differential oracle and the decomposition-equivalence proptests
+//! need to execute a [`FlowGraph`] and a [`TxnRequest`] *deterministically*
+//! — same phase order, no worker scheduling, no retries — so that any
+//! disagreement between the two forms is a decomposition bug, never a
+//! concurrency artifact. The harness walks the flow graph exactly the way
+//! the DORA executor does (phase by phase, actions in spec order, the
+//! final empty phase committing), and runs a conventional body exactly
+//! the way the conventional engine does (once; an error aborts), but both
+//! on one thread against an otherwise-idle database.
+
+use dora_core::action::FlowGraph;
+use dora_core::executor::DORA_POLICY;
+use dora_engine_conv::TxnRequest;
+use dora_storage::db::Database;
+use dora_storage::trace::WorkerCtx;
+
+/// Outcome of one serially-replayed transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerialOutcome {
+    /// Whether the transaction committed.
+    pub committed: bool,
+    /// The abort reason (engine-identical formatting), when it did not.
+    pub reason: Option<String>,
+}
+
+impl SerialOutcome {
+    fn committed() -> Self {
+        SerialOutcome {
+            committed: true,
+            reason: None,
+        }
+    }
+
+    fn aborted(reason: String) -> Self {
+        SerialOutcome {
+            committed: false,
+            reason: Some(reason),
+        }
+    }
+}
+
+/// Replays `flow` to completion on the calling thread, mirroring the DORA
+/// executor's semantics: phase actions run in spec order, each phase's
+/// outputs feed the next generator, an empty phase from the **last**
+/// generator commits, and an empty phase with generators still queued is
+/// a flow-graph bug that aborts. Abort reasons use the executor's
+/// formatting (`e.to_string()`, `commit failed: …`), so they compare
+/// byte-for-byte against engine outcomes.
+pub fn run_flow_serial(db: &Database, flow: FlowGraph) -> SerialOutcome {
+    let txn = db.begin();
+    let ctx = WorkerCtx::untraced(0);
+    let abort = |reason: String| {
+        db.abort_policy(txn, DORA_POLICY)
+            .expect("serial abort must succeed");
+        SerialOutcome::aborted(reason)
+    };
+
+    let mut phase = flow.first;
+    let mut gens = flow.next.into_iter();
+    loop {
+        let mut outputs = Vec::with_capacity(phase.len());
+        for mut spec in phase {
+            match spec.body.run(db, txn, &ctx) {
+                Ok(out) => outputs.push(out),
+                Err(e) => return abort(e.to_string()),
+            }
+        }
+        match gens.next() {
+            Some(gen) => match gen(&outputs) {
+                Ok(next) if next.is_empty() => {
+                    if gens.len() > 0 {
+                        return abort(
+                            "flow graph produced an empty phase with later phases queued"
+                                .to_string(),
+                        );
+                    }
+                    break;
+                }
+                Ok(next) => phase = next,
+                Err(e) => return abort(e.to_string()),
+            },
+            None => break,
+        }
+    }
+    match db.commit_policy(txn, DORA_POLICY) {
+        Ok(()) => SerialOutcome::committed(),
+        Err(e) => abort(format!("commit failed: {e}")),
+    }
+}
+
+/// Runs the conventional `request` body once on the calling thread (no
+/// retry loop — serially there is nothing to retry against), committing
+/// on `Ok` and aborting with the engine's reason formatting on `Err`.
+pub fn run_request_serial(db: &Database, request: &TxnRequest) -> SerialOutcome {
+    let txn = db.begin();
+    let ctx = WorkerCtx::untraced(0);
+    match (request.body)(db, txn, &ctx) {
+        Ok(()) => match db.commit(txn) {
+            Ok(()) => SerialOutcome::committed(),
+            Err(e) => {
+                db.abort(txn).expect("serial abort must succeed");
+                SerialOutcome::aborted(format!("commit failed: {e}"))
+            }
+        },
+        Err(e) => {
+            db.abort(txn).expect("serial abort must succeed");
+            SerialOutcome::aborted(e.to_string())
+        }
+    }
+}
+
+/// Convenience: replay `flow` and return just the digest-relevant pieces
+/// for equivalence checks (committed flag and reason).
+pub fn outcome_pair(outcome: &SerialOutcome) -> (bool, Option<&str>) {
+    (outcome.committed, outcome.reason.as_deref())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dora_core::action::ActionSpec;
+    use dora_storage::error::StorageError;
+    use dora_storage::schema::{ColumnDef, TableSchema};
+    use dora_storage::types::{DataType, Value};
+
+    fn db_with_table() -> (Database, dora_storage::types::TableId) {
+        let db = Database::default();
+        let t = db
+            .create_table(TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("k", DataType::BigInt),
+                    ColumnDef::new("v", DataType::BigInt),
+                ],
+                vec![0],
+            ))
+            .unwrap();
+        (db, t)
+    }
+
+    #[test]
+    fn flow_phases_chain_and_commit() {
+        let (db, t) = db_with_table();
+        let flow = FlowGraph::new(
+            "chain",
+            vec![ActionSpec::write(t, 1, move |db, txn, _| {
+                db.insert(
+                    txn,
+                    t,
+                    vec![Value::BigInt(1), Value::BigInt(10)],
+                    DORA_POLICY,
+                )?;
+                Ok(vec![Value::BigInt(1)])
+            })],
+        )
+        .then(move |outputs| {
+            assert_eq!(outputs, [[Value::BigInt(1)]]);
+            Ok(vec![ActionSpec::write(t, 2, move |db, txn, _| {
+                db.insert(
+                    txn,
+                    t,
+                    vec![Value::BigInt(2), Value::BigInt(20)],
+                    DORA_POLICY,
+                )?;
+                Ok(vec![])
+            })])
+        });
+        let out = run_flow_serial(&db, flow);
+        assert!(out.committed, "{out:?}");
+        assert_eq!(db.row_count(t).unwrap(), 2);
+    }
+
+    #[test]
+    fn flow_abort_rolls_back_earlier_phases() {
+        let (db, t) = db_with_table();
+        let flow = FlowGraph::new(
+            "abort",
+            vec![ActionSpec::write(t, 1, move |db, txn, _| {
+                db.insert(
+                    txn,
+                    t,
+                    vec![Value::BigInt(1), Value::BigInt(10)],
+                    DORA_POLICY,
+                )?;
+                Ok(vec![])
+            })],
+        )
+        .then(|_| Err(StorageError::Aborted("nope".into())));
+        let out = run_flow_serial(&db, flow);
+        assert_eq!(out.reason.as_deref(), Some("transaction aborted: nope"));
+        assert_eq!(db.row_count(t).unwrap(), 0, "insert must roll back");
+    }
+
+    #[test]
+    fn empty_mid_flow_phase_is_a_bug_not_a_commit() {
+        let (db, _) = db_with_table();
+        let flow = FlowGraph::new("bug", vec![])
+            .then(|_| Ok(vec![]))
+            .then(|_| panic!("later generator must never run"));
+        let out = run_flow_serial(&db, flow);
+        assert!(!out.committed);
+        assert!(out.reason.unwrap().contains("empty phase"));
+    }
+
+    #[test]
+    fn request_commit_and_abort() {
+        let (db, t) = db_with_table();
+        let ok = TxnRequest::new("ok", move |db, txn, _| {
+            db.insert(
+                txn,
+                t,
+                vec![Value::BigInt(7), Value::BigInt(70)],
+                dora_engine_conv::CONV_POLICY,
+            )?;
+            Ok(())
+        });
+        assert!(run_request_serial(&db, &ok).committed);
+        let bad = TxnRequest::new("bad", |_, _, _| Err(StorageError::Aborted("denied".into())));
+        let out = run_request_serial(&db, &bad);
+        assert_eq!(
+            outcome_pair(&out),
+            (false, Some("transaction aborted: denied"))
+        );
+        assert_eq!(db.row_count(t).unwrap(), 1);
+    }
+}

@@ -3,35 +3,38 @@
 //! OLTP workload definitions driving both execution engines — the paper's
 //! experimental fuel.
 //!
-//! **Planned role.** This crate will host the two benchmarks the paper
-//! evaluates with, each expressed twice over the shared substrate:
-//!
-//! * **TATP** (telecom): `GetSubscriberData`, `GetNewDestination`,
-//!   `GetAccessData`, `UpdateSubscriberData`, `UpdateLocation`,
-//!   `InsertCallForwarding`, `DeleteCallForwarding` — short, index-heavy
-//!   transactions whose subscriber-id routing field aligns perfectly with
-//!   DORA partitioning.
-//! * **TPC-C** (order entry): `NewOrder`, `Payment`, `OrderStatus`,
-//!   `Delivery`, `StockLevel` over the nine-table schema, routed by
-//!   warehouse id.
-//!
-//! For each transaction the crate provides (a) a conventional
-//! [`TxnRequest`](dora_engine_conv::TxnRequest)-shaped body and (b) a DORA
+//! Each workload is expressed **twice** over the shared substrate: (a) a
+//! conventional [`TxnRequest`](dora_engine_conv::TxnRequest)-shaped body
+//! for the centralized-locking engine and (b) a DORA
 //! [`FlowGraph`](dora_core::action::FlowGraph) decomposition into
-//! partition-aligned actions separated by rendezvous points, plus loaders
-//! that populate a [`Database`](dora_storage::Database) at a given scale
-//! factor and routing-table presets for the DORA side. The benchmark
-//! harness in `dora-bench` consumes both forms to A/B the engines; see
-//! `docs/architecture.md` for where this sits in the workspace.
+//! partition-aligned actions separated by rendezvous points — plus a
+//! loader that populates a [`Database`](dora_storage::Database) at a
+//! given scale factor, a routing-table preset for the DORA side, and a
+//! deterministic request mix. The benchmark harness in `dora-bench`
+//! consumes both forms to A/B the engines; see `docs/architecture.md`.
 //!
-//! The first implemented workload is [`transfer`]: a multi-partition
-//! account-transfer stream (both engine forms, loader, routing preset,
-//! and a deterministic request mix) that `dora-bench` drives for the
-//! throughput and critical-section figures. TATP and TPC-C remain open
-//! items (see ROADMAP.md).
+//! Shipped workloads:
+//!
+//! * [`transfer`] — the synthetic multi-partition account-transfer stream
+//!   (uniform and cross-partition mixes, the secondary-action audit) that
+//!   drives the throughput and critical-section figures.
+//! * [`tatp`] — the paper's headline benchmark: the four-table telecom
+//!   schema, all seven TATP transactions in both forms, the standard
+//!   80/16/4 mix with the spec's expected-failure semantics, Zipf-skew
+//!   and roaming-handoff mix variants for the `load_balancing_skew` and
+//!   `access_patterns` benches, and a referential-integrity audit.
+//!
+//! The [`harness`] module runs either form serially (no engine, no
+//! scheduling) so the differential oracle in `tests/` and the
+//! decomposition-equivalence proptests can compare the DORA
+//! decomposition, the conventional body, and a single-threaded model
+//! interpreter transaction by transaction. TPC-C (order entry, routed by
+//! warehouse id) remains an open item (see ROADMAP.md).
 
 #![warn(missing_docs)]
 
+pub mod harness;
+pub mod tatp;
 pub mod transfer;
 
 pub use dora_core;

@@ -1,0 +1,176 @@
+//! Property tests for the TATP workload: decomposition equivalence and
+//! mix determinism.
+//!
+//! The decomposition-equivalence property is the reusable pattern future
+//! workloads inherit: load identical databases, draw a random operation
+//! stream, and replay it through the serial harness
+//! ([`run_flow_serial`] / [`run_request_serial`]) and the model
+//! interpreter — the DORA `FlowGraph` decomposition, the conventional
+//! body, and the model must agree on every commit/abort decision, every
+//! abort reason, every committed digest, and the final state. Because the
+//! harness is serial, any disagreement is a decomposition bug, never a
+//! concurrency artifact.
+
+use dora_workloads::dora_storage::db::Database;
+use dora_workloads::dora_storage::types::{TableId, Value};
+use dora_workloads::harness::{run_flow_serial, run_request_serial};
+use dora_workloads::tatp::{
+    self, flow_of, request_of, ResultSink, TatpMix, TatpOp, TatpTables, TatpWorkload, MISS,
+    STANDARD_MIX_PCT,
+};
+
+use proptest::prelude::*;
+
+fn sorted_rows(db: &Database, t: TableId) -> Vec<Vec<Value>> {
+    let mut rows = db.scan(t).expect("scan");
+    rows.sort();
+    rows
+}
+
+fn all_sorted(db: &Database, t: TatpTables) -> Vec<Vec<Vec<Value>>> {
+    [
+        t.subscriber,
+        t.access_info,
+        t.special_facility,
+        t.call_forwarding,
+    ]
+    .iter()
+    .map(|&table| sorted_rows(db, table))
+    .collect()
+}
+
+/// The reusable equivalence check: replays `ops` through all three
+/// executors on identically-loaded databases and asserts agreement per
+/// transaction and on the final states.
+fn check_decomposition_equivalence(wl: &TatpWorkload, ops: &[TatpOp]) {
+    let (flow_db, req_db, model_db) = (
+        Database::default(),
+        Database::default(),
+        Database::default(),
+    );
+    let ft = wl.load(&flow_db);
+    let rt = wl.load(&req_db);
+    let mt = wl.load(&model_db);
+    for op in ops {
+        let flow_sink = ResultSink::new();
+        let req_sink = ResultSink::new();
+        let f = run_flow_serial(&flow_db, flow_of(ft, op, Some(flow_sink.clone())));
+        let r = run_request_serial(&req_db, &request_of(rt, op, Some(req_sink.clone())));
+        let m = tatp::apply_model(&model_db, mt, op);
+        prop_assert_eq!(f.committed, r.committed, "flow vs request for {:?}", op);
+        prop_assert_eq!(f.committed, m.is_ok(), "flow vs model for {:?}", op);
+        match &m {
+            Ok(digest) => {
+                prop_assert_eq!(&flow_sink.take(), digest, "flow digest for {:?}", op);
+                prop_assert_eq!(&req_sink.take(), digest, "request digest for {:?}", op);
+            }
+            Err(reason) => {
+                prop_assert_eq!(f.reason.as_deref(), Some(reason.as_str()), "{:?}", op);
+                prop_assert_eq!(r.reason.as_deref(), Some(reason.as_str()), "{:?}", op);
+                prop_assert!(
+                    reason.contains(MISS),
+                    "serial aborts must be expected misses: {:?} -> {}",
+                    op,
+                    reason
+                );
+            }
+        }
+    }
+    prop_assert_eq!(all_sorted(&flow_db, ft), all_sorted(&req_db, rt));
+    prop_assert_eq!(all_sorted(&flow_db, ft), all_sorted(&model_db, mt));
+}
+
+proptest! {
+    /// Satellite: for every TATP transaction type, the `FlowGraph`
+    /// decomposition applied to a random database state produces the same
+    /// reads, writes, and abort decision as the conventional body.
+    #[test]
+    fn flow_decomposition_matches_conventional_body(
+        params in (2i64..24, 1u64..10_000, 1u64..10_000)
+    ) {
+        let (subscribers, load_seed, mix_seed) = params;
+        let wl = TatpWorkload { subscribers, seed: load_seed };
+        // Small, dense databases make misses and duplicate-key collisions
+        // frequent, so the abort paths get real coverage; 32 ops per case
+        // x 128 cases x 7 transaction types covers every decomposition
+        // against many random states.
+        let mut mix = TatpMix::new(subscribers, mix_seed);
+        let ops: Vec<TatpOp> = (0..32).map(|_| mix.next_op()).collect();
+        check_decomposition_equivalence(&wl, &ops);
+    }
+
+    /// Satellite: same seed ⇒ byte-identical operation stream, for the
+    /// uniform, key-blocked, skewed, and handoff mix variants alike.
+    #[test]
+    fn mix_same_seed_yields_identical_streams(
+        params in (2i64..100_000, 1u64..u64::MAX, 1usize..5)
+    ) {
+        let (subscribers, seed, variant) = params;
+        let build = || match variant {
+            1 => TatpMix::new(subscribers, seed),
+            2 => {
+                let half = subscribers / 2;
+                TatpMix::new(subscribers, seed).with_key_block(0, half.max(0))
+            }
+            3 => TatpMix::with_skew(subscribers, seed, 0.8),
+            _ => TatpMix::update_location_handoff(subscribers, seed, 4, 50),
+        };
+        let (mut a, mut b) = (build(), build());
+        let mut c = TatpMix::new(subscribers, seed.wrapping_add(1));
+        let mut diverged = false;
+        for _ in 0..256 {
+            let op = a.next_op();
+            prop_assert_eq!(&op, &b.next_op());
+            if variant == 1 && op != c.next_op() {
+                diverged = true;
+            }
+        }
+        if variant == 1 {
+            prop_assert!(diverged, "seed {} and {} gave one stream", seed, seed.wrapping_add(1));
+        }
+    }
+}
+
+/// Satellite: the standard 80/16/4 mix ratios hold within tolerance over
+/// 100k draws (a plain test, not a proptest — one big sample beats 128
+/// small ones for a ratio check, and keeps the suite fast).
+#[test]
+fn mix_ratios_hold_over_100k_draws() {
+    const DRAWS: usize = 100_000;
+    let mut mix = TatpMix::new(10_000, 4242);
+    let mut counts = [0usize; 7];
+    for _ in 0..DRAWS {
+        let idx = match mix.next_op() {
+            TatpOp::GetSubscriberData { .. } => 0,
+            TatpOp::GetNewDestination { .. } => 1,
+            TatpOp::GetAccessData { .. } => 2,
+            TatpOp::UpdateSubscriberData { .. } => 3,
+            TatpOp::UpdateLocation { .. } => 4,
+            TatpOp::InsertCallForwarding { .. } => 5,
+            TatpOp::DeleteCallForwarding { .. } => 6,
+        };
+        counts[idx] += 1;
+    }
+    // Per-transaction percentages within ±0.75 points absolute (the
+    // binomial standard deviation at 100k draws is at most ~0.15 points,
+    // so this is a five-sigma envelope).
+    for (i, (&count, &pct)) in counts.iter().zip(STANDARD_MIX_PCT.iter()).enumerate() {
+        let observed = 100.0 * count as f64 / DRAWS as f64;
+        assert!(
+            (observed - pct as f64).abs() < 0.75,
+            "op {i}: expected ~{pct}%, observed {observed:.2}%"
+        );
+    }
+    // And the headline 80/16/4 read/update/insert-delete split.
+    let reads = counts[0] + counts[1] + counts[2];
+    let updates = counts[3] + counts[4];
+    let churn = counts[5] + counts[6];
+    let pct = |n: usize| 100.0 * n as f64 / DRAWS as f64;
+    assert!((pct(reads) - 80.0).abs() < 1.0, "reads {:.2}%", pct(reads));
+    assert!(
+        (pct(updates) - 16.0).abs() < 1.0,
+        "updates {:.2}%",
+        pct(updates)
+    );
+    assert!((pct(churn) - 4.0).abs() < 0.5, "churn {:.2}%", pct(churn));
+}
