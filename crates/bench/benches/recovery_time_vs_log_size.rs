@@ -1,0 +1,218 @@
+//! Recovery time as a function of log size, with and without a fuzzy
+//! checkpoint.
+//!
+//! For each swept log size `log=<N>` the bench builds a WAL of `N`
+//! committed transfer transactions on an in-memory simulated file
+//! system (so the numbers isolate CPU replay cost from disk speed),
+//! crashes it, and measures wall-clock recovery into a fresh database:
+//!
+//! * engine `"conventional"` — full-log replay from LSN 1 (no
+//!   checkpoint was ever taken);
+//! * engine `"dora"` — a fuzzy checkpoint was taken at ~90% of the
+//!   traffic, so recovery loads the image and replays only the tail.
+//!
+//! The engine labels keep the rows flowing through `compare.rs`: its
+//! default `ratio` metric gates the checkpointed : full-replay speedup
+//! per scenario, which divides out the host's absolute speed — exactly
+//! the property that must not regress (a checkpoint that stops helping
+//! shows up as the ratio collapsing toward 1). `committed` counts the
+//! transactions whose effects were replayed, so `throughput_tps` is the
+//! replay rate.
+//!
+//! Run with `cargo bench --bench recovery_time_vs_log_size`. Flags:
+//! `--quick`, `--compare <path>`, `--out <path>`. Writes
+//! `BENCH_recovery_time_vs_log_size.json` at the workspace root.
+
+use std::time::Instant;
+
+use dora_bench::driver::BenchArgs;
+use dora_bench::report::{workspace_root, BenchReport, Scenario};
+use dora_workloads::dora_storage::db::{Database, LockingPolicy};
+use dora_workloads::dora_storage::io::SimFs;
+use dora_workloads::dora_storage::schema::{ColumnDef, TableSchema};
+use dora_workloads::dora_storage::segment::WalConfig;
+use dora_workloads::dora_storage::types::{DataType, TableId, Value};
+
+const P: LockingPolicy = LockingPolicy::Bypass;
+const ACCOUNTS: i64 = 4_096;
+// Small enough that every sweep size seals multiple segments — a fuzzy
+// checkpoint can only truncate whole sealed segments, and the bench's
+// point is the checkpointed tail replay vs the full replay.
+const SEGMENT_BYTES: usize = 32 << 10;
+
+fn create_accounts(db: &Database) -> TableId {
+    db.create_table(TableSchema::new(
+        "accounts",
+        vec![
+            ColumnDef::new("id", DataType::BigInt),
+            ColumnDef::new("bal", DataType::BigInt),
+        ],
+        vec![0],
+    ))
+    .unwrap()
+}
+
+fn xorshift(mut x: u64) -> u64 {
+    x |= 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+/// Builds a WAL of `txns` committed transfers (plus the initial load) on
+/// `fs`, optionally taking a fuzzy checkpoint after 90% of the traffic,
+/// then crashes the file system. Returns the transaction count whose
+/// effects the log carries.
+fn build_log(fs: &SimFs, txns: u64, checkpoint: bool) -> u64 {
+    let cfg = WalConfig::sim("/wal", fs.clone()).with_segment_bytes(SEGMENT_BYTES);
+    let db = Database::default();
+    let t = create_accounts(&db);
+    db.recover_and_attach_wal(cfg).unwrap();
+
+    let load = db.begin();
+    for id in 0..ACCOUNTS {
+        db.insert(load, t, vec![Value::BigInt(id), Value::BigInt(1_000)], P)
+            .unwrap();
+    }
+    db.commit_policy(load, P).unwrap();
+
+    let checkpoint_at = txns * 9 / 10;
+    for i in 0..txns {
+        let r0 = xorshift(0x2545_f491 ^ i);
+        let r1 = xorshift(r0);
+        let src = (r0 % ACCOUNTS as u64) as i64;
+        let dst = ((src as u64 + 1 + r1 % (ACCOUNTS as u64 - 1)) % ACCOUNTS as u64) as i64;
+        let txn = db.begin();
+        db.update(
+            txn,
+            t,
+            &[Value::BigInt(src)],
+            &[(1, Value::BigInt(i as i64))],
+            P,
+        )
+        .unwrap();
+        db.update(
+            txn,
+            t,
+            &[Value::BigInt(dst)],
+            &[(1, Value::BigInt(-(i as i64)))],
+            P,
+        )
+        .unwrap();
+        db.commit_policy(txn, P).unwrap();
+        if checkpoint && i + 1 == checkpoint_at {
+            db.checkpoint().unwrap();
+        }
+    }
+    fs.crash(0x5eed ^ txns);
+    txns + 1 // transfers plus the load transaction
+}
+
+fn main() {
+    let args = BenchArgs::parse(std::env::args().skip(1));
+    let baseline = args.compare.as_deref().map(|p| {
+        std::fs::read_to_string(p)
+            .or_else(|_| std::fs::read_to_string(workspace_root().join(p)))
+            .expect("read --compare report")
+    });
+
+    // Quick still sweeps multi-millisecond recoveries: sub-millisecond
+    // ones are timer-noise-dominated and make the CI ratio gate flap.
+    let sizes: &[u64] = if args.quick {
+        &[2_000, 8_000]
+    } else {
+        &[2_000, 8_000, 32_000]
+    };
+    let repeats = args.repeats.unwrap_or(5);
+
+    let mut runs = Vec::new();
+    for &n in sizes {
+        for (engine, checkpoint) in [("conventional", false), ("dora", true)] {
+            // Build once per (size, mode); recovery itself is repeated
+            // and the best time kept (standard best-of-N noise damping).
+            let fs = SimFs::new();
+            let committed = build_log(&fs, n, checkpoint);
+            let cfg = WalConfig::sim("/wal", fs.clone()).with_segment_bytes(SEGMENT_BYTES);
+
+            let mut best = f64::MAX;
+            let mut report = None;
+            for _ in 0..repeats {
+                let db = Database::default();
+                create_accounts(&db);
+                let start = Instant::now();
+                let r = db.recover_and_attach_wal(cfg.clone()).unwrap();
+                let secs = start.elapsed().as_secs_f64();
+                if secs < best {
+                    best = secs;
+                    report = Some(r);
+                }
+                assert_eq!(
+                    db.row_count(db.table_id("accounts").unwrap()).unwrap(),
+                    ACCOUNTS as usize
+                );
+            }
+            let report = report.unwrap();
+            eprintln!(
+                "  log={n:<6} {engine:<13} recovery {:.1} ms | redone {} skipped {} \
+                 snapshot rows {} checkpoint lsn {}",
+                best * 1e3,
+                report.redone,
+                report.skipped,
+                report.snapshot_rows,
+                report.checkpoint_lsn
+            );
+            if checkpoint {
+                assert!(
+                    report.checkpoint_lsn > 0 && report.snapshot_rows > 0,
+                    "checkpointed recovery must come from the image"
+                );
+            } else {
+                assert_eq!(report.checkpoint_lsn, 0, "no checkpoint was taken");
+            }
+
+            runs.push(Scenario {
+                engine,
+                scenario: format!("log={n}"),
+                workers: 1,
+                clients: 1,
+                committed,
+                aborted: 0,
+                secondary_reads: 0,
+                secondary_retries: 0,
+                log_waits: 0,
+                txn_acquisitions: 0,
+                elapsed_secs: best,
+                critical_sections: 0,
+                extra: vec![
+                    ("redone_records", report.redone as f64),
+                    ("skipped_records", report.skipped as f64),
+                    ("snapshot_rows", report.snapshot_rows as f64),
+                ],
+            });
+        }
+    }
+
+    let report = BenchReport {
+        bench: "recovery_time_vs_log_size",
+        workload: format!(
+            "transfer log replay accounts={ACCOUNTS} segment_bytes={SEGMENT_BYTES} \
+             checkpoint_at=90% sizes={sizes:?}"
+        ),
+        physical_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        quick: args.quick,
+        runs,
+    };
+    print!("{}", report.to_table());
+
+    let out = args
+        .out
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| workspace_root().join("BENCH_recovery_time_vs_log_size.json"));
+    report
+        .write_json(&out, baseline.as_deref())
+        .expect("write bench JSON");
+    println!("wrote {}", out.display());
+}

@@ -161,6 +161,7 @@ struct EngineCounters {
     secondary: AtomicU64,
     secondary_retries: AtomicU64,
     secondary_parked: AtomicU64,
+    log_io_errors: AtomicU64,
 }
 
 /// Per-partition counters, written only by the owning worker (plain
@@ -227,6 +228,10 @@ pub struct DoraStatsSnapshot {
     /// partition's wait list (the writer was still holding the key on
     /// arrival; the remainder re-ran immediately).
     pub secondary_parked: u64,
+    /// Commits failed by a log I/O error (ENOSPC on a segment, failed
+    /// fsync): the transaction aborts visibly instead of being
+    /// acknowledged without durability.
+    pub log_io_errors: u64,
     /// Per-partition counters.
     pub workers: Vec<PartitionStatsSnapshot>,
 }
@@ -422,6 +427,7 @@ impl DoraEngine {
             secondary: c.secondary.load(Ordering::Relaxed),
             secondary_retries: c.secondary_retries.load(Ordering::Relaxed),
             secondary_parked: c.secondary_parked.load(Ordering::Relaxed),
+            log_io_errors: c.log_io_errors.load(Ordering::Relaxed),
             workers: self
                 .inner
                 .partitions
@@ -720,9 +726,18 @@ fn finalize(
     let outcome = match failure {
         None => match inner.db.commit_policy(ctx.txn, DORA_POLICY) {
             Ok(()) => TxnOutcome::Committed,
-            Err(e) => TxnOutcome::Aborted {
-                reason: format!("commit failed: {e}"),
-            },
+            Err(e) => {
+                // A durability failure surfaces *before* the transaction
+                // is marked committed: roll it back so its writes never
+                // become visible, and count the I/O failure distinctly.
+                if matches!(e, StorageError::LogIo(_) | StorageError::LogPoisoned(_)) {
+                    inner.counters.log_io_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                let _ = inner.db.abort_policy(ctx.txn, DORA_POLICY);
+                TxnOutcome::Aborted {
+                    reason: format!("commit failed: {e}"),
+                }
+            }
         },
         Some(e) => {
             let _ = inner.db.abort_policy(ctx.txn, DORA_POLICY);

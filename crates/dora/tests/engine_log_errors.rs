@@ -1,0 +1,170 @@
+//! Graceful degradation at the engine level: a poisoned WAL turns every
+//! write commit into a visible abort, both engines count the failures in
+//! `log_io_errors`, and read-only traffic keeps serving throughout.
+
+use std::sync::Arc;
+
+use dora_core::action::{ActionSpec, FlowGraph};
+use dora_core::executor::{DoraEngine, DoraEngineConfig, DORA_POLICY};
+use dora_core::routing::{RoutingRule, RoutingTable};
+use dora_engine_conv::{ConvEngine, ConvEngineConfig, TxnRequest, CONV_POLICY};
+use dora_storage::db::{Database, LockingPolicy};
+use dora_storage::error::StorageError;
+use dora_storage::io::{FaultPlan, SimFs};
+use dora_storage::schema::{ColumnDef, TableSchema};
+use dora_storage::segment::WalConfig;
+use dora_storage::types::{DataType, TableId, Value};
+
+const ACCOUNTS: i64 = 8;
+
+/// Fresh database with a WAL on the given `SimFs` and a loaded
+/// `accounts(id, balance)` table.
+fn wal_backed_db(fs: &SimFs) -> (Arc<Database>, TableId) {
+    let db = Database::default();
+    let t = db
+        .create_table(TableSchema::new(
+            "accounts",
+            vec![
+                ColumnDef::new("id", DataType::BigInt),
+                ColumnDef::new("balance", DataType::BigInt),
+            ],
+            vec![0],
+        ))
+        .unwrap();
+    db.recover_and_attach_wal(WalConfig::sim("/wal", fs.clone()))
+        .unwrap();
+    let txn = db.begin();
+    for i in 0..ACCOUNTS {
+        db.insert(
+            txn,
+            t,
+            vec![Value::BigInt(i), Value::BigInt(100)],
+            LockingPolicy::Bypass,
+        )
+        .unwrap();
+    }
+    db.commit_policy(txn, LockingPolicy::Bypass).unwrap();
+    (Arc::new(db), t)
+}
+
+/// Schedules the NEXT fsync to fail (dropping dirty pages), which
+/// poisons the log.
+fn poison_next_sync(fs: &SimFs) {
+    let (_, syncs, _) = fs.op_counts();
+    fs.set_faults(FaultPlan {
+        fail_sync: Some(syncs + 1),
+        ..FaultPlan::default()
+    });
+}
+
+fn bump_request(t: TableId, id: i64) -> TxnRequest {
+    TxnRequest::new("Bump", move |db, txn, _| {
+        db.update(
+            txn,
+            t,
+            &[Value::BigInt(id)],
+            &[(1, Value::BigInt(1))],
+            CONV_POLICY,
+        )?;
+        Ok(())
+    })
+}
+
+fn read_request(t: TableId, id: i64) -> TxnRequest {
+    TxnRequest::new("Read", move |db, txn, _| {
+        db.get(txn, t, &[Value::BigInt(id)], CONV_POLICY)?
+            .ok_or(StorageError::NotFound)?;
+        Ok(())
+    })
+}
+
+#[test]
+fn conventional_engine_counts_log_io_errors_and_keeps_serving_reads() {
+    let fs = SimFs::new();
+    let (db, t) = wal_backed_db(&fs);
+    let engine = ConvEngine::new(
+        Arc::clone(&db),
+        ConvEngineConfig {
+            workers: 2,
+            max_retries: 3,
+        },
+    );
+
+    assert!(engine.execute(bump_request(t, 0)).is_committed());
+    assert_eq!(engine.stats().log_io_errors, 0);
+
+    poison_next_sync(&fs);
+    let outcome = engine.execute(bump_request(t, 1));
+    assert!(
+        !outcome.is_committed(),
+        "a write commit over a poisoned log must abort, got {outcome:?}"
+    );
+    assert!(engine.stats().log_io_errors >= 1);
+
+    // Later writes keep failing visibly…
+    assert!(!engine.execute(bump_request(t, 2)).is_committed());
+    assert!(engine.stats().log_io_errors >= 2);
+    // …while read-only transactions still commit (nothing to force).
+    assert!(engine.execute(read_request(t, 3)).is_committed());
+
+    engine.shutdown();
+}
+
+#[test]
+fn dora_engine_counts_log_io_errors_and_keeps_serving_reads() {
+    let fs = SimFs::new();
+    let (db, t) = wal_backed_db(&fs);
+    let mut routing = RoutingTable::new();
+    routing.set_rule(RoutingRule::uniform(t, 0, 0, ACCOUNTS - 1, 2, 2));
+    let engine = DoraEngine::new(
+        Arc::clone(&db),
+        routing,
+        DoraEngineConfig {
+            workers: 2,
+            ..Default::default()
+        },
+    );
+
+    let bump = |id: i64| {
+        FlowGraph::new(
+            "Bump",
+            vec![ActionSpec::write(t, id, move |db, txn, _| {
+                db.update(
+                    txn,
+                    t,
+                    &[Value::BigInt(id)],
+                    &[(1, Value::BigInt(1))],
+                    DORA_POLICY,
+                )?;
+                Ok(vec![])
+            })],
+        )
+    };
+    let read = |id: i64| {
+        FlowGraph::new(
+            "Read",
+            vec![ActionSpec::read(t, id, move |db, txn, _| {
+                db.get(txn, t, &[Value::BigInt(id)], DORA_POLICY)?
+                    .ok_or(StorageError::NotFound)?;
+                Ok(vec![])
+            })],
+        )
+    };
+
+    assert!(engine.execute(bump(0)).is_committed());
+    assert_eq!(engine.stats().log_io_errors, 0);
+
+    poison_next_sync(&fs);
+    let outcome = engine.execute(bump(1));
+    assert!(
+        !outcome.is_committed(),
+        "a write commit over a poisoned log must abort, got {outcome:?}"
+    );
+    assert!(engine.stats().log_io_errors >= 1);
+
+    assert!(!engine.execute(bump(2)).is_committed());
+    assert!(engine.stats().log_io_errors >= 2);
+    assert!(engine.execute(read(3)).is_committed());
+
+    engine.shutdown();
+}

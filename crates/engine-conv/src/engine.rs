@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 use dora_storage::db::{Database, LockingPolicy};
-use dora_storage::error::StorageResult;
+use dora_storage::error::{StorageError, StorageResult};
 use dora_storage::trace::{AccessTrace, WorkerCtx};
 use dora_storage::types::TxnId;
 
@@ -180,6 +180,9 @@ impl ConvEngine {
                         return TxnOutcome::Committed { retries };
                     }
                     Err(e) => {
+                        if matches!(e, StorageError::LogIo(_) | StorageError::LogPoisoned(_)) {
+                            stats.log_io_errors.fetch_add(1, Ordering::Relaxed);
+                        }
                         let _ = db.abort(txn);
                         stats.aborted.fetch_add(1, Ordering::Relaxed);
                         return TxnOutcome::Aborted {
@@ -253,6 +256,7 @@ impl ConvEngine {
             committed: self.stats.committed.load(Ordering::Relaxed),
             aborted: self.stats.aborted.load(Ordering::Relaxed),
             retries: self.stats.retries.load(Ordering::Relaxed),
+            log_io_errors: self.stats.log_io_errors.load(Ordering::Relaxed),
             workers: self.worker_stats.iter().map(|w| w.snapshot()).collect(),
         }
     }

@@ -43,6 +43,10 @@ pub struct EngineStats {
     pub aborted: AtomicU64,
     /// Retries caused by deadlocks or lock timeouts.
     pub retries: AtomicU64,
+    /// Commits failed by a log I/O error (ENOSPC on a segment, failed
+    /// fsync): the transaction aborts visibly instead of being
+    /// acknowledged without durability.
+    pub log_io_errors: AtomicU64,
 }
 
 /// Snapshot of engine-wide counters plus per-worker breakdown.
@@ -54,6 +58,8 @@ pub struct EngineStatsSnapshot {
     pub aborted: u64,
     /// Deadlock/timeout retries.
     pub retries: u64,
+    /// Commits failed by a log I/O error (see [`EngineStats::log_io_errors`]).
+    pub log_io_errors: u64,
     /// Per-worker counters.
     pub workers: Vec<WorkerStatsSnapshot>,
 }
@@ -99,6 +105,7 @@ mod tests {
             committed: 0,
             aborted: 0,
             retries: 0,
+            log_io_errors: 0,
             workers: vec![
                 WorkerStatsSnapshot {
                     executed: 1,

@@ -49,6 +49,18 @@ pub enum StorageError {
     BufferPoolFull,
     /// The write-ahead log or recovery subsystem found corrupt data.
     LogCorrupt(String),
+    /// A transient log I/O failure: the failed step wrote nothing (e.g.
+    /// creating the next segment file returned `ENOSPC`), so the log's
+    /// on-disk state is unchanged and the commit may be retried once the
+    /// condition clears.
+    LogIo(String),
+    /// The log hit an I/O failure after bytes may already have reached the
+    /// file (a short/torn write mid-record, or a failed fsync over dirty
+    /// pages the kernel may have dropped). The log is permanently
+    /// poisoned: every subsequent `force` fails with this error rather
+    /// than silently retrying over possibly-lost data. Read-only traffic
+    /// is unaffected.
+    LogPoisoned(String),
     /// Catch-all for internal invariant violations.
     Internal(String),
 }
@@ -76,6 +88,8 @@ impl fmt::Display for StorageError {
             StorageError::PageFull => write!(f, "page full"),
             StorageError::BufferPoolFull => write!(f, "buffer pool full"),
             StorageError::LogCorrupt(m) => write!(f, "log corrupt: {m}"),
+            StorageError::LogIo(m) => write!(f, "log I/O failure (retryable): {m}"),
+            StorageError::LogPoisoned(m) => write!(f, "log poisoned by I/O failure: {m}"),
             StorageError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -89,15 +103,17 @@ pub type StorageResult<T> = Result<T, StorageError>;
 impl StorageError {
     /// Returns `true` when the error is one the execution engine should
     /// respond to by aborting and retrying the transaction (deadlock, lock
-    /// timeout, or a validated read blocked on an in-flight writer), as
-    /// opposed to a genuine application error or an application-requested
-    /// abort.
+    /// timeout, a validated read blocked on an in-flight writer, or a
+    /// transient log I/O failure that wrote nothing), as opposed to a
+    /// genuine application error, an application-requested abort, or a
+    /// poisoned log (which no retry can fix).
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
             StorageError::Deadlock(_)
                 | StorageError::LockTimeout(_)
                 | StorageError::ReadUncommitted { .. }
+                | StorageError::LogIo(_)
         )
     }
 }
@@ -124,6 +140,8 @@ mod tests {
             writer: 2
         }
         .is_retryable());
+        assert!(StorageError::LogIo("segment create: ENOSPC".into()).is_retryable());
+        assert!(!StorageError::LogPoisoned("fsync failed".into()).is_retryable());
         assert!(!StorageError::Aborted("x".into()).is_retryable());
         assert!(!StorageError::NotFound.is_retryable());
         assert!(!StorageError::PageFull.is_retryable());

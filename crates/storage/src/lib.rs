@@ -48,10 +48,12 @@ pub mod buffer;
 pub mod db;
 pub mod error;
 pub mod heap;
+pub mod io;
 pub mod lock;
 pub mod page;
 pub mod recovery;
 pub mod schema;
+pub mod segment;
 pub mod trace;
 pub mod tuple;
 pub mod txn;

@@ -47,7 +47,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use parking_lot::Mutex;
 
 use crate::error::{StorageError, StorageResult};
-use crate::types::{Key, TableId, TxnId, Value};
+use crate::types::{Key, Lsn, TableId, TxnId, Value};
 
 /// Default slot count (power of two): far above any realistic number of
 /// concurrently active transactions, small enough that the checkpoint
@@ -115,6 +115,11 @@ struct TxnSlot {
     owner: AtomicU64,
     state: AtomicU8,
     begin_logged: AtomicBool,
+    /// Lower bound on the LSN of the transaction's first log record
+    /// (0 = none yet). Published *before* the Begin record is appended,
+    /// so a checkpoint that observes `begin_logged` can always learn a
+    /// safe truncation floor (see `oldest_active_first_lsn`).
+    first_lsn: AtomicU64,
     undo: Mutex<Vec<UndoEntry>>,
 }
 
@@ -173,6 +178,7 @@ impl TxnManager {
                     owner: AtomicU64::new(0),
                     state: AtomicU8::new(STATE_FREE),
                     begin_logged: AtomicBool::new(false),
+                    first_lsn: AtomicU64::new(0),
                     undo: Mutex::new(Vec::new()),
                 })
                 .collect(),
@@ -252,6 +258,7 @@ impl TxnManager {
         // Nobody can query the new id before begin returns it.
         slot.owner.store(id, Ordering::Release);
         slot.begin_logged.store(false, Ordering::Relaxed);
+        slot.first_lsn.store(0, Ordering::Relaxed);
         self.stripe_acquisitions.fetch_add(1, Ordering::Relaxed);
         slot.undo.lock().clear();
         slot.state.store(STATE_ACTIVE, Ordering::Release);
@@ -350,6 +357,59 @@ impl TxnManager {
     pub fn begin_logged(&self, txn: TxnId) -> bool {
         let slot = self.slot(txn);
         slot.owner.load(Ordering::Acquire) == txn && slot.begin_logged.load(Ordering::Acquire)
+    }
+
+    /// Publishes a lower bound on the LSN of the transaction's first log
+    /// record. Called by the `claim_begin_log` winner *before* it appends
+    /// the Begin record, with `log.next_lsn_hint()` — the actual first
+    /// LSN can only be higher, so the bound is always truncation-safe.
+    pub fn note_first_lsn(&self, txn: TxnId, lower_bound: Lsn) -> StorageResult<()> {
+        let slot = self.owned(txn)?;
+        slot.first_lsn.store(lower_bound.max(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// A truncation-safe lower bound on the first log record of any
+    /// currently in-flight transaction (`None` when no in-flight
+    /// transaction has logged anything). In-flight means ACTIVE,
+    /// COMMITTING, or UNDOING: mid-commit and mid-abort transactions
+    /// still have records that recovery may need.
+    ///
+    /// For a slot whose `begin_logged` flag is set but whose `first_lsn`
+    /// is still 0, the owner is between the claim CAS and the
+    /// `note_first_lsn` store (two instructions apart); this spins out
+    /// that window instead of guessing. A transaction that has not
+    /// claimed its Begin yet cannot have records at or below any LSN the
+    /// caller already read from the log, so it is safely skipped.
+    pub fn oldest_active_first_lsn(&self) -> Option<Lsn> {
+        let mut oldest: Option<Lsn> = None;
+        for slot in self.slots.iter() {
+            let owner = slot.owner.load(Ordering::Acquire);
+            if owner == 0 {
+                continue;
+            }
+            let state = slot.state.load(Ordering::Acquire);
+            if !matches!(state, STATE_ACTIVE | STATE_COMMITTING | STATE_UNDOING) {
+                continue;
+            }
+            if !slot.begin_logged.load(Ordering::Acquire) {
+                continue;
+            }
+            let mut lsn = slot.first_lsn.load(Ordering::Acquire);
+            while lsn == 0 {
+                // Mid-claim window; re-check the owner in case the slot
+                // was recycled under us.
+                std::thread::yield_now();
+                if slot.owner.load(Ordering::Acquire) != owner {
+                    break;
+                }
+                lsn = slot.first_lsn.load(Ordering::Acquire);
+            }
+            if lsn > 0 && oldest.is_none_or(|o| lsn < o) {
+                oldest = Some(lsn);
+            }
+        }
+        oldest
     }
 
     /// Transitions an active transaction to `Committed`, returning its undo

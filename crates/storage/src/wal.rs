@@ -109,8 +109,17 @@ pub enum LogPayload {
         /// Row image before the delete (undo).
         before: Vec<Value>,
     },
-    /// A fuzzy checkpoint listing transactions active at checkpoint time.
+    /// A fuzzy checkpoint marker. `base_lsn` is the highest LSN reserved
+    /// when the checkpoint's snapshot scan began (every committed write
+    /// at or below it is reflected in the snapshot image); `keep_from`
+    /// is the replay floor — `min(base_lsn + 1, first LSN of the oldest
+    /// transaction active at scan start)` — below which segments may be
+    /// truncated once the checkpoint is durable.
     Checkpoint {
+        /// Highest reserved LSN when the snapshot scan began.
+        base_lsn: Lsn,
+        /// Truncation boundary: recovery needs records `>= keep_from`.
+        keep_from: Lsn,
         /// Transactions active when the checkpoint was taken.
         active: Vec<TxnId>,
     },
@@ -152,6 +161,10 @@ pub struct LogStatsSnapshot {
     /// below the force target but had not yet published its slot.
     /// Counted once per stalled slot.
     pub straggler_waits: u64,
+    /// Log I/O failures observed by `force` (both retryable segment-
+    /// rotation failures and the fatal write/fsync failures that poison
+    /// the log). Zero when no file backing is attached.
+    pub io_errors: u64,
 }
 
 impl LogStatsSnapshot {
@@ -200,15 +213,34 @@ pub struct LogManager {
     /// `Release` store after the drain, `Acquire` load — see the module
     /// ordering notes.
     flushed_lsn: AtomicU64,
-    /// Drained records in LSN order — the simulated log file. Doubles as
-    /// the flusher claim: whoever holds it is *the* group committer.
-    /// Appenders never take it on their hot path.
-    durable: Mutex<Vec<LogRecord>>,
+    /// Drained records in LSN order plus the optional file-backed segment
+    /// writer. Doubles as the flusher claim: whoever holds it is *the*
+    /// group committer. Appenders never take it on their hot path.
+    durable: Mutex<DurableLog>,
+    /// True once a file-backed segment writer is attached. Lets hot paths
+    /// skip durability-only work (CLR logging) without taking the
+    /// flusher mutex.
+    file_backed: std::sync::atomic::AtomicBool,
+    /// Set when a fatal log I/O failure occurred: every subsequent
+    /// `force` fails with [`StorageError::LogPoisoned`] instead of
+    /// silently retrying over possibly-dropped pages.
+    poisoned: std::sync::atomic::AtomicBool,
     forces: AtomicU64,
     group_commits: AtomicU64,
     commit_waits: AtomicU64,
     append_waits: AtomicU64,
     straggler_waits: AtomicU64,
+    io_errors: AtomicU64,
+}
+
+/// The durable side of the log, guarded by the flusher mutex: the
+/// in-memory record mirror (recovery tests and `records()` read it) and,
+/// when durability is attached, the on-disk segment writer. Draining
+/// buffers records into both; file I/O happens only in `force`.
+#[derive(Default)]
+struct DurableLog {
+    records: Vec<LogRecord>,
+    writer: Option<crate::segment::SegmentWriter>,
 }
 
 impl Default for LogManager {
@@ -239,12 +271,15 @@ impl LogManager {
             mask: capacity as u64 - 1,
             drained_lsn: AtomicU64::new(0),
             flushed_lsn: AtomicU64::new(0),
-            durable: Mutex::new(Vec::new()),
+            durable: Mutex::new(DurableLog::default()),
+            file_backed: std::sync::atomic::AtomicBool::new(false),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
             forces: AtomicU64::new(0),
             group_commits: AtomicU64::new(0),
             commit_waits: AtomicU64::new(0),
             append_waits: AtomicU64::new(0),
             straggler_waits: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
         }
     }
 
@@ -293,7 +328,20 @@ impl LogManager {
     /// whose LSN is already covered return without touching any lock, and
     /// callers racing an in-flight flush wait for its watermark (at most
     /// one contended wait) instead of queueing on a record mutex.
-    pub fn force(&self, lsn: Lsn) {
+    ///
+    /// With a file-backed writer attached, "durable" means **fsynced**:
+    /// the flusher drains the published prefix into the segment writer
+    /// and flushes it before advancing `flushed_lsn`. Failure policy:
+    ///
+    /// * a retryable failure (segment rotation wrote nothing) returns
+    ///   [`StorageError::LogIo`]; the drained records stay buffered and a
+    ///   later force may succeed;
+    /// * a fatal failure (short/torn write mid-record, failed fsync over
+    ///   possibly-dropped pages) **poisons the log**: this and every
+    ///   subsequent force fail with [`StorageError::LogPoisoned`].
+    ///   Appends and reads keep working, so read-only traffic and abort
+    ///   paths are unaffected.
+    pub fn force(&self, lsn: Lsn) -> StorageResult<()> {
         self.forces.fetch_add(1, Ordering::Relaxed);
         // Clamp to the reserved range: forcing an LSN nobody appended
         // must not wait for a record that will never exist.
@@ -303,12 +351,26 @@ impl LogManager {
         // Release watermark store, so a covered caller also sees every
         // record the watermark covers.
         while self.flushed_lsn.load(Ordering::Acquire) < lsn {
+            if self.poisoned.load(Ordering::Acquire) {
+                return Err(StorageError::LogPoisoned(
+                    "log poisoned by an earlier I/O failure".into(),
+                ));
+            }
             if let Some(mut durable) = self.durable.try_lock() {
                 // We are the group committer: drain the contiguous
                 // published prefix, insisting on every straggler <= lsn.
                 self.group_commits.fetch_add(1, Ordering::Relaxed);
                 let target = lsn.min(self.next_lsn.load(Ordering::Acquire) - 1);
                 let drained = self.drain_published(&mut durable, target);
+                if let Some(writer) = durable.writer.as_mut() {
+                    if let Err(e) = writer.flush() {
+                        self.io_errors.fetch_add(1, Ordering::Relaxed);
+                        if !e.retryable {
+                            self.poisoned.store(true, Ordering::Release);
+                        }
+                        return Err(e.into());
+                    }
+                }
                 // Ordering edge 3: Release after the drain's record moves
                 // so `flushed_lsn()` readers observe the covered records.
                 self.flushed_lsn.fetch_max(drained, Ordering::Release);
@@ -321,13 +383,16 @@ impl LogManager {
                 std::thread::yield_now();
             }
         }
+        Ok(())
     }
 
     /// Drains the contiguous published prefix of the ring into `durable`,
     /// spinning on stragglers only up to `must_reach` (pass 0 to take
     /// strictly what is already published). Returns the new drained LSN.
-    /// Caller holds the flusher mutex.
-    fn drain_published(&self, durable: &mut Vec<LogRecord>, must_reach: Lsn) -> Lsn {
+    /// Caller holds the flusher mutex. Performs **no file I/O** — records
+    /// are buffered into the segment writer and hit disk only in `force`,
+    /// which keeps the appenders' help-drain path infallible.
+    fn drain_published(&self, durable: &mut DurableLog, must_reach: Lsn) -> Lsn {
         let mut drained = self.drained_lsn.load(Ordering::Acquire);
         loop {
             let lsn = drained + 1;
@@ -351,7 +416,10 @@ impl LogManager {
             // SAFETY: published (`seq == pos + 1`) and not yet drained; the
             // flusher mutex serializes all drains.
             let rec = unsafe { (*slot.rec.get()).take() }.expect("published slot holds a record");
-            durable.push(rec);
+            if let Some(writer) = durable.writer.as_mut() {
+                writer.buffer(&rec);
+            }
+            durable.records.push(rec);
             // Free the slot for the next round's appender.
             slot.seq.store(pos + self.capacity(), Ordering::Release);
             drained = lsn;
@@ -393,7 +461,7 @@ impl LogManager {
     /// Number of records in the published prefix.
     pub fn len(&self) -> usize {
         let durable = self.durable.lock();
-        let mut n = durable.len();
+        let mut n = durable.records.len();
         self.for_each_undrained_published(|_| n += 1);
         n
     }
@@ -409,9 +477,81 @@ impl LogManager {
     /// a concurrent drain from moving records mid-copy.
     pub fn records(&self) -> Vec<LogRecord> {
         let durable = self.durable.lock();
-        let mut out = durable.clone();
+        let mut out = durable.records.clone();
         self.for_each_undrained_published(|r| out.push(r.clone()));
         out
+    }
+
+    /// Attaches a file-backed segment writer to an otherwise untouched
+    /// log and fast-forwards the LSN space past a recovered prefix: the
+    /// next append gets `last_lsn + 1`, and `flushed_lsn` starts at
+    /// `last_lsn` (those records are already on disk). Errors if any
+    /// record was appended to this log first.
+    pub fn install_writer(
+        &self,
+        writer: crate::segment::SegmentWriter,
+        last_lsn: Lsn,
+    ) -> StorageResult<()> {
+        let mut durable = self.durable.lock();
+        if self.next_lsn.load(Ordering::Acquire) != 1
+            || !durable.records.is_empty()
+            || durable.writer.is_some()
+        {
+            return Err(StorageError::Internal(
+                "install_writer requires a fresh, empty log".into(),
+            ));
+        }
+        // Re-seat every ring slot's turn word for the shifted position
+        // space: slot `i` must read "free" for the smallest position
+        // >= last_lsn (the position of lsn `last_lsn + 1` is `last_lsn`)
+        // that maps to it.
+        let cap = self.capacity();
+        let start_pos = last_lsn;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let mut p = (start_pos & !self.mask) + i as u64;
+            if p < start_pos {
+                p += cap;
+            }
+            slot.seq.store(p, Ordering::Relaxed);
+        }
+        self.next_lsn.store(last_lsn + 1, Ordering::Release);
+        self.drained_lsn.store(last_lsn, Ordering::Release);
+        self.flushed_lsn.store(last_lsn, Ordering::Release);
+        durable.writer = Some(writer);
+        self.file_backed.store(true, Ordering::Release);
+        Ok(())
+    }
+
+    /// True when a file-backed segment writer is attached (durable mode).
+    pub fn is_file_backed(&self) -> bool {
+        self.file_backed.load(Ordering::Acquire)
+    }
+
+    /// Deletes on-disk segments whose records all lie below `keep_from`
+    /// (they are covered by a durable checkpoint). No-op without a
+    /// writer. Returns the number of segment files removed.
+    pub fn truncate_below(&self, keep_from: Lsn) -> usize {
+        let mut durable = self.durable.lock();
+        match durable.writer.as_mut() {
+            Some(w) => w.truncate_below(keep_from),
+            None => 0,
+        }
+    }
+
+    /// Highest reserved LSN (0 when nothing was appended). This is the
+    /// checkpoint's snapshot boundary: every record at or below it was
+    /// appended before the call returned.
+    pub fn last_reserved_lsn(&self) -> Lsn {
+        self.next_lsn.load(Ordering::Acquire) - 1
+    }
+
+    /// A lower bound on the LSN the *next* append by this thread will
+    /// receive. Used to pre-publish a transaction's `first_lsn` before
+    /// its Begin record is appended, closing the race between the
+    /// checkpoint's oldest-active computation and an in-flight first
+    /// append.
+    pub fn next_lsn_hint(&self) -> Lsn {
+        self.next_lsn.load(Ordering::Acquire)
     }
 
     /// Log activity counters.
@@ -424,6 +564,7 @@ impl LogManager {
             commit_waits: self.commit_waits.load(Ordering::Relaxed),
             append_waits: self.append_waits.load(Ordering::Relaxed),
             straggler_waits: self.straggler_waits.load(Ordering::Relaxed),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
         }
     }
 
@@ -467,7 +608,7 @@ fn put_values(vals: &[Value], out: &mut Vec<u8>) {
     out.extend_from_slice(&encoded);
 }
 
-fn encode_record(r: &LogRecord, out: &mut Vec<u8>) {
+pub(crate) fn encode_record(r: &LogRecord, out: &mut Vec<u8>) {
     out.extend_from_slice(&r.lsn.to_le_bytes());
     out.extend_from_slice(&r.txn.to_le_bytes());
     match &r.payload {
@@ -498,8 +639,14 @@ fn encode_record(r: &LogRecord, out: &mut Vec<u8>) {
             put_values(key, out);
             put_values(before, out);
         }
-        LogPayload::Checkpoint { active } => {
+        LogPayload::Checkpoint {
+            base_lsn,
+            keep_from,
+            active,
+        } => {
             out.push(TAG_CHECKPOINT);
+            out.extend_from_slice(&base_lsn.to_le_bytes());
+            out.extend_from_slice(&keep_from.to_le_bytes());
             out.extend_from_slice(&(active.len() as u32).to_le_bytes());
             for t in active {
                 out.extend_from_slice(&t.to_le_bytes());
@@ -537,7 +684,7 @@ fn get_values(bytes: &[u8], pos: &mut usize) -> StorageResult<Vec<Value>> {
     tuple::decode(raw)
 }
 
-fn decode_record(bytes: &[u8], pos: &mut usize) -> StorageResult<LogRecord> {
+pub(crate) fn decode_record(bytes: &[u8], pos: &mut usize) -> StorageResult<LogRecord> {
     let lsn = read_u64(bytes, pos)?;
     let txn = read_u64(bytes, pos)?;
     let tag = read_u8(bytes, pos)?;
@@ -570,12 +717,18 @@ fn decode_record(bytes: &[u8], pos: &mut usize) -> StorageResult<LogRecord> {
             LogPayload::Delete { table, key, before }
         }
         TAG_CHECKPOINT => {
+            let base_lsn = read_u64(bytes, pos)?;
+            let keep_from = read_u64(bytes, pos)?;
             let n = read_u32(bytes, pos)? as usize;
             let mut active = Vec::with_capacity(n);
             for _ in 0..n {
                 active.push(read_u64(bytes, pos)?);
             }
-            LogPayload::Checkpoint { active }
+            LogPayload::Checkpoint {
+                base_lsn,
+                keep_from,
+                active,
+            }
         }
         other => {
             return Err(StorageError::LogCorrupt(format!(
@@ -611,6 +764,8 @@ mod tests {
                 before: vec![Value::BigInt(5), Value::Varchar("new".into())],
             },
             LogPayload::Checkpoint {
+                base_lsn: 4,
+                keep_from: 2,
                 active: vec![1, 2, 3],
             },
             LogPayload::Commit,
@@ -633,10 +788,10 @@ mod tests {
         let log = LogManager::new();
         let lsn = log.append(1, LogPayload::Begin);
         assert_eq!(log.flushed_lsn(), 0);
-        log.force(lsn);
+        log.force(lsn).unwrap();
         assert_eq!(log.flushed_lsn(), lsn);
         // Forcing an older LSN never regresses durability.
-        log.force(0);
+        log.force(0).unwrap();
         assert_eq!(log.flushed_lsn(), lsn);
         assert_eq!(log.stats().forces, 2);
         assert_eq!(log.stats().group_commits, 1, "the second force rode");
@@ -729,7 +884,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for _ in 0..300 {
                     let lsn = log.append(t, LogPayload::Commit);
-                    log.force(lsn);
+                    log.force(lsn).unwrap();
                     assert!(log.flushed_lsn() >= lsn, "force returned uncovered");
                 }
             }));
@@ -762,7 +917,7 @@ mod tests {
                 for _ in 0..400 {
                     let lsn = log.append(t, LogPayload::Begin);
                     if lsn.is_multiple_of(3) {
-                        log.force(lsn);
+                        log.force(lsn).unwrap();
                     }
                 }
             }));
@@ -833,7 +988,7 @@ mod buffer_proptests {
                                 },
                             );
                             if (lsn.wrapping_mul(0x9e37_79b9)) % 100 < force_pct {
-                                log.force(lsn);
+                                log.force(lsn).unwrap();
                                 assert!(log.flushed_lsn() >= lsn);
                             }
                         }

@@ -1,0 +1,388 @@
+//! Kill-and-restart crash recovery against the REAL file system.
+//!
+//! The test re-executes its own binary as a child process (`CRASH_MODE`
+//! env selects the role). The traffic child recovers whatever state the
+//! previous incarnation left, then runs seeded transfer transactions
+//! against a `std::fs`-backed WAL, appending each transaction's id to a
+//! separate ack file only AFTER `commit` returned. The parent SIGKILLs
+//! it at a seeded random point, restarts a verifier, and demands:
+//!
+//! * every acked transaction is present after recovery (durability),
+//! * the balance table equals replaying the op log from the initial
+//!   state (atomicity — no half-applied transfer survives),
+//! * total money is conserved,
+//! * validated reads serve with zero retries.
+//!
+//! Traffic also checkpoints every 64 transactions, so kills land before,
+//! during, and after fuzzy checkpoints and segment truncation.
+//!
+//! Iterations default to 8 for local runs; CI sets `CRASH_ITERS=50`.
+
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+use dora_storage::db::{Database, LockingPolicy};
+use dora_storage::schema::{ColumnDef, TableSchema};
+use dora_storage::segment::WalConfig;
+use dora_storage::types::{TableId, Value};
+
+const P: LockingPolicy = LockingPolicy::Centralized;
+const ACCOUNTS: i64 = 16;
+const INITIAL: i64 = 1_000;
+const CHECKPOINT_EVERY: u64 = 64;
+const MAX_OPS_PER_RUN: u64 = 100_000;
+const TEST_NAME: &str = "crash_and_restart_preserves_every_acked_transaction";
+
+fn xorshift(mut x: u64) -> u64 {
+    x |= 1;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    x
+}
+
+struct Harness {
+    db: Database,
+    accounts: TableId,
+    oplog: TableId,
+}
+
+/// Opens (or re-opens) the database over the WAL directory, recovering
+/// whatever the previous incarnation made durable.
+fn open(root: &Path) -> Harness {
+    let db = Database::default();
+    let accounts = db
+        .create_table(TableSchema::new(
+            "accounts",
+            vec![
+                ColumnDef::new("id", dora_storage::types::DataType::BigInt),
+                ColumnDef::new("bal", dora_storage::types::DataType::BigInt),
+            ],
+            vec![0],
+        ))
+        .unwrap();
+    let oplog = db
+        .create_table(TableSchema::new(
+            "oplog",
+            vec![
+                ColumnDef::new("op_id", dora_storage::types::DataType::BigInt),
+                ColumnDef::new("src", dora_storage::types::DataType::BigInt),
+                ColumnDef::new("dst", dora_storage::types::DataType::BigInt),
+                ColumnDef::new("amt", dora_storage::types::DataType::BigInt),
+            ],
+            vec![0],
+        ))
+        .unwrap();
+    db.recover_and_attach_wal(WalConfig::std_fs(root.join("wal")))
+        .unwrap();
+    Harness {
+        db,
+        accounts,
+        oplog,
+    }
+}
+
+/// Fully-written ack lines (a torn final line without `\n` is ignored —
+/// the crash may have struck mid-append).
+fn read_acks(root: &Path) -> Vec<i64> {
+    let bytes = std::fs::read(root.join("acks.txt")).unwrap_or_default();
+    let text = String::from_utf8_lossy(&bytes);
+    let mut acks = Vec::new();
+    for line in text.split_inclusive('\n') {
+        if let Some(stripped) = line.strip_suffix('\n') {
+            acks.push(stripped.parse::<i64>().expect("complete ack line"));
+        }
+    }
+    acks
+}
+
+fn balances(h: &Harness) -> BTreeMap<i64, i64> {
+    let txn = h.db.begin();
+    let rows =
+        h.db.scan_validated(
+            txn,
+            h.accounts,
+            &[Value::BigInt(i64::MIN)],
+            &[Value::BigInt(i64::MAX)],
+            P,
+        )
+        .unwrap();
+    h.db.commit_policy(txn, P).unwrap();
+    rows.iter()
+        .map(|r| match (&r[0], &r[1]) {
+            (Value::BigInt(id), Value::BigInt(bal)) => (*id, *bal),
+            other => panic!("bad accounts row: {other:?}"),
+        })
+        .collect()
+}
+
+/// `op_id -> (src, dst, amt)` from the committed op log.
+fn oplog_rows(h: &Harness) -> BTreeMap<i64, (i64, i64, i64)> {
+    let txn = h.db.begin();
+    let rows =
+        h.db.scan_validated(
+            txn,
+            h.oplog,
+            &[Value::BigInt(i64::MIN)],
+            &[Value::BigInt(i64::MAX)],
+            P,
+        )
+        .unwrap();
+    h.db.commit_policy(txn, P).unwrap();
+    rows.iter()
+        .map(|r| match (&r[0], &r[1], &r[2], &r[3]) {
+            (Value::BigInt(op), Value::BigInt(s), Value::BigInt(d), Value::BigInt(a)) => {
+                (*op, (*s, *d, *a))
+            }
+            other => panic!("bad oplog row: {other:?}"),
+        })
+        .collect()
+}
+
+/// The full post-crash audit. Panics (test failure in the child, exit
+/// code 101) on any violated invariant.
+fn verify(root: &Path, h: &Harness) {
+    let bals = balances(h);
+    let ops = oplog_rows(h);
+    let acks = read_acks(root);
+
+    for op_id in &acks {
+        assert!(
+            ops.contains_key(op_id),
+            "acked transaction {op_id} lost after recovery \
+             ({} acked, {} in oplog)",
+            acks.len(),
+            ops.len()
+        );
+    }
+
+    // Transfers only start once all accounts exist, so every op in the
+    // log ran against the full population.
+    if !ops.is_empty() {
+        assert_eq!(
+            bals.len() as i64,
+            ACCOUNTS,
+            "oplog non-empty on partial load"
+        );
+    }
+    let total: i64 = bals.values().sum();
+    assert_eq!(
+        total,
+        INITIAL * bals.len() as i64,
+        "money not conserved: {bals:?}"
+    );
+
+    // Atomicity: replaying the op log from the initial state must land
+    // exactly on the recovered balances — an oplog row without its two
+    // balance updates (or vice versa) cannot exist.
+    let mut model: BTreeMap<i64, i64> = bals.keys().map(|&id| (id, INITIAL)).collect();
+    for (op_id, (src, dst, amt)) in &ops {
+        let s = model
+            .get_mut(src)
+            .unwrap_or_else(|| panic!("op {op_id} names unknown account {src}"));
+        *s -= amt;
+        *model.get_mut(dst).unwrap() += amt;
+    }
+    assert_eq!(model, bals, "balances diverge from op-log replay");
+
+    assert_eq!(
+        h.db.counters().validated_retries,
+        0,
+        "recovered database must serve validated reads without retries"
+    );
+}
+
+/// Ensures all `ACCOUNTS` rows exist (the previous incarnation may have
+/// died mid-load); each insert is its own transaction.
+fn load_missing_accounts(h: &Harness) {
+    for id in 0..ACCOUNTS {
+        let txn = h.db.begin();
+        let present =
+            h.db.get(txn, h.accounts, &[Value::BigInt(id)], P)
+                .unwrap()
+                .is_some();
+        if !present {
+            h.db.insert(
+                txn,
+                h.accounts,
+                vec![Value::BigInt(id), Value::BigInt(INITIAL)],
+                P,
+            )
+            .unwrap();
+        }
+        h.db.commit_policy(txn, P).unwrap();
+    }
+}
+
+/// Runs seeded transfers until killed (or a generous cap). Every commit
+/// is acked to `acks.txt` AFTER `commit` returns, with its own fsync.
+fn run_traffic(root: &Path) {
+    let h = open(root);
+    verify(root, &h); // each incarnation audits its inheritance first
+    load_missing_accounts(&h);
+
+    let next_op = oplog_rows(&h).keys().max().copied().unwrap_or(-1) + 1;
+
+    // Repair a torn ack tail before appending anything: a partial final
+    // line means the SIGKILL struck mid-append. The commit behind it was
+    // durable, but its ack never completed — drop the fragment, or the
+    // next ack would concatenate onto it and forge a bogus op id.
+    let ack_path = root.join("acks.txt");
+    if let Ok(bytes) = std::fs::read(&ack_path) {
+        if !bytes.is_empty() && bytes.last() != Some(&b'\n') {
+            let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&ack_path)
+                .unwrap();
+            f.set_len(keep as u64).unwrap();
+            f.sync_all().unwrap();
+        }
+    }
+    let mut acks = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&ack_path)
+        .unwrap();
+
+    for op_id in next_op..next_op + MAX_OPS_PER_RUN as i64 {
+        let r0 = xorshift(0x9e37_79b9 ^ op_id as u64);
+        let r1 = xorshift(r0);
+        let r2 = xorshift(r1);
+        let src = (r0 % ACCOUNTS as u64) as i64;
+        let dst = ((r1 % (ACCOUNTS as u64 - 1) + 1 + src as u64) % ACCOUNTS as u64) as i64;
+        let amt = (r2 % 10) as i64 + 1;
+
+        let txn = h.db.begin();
+        let get_bal = |id: i64| -> i64 {
+            match h.db.get(txn, h.accounts, &[Value::BigInt(id)], P) {
+                Ok(Some(row)) => match row[1] {
+                    Value::BigInt(b) => b,
+                    _ => panic!("bad balance"),
+                },
+                other => panic!("read account {id}: {other:?}"),
+            }
+        };
+        let (sb, db_) = (get_bal(src), get_bal(dst));
+        h.db.update(
+            txn,
+            h.accounts,
+            &[Value::BigInt(src)],
+            &[(1, Value::BigInt(sb - amt))],
+            P,
+        )
+        .unwrap();
+        h.db.update(
+            txn,
+            h.accounts,
+            &[Value::BigInt(dst)],
+            &[(1, Value::BigInt(db_ + amt))],
+            P,
+        )
+        .unwrap();
+        h.db.insert(
+            txn,
+            h.oplog,
+            vec![
+                Value::BigInt(op_id),
+                Value::BigInt(src),
+                Value::BigInt(dst),
+                Value::BigInt(amt),
+            ],
+            P,
+        )
+        .unwrap();
+        h.db.commit_policy(txn, P).unwrap();
+
+        // Ack strictly after the commit was acknowledged durable. One
+        // `write_all` call so the id and its newline cannot be torn
+        // apart by a kill between two write syscalls.
+        acks.write_all(format!("{op_id}\n").as_bytes()).unwrap();
+        acks.sync_all().unwrap();
+
+        if (op_id as u64 + 1).is_multiple_of(CHECKPOINT_EVERY) {
+            h.db.checkpoint().unwrap();
+        }
+    }
+}
+
+fn spawn_child(root: &Path, mode: &str) -> std::process::Child {
+    Command::new(std::env::current_exe().unwrap())
+        .args(["--exact", TEST_NAME, "--test-threads=1", "--nocapture"])
+        .env("CRASH_DIR", root)
+        .env("CRASH_MODE", mode)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn crash-test child")
+}
+
+fn assert_child_ok(child: std::process::Child, what: &str) {
+    let out = child.wait_with_output().expect("wait for child");
+    assert!(
+        out.status.success(),
+        "{what} child failed ({:?}):\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+fn parent(root: &PathBuf) {
+    let _ = std::fs::remove_dir_all(root);
+    std::fs::create_dir_all(root).unwrap();
+
+    let iters: u64 = std::env::var("CRASH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let mut seed: u64 = std::env::var("CRASH_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0xC0FFEE);
+
+    for iter in 0..iters {
+        let mut traffic = spawn_child(root, "traffic");
+        seed = xorshift(seed);
+        let delay_ms = 20 + seed % 130;
+        std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+        // SIGKILL: no destructors, no flushes — a real crash.
+        let _ = traffic.kill();
+        let _ = traffic.wait();
+
+        let verify_child = spawn_child(root, "verify");
+        assert_child_ok(verify_child, &format!("verify (iteration {iter})"));
+    }
+
+    // The harness is vacuous if the children never commit anything:
+    // demand real acked traffic accumulated across the incarnations.
+    let acked = read_acks(root).len();
+    println!("crash harness: {iters} kills survived, {acked} acked transactions");
+    assert!(
+        acked > 0,
+        "no transaction was ever acked — the traffic child is not making progress"
+    );
+
+    let _ = std::fs::remove_dir_all(root);
+}
+
+#[test]
+fn crash_and_restart_preserves_every_acked_transaction() {
+    match std::env::var("CRASH_MODE").as_deref() {
+        Ok("traffic") => {
+            let root = PathBuf::from(std::env::var("CRASH_DIR").unwrap());
+            run_traffic(&root);
+        }
+        Ok("verify") => {
+            let root = PathBuf::from(std::env::var("CRASH_DIR").unwrap());
+            let h = open(&root);
+            verify(&root, &h);
+        }
+        _ => {
+            let root = std::env::temp_dir().join(format!("dora-crash-{}", std::process::id()));
+            parent(&root);
+        }
+    }
+}

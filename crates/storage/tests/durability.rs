@@ -1,0 +1,577 @@
+//! End-to-end durability: the disk-backed WAL under clean restarts,
+//! simulated crashes, fault-injected I/O, and byte-level log truncation.
+//!
+//! Everything here drives the public surface only: build a [`Database`],
+//! attach a WAL with [`Database::recover_and_attach_wal`], run
+//! transactions, crash the simulated file system, recover into a fresh
+//! database, and compare. The [`SimFs`] fault plans make the failure
+//! cases deterministic — a test names the exact append/sync/create
+//! operation that misbehaves.
+
+use std::collections::BTreeMap;
+
+use dora_storage::db::{Database, LockingPolicy};
+use dora_storage::error::StorageError;
+use dora_storage::io::{FaultPlan, SimFs, WalFs};
+use dora_storage::schema::{ColumnDef, TableSchema};
+use dora_storage::segment::{read_log, WalConfig};
+use dora_storage::types::{DataType, TableId, Value};
+use dora_storage::wal::LogPayload;
+
+const P: LockingPolicy = LockingPolicy::Centralized;
+
+/// A two-column `accounts(id BigInt PK, bal BigInt)` table.
+fn accounts_schema() -> TableSchema {
+    TableSchema::new(
+        "accounts",
+        vec![
+            ColumnDef::new("id", DataType::BigInt),
+            ColumnDef::new("bal", DataType::BigInt),
+        ],
+        vec![0],
+    )
+}
+
+fn fresh_db() -> (Database, TableId) {
+    let db = Database::default();
+    let t = db.create_table(accounts_schema()).unwrap();
+    (db, t)
+}
+
+fn insert_account(db: &Database, t: TableId, id: i64, bal: i64) {
+    let txn = db.begin();
+    db.insert(txn, t, vec![Value::BigInt(id), Value::BigInt(bal)], P)
+        .unwrap();
+    db.commit_policy(txn, P).unwrap();
+}
+
+fn set_balance(db: &Database, t: TableId, id: i64, bal: i64) {
+    let txn = db.begin();
+    db.update(txn, t, &[Value::BigInt(id)], &[(1, Value::BigInt(bal))], P)
+        .unwrap();
+    db.commit_policy(txn, P).unwrap();
+}
+
+fn delete_account(db: &Database, t: TableId, id: i64) {
+    let txn = db.begin();
+    db.delete(txn, t, &[Value::BigInt(id)], P).unwrap();
+    db.commit_policy(txn, P).unwrap();
+}
+
+/// Committed state as `id -> bal`, via the validated-read scan.
+fn balances(db: &Database, t: TableId) -> BTreeMap<i64, i64> {
+    let txn = db.begin();
+    let rows = db
+        .scan_validated(
+            txn,
+            t,
+            &[Value::BigInt(i64::MIN)],
+            &[Value::BigInt(i64::MAX)],
+            P,
+        )
+        .unwrap();
+    db.commit_policy(txn, P).unwrap();
+    rows.iter()
+        .map(|r| match (&r[0], &r[1]) {
+            (Value::BigInt(id), Value::BigInt(bal)) => (*id, *bal),
+            other => panic!("unexpected row shape: {other:?}"),
+        })
+        .collect()
+}
+
+#[test]
+fn committed_work_survives_a_simulated_crash_and_restart() {
+    let fs = SimFs::new();
+    let cfg = WalConfig::sim("/wal", fs.clone()).with_segment_bytes(512);
+
+    let expected = {
+        let (db, t) = fresh_db();
+        let report = db.recover_and_attach_wal(cfg.clone()).unwrap();
+        assert_eq!(report.redone, 0, "fresh log has nothing to redo");
+
+        for id in 0..20 {
+            insert_account(&db, t, id, 1_000 + id);
+        }
+        set_balance(&db, t, 3, 42);
+        delete_account(&db, t, 7);
+
+        let committed = balances(&db, t);
+
+        // An uncommitted transaction: its effects must NOT survive. It
+        // runs under `Bypass` so its row locks don't block anything
+        // while it idles in flight; the crash strikes mid-transaction.
+        let loser = db.begin();
+        let b = LockingPolicy::Bypass;
+        db.insert(loser, t, vec![Value::BigInt(999), Value::BigInt(1)], b)
+            .unwrap();
+        db.update(loser, t, &[Value::BigInt(5)], &[(1, Value::BigInt(-1))], b)
+            .unwrap();
+
+        committed
+    };
+    assert_eq!(expected.len(), 19);
+    assert_eq!(expected[&3], 42);
+    assert!(!expected.contains_key(&7));
+
+    // Crash: synced bytes survive, unsynced bytes are torn.
+    fs.crash(0xdead_beef);
+
+    let (db2, t2) = fresh_db();
+    let report = db2.recover_and_attach_wal(cfg.clone()).unwrap();
+    assert!(report.redone > 0);
+    assert_eq!(balances(&db2, t2), expected);
+    assert_eq!(
+        db2.counters().validated_retries,
+        0,
+        "recovered database must serve validated reads without retries"
+    );
+
+    // The reattached writer keeps working: new commits are durable too.
+    insert_account(&db2, t2, 777, 7);
+    fs.crash(0x5eed);
+
+    let (db3, t3) = fresh_db();
+    db3.recover_and_attach_wal(cfg).unwrap();
+    let mut expected2 = expected.clone();
+    expected2.insert(777, 7);
+    assert_eq!(balances(&db3, t3), expected2);
+}
+
+#[test]
+fn fuzzy_checkpoint_truncates_segments_and_restart_uses_the_image() {
+    let fs = SimFs::new();
+    let cfg = WalConfig::sim("/wal", fs.clone()).with_segment_bytes(256);
+
+    let (db, t) = fresh_db();
+    db.recover_and_attach_wal(cfg.clone()).unwrap();
+
+    for id in 0..30 {
+        insert_account(&db, t, id, id * 10);
+    }
+    let segments_before = wal_segment_names(&fs);
+    assert!(
+        segments_before.len() > 2,
+        "tiny segments must have rotated: {segments_before:?}"
+    );
+
+    let base = db.checkpoint().unwrap();
+    assert!(base > 0);
+
+    let segments_after = wal_segment_names(&fs);
+    assert!(
+        segments_after.len() < segments_before.len(),
+        "checkpoint must truncate sealed segments below keep_from \
+         ({segments_before:?} -> {segments_after:?})"
+    );
+    assert!(
+        wal_checkpoint_names(&fs).iter().any(|n| n.ends_with(".ck")),
+        "checkpoint image file must exist"
+    );
+
+    // Post-checkpoint traffic, then crash.
+    set_balance(&db, t, 0, -5);
+    delete_account(&db, t, 29);
+    let expected = balances(&db, t);
+    fs.crash(17);
+
+    let (db2, t2) = fresh_db();
+    let report = db2.recover_and_attach_wal(cfg).unwrap();
+    assert_eq!(report.checkpoint_lsn, base);
+    assert!(
+        report.snapshot_rows > 0,
+        "recovery must have loaded rows from the checkpoint image"
+    );
+    assert_eq!(balances(&db2, t2), expected);
+    assert_eq!(db2.counters().validated_retries, 0);
+}
+
+#[test]
+fn checkpoint_with_an_active_transaction_keeps_its_log_suffix() {
+    let fs = SimFs::new();
+    let cfg = WalConfig::sim("/wal", fs.clone()).with_segment_bytes(256);
+
+    let (db, t) = fresh_db();
+    db.recover_and_attach_wal(cfg.clone()).unwrap();
+    for id in 0..10 {
+        insert_account(&db, t, id, id);
+    }
+
+    // An in-flight writer pins the truncation point at its first LSN.
+    let active = db.begin();
+    db.update(
+        active,
+        t,
+        &[Value::BigInt(0)],
+        &[(1, Value::BigInt(123))],
+        P,
+    )
+    .unwrap();
+    for id in 10..20 {
+        insert_account(&db, t, id, id);
+    }
+
+    db.checkpoint().unwrap();
+    db.commit_policy(active, P).unwrap();
+    let expected = balances(&db, t);
+    fs.crash(3);
+
+    let (db2, t2) = fresh_db();
+    db2.recover_and_attach_wal(cfg.clone()).unwrap();
+    assert_eq!(balances(&db2, t2), expected);
+    assert_eq!(expected[&0], 123, "straddling transaction committed");
+
+    // Same checkpoint, but the straddler ABORTS after the image was cut:
+    // its undo must still be possible from the retained log suffix.
+    let loser = db2.begin();
+    db2.update(
+        loser,
+        t2,
+        &[Value::BigInt(1)],
+        &[(1, Value::BigInt(-99))],
+        P,
+    )
+    .unwrap();
+    db2.checkpoint().unwrap();
+    fs.crash(29);
+
+    let (db3, t3) = fresh_db();
+    db3.recover_and_attach_wal(cfg).unwrap();
+    assert_eq!(
+        balances(&db3, t3),
+        expected,
+        "in-flight update at crash time must be rolled back"
+    );
+}
+
+fn wal_segment_names(fs: &SimFs) -> Vec<String> {
+    let mut v: Vec<String> = fs
+        .list_dir("/wal".as_ref())
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.ends_with(".wal"))
+        .collect();
+    v.sort();
+    v
+}
+
+fn wal_checkpoint_names(fs: &SimFs) -> Vec<String> {
+    let mut v: Vec<String> = fs
+        .list_dir("/wal".as_ref())
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.ends_with(".ck"))
+        .collect();
+    v.sort();
+    v
+}
+
+// ---------------------------------------------------------------------
+// Graceful degradation under injected I/O failures (satellite 4)
+// ---------------------------------------------------------------------
+
+#[test]
+fn fsync_failure_poisons_the_log_but_reads_keep_serving() {
+    let fs = SimFs::new();
+    let cfg = WalConfig::sim("/wal", fs.clone());
+
+    let (db, t) = fresh_db();
+    db.recover_and_attach_wal(cfg).unwrap();
+    for id in 0..5 {
+        insert_account(&db, t, id, id);
+    }
+    let durable = balances(&db, t);
+
+    // The next fsync fails and the kernel drops the dirty pages.
+    let (_, syncs, _) = fs.op_counts();
+    fs.set_faults(FaultPlan {
+        fail_sync: Some(syncs + 1),
+        ..FaultPlan::default()
+    });
+
+    let txn = db.begin();
+    db.insert(txn, t, vec![Value::BigInt(100), Value::BigInt(1)], P)
+        .unwrap();
+    let err = db.commit_policy(txn, P).unwrap_err();
+    assert!(
+        matches!(err, StorageError::LogPoisoned(_)),
+        "fsync failure over possibly-dropped pages must poison: {err}"
+    );
+    assert!(!err.is_retryable());
+    assert!(db.log_stats().io_errors >= 1);
+
+    // The failed-commit transaction is still active; rolling it back works
+    // (undo and CLR appends never touch the file system).
+    db.abort_policy(txn, P).unwrap();
+
+    // Every later write commit fails visibly — no silent data loss.
+    let txn2 = db.begin();
+    db.insert(txn2, t, vec![Value::BigInt(101), Value::BigInt(1)], P)
+        .unwrap();
+    let err2 = db.commit_policy(txn2, P).unwrap_err();
+    assert!(matches!(err2, StorageError::LogPoisoned(_)));
+    db.abort_policy(txn2, P).unwrap();
+
+    // Read-only traffic keeps serving: nothing to force, commit succeeds.
+    let reader = db.begin();
+    let row = db
+        .read_validated(reader, t, &[Value::BigInt(3)], P)
+        .unwrap();
+    assert_eq!(row, Some(vec![Value::BigInt(3), Value::BigInt(3)]));
+    db.commit_policy(reader, P).unwrap();
+    assert_eq!(balances(&db, t), durable, "rolled-back writes invisible");
+}
+
+#[test]
+fn segment_create_failure_is_retryable_and_the_commit_succeeds_on_retry() {
+    let fs = SimFs::new();
+    // Tiny segments: the second commit forces a rotation (a create).
+    let cfg = WalConfig::sim("/wal", fs.clone()).with_segment_bytes(96);
+
+    let (db, t) = fresh_db();
+    db.recover_and_attach_wal(cfg.clone()).unwrap();
+    insert_account(&db, t, 1, 10);
+
+    let (_, _, creates) = fs.op_counts();
+    fs.set_faults(FaultPlan {
+        fail_create: Some(creates + 1),
+        ..FaultPlan::default()
+    });
+
+    let txn = db.begin();
+    db.insert(txn, t, vec![Value::BigInt(2), Value::BigInt(20)], P)
+        .unwrap();
+    let err = db.commit_policy(txn, P).unwrap_err();
+    assert!(
+        matches!(err, StorageError::LogIo(_)),
+        "ENOSPC on segment create wrote nothing and must be retryable: {err}"
+    );
+    assert!(err.is_retryable());
+    assert!(db.log_stats().io_errors >= 1);
+
+    // Retry the same commit: the fault was one-shot, so it goes through.
+    db.commit_policy(txn, P).unwrap();
+
+    fs.crash(11);
+    let (db2, t2) = fresh_db();
+    db2.recover_and_attach_wal(cfg).unwrap();
+    let got = balances(&db2, t2);
+    assert_eq!(got[&1], 10);
+    assert_eq!(got[&2], 20, "retried commit must be durable");
+}
+
+// ---------------------------------------------------------------------
+// Byte-level truncation sweep (satellite 2)
+// ---------------------------------------------------------------------
+
+/// Replays the clean prefix of `cfg`'s log through the analysis rules
+/// to compute the model state: rows of winners applied in LSN order.
+fn model_of_clean_prefix(cfg: &WalConfig) -> (BTreeMap<i64, i64>, usize) {
+    let replay = read_log(cfg).unwrap();
+    let mut committed = std::collections::HashSet::new();
+    for r in &replay.records {
+        match r.payload {
+            LogPayload::Commit => {
+                committed.insert(r.txn);
+            }
+            LogPayload::Abort => {
+                committed.remove(&r.txn);
+            }
+            _ => {}
+        }
+    }
+    let mut rows = BTreeMap::new();
+    for r in &replay.records {
+        if r.txn != 0 && !committed.contains(&r.txn) {
+            continue;
+        }
+        match &r.payload {
+            LogPayload::Insert { tuple, .. } | LogPayload::Update { after: tuple, .. } => {
+                if let (Value::BigInt(id), Value::BigInt(bal)) = (&tuple[0], &tuple[1]) {
+                    rows.insert(*id, *bal);
+                }
+            }
+            LogPayload::Delete { key, .. } => {
+                if let Value::BigInt(id) = key[0] {
+                    rows.remove(&id);
+                }
+            }
+            _ => {}
+        }
+    }
+    (rows, replay.records.len())
+}
+
+/// Truncating the log at EVERY byte boundary yields a database equal to
+/// replaying the clean record prefix — committed transactions up to the
+/// cut survive whole, the in-flight one at the cut is rolled back, and
+/// the recovered database serves validated reads with zero retries.
+#[test]
+fn truncation_at_every_byte_boundary_recovers_a_consistent_prefix() {
+    // Build a single-segment log with a mixed workload.
+    let fs = SimFs::new();
+    let cfg = WalConfig::sim("/wal", fs.clone());
+    let (db, t) = fresh_db();
+    db.recover_and_attach_wal(cfg).unwrap();
+    for id in 0..8 {
+        insert_account(&db, t, id, 100 + id);
+    }
+    set_balance(&db, t, 2, -2);
+    delete_account(&db, t, 5);
+    set_balance(&db, t, 0, 9_999);
+
+    let seg_names = wal_segment_names(&fs);
+    assert_eq!(seg_names.len(), 1, "workload must fit one segment");
+    let seg_path = format!("/wal/{}", seg_names[0]);
+    let bytes = fs.snapshot(seg_path.as_ref()).unwrap();
+
+    let mut prev_records = 0usize;
+    let mut full_state = None;
+    for cut in 0..=bytes.len() {
+        let fs2 = SimFs::new();
+        fs2.create_dir_all("/wal".as_ref()).unwrap();
+        fs2.install(seg_path.as_ref(), bytes[..cut].to_vec());
+        let cfg2 = WalConfig::sim("/wal", fs2.clone());
+
+        let (model, n_records) = model_of_clean_prefix(&cfg2);
+        assert!(
+            n_records >= prev_records,
+            "clean prefix must grow monotonically with the byte cut \
+             (cut {cut}: {n_records} < {prev_records})"
+        );
+        prev_records = n_records;
+
+        let (db2, t2) = fresh_db();
+        db2.recover_and_attach_wal(cfg2)
+            .unwrap_or_else(|e| panic!("recovery must never fail at cut {cut}: {e}"));
+        let got = balances(&db2, t2);
+        assert_eq!(got, model, "cut at byte {cut} diverged from the model");
+        assert_eq!(db2.counters().validated_retries, 0);
+        full_state = Some(got);
+    }
+
+    // The final (uncut) iteration must equal the live database.
+    assert_eq!(full_state.unwrap(), balances(&db, t));
+}
+
+mod truncation_props {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Runs `n_ops` seeded operations (insert / update / delete chosen
+    /// by an xorshift walk) against a WAL-attached database, returning
+    /// the segment bytes and path of the single segment produced.
+    fn seeded_log(seed: u64, n_ops: usize) -> (String, Vec<u8>) {
+        let fs = SimFs::new();
+        let cfg = WalConfig::sim("/wal", fs.clone());
+        let (db, t) = fresh_db();
+        db.recover_and_attach_wal(cfg).unwrap();
+
+        let mut x = seed | 1;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..n_ops {
+            let id = (step() % 12) as i64;
+            let bal = (step() % 1_000) as i64;
+            let txn = db.begin();
+            match step() % 3 {
+                0 => {
+                    let _ = db.insert(txn, t, vec![Value::BigInt(id), Value::BigInt(bal)], P);
+                }
+                1 => {
+                    let _ = db.update(txn, t, &[Value::BigInt(id)], &[(1, Value::BigInt(bal))], P);
+                }
+                _ => {
+                    let _ = db.delete(txn, t, &[Value::BigInt(id)], P);
+                }
+            }
+            if step() % 5 == 0 {
+                db.abort_policy(txn, P).unwrap();
+            } else {
+                db.commit_policy(txn, P).unwrap();
+            }
+        }
+
+        // A workload where every operation failed (updates of missing
+        // keys, duplicate inserts) logs nothing and creates no segment.
+        let seg_names = wal_segment_names(&fs);
+        if seg_names.is_empty() {
+            return ("/wal/seg-00000001-000000000001.wal".to_string(), Vec::new());
+        }
+        assert_eq!(seg_names.len(), 1);
+        let seg_path = format!("/wal/{}", seg_names[0]);
+        let bytes = fs.snapshot(seg_path.as_ref()).unwrap();
+        (seg_path, bytes)
+    }
+
+    proptest! {
+        /// A seeded workload's log, truncated at a random byte, recovers
+        /// to exactly the state the clean record prefix models — and the
+        /// recovered database serves validated reads with zero retries.
+        #[test]
+        fn random_workload_truncated_anywhere_recovers_the_model_prefix(
+            params in (1u64..1_000_000, 5usize..40, 0u64..10_001)
+        ) {
+            let (seed, n_ops, cut_sel) = params;
+            let (seg_path, bytes) = seeded_log(seed, n_ops);
+            let cut = (bytes.len() as u64 * cut_sel / 10_000) as usize;
+
+            let fs2 = SimFs::new();
+            fs2.create_dir_all("/wal".as_ref()).unwrap();
+            fs2.install(seg_path.as_ref(), bytes[..cut].to_vec());
+            let cfg2 = WalConfig::sim("/wal", fs2.clone());
+
+            let (model, _) = model_of_clean_prefix(&cfg2);
+            let (db2, t2) = fresh_db();
+            db2.recover_and_attach_wal(cfg2).unwrap();
+            prop_assert_eq!(balances(&db2, t2), model);
+            prop_assert_eq!(db2.counters().validated_retries, 0);
+        }
+    }
+}
+
+/// Flipping any single bit in the log leaves recovery with a clean,
+/// consistent prefix — never a panic, never a half-applied transaction.
+#[test]
+fn single_byte_corruption_anywhere_yields_a_clean_prefix() {
+    let fs = SimFs::new();
+    let cfg = WalConfig::sim("/wal", fs.clone());
+    let (db, t) = fresh_db();
+    db.recover_and_attach_wal(cfg).unwrap();
+    for id in 0..6 {
+        insert_account(&db, t, id, id);
+    }
+
+    let seg_names = wal_segment_names(&fs);
+    let seg_path = format!("/wal/{}", seg_names[0]);
+    let bytes = fs.snapshot(seg_path.as_ref()).unwrap();
+
+    for pos in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x40;
+        let fs2 = SimFs::new();
+        fs2.create_dir_all("/wal".as_ref()).unwrap();
+        fs2.install(seg_path.as_ref(), corrupt);
+        let cfg2 = WalConfig::sim("/wal", fs2.clone());
+
+        let (model, _) = model_of_clean_prefix(&cfg2);
+        let (db2, t2) = fresh_db();
+        match db2.recover_and_attach_wal(cfg2) {
+            Ok(_) => {
+                assert_eq!(
+                    balances(&db2, t2),
+                    model,
+                    "flip at byte {pos} diverged from the clean-prefix model"
+                );
+            }
+            // A flip inside the first segment header can make the whole
+            // log unreadable (no anchor for any checkpoint image); that
+            // must surface as an error, not a panic or silent data loss.
+            Err(StorageError::LogCorrupt(_)) => {}
+            Err(e) => panic!("unexpected recovery error at byte {pos}: {e}"),
+        }
+    }
+}

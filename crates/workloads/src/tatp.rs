@@ -151,7 +151,11 @@ impl TatpWorkload {
         tables
     }
 
-    fn create_tables(&self, db: &Database) -> TatpTables {
+    /// Creates the four TATP tables WITHOUT populating them. Recovery
+    /// paths use this to rebuild the catalog before replaying a WAL
+    /// (DDL is not logged); [`TatpWorkload::load`] layers the population
+    /// on top for fresh databases.
+    pub fn create_tables(&self, db: &Database) -> TatpTables {
         let subscriber = db
             .create_table(TableSchema::new(
                 "tatp_subscriber",
