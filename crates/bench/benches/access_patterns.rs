@@ -63,6 +63,7 @@ fn main() {
                     clients,
                     per_client: total_per_scenario / clients,
                     mix: TatpMixKind::Handoff { remote_pct },
+                    balancer: false,
                     client_retries: 10,
                 },
                 repeats,

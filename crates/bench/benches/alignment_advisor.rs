@@ -1,1 +1,173 @@
-fn main() {}
+//! Alignment advisor over traced TATP runs: both engines execute the same
+//! skewed TATP mix with access tracing enabled, then
+//! `dora_designer::advise_events` scores every recorded access against
+//! DORA's routing table. DORA's thread-to-data assignment is
+//! partition-aligned by construction (its misaligned remainder is the
+//! deliberate secondary-action traffic); the conventional engine's
+//! thread-to-transaction assignment scatters the same accesses across all
+//! workers, and the advisor quantifies exactly that difference — the
+//! number a designer would act on when deciding what to route.
+//!
+//! Run with `cargo bench --bench alignment_advisor`. Flags: `--quick`,
+//! `--compare <path>`, `--out <path>`, `--subscribers <n>`, `--total <n>`.
+//! Writes `BENCH_alignment_advisor.json`; each engine row's `extra` map
+//! carries `traced_accesses`, `misaligned`, `misaligned_pct`, and
+//! `tables_flagged` (tables with at least one misaligned access).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dora_bench::driver::BenchArgs;
+use dora_bench::report::{workspace_root, BenchReport, Scenario};
+use dora_core::executor::{DoraEngine, DoraEngineConfig};
+use dora_designer::advise_events;
+use dora_engine_conv::{ConvEngine, ConvEngineConfig};
+use dora_storage::db::Database;
+use dora_storage::trace::AccessEvent;
+use dora_workloads::tatp::{flow_of, request_of, TatpMix, TatpWorkload};
+
+const WORKERS: usize = 4;
+const THETA: f64 = 0.8;
+
+fn main() {
+    let args = BenchArgs::parse(std::env::args().skip(1));
+    let baseline = args.compare.as_deref().map(|p| {
+        std::fs::read_to_string(p)
+            .or_else(|_| std::fs::read_to_string(workspace_root().join(p)))
+            .expect("read --compare report")
+    });
+    let subscribers = args
+        .subscribers
+        .unwrap_or(if args.quick { 256 } else { 2_000 });
+    let total = args
+        .total
+        .unwrap_or(if args.quick { 4_000 } else { 20_000 });
+    let wl = TatpWorkload {
+        subscribers,
+        seed: 42,
+    };
+
+    let mut runs = Vec::new();
+    for engine_kind in ["dora", "conventional"] {
+        let db = Arc::new(Database::default());
+        let tables = wl.load(&db);
+        let routing = wl.routing(tables, WORKERS);
+        let mut mix = TatpMix::with_skew(subscribers, 1, THETA);
+        let (committed, aborted, elapsed, events): (u64, u64, _, Vec<AccessEvent>) =
+            if engine_kind == "dora" {
+                let engine = DoraEngine::new(
+                    db.clone(),
+                    routing.clone(),
+                    DoraEngineConfig {
+                        workers: WORKERS,
+                        ..Default::default()
+                    },
+                );
+                engine.trace().set_enabled(true);
+                let started = Instant::now();
+                let (mut c, mut a) = (0u64, 0u64);
+                for _ in 0..total {
+                    if engine
+                        .execute(flow_of(tables, &mix.next_op(), None))
+                        .is_committed()
+                    {
+                        c += 1;
+                    } else {
+                        a += 1;
+                    }
+                }
+                let elapsed = started.elapsed();
+                let events = engine.trace().snapshot();
+                engine.shutdown();
+                (c, a, elapsed, events)
+            } else {
+                let engine = ConvEngine::new(
+                    db.clone(),
+                    ConvEngineConfig {
+                        workers: WORKERS,
+                        max_retries: 10,
+                    },
+                );
+                engine.trace().set_enabled(true);
+                let started = Instant::now();
+                let (mut c, mut a) = (0u64, 0u64);
+                for _ in 0..total {
+                    if engine
+                        .execute(request_of(tables, &mix.next_op(), None))
+                        .is_committed()
+                    {
+                        c += 1;
+                    } else {
+                        a += 1;
+                    }
+                }
+                let elapsed = started.elapsed();
+                let events = engine.trace().snapshot();
+                (c, a, elapsed, events)
+            };
+
+        // Score the trace against the partitioning DORA runs with: how
+        // much of the engine's actual execution was on the routing owner?
+        let report = advise_events(&events, &routing, WORKERS);
+        let traced: u64 = report.entries.iter().map(|e| e.total).sum();
+        let misaligned: u64 = report.entries.iter().map(|e| e.misaligned).sum();
+        let flagged = report.offenders().count();
+        eprintln!("== {engine_kind} ==\n{report}");
+        runs.push(Scenario {
+            engine: if engine_kind == "dora" {
+                "dora"
+            } else {
+                "conventional"
+            },
+            scenario: format!("zipf={THETA:.2}"),
+            workers: WORKERS,
+            clients: 1,
+            committed,
+            aborted,
+            secondary_reads: 0,
+            secondary_retries: 0,
+            log_waits: 0,
+            txn_acquisitions: 0,
+            queue_peak: 0,
+            busy_ns: 0,
+            elapsed_secs: elapsed.as_secs_f64(),
+            critical_sections: 0,
+            extra: vec![
+                ("traced_accesses", traced as f64),
+                ("misaligned", misaligned as f64),
+                (
+                    "misaligned_pct",
+                    if traced == 0 {
+                        0.0
+                    } else {
+                        100.0 * misaligned as f64 / traced as f64
+                    },
+                ),
+                ("tables_flagged", flagged as f64),
+            ],
+        });
+    }
+
+    let report = BenchReport {
+        bench: "alignment_advisor",
+        workload: format!(
+            "tatp standard mix subscribers={subscribers} workers={WORKERS} \
+             total={total} zipf={THETA} traced, advisor vs DORA routing"
+        ),
+        physical_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        quick: args.quick,
+        runs,
+    };
+    print!("{}", report.to_table());
+
+    let out = args
+        .out
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| workspace_root().join("BENCH_alignment_advisor.json"));
+    report
+        .write_json(&out, baseline.as_deref())
+        .expect("write bench JSON");
+    println!("wrote {}", out.display());
+}

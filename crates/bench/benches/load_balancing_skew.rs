@@ -1,22 +1,38 @@
 //! Load-balancing under skew (the paper's §5 Zipf study): the standard
 //! seven-transaction TATP mix with increasingly Zipf-skewed subscriber
-//! choice, DORA vs the conventional engine.
+//! choice, DORA vs the conventional engine — plus the adaptive
+//! repartitioner's own scenarios.
 //!
 //! DORA statically partitions subscribers across workers, so a skewed
 //! request stream concentrates load on the partitions owning the hot
 //! subscribers — the per-partition action counts (`p<i>_actions`) and the
-//! `partition_imbalance` ratio (max/mean actions) in each DORA row's
-//! `extra` map quantify exactly how unevenly the work lands as `theta`
-//! grows. The conventional engine's work-stealing worker pool rebalances
-//! naturally but pays its centralized locking instead; the throughput
-//! curves show which effect dominates at each skew level.
+//! `partition_imbalance` ratio (max/mean weighted load, queue-depth peaks
+//! folded in) in each DORA row's `extra` map quantify exactly how
+//! unevenly the work lands as `theta` grows. The conventional engine's
+//! work-stealing worker pool rebalances naturally but pays its
+//! centralized locking instead; the throughput curves show which effect
+//! dominates at each skew level.
+//!
+//! Two scenario families extend the static sweep:
+//!
+//! * **`zipf=<t>+lb`** — the same skewed mix with the designer's runtime
+//!   load balancer splitting hot ranges quiesce-free under live traffic.
+//!   Its rows carry `migrations`, `rebalance_pause_*`, and
+//!   `imbalance_end` extras; the balancer must cut the DORA imbalance
+//!   without costing throughput.
+//! * **`zipf=<t>+shift[+lb]`** (full runs only) — the hot set *rotates*
+//!   by half the subscriber span midway through the measured window. A
+//!   static routing table is wrong for half the run by construction;
+//!   the `+lb` variant shows the balancer chasing the moved hotspot
+//!   (compare the `imbalance_end` window of the two rows).
 //!
 //! Run with `cargo bench --bench load_balancing_skew`. Flags: `--quick`
-//! (CI smoke, sweeps a subset of theta values), `--compare <path>`,
+//! (CI smoke, sweeps a subset of scenarios), `--compare <path>`,
 //! `--out <path>`, `--subscribers <n>`, `--total <n>`, `--repeats <n>`.
 //! Writes `BENCH_load_balancing_skew.json` at the workspace root; rows
-//! carry `scenario: "zipf=<theta>"` keys (schema v4), so the quick sweep
-//! is a subset of the full sweep's scenarios, not a conflicting grid.
+//! carry `scenario: "zipf=<theta>[+shift][+lb]"` keys (schema v5), so
+//! the quick sweep is a subset of the full sweep's scenarios, not a
+//! conflicting grid.
 
 use dora_bench::driver::{run_tatp_best_of, BenchArgs, EngineKind, TatpMixKind, TatpRun};
 use dora_bench::report::{workspace_root, BenchReport};
@@ -40,6 +56,7 @@ fn main() {
     let total_per_scenario = args
         .total
         .unwrap_or(if args.quick { 16_000 } else { 48_000 });
+    let per_client = total_per_scenario / clients;
     let thetas: &[f64] = if args.quick {
         &[0.0, 1.2]
     } else {
@@ -51,27 +68,60 @@ fn main() {
         seed: 42,
     };
 
+    // Scenario grid: the historical static sweep, the hottest theta with
+    // the balancer on, and (full runs only) the mid-run hot-set shift
+    // with and without the balancer. The balancer flag only affects the
+    // DORA side, but both engines run under every scenario key so the
+    // compare gate always has a ratio to check.
+    let mut sweeps: Vec<(TatpMixKind, bool)> = thetas
+        .iter()
+        .map(|&theta| (TatpMixKind::Skewed { theta }, false))
+        .collect();
+    sweeps.push((TatpMixKind::Skewed { theta: 1.2 }, true));
+    if !args.quick {
+        // The hot set rotates once the client is halfway through its
+        // *measured* slice (the warmup slice draws too).
+        let shift_after = (per_client / 10 + per_client / 2) as u64;
+        let shift = TatpMixKind::SkewShift {
+            theta: 1.2,
+            shift_after,
+        };
+        sweeps.push((shift, false));
+        sweeps.push((shift, true));
+    }
+
     let mut runs = Vec::new();
-    for &theta in thetas {
+    for (mix, balancer) in sweeps {
         for engine in [EngineKind::Conventional, EngineKind::Dora] {
-            let scenario = run_tatp_best_of(
+            let mut scenario = run_tatp_best_of(
                 &wl,
                 TatpRun {
                     engine,
                     workers,
                     clients,
-                    per_client: total_per_scenario / clients,
-                    mix: TatpMixKind::Skewed { theta },
+                    per_client,
+                    mix,
+                    balancer,
                     client_retries: 10,
                 },
                 repeats,
             );
+            if balancer {
+                scenario.scenario.push_str("+lb");
+            }
+            let imbalance = scenario
+                .extra
+                .iter()
+                .find(|&&(k, _)| k == "partition_imbalance")
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0);
             eprintln!(
-                "  {:<13} zipf={:<4} committed={:<6} tps={:.1}",
+                "  {:<13} {:<18} committed={:<6} tps={:<9.1} imbalance={:.2}",
                 scenario.engine,
-                theta,
+                scenario.scenario,
                 scenario.committed,
-                scenario.throughput_tps()
+                scenario.throughput_tps(),
+                imbalance
             );
             runs.push(scenario);
         }
@@ -81,7 +131,8 @@ fn main() {
         bench: "load_balancing_skew",
         workload: format!(
             "tatp standard mix subscribers={subscribers} workers={workers} \
-             clients={clients} total_per_scenario={total_per_scenario} zipf theta sweep"
+             clients={clients} total_per_scenario={total_per_scenario} zipf theta sweep \
+             + adaptive-repartitioning (+lb) and mid-run skew-shift (+shift) scenarios"
         ),
         physical_cores: std::thread::available_parallelism()
             .map(|n| n.get())

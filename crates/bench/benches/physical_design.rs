@@ -1,1 +1,184 @@
-fn main() {}
+//! Physical-design payoff: `dora_designer::design_routing` vs naive
+//! equal-width partitioning under a skewed TATP mix.
+//!
+//! The designer is given the workload profile a DBA would know — the Zipf
+//! law of the subscriber choice, expressed as per-key load shares for the
+//! hottest ranks plus a uniform remainder — and derives quantile-placed
+//! partition boundaries for every subscriber-keyed table. The same skewed
+//! request stream then runs against DORA twice: once on the naive
+//! equal-width routing, once on the designed one. The per-partition
+//! action counts and `partition_imbalance` in each row's `extra` map show
+//! how much of the skew the *static* designer absorbs before the runtime
+//! load balancer has to do anything.
+//!
+//! Run with `cargo bench --bench physical_design`. Flags: `--quick`,
+//! `--compare <path>`, `--out <path>`, `--subscribers <n>`, `--total <n>`.
+//! Writes `BENCH_physical_design.json`; rows are DORA-only with scenario
+//! keys `uniform` and `designed`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dora_bench::driver::BenchArgs;
+use dora_bench::report::{workspace_root, BenchReport, Scenario};
+use dora_core::executor::{DoraEngine, DoraEngineConfig};
+use dora_core::routing::RoutingTable;
+use dora_designer::{design_routing, TableProfile, WorkloadProfile};
+use dora_storage::db::Database;
+use dora_storage::schema::{ColumnDef, TableSchema};
+use dora_storage::types::DataType;
+use dora_workloads::tatp::{flow_of, TatpMix, TatpWorkload};
+
+const WORKERS: usize = 4;
+const THETA: f64 = 1.2;
+/// Hot ranks profiled individually; the rest of the mass is uniform.
+const HOT_RANKS: i64 = 64;
+
+/// Zipf load shares of the hottest `HOT_RANKS` subscriber ids (rank r
+/// carries `r^-THETA / H`), matching the generator's rank→s_id mapping.
+fn hot_keys(subscribers: i64) -> Vec<(i64, f64)> {
+    let h: f64 = (1..=subscribers).map(|r| (r as f64).powf(-THETA)).sum();
+    (1..=HOT_RANKS.min(subscribers))
+        .map(|r| (r, (r as f64).powf(-THETA) / h))
+        .collect()
+}
+
+fn main() {
+    let args = BenchArgs::parse(std::env::args().skip(1));
+    let baseline = args.compare.as_deref().map(|p| {
+        std::fs::read_to_string(p)
+            .or_else(|_| std::fs::read_to_string(workspace_root().join(p)))
+            .expect("read --compare report")
+    });
+    let subscribers = args
+        .subscribers
+        .unwrap_or(if args.quick { 1_000 } else { 10_000 });
+    let total = args
+        .total
+        .unwrap_or(if args.quick { 8_000 } else { 40_000 });
+    let wl = TatpWorkload {
+        subscribers,
+        seed: 42,
+    };
+
+    let mut runs = Vec::new();
+    for scenario_key in ["uniform", "designed"] {
+        let db = Arc::new(Database::default());
+        let tables = wl.load(&db);
+        let routing: RoutingTable = if scenario_key == "uniform" {
+            wl.routing(tables, WORKERS)
+        } else {
+            // Every TATP table routes on s_id (its first key column), so
+            // one subscriber profile describes them all. The catalog
+            // hands the designer the primary-key layout it routes on.
+            let key_schema = |name: &str| {
+                TableSchema::new(
+                    name,
+                    vec![ColumnDef::new("s_id", DataType::BigInt)],
+                    vec![0],
+                )
+            };
+            let profile = |table| TableProfile {
+                table,
+                key_lo: 1,
+                key_hi: subscribers,
+                hot_keys: hot_keys(subscribers),
+            };
+            design_routing(
+                &[
+                    (tables.subscriber, key_schema("subscriber")),
+                    (tables.access_info, key_schema("access_info")),
+                    (tables.special_facility, key_schema("special_facility")),
+                    (tables.call_forwarding, key_schema("call_forwarding")),
+                ],
+                &WorkloadProfile {
+                    tables: vec![
+                        profile(tables.subscriber),
+                        profile(tables.access_info),
+                        profile(tables.special_facility),
+                        profile(tables.call_forwarding),
+                    ],
+                },
+                WORKERS,
+            )
+        };
+        let engine = DoraEngine::new(
+            db.clone(),
+            routing,
+            DoraEngineConfig {
+                workers: WORKERS,
+                ..Default::default()
+            },
+        );
+        let mut mix = TatpMix::with_skew(subscribers, 1, THETA);
+        let started = Instant::now();
+        let (mut committed, mut aborted) = (0u64, 0u64);
+        for _ in 0..total {
+            if engine
+                .execute(flow_of(tables, &mix.next_op(), None))
+                .is_committed()
+            {
+                committed += 1;
+            } else {
+                aborted += 1;
+            }
+        }
+        let elapsed = started.elapsed();
+        let stats = engine.stats();
+        engine.shutdown();
+        TatpWorkload::check_integrity(&db, tables).expect("TATP integrity");
+
+        let executed: Vec<u64> = stats.workers.iter().map(|w| w.executed).collect();
+        let mean = executed.iter().sum::<u64>() as f64 / executed.len().max(1) as f64;
+        let max = executed.iter().copied().max().unwrap_or(0) as f64;
+        let imbalance = if mean > 0.0 { max / mean } else { 0.0 };
+        let mut extra = vec![("partition_imbalance", imbalance)];
+        for (i, &n) in executed.iter().enumerate().take(WORKERS) {
+            extra.push((["p0", "p1", "p2", "p3"][i], n as f64));
+        }
+        eprintln!(
+            "  {scenario_key:<9} committed={committed:<7} imbalance={imbalance:.2} \
+             executed={executed:?}"
+        );
+        runs.push(Scenario {
+            engine: "dora",
+            scenario: scenario_key.into(),
+            workers: WORKERS,
+            clients: 1,
+            committed,
+            aborted,
+            secondary_reads: 0,
+            secondary_retries: 0,
+            log_waits: 0,
+            txn_acquisitions: 0,
+            queue_peak: 0,
+            busy_ns: stats.workers.iter().map(|w| w.busy_ns).sum(),
+            elapsed_secs: elapsed.as_secs_f64(),
+            critical_sections: 0,
+            extra,
+        });
+    }
+
+    let report = BenchReport {
+        bench: "physical_design",
+        workload: format!(
+            "tatp standard mix subscribers={subscribers} workers={WORKERS} total={total} \
+             zipf={THETA}, uniform vs designer-placed routing boundaries"
+        ),
+        physical_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        quick: args.quick,
+        runs,
+    };
+    print!("{}", report.to_table());
+
+    let out = args
+        .out
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| workspace_root().join("BENCH_physical_design.json"));
+    report
+        .write_json(&out, baseline.as_deref())
+        .expect("write bench JSON");
+    println!("wrote {}", out.display());
+}

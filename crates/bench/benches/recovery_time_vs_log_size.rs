@@ -182,6 +182,8 @@ fn main() {
                 secondary_retries: 0,
                 log_waits: 0,
                 txn_acquisitions: 0,
+                queue_peak: 0,
+                busy_ns: 0,
                 elapsed_secs: best,
                 critical_sections: 0,
                 extra: vec![

@@ -74,6 +74,11 @@ struct Row {
     log_waits: u64,
     /// Transaction-table stripe acquisitions (schema v3; absent → 0).
     txn_table_acquisitions: u64,
+    /// Peak sampled mailbox depth across partitions (schema v5;
+    /// absent in pre-v5 documents → 0). Informational, not gated.
+    queue_peak: u64,
+    /// Summed worker busy nanoseconds (schema v5; absent → 0).
+    busy_ns: u64,
 }
 
 /// Extracts the top-level `runs` rows from a `BENCH_*.json` document.
@@ -104,6 +109,8 @@ fn parse_rows(text: &str) -> Vec<Row> {
                 secondary_retries: 0,
                 log_waits: 0,
                 txn_table_acquisitions: 0,
+                queue_peak: 0,
+                busy_ns: 0,
             });
         } else if let Some(row) = current.as_mut() {
             if let Some(value) = line.strip_prefix("\"scenario\": ") {
@@ -122,6 +129,10 @@ fn parse_rows(text: &str) -> Vec<Row> {
                 row.log_waits = value.parse().unwrap_or(0);
             } else if let Some(value) = line.strip_prefix("\"txn_table_acquisitions\": ") {
                 row.txn_table_acquisitions = value.parse().unwrap_or(0);
+            } else if let Some(value) = line.strip_prefix("\"queue_peak\": ") {
+                row.queue_peak = value.parse().unwrap_or(0);
+            } else if let Some(value) = line.strip_prefix("\"busy_ns\": ") {
+                row.busy_ns = value.parse().unwrap_or(0);
             } else if let Some(value) = line.strip_prefix("\"throughput_tps\": ") {
                 row.tps = value.parse().unwrap_or(0.0);
                 rows.push(current.take().expect("row in progress"));
@@ -371,6 +382,30 @@ fn compare_tps(candidate: &[Row], baseline: &[Row], threshold_pct: f64) -> Outco
     out
 }
 
+/// Load-balance telemetry (schema v5): prints each row's peak sampled
+/// mailbox depth and summed worker busy time so queue build-up that the
+/// throughput gate cannot see stays visible in CI logs. Informational
+/// only — the skew bench itself demonstrates repartitioner behaviour;
+/// rows without the fields (pre-v5 reports, conventional engine) are
+/// silent. Returns the number of rows noted.
+fn note_load_balance(rows: &[Row]) -> usize {
+    let mut noted = 0;
+    for row in rows {
+        if row.queue_peak == 0 && row.busy_ns == 0 {
+            continue;
+        }
+        noted += 1;
+        println!(
+            "{} {}: queue_peak {} busy {:.3}s",
+            row.engine,
+            cfg_label(&row.scenario, row.workers, row.clients),
+            row.queue_peak,
+            row.busy_ns as f64 / 1e9
+        );
+    }
+    noted
+}
+
 /// Secondary-read health check: the validated-read/park protocol is meant
 /// to be cheap — a retry rate above 1% of the candidate's validated reads
 /// means secondary readers are thrashing against writers (or the retry
@@ -557,6 +592,7 @@ fn main() -> ExitCode {
     );
     outcome.regressed |= lock_free.regressed;
     warn_secondary_retry_rate(&cand_rows);
+    note_load_balance(&cand_rows);
     if outcome.compared == 0 {
         eprintln!("no comparable configurations between the two reports");
         return ExitCode::FAILURE;
@@ -632,6 +668,8 @@ mod tests {
                         secondary_retries: 0,
                         log_waits: 0,
                         txn_acquisitions: 0,
+                        queue_peak: 0,
+                        busy_ns: 0,
                         elapsed_secs: 1.0,
                         critical_sections: 0,
                         extra: vec![],
@@ -661,6 +699,8 @@ mod tests {
                 secondary_retries: 0,
                 log_waits: 0,
                 txn_acquisitions: 0,
+                queue_peak: 0,
+                busy_ns: 0,
                 elapsed_secs: 1.0,
                 critical_sections: 9,
                 extra: vec![],
@@ -714,7 +754,10 @@ mod tests {
         assert_eq!(rows[0].tps, 100.0);
         assert_eq!(rows[0].secondary_reads, 0);
         assert_eq!(rows[0].secondary_retries, 0);
+        assert_eq!(rows[0].queue_peak, 0, "absent v5 fields parse as 0");
+        assert_eq!(rows[0].busy_ns, 0);
         assert_eq!(warn_secondary_retry_rate(&rows), 0, "0 reads never warn");
+        assert_eq!(note_load_balance(&rows), 0, "pre-v5 rows stay silent");
     }
 
     #[test]
@@ -742,6 +785,8 @@ mod tests {
                 secondary_retries: 20,
                 log_waits: 0,
                 txn_acquisitions: 0,
+                queue_peak: 0,
+                busy_ns: 0,
                 elapsed_secs: 1.0,
                 critical_sections: 0,
                 extra: vec![],
@@ -802,6 +847,8 @@ mod tests {
                 secondary_retries: 0,
                 log_waits,
                 txn_acquisitions,
+                queue_peak: 7,
+                busy_ns: 1_500_000_000,
                 elapsed_secs: 1.0,
                 critical_sections: 0,
                 extra: vec![],
@@ -811,13 +858,16 @@ mod tests {
     }
 
     #[test]
-    fn v4_counters_round_trip_and_version_is_parsed() {
+    fn v5_counters_round_trip_and_version_is_parsed() {
         let json = counter_report(1000, 900, 4000);
-        assert_eq!(parse_schema_version(&json), 4);
+        assert_eq!(parse_schema_version(&json), 5);
         let rows = parse_rows(&json);
         assert_eq!(rows[0].committed, 1000);
         assert_eq!(rows[0].log_waits, 900);
         assert_eq!(rows[0].txn_table_acquisitions, 4000);
+        assert_eq!(rows[0].queue_peak, 7);
+        assert_eq!(rows[0].busy_ns, 1_500_000_000);
+        assert_eq!(note_load_balance(&rows), 1);
         // The embedded baseline's version must not shadow the report's.
         let v1 = "{\n  \"bench\": \"x\",\n  \"schema_version\": 1,\n  \"runs\": []\n}\n";
         assert_eq!(parse_schema_version(v1), 1);
@@ -829,7 +879,7 @@ mod tests {
             runs: vec![],
         }
         .to_json(Some(v1));
-        assert_eq!(parse_schema_version(&nested), 4);
+        assert_eq!(parse_schema_version(&nested), 5);
     }
 
     #[test]

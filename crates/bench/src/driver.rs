@@ -18,8 +18,9 @@
 //! routing-aware flows via `transfer_flow_routed`, which is exactly the
 //! designer knowledge the conventional engine cannot exploit).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dora_core::executor::{DoraEngine, DoraEngineConfig};
 use dora_engine_conv::{ConvEngine, ConvEngineConfig};
@@ -191,6 +192,7 @@ fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
     let validated_before = db.counters();
     let log_before = db.log_stats();
     let txn_before = db.txn_stats();
+    let busy_before: u64 = engine.stats().workers.iter().map(|w| w.busy_ns).sum();
     let started = Instant::now();
     go.wait();
     let (committed, aborted) = join_clients(clients);
@@ -242,6 +244,13 @@ fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
         secondary_retries: validated.validated_retries - validated_before.validated_retries,
         log_waits: log_after.waits() - log_before.waits(),
         txn_acquisitions: txn_after.stripe_acquisitions - txn_before.stripe_acquisitions,
+        queue_peak: 0,
+        busy_ns: stats
+            .workers
+            .iter()
+            .map(|w| w.busy_ns)
+            .sum::<u64>()
+            .saturating_sub(busy_before),
         elapsed_secs: elapsed.as_secs_f64(),
         critical_sections: crit,
         extra,
@@ -349,6 +358,8 @@ fn run_conv(wl: &TransferWorkload, run: TransferRun) -> Scenario {
         secondary_retries: validated.validated_retries - validated_before.validated_retries,
         log_waits: log_after.waits() - log_before.waits(),
         txn_acquisitions: txn_after.stripe_acquisitions - txn_before.stripe_acquisitions,
+        queue_peak: 0,
+        busy_ns: 0,
         elapsed_secs: elapsed.as_secs_f64(),
         critical_sections: crit,
         extra,
@@ -380,6 +391,18 @@ pub enum TatpMixKind {
         /// Percentage of updates whose location crosses partitions.
         remote_pct: u64,
     },
+    /// The skewed mix whose hot set *moves* mid-run: after `shift_after`
+    /// draws, each client's Zipf ranks rotate by half the subscriber
+    /// span, so partitions that were cold suddenly own the hotspot. A
+    /// static routing table cannot follow it — the adaptive
+    /// repartitioning scenario's knob.
+    SkewShift {
+        /// Zipf skew parameter, before and after the shift.
+        theta: f64,
+        /// Per-client draw count (warmup included) after which the hot
+        /// set rotates.
+        shift_after: u64,
+    },
 }
 
 impl TatpMixKind {
@@ -389,6 +412,9 @@ impl TatpMixKind {
         match self {
             TatpMixKind::Skewed { theta } => format!("zipf={theta:.2}"),
             TatpMixKind::Handoff { remote_pct } => format!("remote={remote_pct}"),
+            // The shift point is sized to the run, not part of the
+            // sweep's identity, so it stays out of the key.
+            TatpMixKind::SkewShift { theta, .. } => format!("zipf={theta:.2}+shift"),
         }
     }
 
@@ -397,6 +423,9 @@ impl TatpMixKind {
             TatpMixKind::Skewed { theta } => TatpMix::with_skew(subscribers, seed, theta),
             TatpMixKind::Handoff { remote_pct } => {
                 TatpMix::update_location_handoff(subscribers, seed, partitions, remote_pct)
+            }
+            TatpMixKind::SkewShift { theta, shift_after } => {
+                TatpMix::with_skew_shift(subscribers, seed, theta, shift_after)
             }
         }
     }
@@ -415,6 +444,10 @@ pub struct TatpRun {
     pub per_client: usize,
     /// The offered request mix.
     pub mix: TatpMixKind,
+    /// Run the designer's adaptive load balancer next to the workload
+    /// (DORA only — the conventional engine has no partitions to
+    /// balance, so the flag is ignored there).
+    pub balancer: bool,
     /// Retries granted a transiently aborted request (lock timeouts).
     /// TATP's spec misses (absent subscriber, absent call-forwarding row,
     /// duplicate insert) are *expected* outcomes, never retried.
@@ -495,6 +528,22 @@ fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
     let ready = Arc::new(Barrier::new(run.clients + 1));
     let go = Arc::new(Barrier::new(run.clients + 1));
 
+    // The adaptive load balancer runs from engine start (warmup
+    // included) so its sampling window is warm when measurement begins;
+    // it keeps splitting hot ranges quiesce-free underneath the clients.
+    let stop_balancer = Arc::new(AtomicBool::new(false));
+    let balancer = run.balancer.then(|| {
+        let engine = engine.clone();
+        let stop = stop_balancer.clone();
+        std::thread::spawn(move || {
+            dora_designer::LoadBalancer::new(dora_designer::BalancerConfig {
+                interval: Duration::from_millis(20),
+                ..Default::default()
+            })
+            .run(&engine, &stop)
+        })
+    });
+
     let mut clients = Vec::new();
     for c in 0..run.clients {
         let engine = engine.clone();
@@ -559,10 +608,38 @@ fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
     let cf_before = db
         .row_count(tables.call_forwarding)
         .expect("call_forwarding count") as i64;
+    let stats_before = engine.stats();
+    let busy_before: u64 = stats_before.workers.iter().map(|w| w.busy_ns).sum();
+    let executed_before: Vec<u64> = stats_before.workers.iter().map(|w| w.executed).collect();
+    // Sampler: peak per-partition mailbox depth (queue build-up that
+    // cumulative action counts cannot show) plus periodic executed
+    // snapshots, so the end-of-run imbalance can be window-diffed.
+    let stop_sampler = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let engine = engine.clone();
+        let stop = stop_sampler.clone();
+        std::thread::spawn(move || {
+            let mut peaks = vec![0u64; run.workers];
+            let mut history: Vec<Vec<u64>> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let stats = engine.stats();
+                for (p, w) in peaks.iter_mut().zip(&stats.workers) {
+                    *p = (*p).max(w.queue_depth);
+                }
+                history.push(stats.workers.iter().map(|w| w.executed).collect());
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            (peaks, history)
+        })
+    };
     let started = Instant::now();
     go.wait();
     let tally = join_tatp_clients(clients);
     let elapsed = started.elapsed();
+    stop_sampler.store(true, Ordering::Relaxed);
+    let (queue_peaks, executed_history) = sampler.join().expect("sampler thread");
+    stop_balancer.store(true, Ordering::Relaxed);
+    let balancer_report = balancer.map(|h| h.join().expect("balancer thread"));
 
     let stats = engine.stats();
     let log_after = db.log_stats();
@@ -586,9 +663,16 @@ fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
         ),
     ];
     // Per-partition action counts are the load-balancing signal the skew
-    // sweep exists to plot; the imbalance ratio (max/mean executed)
-    // summarizes them in one number.
-    let executed: Vec<u64> = stats.workers.iter().map(|w| w.executed).collect();
+    // sweep exists to plot, window-diffed from the quiet point so warmup
+    // traffic doesn't blur them. The imbalance ratio folds in each
+    // partition's peak queue depth: a partition that was saturated but
+    // starved shows up in backlog before it shows up in completions.
+    let executed: Vec<u64> = stats
+        .workers
+        .iter()
+        .zip(&executed_before)
+        .map(|(w, before)| w.executed.saturating_sub(*before))
+        .collect();
     for (i, &n) in executed
         .iter()
         .enumerate()
@@ -596,10 +680,46 @@ fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
     {
         extra.push((PARTITION_ACTION_KEYS[i], n as f64));
     }
-    let mean = executed.iter().sum::<u64>() as f64 / executed.len().max(1) as f64;
+    let weighted: Vec<f64> = executed
+        .iter()
+        .zip(&queue_peaks)
+        .map(|(&e, &q)| (e + q) as f64)
+        .collect();
+    let mean = weighted.iter().sum::<f64>() / weighted.len().max(1) as f64;
     if mean > 0.0 {
-        let max = executed.iter().copied().max().unwrap_or(0) as f64;
+        let max = weighted.iter().copied().fold(0.0f64, f64::max);
         extra.push(("partition_imbalance", max / mean));
+    }
+    // Imbalance over the second half of the sampled window: the "did the
+    // balancer converge" number — a run-wide ratio hides a correction
+    // that lands midway through.
+    if !executed_history.is_empty() {
+        let mid = &executed_history[executed_history.len() / 2];
+        let tail: Vec<f64> = stats
+            .workers
+            .iter()
+            .zip(mid)
+            .map(|(w, m)| w.executed.saturating_sub(*m) as f64)
+            .collect();
+        let mean = tail.iter().sum::<f64>() / tail.len().max(1) as f64;
+        if mean > 0.0 {
+            let max = tail.iter().copied().fold(0.0f64, f64::max);
+            extra.push(("imbalance_end", max / mean));
+        }
+    }
+    extra.push(("migrations", stats.migrations as f64));
+    extra.push(("forwarded", stats.forwarded as f64));
+    if let Some(b) = &balancer_report {
+        let max_us = b.pauses.iter().map(|d| d.as_micros()).max().unwrap_or(0);
+        let mean_us = if b.pauses.is_empty() {
+            0.0
+        } else {
+            b.pauses.iter().map(|d| d.as_secs_f64()).sum::<f64>() / b.pauses.len() as f64 * 1e6
+        };
+        extra.push(("rebalance_pause_max_us", max_us as f64));
+        extra.push(("rebalance_pause_mean_us", mean_us));
+        extra.push(("balancer_straddler_aborts", b.aborted_straddlers as f64));
+        extra.push(("balancer_last_imbalance", b.last_imbalance));
     }
     let crit = db.lock_stats().critical_sections - crit_before;
     let validated = db.counters();
@@ -615,6 +735,13 @@ fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
         secondary_retries: validated.validated_retries - validated_before.validated_retries,
         log_waits: log_after.waits() - log_before.waits(),
         txn_acquisitions: txn_after.stripe_acquisitions - txn_before.stripe_acquisitions,
+        queue_peak: queue_peaks.iter().copied().max().unwrap_or(0),
+        busy_ns: stats
+            .workers
+            .iter()
+            .map(|w| w.busy_ns)
+            .sum::<u64>()
+            .saturating_sub(busy_before),
         elapsed_secs: elapsed.as_secs_f64(),
         critical_sections: crit,
         extra,
@@ -715,6 +842,8 @@ fn run_tatp_conv(wl: &TatpWorkload, run: TatpRun) -> Scenario {
         secondary_retries: validated.validated_retries - validated_before.validated_retries,
         log_waits: log_after.waits() - log_before.waits(),
         txn_acquisitions: txn_after.stripe_acquisitions - txn_before.stripe_acquisitions,
+        queue_peak: 0,
+        busy_ns: 0,
         elapsed_secs: elapsed.as_secs_f64(),
         critical_sections: crit,
         extra,
@@ -888,6 +1017,7 @@ mod tests {
                         clients: 2,
                         per_client: 20,
                         mix,
+                        balancer: false,
                         client_retries: 10,
                     },
                 );
@@ -918,6 +1048,48 @@ mod tests {
             TatpMixKind::Handoff { remote_pct: 75 }.scenario_label(),
             "remote=75"
         );
+        assert_eq!(
+            TatpMixKind::SkewShift {
+                theta: 1.2,
+                shift_after: 5_000
+            }
+            .scenario_label(),
+            "zipf=1.20+shift",
+            "the shift point is run-sized, not part of the scenario key"
+        );
+    }
+
+    #[test]
+    fn balancer_run_with_skew_shift_reports_v5_fields_and_keeps_integrity() {
+        let wl = TatpWorkload {
+            subscribers: 64,
+            seed: 7,
+        };
+        let s = run_tatp(
+            &wl,
+            TatpRun {
+                engine: EngineKind::Dora,
+                workers: 2,
+                clients: 2,
+                per_client: 50,
+                mix: TatpMixKind::SkewShift {
+                    theta: 1.2,
+                    shift_after: 30,
+                },
+                balancer: true,
+                client_retries: 10,
+            },
+        );
+        assert_eq!(s.committed + s.aborted, 100);
+        assert!(s.committed > 0);
+        assert_eq!(s.scenario, "zipf=1.20+shift");
+        assert!(s.busy_ns > 0, "workers must report busy time");
+        for key in ["migrations", "forwarded", "rebalance_pause_max_us"] {
+            assert!(
+                s.extra.iter().any(|&(k, _)| k == key),
+                "balancer run must export {key}"
+            );
+        }
     }
 
     #[test]

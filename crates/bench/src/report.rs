@@ -6,12 +6,12 @@
 //! `BENCH_<name>.json` at the workspace root (plus a human-readable table
 //! on stdout).
 //!
-//! # Schema (`schema_version` 4)
+//! # Schema (`schema_version` 5)
 //!
 //! ```json
 //! {
 //!   "bench": "throughput_vs_cores",
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "workload": "transfer accounts=1024 ...",
 //!   "physical_cores": 1,
 //!   "quick": false,
@@ -30,6 +30,10 @@
 //!                                    // rides + wrap-around + stragglers)
 //!       "txn_table_acquisitions": 16000, // txn-table stripe (per-slot
 //!                                    // undo mutex) acquisitions
+//!       "queue_peak": 37,            // peak per-partition mailbox depth
+//!                                    // sampled during the run (DORA only)
+//!       "busy_ns": 812345678,        // summed worker busy time (ns spent
+//!                                    // executing actions, DORA only)
 //!       "elapsed_secs": 1.25,
 //!       "throughput_tps": 3200.0,    // committed / elapsed_secs
 //!       "critical_sections": 0,      // centralized lock-manager entries
@@ -61,7 +65,12 @@
 //! sweeps fewer scenario values than a full run, `compare.rs` treats a
 //! scenario key that the other report lacks *entirely* as a warn-skip
 //! (never a `--strict-coverage` failure): a quick candidate against a
-//! full baseline is scenario naming, not grid drift.
+//! full baseline is scenario naming, not grid drift. **v5** added
+//! `queue_peak` / `busy_ns` — per-row load-balance telemetry for the
+//! adaptive repartitioner (peak sampled mailbox depth across partitions,
+//! and total worker busy time). Conventional-engine rows report 0 for
+//! both; readers treat the absent fields as 0 so pre-v5 baselines keep
+//! gating unchanged.
 //!
 //! `baseline` lets a bench run carry its own before/after story: pass
 //! `--compare <path>` and the referenced report (typically a committed
@@ -104,6 +113,15 @@ pub struct Scenario {
     /// lookups (stamp checks) never count here because they are lock-free
     /// loads.
     pub txn_acquisitions: u64,
+    /// Peak per-partition mailbox depth observed by the run's sampler
+    /// (schema v5). 0 for conventional rows and for runs without a
+    /// sampler; the imbalance story of the adaptive repartitioner needs
+    /// queue build-up, not just cumulative executed counts.
+    pub queue_peak: u64,
+    /// Total worker busy time in nanoseconds (schema v5): the sum across
+    /// partitions of time spent executing actions. 0 for conventional
+    /// rows.
+    pub busy_ns: u64,
     /// Wall-clock seconds for the measured window.
     pub elapsed_secs: f64,
     /// Centralized lock-manager critical sections entered during the run.
@@ -174,7 +192,7 @@ impl BenchReport {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"bench\": \"{}\",", escape_json(self.bench));
-        let _ = writeln!(out, "  \"schema_version\": 4,");
+        let _ = writeln!(out, "  \"schema_version\": 5,");
         let _ = writeln!(out, "  \"workload\": \"{}\",", escape_json(&self.workload));
         let _ = writeln!(out, "  \"physical_cores\": {},", self.physical_cores);
         let _ = writeln!(out, "  \"quick\": {},", self.quick);
@@ -203,6 +221,8 @@ impl BenchReport {
                 "      \"txn_table_acquisitions\": {},",
                 run.txn_acquisitions
             );
+            let _ = writeln!(out, "      \"queue_peak\": {},", run.queue_peak);
+            let _ = writeln!(out, "      \"busy_ns\": {},", run.busy_ns);
             let _ = writeln!(
                 out,
                 "      \"elapsed_secs\": {},",
@@ -321,6 +341,8 @@ mod tests {
                     secondary_retries: 2,
                     log_waits: 5,
                     txn_acquisitions: 420,
+                    queue_peak: 37,
+                    busy_ns: 812_345,
                     elapsed_secs: 0.5,
                     critical_sections: 0,
                     extra: vec![("deferrals", 3.0)],
@@ -336,6 +358,8 @@ mod tests {
                     secondary_retries: 0,
                     log_waits: 0,
                     txn_acquisitions: 0,
+                    queue_peak: 0,
+                    busy_ns: 0,
                     elapsed_secs: 0.5,
                     critical_sections: 1234,
                     extra: vec![],
@@ -348,13 +372,15 @@ mod tests {
     fn json_has_schema_fields_and_computed_throughput() {
         let json = sample().to_json(None);
         assert!(json.contains("\"bench\": \"throughput_vs_cores\""));
-        assert!(json.contains("\"schema_version\": 4"));
+        assert!(json.contains("\"schema_version\": 5"));
         assert!(json.contains("\"scenario\": \"remote=50\""));
         assert!(json.contains("\"scenario\": \"\""));
         assert!(json.contains("\"secondary_reads\": 640"));
         assert!(json.contains("\"secondary_retries\": 2"));
         assert!(json.contains("\"log_waits\": 5"));
         assert!(json.contains("\"txn_table_acquisitions\": 420"));
+        assert!(json.contains("\"queue_peak\": 37"));
+        assert!(json.contains("\"busy_ns\": 812345"));
         assert!(json.contains("\"throughput_tps\": 200.000"));
         assert!(json.contains("\"critical_sections\": 1234"));
         assert!(json.contains("\"deferrals\": 3.000"));
@@ -367,7 +393,7 @@ mod tests {
         let base = sample().to_json(None);
         let json = sample().to_json(Some(&base));
         assert!(json.contains("\"baseline\": {"));
-        assert_eq!(json.matches("\"schema_version\": 4").count(), 2);
+        assert_eq!(json.matches("\"schema_version\": 5").count(), 2);
     }
 
     #[test]

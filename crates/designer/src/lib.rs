@@ -2,32 +2,800 @@
 //!
 //! Physical-design tools for DORA: choosing and maintaining the logical
 //! partitioning that the executor's thread-to-data assignment depends on.
+//! The paper's "supporting tools" are reproduced as three pieces:
 //!
-//! **Planned role.** The paper's "supporting tools" are reproduced here:
-//!
-//! * **Routing-table designer** — derives an initial
-//!   [`RoutingTable`](dora_core::routing::RoutingTable) from a schema and
-//!   a workload description: pick each table's routing field, decide how
-//!   many logical partitions each table needs, and emit
-//!   [`RoutingRule`](dora_core::routing::RoutingRule)s aligned with the
-//!   transactions' access patterns.
-//! * **Alignment advisor** — consumes the
-//!   [`AccessTrace`](dora_storage::trace::AccessTrace) both engines can
-//!   record and reports which accesses were *not* partition-aligned
-//!   (secondary actions), i.e. where a different routing field or an extra
-//!   index would let DORA route by key.
-//! * **Run-time load balancer** — watches per-partition utilization from
-//!   the executor's stats snapshots and re-splits hot ranges /
-//!   merges cold ones via
-//!   [`DoraEngine::update_routing`](dora_core::executor::DoraEngine::update_routing)
-//!   — cheap because partitions are purely logical (nothing moves on
-//!   disk).
-//!
-//! Nothing is implemented yet — the crate currently only re-exports its
-//! dependencies' entry points so downstream code can compile against one
-//! name.
+//! * **Routing-table designer** — [`design_routing`] derives an initial
+//!   [`RoutingTable`] from the catalog
+//!   and a [`WorkloadProfile`]: each table routes on its first primary-key
+//!   column, and the partition boundaries are placed at load quantiles so
+//!   known-hot keys spread across partitions instead of clustering.
+//! * **Alignment advisor** — [`advise`] consumes the
+//!   [`AccessTrace`] both engines can
+//!   record and reports, per table, how many accesses executed on a
+//!   worker other than the routing owner of the key ("secondary", i.e.
+//!   not partition-aligned) and the routing field that would align them.
+//! * **Run-time load balancer** — [`LoadBalancer`] samples the executor's
+//!   per-partition stats ([`DoraStatsSnapshot`]: actions executed, queue
+//!   depth) plus its per-key load samples, computes an imbalance score,
+//!   and corrects skew with bounded, quiesce-free
+//!   [`DoraEngine::migrate_range`] calls — splitting the hot range at the
+//!   load point that minimizes the predicted post-move maximum, with
+//!   hysteresis so it never oscillates.
 
 #![warn(missing_docs)]
 
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use dora_core::executor::{DoraEngine, DoraStatsSnapshot, MigrationReport};
+use dora_core::routing::{RoutingRule, RoutingTable};
+use dora_storage::schema::TableSchema;
+use dora_storage::trace::{AccessEvent, AccessTrace};
+use dora_storage::types::TableId;
+
 pub use dora_core;
 pub use dora_storage;
+
+// ---------------------------------------------------------------------------
+// Routing-table designer
+// ---------------------------------------------------------------------------
+
+/// Expected access distribution for one table.
+#[derive(Debug, Clone)]
+pub struct TableProfile {
+    /// Table this profile describes.
+    pub table: TableId,
+    /// Smallest routing-key value (inclusive).
+    pub key_lo: i64,
+    /// Largest routing-key value (inclusive).
+    pub key_hi: i64,
+    /// Known-hot keys and the share of this table's accesses each one
+    /// receives (shares in `[0, 1]`, summing to less than 1). The rest of
+    /// the table's load is assumed uniform over `[key_lo, key_hi]`.
+    pub hot_keys: Vec<(i64, f64)>,
+}
+
+/// Expected access distribution for a whole workload.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadProfile {
+    /// Per-table profiles. Tables present in the catalog but absent here
+    /// have an unknown key span, so they are left unrouted (their actions
+    /// run secondary, and [`advise`] will flag them).
+    pub tables: Vec<TableProfile>,
+}
+
+/// Derives an initial routing table: every profiled table routes on its
+/// first primary-key column, with partition boundaries at the load
+/// quantiles implied by the profile — a uniform profile yields equal-width
+/// ranges; a skewed one narrows the ranges around hot keys so each
+/// partition starts with roughly `1/partitions` of the expected load.
+///
+/// A hot key carrying more than `1/partitions` of the load cannot be
+/// split; the designer isolates it in its own narrow range and leaves the
+/// corresponding partitions' shares uneven (the run-time balancer owns
+/// whatever error remains).
+pub fn design_routing(
+    catalog: &[(TableId, TableSchema)],
+    profile: &WorkloadProfile,
+    partitions: usize,
+) -> RoutingTable {
+    assert!(partitions > 0, "need at least one partition");
+    let mut routing = RoutingTable::new();
+    for (table, schema) in catalog {
+        let Some(p) = profile.tables.iter().find(|p| p.table == *table) else {
+            continue;
+        };
+        let field = schema.primary_key.first().copied().unwrap_or(0);
+        let boundaries = quantile_boundaries(p, partitions);
+        let owners = (0..=boundaries.len()).collect();
+        routing.set_rule(RoutingRule {
+            table: *table,
+            field,
+            boundaries,
+            owners,
+        });
+    }
+    routing
+}
+
+/// Boundary positions splitting `[key_lo, key_hi]` into up to `partitions`
+/// intervals of roughly equal expected load (uniform density plus the
+/// profile's point masses). Strictly increasing; fewer than
+/// `partitions - 1` entries when a single key's mass swallows more than
+/// one quantile.
+fn quantile_boundaries(p: &TableProfile, partitions: usize) -> Vec<i64> {
+    let span = (p.key_hi - p.key_lo + 1).max(1) as f64;
+    let mut hot: Vec<(i64, f64)> = p
+        .hot_keys
+        .iter()
+        .copied()
+        .filter(|&(k, s)| k >= p.key_lo && k <= p.key_hi && s > 0.0)
+        .collect();
+    hot.sort_by_key(|&(k, _)| k);
+    let hot_sum: f64 = hot.iter().map(|&(_, s)| s).sum();
+    let density = (1.0 - hot_sum).max(0.0) / span;
+    let mut boundaries = Vec::new();
+    let mut cum = 0.0;
+    let mut pos = p.key_lo;
+    let mut hot = hot.into_iter().peekable();
+    for i in 1..partitions {
+        let target = i as f64 / partitions as f64;
+        loop {
+            if pos > p.key_hi {
+                break;
+            }
+            match hot.peek().copied() {
+                Some((hk, hs)) => {
+                    let uniform_to_hot = (hk - pos) as f64 * density;
+                    if cum + uniform_to_hot >= target {
+                        let b = invert_uniform(pos, density, target - cum).min(hk);
+                        cum += (b - pos) as f64 * density;
+                        pos = b;
+                        push_boundary(&mut boundaries, pos, p.key_hi);
+                        break;
+                    }
+                    // Cross the hot key: its point mass plus its own
+                    // uniform slot land at once.
+                    cum += uniform_to_hot + hs + density;
+                    pos = hk + 1;
+                    hot.next();
+                    if cum >= target {
+                        push_boundary(&mut boundaries, pos, p.key_hi);
+                        break;
+                    }
+                }
+                None => {
+                    let b = invert_uniform(pos, density, target - cum).min(p.key_hi);
+                    cum += (b - pos) as f64 * density;
+                    pos = b;
+                    push_boundary(&mut boundaries, pos, p.key_hi);
+                    break;
+                }
+            }
+        }
+    }
+    boundaries
+}
+
+/// Smallest key `b > pos` such that the uniform mass of `[pos, b)` covers
+/// `need`.
+fn invert_uniform(pos: i64, density: f64, need: f64) -> i64 {
+    if density <= 0.0 {
+        return pos + 1;
+    }
+    pos + ((need / density).ceil() as i64).max(1)
+}
+
+/// Appends `b` if it keeps the boundary list strictly increasing and
+/// inside the key span (duplicate quantiles collapse — a hot key heavier
+/// than one quantile cannot be split further).
+fn push_boundary(boundaries: &mut Vec<i64>, b: i64, key_hi: i64) {
+    if b <= key_hi && boundaries.last().is_none_or(|&last| b > last) {
+        boundaries.push(b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Alignment advisor
+// ---------------------------------------------------------------------------
+
+/// Per-table alignment summary: how many traced accesses ran on a worker
+/// other than the one the routing table assigns their key to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlignmentEntry {
+    /// Table the accesses touched.
+    pub table: TableId,
+    /// Total traced accesses to the table.
+    pub total: u64,
+    /// Accesses that executed on a non-owning worker (secondary).
+    pub misaligned: u64,
+    /// Whether the routing table has a rule for this table at all.
+    pub routed: bool,
+    /// The routing field that would align the misaligned accesses: the
+    /// table's current routing field when routed (the trace keys *are*
+    /// routing-key values), otherwise the first primary-key column.
+    pub suggested_field: usize,
+}
+
+impl AlignmentEntry {
+    /// Misaligned share of the table's accesses, `0.0` when untouched.
+    pub fn misaligned_share(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.misaligned as f64 / self.total as f64
+        }
+    }
+}
+
+/// The advisor's output: tables ordered by misaligned access count,
+/// worst first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlignmentReport {
+    /// Per-table summaries (only tables with at least one traced access).
+    pub entries: Vec<AlignmentEntry>,
+    /// Worker count the owner check folded partition ids into.
+    pub workers: usize,
+}
+
+impl AlignmentReport {
+    /// Entries with at least one misaligned access.
+    pub fn offenders(&self) -> impl Iterator<Item = &AlignmentEntry> {
+        self.entries.iter().filter(|e| e.misaligned > 0)
+    }
+}
+
+impl fmt::Display for AlignmentReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "alignment report ({} workers):", self.workers)?;
+        if self.entries.is_empty() {
+            return writeln!(f, "  (no traced accesses)");
+        }
+        for e in &self.entries {
+            writeln!(
+                f,
+                "  table {}: {}/{} accesses misaligned ({:.1}%){} -> route on field {}",
+                e.table,
+                e.misaligned,
+                e.total,
+                100.0 * e.misaligned_share(),
+                if e.routed { "" } else { " [unrouted]" },
+                e.suggested_field,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Analyzes a recorded access trace against `routing`: an access is
+/// **aligned** when the worker that performed it is the routing owner of
+/// the key (folded modulo `workers`, as the executor folds logical
+/// partitions onto threads), and **secondary** otherwise. Unrouted tables
+/// count every access as secondary — routing them on the traced key
+/// column (their first primary-key column) would align them.
+pub fn advise(trace: &AccessTrace, routing: &RoutingTable, workers: usize) -> AlignmentReport {
+    advise_events(&trace.snapshot(), routing, workers)
+}
+
+/// [`advise`] over an already-snapshotted event list.
+pub fn advise_events(
+    events: &[AccessEvent],
+    routing: &RoutingTable,
+    workers: usize,
+) -> AlignmentReport {
+    let workers = workers.max(1);
+    let mut per_table: HashMap<TableId, AlignmentEntry> = HashMap::new();
+    for e in events {
+        let rule = routing.rule(e.table);
+        let entry = per_table.entry(e.table).or_insert_with(|| AlignmentEntry {
+            table: e.table,
+            total: 0,
+            misaligned: 0,
+            routed: rule.is_some(),
+            suggested_field: rule.map(|r| r.field).unwrap_or(0),
+        });
+        entry.total += 1;
+        let aligned = rule.is_some_and(|r| r.owner_of(e.key) % workers == e.worker);
+        if !aligned {
+            entry.misaligned += 1;
+        }
+    }
+    let mut entries: Vec<AlignmentEntry> = per_table.into_values().collect();
+    entries.sort_by(|a, b| b.misaligned.cmp(&a.misaligned).then(a.table.cmp(&b.table)));
+    AlignmentReport { entries, workers }
+}
+
+// ---------------------------------------------------------------------------
+// Run-time load balancer
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for the [`LoadBalancer`].
+#[derive(Debug, Clone)]
+pub struct BalancerConfig {
+    /// Sampling period of [`LoadBalancer::run`].
+    pub interval: Duration,
+    /// Imbalance score (max partition load / mean) below which a window
+    /// triggers no correction — the hysteresis high watermark.
+    pub high_watermark: f64,
+    /// Minimum time between issued migrations (additional hysteresis; the
+    /// improvement guard below already prevents oscillation).
+    pub cooldown: Duration,
+    /// Windows with fewer weighted actions than this are ignored — too
+    /// little signal to split on.
+    pub min_window_actions: u64,
+    /// A split is only issued when the predicted post-move maximum load is
+    /// below `improvement * current_max` — moving load that merely swaps
+    /// the hot spot is refused.
+    pub improvement: f64,
+    /// `coalesce_routing` is invoked for a table once its rule fragments
+    /// into more ranges than this.
+    pub max_ranges_per_table: usize,
+}
+
+impl Default for BalancerConfig {
+    fn default() -> Self {
+        BalancerConfig {
+            interval: Duration::from_millis(50),
+            high_watermark: 1.2,
+            cooldown: Duration::ZERO,
+            min_window_actions: 200,
+            improvement: 0.97,
+            max_ranges_per_table: 64,
+        }
+    }
+}
+
+/// What the balancer did over its lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct BalancerReport {
+    /// Migrations issued (each one bounded: a single contiguous range).
+    pub migrations: u64,
+    /// Handoff duration of each issued migration — the "pause" a range's
+    /// own traffic could observe; unaffected ranges never pause.
+    pub pauses: Vec<Duration>,
+    /// Imbalance score of the most recent complete window.
+    pub last_imbalance: f64,
+    /// Parked actions aborted because their key set straddled a moved
+    /// range boundary (retryable aborts, summed across all migrations).
+    pub aborted_straddlers: u64,
+}
+
+/// Runtime load balancer: call [`LoadBalancer::tick`] periodically (or
+/// hand a thread to [`LoadBalancer::run`]). Each tick window-diffs the
+/// engine's stats; when the weighted per-partition load (actions executed
+/// plus queued backlog) is imbalanced past the watermark, it splits the
+/// hottest sampled range of the hottest partition at the load point that
+/// minimizes the predicted post-move maximum and migrates the piece to
+/// the coldest partition — quiesce-free, bounded, and refused entirely
+/// when no split would actually improve the balance.
+#[derive(Debug, Default)]
+pub struct LoadBalancer {
+    cfg: BalancerConfig,
+    prev_executed: Option<Vec<u64>>,
+    prev_keys: HashMap<(TableId, i64), u64>,
+    last_move: Option<Instant>,
+    report: BalancerReport,
+}
+
+impl LoadBalancer {
+    /// A balancer with the given tuning.
+    pub fn new(cfg: BalancerConfig) -> Self {
+        LoadBalancer {
+            cfg,
+            ..Default::default()
+        }
+    }
+
+    /// What the balancer has done so far.
+    pub fn report(&self) -> &BalancerReport {
+        &self.report
+    }
+
+    /// Ticks every `interval` until `stop` is set, then returns the
+    /// accumulated report. Run this on its own thread next to the
+    /// workload.
+    pub fn run(mut self, engine: &DoraEngine, stop: &AtomicBool) -> BalancerReport {
+        while !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(self.cfg.interval);
+            self.tick(engine);
+        }
+        self.report
+    }
+
+    /// One balancing pass; returns the migration it issued, if any. The
+    /// first tick only opens the sampling window (and enables the
+    /// engine's key-load sampling).
+    pub fn tick(&mut self, engine: &DoraEngine) -> Option<MigrationReport> {
+        engine.set_key_sampling(true);
+        let stats = engine.stats();
+        let key_window = self.diff_keys(engine.key_load_snapshot());
+        let executed: Vec<u64> = stats.workers.iter().map(|w| w.executed).collect();
+        let prev = self.prev_executed.replace(executed.clone())?;
+        let load = window_load(&stats, &executed, &prev);
+        let total: f64 = load.iter().sum();
+        if total < self.cfg.min_window_actions as f64 {
+            return None;
+        }
+        let mean = total / load.len() as f64;
+        let max = load.iter().copied().fold(0.0f64, f64::max);
+        self.report.last_imbalance = max / mean;
+        if max / mean < self.cfg.high_watermark {
+            return None;
+        }
+        if self
+            .last_move
+            .is_some_and(|t| t.elapsed() < self.cfg.cooldown)
+        {
+            return None;
+        }
+        let hot = argmax(&load);
+        let cold = argmin(&load);
+        if hot == cold {
+            return None;
+        }
+        let routing = engine.routing();
+        let workers = engine.worker_count();
+        let plan = plan_split(
+            &key_window,
+            &routing,
+            workers,
+            &load,
+            hot,
+            cold,
+            self.cfg.improvement,
+        )?;
+        match engine.migrate_range(plan.table, plan.lo, plan.hi, cold) {
+            Ok(r) => {
+                self.report.migrations += 1;
+                self.report.pauses.push(r.duration);
+                self.report.aborted_straddlers += r.aborted_straddlers as u64;
+                self.last_move = Some(Instant::now());
+                let ranges = engine
+                    .routing()
+                    .rule(plan.table)
+                    .map_or(0, |rule| rule.owners.len());
+                if ranges > self.cfg.max_ranges_per_table {
+                    engine.coalesce_routing(plan.table);
+                }
+                Some(r)
+            }
+            // A lost race (concurrent re-route, shutdown): skip this tick.
+            Err(_) => None,
+        }
+    }
+
+    /// Window-diffs the cumulative key-load snapshot, keeping the new
+    /// snapshot as the next window's base.
+    fn diff_keys(&mut self, now: HashMap<(TableId, i64), u64>) -> HashMap<(TableId, i64), u64> {
+        let mut window = HashMap::with_capacity(now.len());
+        for (&k, &v) in &now {
+            let before = self.prev_keys.get(&k).copied().unwrap_or(0);
+            if v > before {
+                window.insert(k, v - before);
+            }
+        }
+        self.prev_keys = now;
+        window
+    }
+}
+
+/// Weighted per-partition load for one window: actions executed during
+/// the window plus the mailbox backlog at its end (a saturated-but-starved
+/// partition shows up in queue depth before it shows up in throughput).
+fn window_load(stats: &DoraStatsSnapshot, executed: &[u64], prev: &[u64]) -> Vec<f64> {
+    executed
+        .iter()
+        .zip(prev)
+        .zip(&stats.workers)
+        .map(|((now, before), w)| (now.saturating_sub(*before) + w.queue_depth) as f64)
+        .collect()
+}
+
+struct SplitPlan {
+    table: TableId,
+    lo: i64,
+    hi: i64,
+}
+
+/// Picks the migration that best evens out `load`: among the hot
+/// partition's sampled keys, take its hottest routing range, and split it
+/// at the prefix whose predicted post-move maximum load is smallest. The
+/// plan is dropped unless that maximum beats `improvement * current_max`
+/// — the hysteresis that stops a heavy single key from ping-ponging.
+fn plan_split(
+    key_window: &HashMap<(TableId, i64), u64>,
+    routing: &RoutingTable,
+    workers: usize,
+    load: &[f64],
+    hot: usize,
+    cold: usize,
+    improvement: f64,
+) -> Option<SplitPlan> {
+    let workers = workers.max(1);
+    // The hot partition's sampled keys, grouped by routing range.
+    let mut per_range: HashMap<(TableId, usize), Vec<(i64, f64)>> = HashMap::new();
+    for (&(table, key), &n) in key_window {
+        let Some(rule) = routing.rule(table) else {
+            continue;
+        };
+        if rule.owner_of(key) % workers == hot {
+            per_range
+                .entry((table, rule.range_of(key)))
+                .or_default()
+                .push((key, n as f64));
+        }
+    }
+    let ((table, range_idx), mut keys) = per_range.into_iter().max_by(|a, b| {
+        let la: f64 = a.1.iter().map(|&(_, l)| l).sum();
+        let lb: f64 = b.1.iter().map(|&(_, l)| l).sum();
+        la.total_cmp(&lb)
+    })?;
+    keys.sort_by_key(|&(k, _)| k);
+    // Scale sampled loads to the window's weighted units: sampling counts
+    // actions only, while `load` also includes queue backlog.
+    let sampled: f64 = keys.iter().map(|&(_, l)| l).sum();
+    if sampled <= 0.0 {
+        return None;
+    }
+    let scale = load[hot] / sampled;
+    let current_max = load.iter().copied().fold(0.0f64, f64::max);
+    let others_max = load
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != hot && i != cold)
+        .map(|(_, &l)| l)
+        .fold(0.0f64, f64::max);
+    let mut best: Option<(i64, f64)> = None;
+    let mut cum = 0.0;
+    for &(key, l) in &keys {
+        cum += l * scale;
+        let post = (load[hot] - cum).max(load[cold] + cum).max(others_max);
+        if best.is_none_or(|(_, b)| post < b) {
+            best = Some((key + 1, post));
+        }
+    }
+    let (hi, post) = best?;
+    if post >= improvement * current_max {
+        return None;
+    }
+    let rule = routing.rule(table)?;
+    // Lower bound of the split: the range's start boundary, or the first
+    // sampled key when the range is unbounded below (keys below it carry
+    // no sampled load and may as well stay put).
+    let lo = if range_idx == 0 {
+        keys.first()?.0
+    } else {
+        rule.boundaries[range_idx - 1]
+    };
+    (lo < hi).then_some(SplitPlan { table, lo, hi })
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+fn argmin(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dora_core::action::{ActionSpec, FlowGraph};
+    use dora_core::executor::{DoraEngineConfig, DORA_POLICY};
+    use dora_storage::db::Database;
+    use dora_storage::error::StorageError;
+    use dora_storage::schema::ColumnDef;
+    use dora_storage::types::{DataType, Value};
+    use std::sync::Arc;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "counters",
+            vec![
+                ColumnDef::new("id", DataType::BigInt),
+                ColumnDef::new("value", DataType::BigInt),
+            ],
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn design_routing_uniform_profile_cuts_equal_widths() {
+        let t: TableId = 1;
+        let routing = design_routing(
+            &[(t, schema())],
+            &WorkloadProfile {
+                tables: vec![TableProfile {
+                    table: t,
+                    key_lo: 0,
+                    key_hi: 99,
+                    hot_keys: vec![],
+                }],
+            },
+            4,
+        );
+        let rule = routing.rule(t).unwrap();
+        assert_eq!(rule.field, 0);
+        assert_eq!(rule.boundaries, vec![25, 50, 75]);
+        assert_eq!(rule.owners, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn design_routing_isolates_a_dominant_hot_key() {
+        let t: TableId = 1;
+        let routing = design_routing(
+            &[(t, schema())],
+            &WorkloadProfile {
+                tables: vec![TableProfile {
+                    table: t,
+                    key_lo: 0,
+                    key_hi: 99,
+                    hot_keys: vec![(0, 0.5)],
+                }],
+            },
+            2,
+        );
+        let rule = routing.rule(t).unwrap();
+        // Key 0 carries half the load: the first partition gets exactly
+        // that key, the second everything else.
+        assert_eq!(rule.boundaries, vec![1]);
+        assert_eq!(rule.owner_of(0), 0);
+        assert_eq!(rule.owner_of(50), 1);
+    }
+
+    #[test]
+    fn design_routing_skips_unprofiled_tables() {
+        let routing = design_routing(&[(7, schema())], &WorkloadProfile::default(), 4);
+        assert!(routing.rule(7).is_none());
+    }
+
+    #[test]
+    fn advisor_flags_unrouted_and_misrouted_tables() {
+        let routed: TableId = 1;
+        let unrouted: TableId = 2;
+        let mut routing = RoutingTable::new();
+        routing.set_rule(RoutingRule::uniform(routed, 0, 0, 99, 4, 4));
+        // Aligned accesses: worker == owner of the key.
+        let mut events = vec![];
+        for key in [0, 30, 60, 90] {
+            events.push(AccessEvent {
+                worker: routing.owner_of(routed, key) % 4,
+                table: routed,
+                key,
+                write: true,
+            });
+        }
+        // One misaligned access to the routed table, three to the
+        // unrouted one (every unrouted access is secondary).
+        events.push(AccessEvent {
+            worker: (routing.owner_of(routed, 10) + 1) % 4,
+            table: routed,
+            key: 10,
+            write: false,
+        });
+        for key in [5, 6, 7] {
+            events.push(AccessEvent {
+                worker: 0,
+                table: unrouted,
+                key,
+                write: false,
+            });
+        }
+        let report = advise_events(&events, &routing, 4);
+        assert_eq!(report.entries.len(), 2);
+        // Worst offender first.
+        assert_eq!(report.entries[0].table, unrouted);
+        assert_eq!(report.entries[0].misaligned, 3);
+        assert!(!report.entries[0].routed);
+        assert_eq!(report.entries[0].suggested_field, 0);
+        assert_eq!(report.entries[1].table, routed);
+        assert_eq!(report.entries[1].total, 5);
+        assert_eq!(report.entries[1].misaligned, 1);
+        assert!(report.entries[1].routed);
+        assert_eq!(report.offenders().count(), 2);
+        let shown = report.to_string();
+        assert!(shown.contains("unrouted"), "{shown}");
+    }
+
+    fn engine_with_rows(rows: i64, workers: usize) -> (Arc<Database>, TableId, DoraEngine) {
+        let db = Arc::new(Database::default());
+        let t = db.create_table(schema()).unwrap();
+        let txn = db.begin();
+        for i in 0..rows {
+            db.insert(
+                txn,
+                t,
+                vec![Value::BigInt(i), Value::BigInt(0)],
+                DORA_POLICY,
+            )
+            .unwrap();
+        }
+        db.commit(txn).unwrap();
+        let mut routing = RoutingTable::new();
+        routing.set_rule(RoutingRule::uniform(
+            t,
+            0,
+            0,
+            rows.max(1) - 1,
+            workers,
+            workers,
+        ));
+        let e = DoraEngine::new(
+            db.clone(),
+            routing,
+            DoraEngineConfig {
+                workers,
+                ..Default::default()
+            },
+        );
+        (db, t, e)
+    }
+
+    fn increment(t: TableId, id: i64) -> FlowGraph {
+        FlowGraph::new(
+            "Increment",
+            vec![ActionSpec::write(t, id, move |db, txn, _ctx| {
+                let row = db
+                    .get(txn, t, &[Value::BigInt(id)], DORA_POLICY)?
+                    .ok_or(StorageError::NotFound)?;
+                let v = row[1].as_i64().unwrap();
+                db.update(
+                    txn,
+                    t,
+                    &[Value::BigInt(id)],
+                    &[(1, Value::BigInt(v + 1))],
+                    DORA_POLICY,
+                )?;
+                Ok(vec![])
+            })],
+        )
+    }
+
+    #[test]
+    fn balancer_splits_a_hot_range_toward_the_cold_partition() {
+        let (_db, t, e) = engine_with_rows(16, 2);
+        let mut lb = LoadBalancer::new(BalancerConfig {
+            high_watermark: 1.2,
+            min_window_actions: 10,
+            ..Default::default()
+        });
+        // First tick opens the window and enables key sampling.
+        assert!(lb.tick(&e).is_none());
+        // All load lands on keys 0 and 1 — both on partition 0.
+        for _ in 0..100 {
+            assert!(e.execute(increment(t, 0)).is_committed());
+            assert!(e.execute(increment(t, 1)).is_committed());
+        }
+        let moved = lb.tick(&e).expect("a skewed window must trigger a split");
+        assert_eq!(moved.to, 1);
+        assert_eq!(moved.table, t);
+        // The split point separates the two hot keys: one stays, one
+        // moves — the even split is the post-move minimum.
+        let routing = e.routing();
+        assert_ne!(
+            routing.owner_of(t, 0) % 2,
+            routing.owner_of(t, 1) % 2,
+            "split should separate the two equally-hot keys: {routing:?}"
+        );
+        assert_eq!(lb.report().migrations, 1);
+        assert_eq!(lb.report().pauses.len(), 1);
+        assert!(lb.report().last_imbalance > 1.9);
+        // Traffic keeps committing on both sides of the split.
+        assert!(e.execute(increment(t, 0)).is_committed());
+        assert!(e.execute(increment(t, 1)).is_committed());
+        e.shutdown();
+    }
+
+    #[test]
+    fn balancer_refuses_balanced_and_thin_windows() {
+        let (_db, t, e) = engine_with_rows(16, 2);
+        let mut lb = LoadBalancer::new(BalancerConfig {
+            min_window_actions: 10,
+            ..Default::default()
+        });
+        assert!(lb.tick(&e).is_none());
+        // Thin window: below min_window_actions.
+        assert!(e.execute(increment(t, 0)).is_committed());
+        assert!(lb.tick(&e).is_none());
+        // Balanced window: equal load on both partitions.
+        for _ in 0..50 {
+            assert!(e.execute(increment(t, 1)).is_committed());
+            assert!(e.execute(increment(t, 9)).is_committed());
+        }
+        assert!(lb.tick(&e).is_none());
+        assert!(lb.report().last_imbalance < 1.2);
+        assert_eq!(lb.report().migrations, 0);
+        e.shutdown();
+    }
+}

@@ -23,9 +23,53 @@ use dora_storage::types::{TableId, TxnId, Value};
 
 use crate::action::{ActionLogic, ActionSpec, PhaseGen};
 use crate::executor::TxnOutcome;
-use crate::local_lock::LockClass;
+use crate::local_lock::{LockClass, MovedLock};
 use crate::oneshot;
 use crate::routing::{PartitionId, RoutingTable};
+
+/// Identity and rendezvous state of one in-flight range migration. The
+/// coordinating thread (`DoraEngine::migrate_range`) holds the receiver
+/// halves; the ticket travels to the destination (inside
+/// [`WorkerMsg::RangeBegin`]) and the source (inside
+/// [`WorkerMsg::RangeDrain`]) so both workers can identify the migration
+/// and signal progress. Dropping the ticket without signalling (engine
+/// shutdown discards worker queues) unblocks the coordinator with an
+/// error instead of hanging it.
+pub struct MigrationTicket {
+    /// Table whose range is moving.
+    pub table: TableId,
+    /// Inclusive lower bound of the moving key range.
+    pub lo: i64,
+    /// Exclusive upper bound of the moving key range.
+    pub hi: i64,
+    /// Worker the range moves away from.
+    pub src: usize,
+    /// Worker the range moves to.
+    pub dst: usize,
+    /// Signalled by the destination once its range barrier is installed;
+    /// only then may the coordinator publish the new routing (otherwise a
+    /// newly-routed action could execute at the destination ahead of the
+    /// barrier and jump the drain queue).
+    pub installed: oneshot::Sender<()>,
+    /// Signalled by the destination once the seal token has been absorbed
+    /// and the barrier released — the migration is complete.
+    pub done: oneshot::Sender<SealStats>,
+}
+
+/// What a completed migration moved, reported through
+/// [`MigrationTicket::done`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SealStats {
+    /// Lock-table entries transferred with the seal token.
+    pub moved_locks: usize,
+    /// Parked actions transferred with the seal token.
+    pub moved_parked: usize,
+    /// Parked multi-key actions that straddled the range cut and were
+    /// aborted (retryably) instead of transferred.
+    pub aborted_straddlers: usize,
+    /// Actions the barrier held at the destination until the seal.
+    pub barrier_held: usize,
+}
 
 /// A message consumed by a partition worker thread.
 pub enum WorkerMsg {
@@ -56,6 +100,37 @@ pub enum WorkerMsg {
     /// target (next-phase actions plus finishes), and its outbox folds
     /// them into a single priority-lane reservation. Never nested.
     Batch(Vec<WorkerMsg>),
+    /// First leg of a range migration, sent to the **destination** worker:
+    /// install a barrier that holds fresh arrivals for the moving range
+    /// until the seal token lands, then ack on
+    /// [`MigrationTicket::installed`].
+    RangeBegin {
+        /// The migration this barrier belongs to.
+        ticket: Arc<MigrationTicket>,
+    },
+    /// Second leg, sent to the **source** worker after the routing swap:
+    /// extract the moving range's lock-table entries and parked actions
+    /// and forward them to the destination as a [`WorkerMsg::RangeSealed`]
+    /// token.
+    RangeDrain {
+        /// The migration being drained.
+        ticket: Arc<MigrationTicket>,
+    },
+    /// The seal token, sent source → destination: carries the moving
+    /// range's lock state and parked actions. The destination absorbs
+    /// both, releases the range barrier (running held actions in arrival
+    /// order), and acks on [`MigrationTicket::done`].
+    RangeSealed {
+        /// The migration being sealed.
+        ticket: Arc<MigrationTicket>,
+        /// Lock-table entries extracted at the source.
+        locks: Vec<MovedLock>,
+        /// Actions that were parked on the moving range at the source, in
+        /// park order.
+        parked: Vec<ActionEnvelope>,
+        /// Straddling multi-key parked actions the source aborted.
+        aborted_straddlers: usize,
+    },
 }
 
 /// Per-partition involvement of a transaction: each involved partition

@@ -56,6 +56,20 @@
 //!   ([`WorkerMsg::Batch`]), so a multi-send iteration pays one
 //!   reservation per target instead of one per message.
 //!
+//! Routing changes while traffic is live are **quiesce-free**:
+//! [`DoraEngine::migrate_range`] moves one key range between partitions
+//! with a three-step handoff instead of draining the engine. The
+//! destination first installs a **range barrier** (fresh arrivals for the
+//! moving range park behind it), then the routing table is carved so new
+//! work dual-routes to the destination, and finally the source extracts
+//! the range's local lock entries and parked actions and ships them in a
+//! [`WorkerMsg::RangeSealed`] token that releases the barrier. Traffic on
+//! unaffected ranges never stops. A monotone **migration epoch** gates a
+//! self-correcting ownership check: once any migration has happened, a
+//! worker that pops an action (or finish) for keys the current routing
+//! assigns elsewhere forwards it to the owner instead of running it, which
+//! absorbs messages routed before the carve but delivered after the seal.
+//!
 //! Non-aligned ("secondary") actions run lock-free but **consistent**:
 //! their bodies read through the storage layer's validated (versioned)
 //! API, which only ever serves a committed snapshot. A read that hits an
@@ -66,7 +80,7 @@
 //! (`secondary_retries` / `secondary_parked` in [`DoraStatsSnapshot`]
 //! count the protocol).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -81,7 +95,9 @@ use dora_storage::trace::{AccessTrace, WorkerCtx};
 use dora_storage::types::TableId;
 
 use crate::action::{ActionSpec, FlowGraph};
-use crate::dispatcher::{route_phase, ActionEnvelope, PhaseEnd, Rvp, TxnCtx, WorkerMsg};
+use crate::dispatcher::{
+    route_phase, ActionEnvelope, MigrationTicket, PhaseEnd, Rvp, SealStats, TxnCtx, WorkerMsg,
+};
 use crate::local_lock::{LocalLockStats, LocalLockTable, LockClass};
 use crate::mailbox::{Mailbox, PushError};
 use crate::oneshot;
@@ -162,6 +178,8 @@ struct EngineCounters {
     secondary_retries: AtomicU64,
     secondary_parked: AtomicU64,
     log_io_errors: AtomicU64,
+    migrations: AtomicU64,
+    forwarded: AtomicU64,
 }
 
 /// Per-partition counters, written only by the owning worker (plain
@@ -187,6 +205,11 @@ pub struct PartitionStatsSnapshot {
     pub executed: u64,
     /// Nanoseconds spent executing action bodies and RVP logic.
     pub busy_ns: u64,
+    /// Messages currently queued in this partition's mailbox (both lanes)
+    /// at the instant the snapshot was taken. An instantaneous gauge, not
+    /// a counter: the load balancer reads it directly instead of
+    /// window-diffing it.
+    pub queue_depth: u64,
     /// This worker's local lock table counters.
     pub locks: LocalLockStats,
     /// Actions currently parked waiting for local locks.
@@ -232,8 +255,82 @@ pub struct DoraStatsSnapshot {
     /// fsync): the transaction aborts visibly instead of being
     /// acknowledged without durability.
     pub log_io_errors: u64,
+    /// Range migrations completed by [`DoraEngine::migrate_range`].
+    pub migrations: u64,
+    /// Messages (actions or finishes) a worker forwarded to the current
+    /// owner because a migration moved the keys after they were routed.
+    pub forwarded: u64,
     /// Per-partition counters.
     pub workers: Vec<PartitionStatsSnapshot>,
+}
+
+/// Why [`DoraEngine::migrate_range`] refused or failed a migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrateError {
+    /// The routing table has no rule for the table.
+    UnroutedTable(TableId),
+    /// `lo >= hi`: the half-open interval `[lo, hi)` is empty.
+    EmptyRange,
+    /// The destination is not a valid partition id.
+    InvalidDestination {
+        /// The requested destination partition.
+        dest: usize,
+        /// How many partition workers the engine has.
+        workers: usize,
+    },
+    /// The interval is currently owned by more than one partition; migrate
+    /// each owner's sub-range separately (or coalesce first).
+    SpansOwners,
+    /// The engine shut down while the migration was in flight.
+    Shutdown,
+}
+
+impl std::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateError::UnroutedTable(t) => write!(f, "table {t} has no routing rule"),
+            MigrateError::EmptyRange => write!(f, "empty key range"),
+            MigrateError::InvalidDestination { dest, workers } => {
+                write!(
+                    f,
+                    "destination partition {dest} out of range ({workers} workers)"
+                )
+            }
+            MigrateError::SpansOwners => {
+                write!(f, "key range spans multiple current owners")
+            }
+            MigrateError::Shutdown => write!(f, "engine shut down during migration"),
+        }
+    }
+}
+
+impl std::error::Error for MigrateError {}
+
+/// What one completed [`DoraEngine::migrate_range`] call moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationReport {
+    /// Table whose range moved.
+    pub table: TableId,
+    /// Inclusive lower bound of the moved range.
+    pub lo: i64,
+    /// Exclusive upper bound of the moved range.
+    pub hi: i64,
+    /// Partition that owned the range before.
+    pub from: usize,
+    /// Partition that owns the range now.
+    pub to: usize,
+    /// Lock-table entries transferred with the seal token.
+    pub moved_locks: usize,
+    /// Parked (waiting) actions transferred with the seal token.
+    pub moved_parked: usize,
+    /// Fresh arrivals the destination parked behind the range barrier
+    /// while the handoff was in flight.
+    pub barrier_held: usize,
+    /// Parked actions whose key set straddled the range boundary; they
+    /// were aborted with a retryable error instead of being moved.
+    pub aborted_straddlers: usize,
+    /// Wall-clock duration of the handoff (barrier install → seal ack).
+    pub duration: Duration,
 }
 
 struct Inner {
@@ -255,13 +352,20 @@ struct Inner {
     active: AtomicUsize,
     /// False once shutdown starts; submissions are rejected for good.
     accepting: AtomicBool,
-    /// True while `update_routing` drains in-flight transactions;
-    /// submissions wait it out instead of aborting.
-    quiescing: AtomicBool,
-    /// Serializes concurrent `update_routing` calls — overlapping
-    /// quiesce windows would let one caller clear `quiescing` while the
-    /// other is still swapping the table.
+    /// Bumped once per completed routing carve. Zero means "routing never
+    /// changed", which lets workers skip the ownership re-check entirely —
+    /// the steady-state hot path pays one relaxed load and a branch.
+    migration_epoch: AtomicU64,
+    /// Serializes `migrate_range` / `coalesce_routing` calls — the handoff
+    /// protocol moves one range at a time.
     rebalance: Mutex<()>,
+    /// When set, workers count executed keys into `key_loads` so the load
+    /// balancer can find the hot sub-range to split off. Off by default:
+    /// sampling costs a hash insert per action.
+    key_sampling: AtomicBool,
+    /// Per-partition cumulative key-load samples, flushed from worker-local
+    /// maps on stats export. Callers window-diff the snapshot.
+    key_loads: Vec<Mutex<HashMap<(TableId, i64), u64>>>,
     /// Round-robin cursor for secondary (non-aligned) actions.
     next_secondary: AtomicUsize,
     config: DoraEngineConfig,
@@ -290,8 +394,12 @@ impl DoraEngine {
             trace: Arc::new(AccessTrace::new()),
             active: AtomicUsize::new(0),
             accepting: AtomicBool::new(true),
-            quiescing: AtomicBool::new(false),
+            migration_epoch: AtomicU64::new(0),
             rebalance: Mutex::new(()),
+            key_sampling: AtomicBool::new(false),
+            key_loads: (0..config.workers)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
             next_secondary: AtomicUsize::new(0),
             config,
         });
@@ -327,39 +435,171 @@ impl DoraEngine {
         self.inner.routing.read().clone()
     }
 
-    /// Applies `f` to the routing table (run-time re-partitioning hook for
-    /// the designer's load balancer).
+    /// Moves ownership of the key range `[lo, hi)` of `table` to partition
+    /// `dest` **without stopping traffic** — the run-time re-partitioning
+    /// primitive the designer's load balancer is built on.
     ///
-    /// The engine **quiesces** first: intake pauses (submissions arriving
-    /// during the switch wait for it to finish) and in-flight transactions
-    /// drain, so no partition's local lock table still holds state for
-    /// keys whose ownership is about to move. Without the barrier, a key
-    /// re-routed while a transaction holds its lock on the old owner could
-    /// be locked again — fresh and unconflicted — on the new owner,
-    /// breaking isolation. Partitions are logical, so the switch itself is
-    /// O(1); the wait is bounded by `lock_timeout` like shutdown's.
-    pub fn update_routing(&self, f: impl FnOnce(&mut RoutingTable)) {
-        // One re-partitioning at a time; overlapping quiesce windows would
-        // let one caller resume intake while the other still swaps rules.
+    /// The handoff is a three-step protocol, serialized engine-wide:
+    ///
+    /// 1. **Barrier** — the destination worker installs a range barrier
+    ///    and acks. Fresh arrivals for the moving range park behind it
+    ///    (they must not run before the source's lock state arrives).
+    /// 2. **Carve** — the routing table is rewritten so new work for the
+    ///    range routes to `dest`, and the migration epoch is bumped.
+    ///    Unaffected ranges keep flowing through both workers the whole
+    ///    time.
+    /// 3. **Seal** — the source worker extracts the range's local lock
+    ///    entries and parked actions and ships them to the destination in
+    ///    a [`WorkerMsg::RangeSealed`] token. The destination absorbs the
+    ///    lock state, re-admits the transferred and barrier-held actions
+    ///    in order, and acks completion.
+    ///
+    /// Messages routed before the carve but delivered after the seal are
+    /// absorbed by an epoch-gated ownership re-check on every worker:
+    /// actions and finishes for keys the current routing assigns elsewhere
+    /// are forwarded to the owner instead of running locally.
+    ///
+    /// The range must currently belong to a single partition
+    /// ([`MigrateError::SpansOwners`] otherwise); migrating a range to its
+    /// current owner is a no-op that reports zero moved state.
+    pub fn migrate_range(
+        &self,
+        table: TableId,
+        lo: i64,
+        hi: i64,
+        dest: usize,
+    ) -> Result<MigrationReport, MigrateError> {
+        let workers = self.inner.config.workers;
+        if dest >= workers {
+            return Err(MigrateError::InvalidDestination { dest, workers });
+        }
+        if lo >= hi {
+            return Err(MigrateError::EmptyRange);
+        }
+        // One migration at a time: the protocol assumes a single moving
+        // range, and the barrier/seal tickets are matched per migration.
         let _serialize = self.inner.rebalance.lock();
-        self.inner.quiescing.store(true, Ordering::Release);
-        // Clear `quiescing` even if `f` panics — a wedged flag would make
-        // every later submit() spin forever.
-        struct ResumeIntake<'a>(&'a AtomicBool);
-        impl Drop for ResumeIntake<'_> {
-            fn drop(&mut self) {
-                self.0.store(false, Ordering::Release);
+        let src = {
+            let routing = self.inner.routing.read();
+            let rule = routing
+                .rule(table)
+                .ok_or(MigrateError::UnroutedTable(table))?;
+            let first = rule.range_of(lo);
+            let last = rule.range_of(hi - 1);
+            let src = rule.owners[first] % workers;
+            if rule.owners[first..=last]
+                .iter()
+                .any(|&o| o % workers != src)
+            {
+                return Err(MigrateError::SpansOwners);
+            }
+            src
+        };
+        let started = Instant::now();
+        if src == dest {
+            return Ok(MigrationReport {
+                table,
+                lo,
+                hi,
+                from: src,
+                to: dest,
+                moved_locks: 0,
+                moved_parked: 0,
+                barrier_held: 0,
+                aborted_straddlers: 0,
+                duration: started.elapsed(),
+            });
+        }
+        let (installed_tx, installed_rx) = oneshot::channel();
+        let (done_tx, done_rx) = oneshot::channel();
+        let ticket = Arc::new(MigrationTicket {
+            table,
+            lo,
+            hi,
+            src,
+            dst: dest,
+            installed: installed_tx,
+            done: done_tx,
+        });
+        // Step 1: barrier first, and *wait* for the ack. Carving before
+        // the barrier is installed would let the destination run a fresh
+        // in-range action ahead of the seal token's lock state.
+        if self.inner.mailboxes[dest]
+            .push_priority(WorkerMsg::RangeBegin {
+                ticket: ticket.clone(),
+            })
+            .is_err()
+        {
+            return Err(MigrateError::Shutdown);
+        }
+        if installed_rx.recv().is_err() {
+            return Err(MigrateError::Shutdown);
+        }
+        // Step 2: carve. From here on, fresh work for the range routes to
+        // `dest` and parks behind the barrier.
+        {
+            let mut routing = self.inner.routing.write();
+            let rule = routing.rule_mut(table).expect("rule checked above");
+            rule.carve(lo, hi, dest);
+        }
+        self.inner.migration_epoch.fetch_add(1, Ordering::Release);
+        // Step 3: tell the source to seal. The drain request rides the
+        // priority lane, so it is ordered after every in-range action the
+        // source already drained into its local queues — those run (or
+        // park) under source authority first, and anything still parked at
+        // seal time transfers with the token.
+        if self.inner.mailboxes[src]
+            .push_priority(WorkerMsg::RangeDrain { ticket })
+            .is_err()
+        {
+            return Err(MigrateError::Shutdown);
+        }
+        match done_rx.recv() {
+            Ok(seal) => Ok(MigrationReport {
+                table,
+                lo,
+                hi,
+                from: src,
+                to: dest,
+                moved_locks: seal.moved_locks,
+                moved_parked: seal.moved_parked,
+                barrier_held: seal.barrier_held,
+                aborted_straddlers: seal.aborted_straddlers,
+                duration: started.elapsed(),
+            }),
+            Err(_) => Err(MigrateError::Shutdown),
+        }
+    }
+
+    /// Merges adjacent same-owner ranges in `table`'s routing rule,
+    /// returning how many boundaries were removed. Ownership is unchanged,
+    /// so no handoff protocol is needed — this just keeps rule lookup
+    /// cheap after many migrations fragment the table.
+    pub fn coalesce_routing(&self, table: TableId) -> usize {
+        let _serialize = self.inner.rebalance.lock();
+        let mut routing = self.inner.routing.write();
+        routing.rule_mut(table).map(|r| r.coalesce()).unwrap_or(0)
+    }
+
+    /// Enables or disables per-key load sampling (off by default). While
+    /// enabled, workers count executed keys into a per-partition map the
+    /// balancer reads via [`DoraEngine::key_load_snapshot`] to pick the
+    /// hot sub-range to split off.
+    pub fn set_key_sampling(&self, enabled: bool) {
+        self.inner.key_sampling.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Cumulative per-key execution counts gathered while key sampling was
+    /// enabled. Counts are flushed from worker-local maps on stats export,
+    /// so the snapshot trails execution slightly; callers window-diff it.
+    pub fn key_load_snapshot(&self) -> HashMap<(TableId, i64), u64> {
+        let mut out = HashMap::new();
+        for shard in &self.inner.key_loads {
+            for (&k, &v) in shard.lock().iter() {
+                *out.entry(k).or_insert(0) += v;
             }
         }
-        let _resume = ResumeIntake(&self.inner.quiescing);
-        let deadline = Instant::now()
-            + self.inner.config.lock_timeout
-            + self.inner.config.submit_timeout
-            + Duration::from_secs(30);
-        while self.inner.active.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_micros(200));
-        }
-        f(&mut self.inner.routing.write());
+        out
     }
 
     /// Total number of messages waiting in partition mailboxes (both
@@ -378,24 +618,11 @@ impl DoraEngine {
     /// drop.
     pub fn submit(&self, flow: FlowGraph) -> oneshot::Receiver<TxnOutcome> {
         let (reply_tx, reply_rx) = oneshot::channel();
-        // A routing quiesce is short; wait it out rather than bouncing the
-        // client. Shutdown, by contrast, is final: reject immediately.
-        // Order matters: become visible in `active` *first*, then re-check
-        // `quiescing` — checking before incrementing would let a submission
-        // slip past `update_routing`'s drain barrier (it reads `active`
-        // after setting `quiescing`) and route with lock state that
-        // predates the switch.
-        loop {
-            while self.inner.quiescing.load(Ordering::Acquire) {
-                std::thread::sleep(Duration::from_micros(100));
-            }
-            self.inner.active.fetch_add(1, Ordering::AcqRel);
-            if !self.inner.quiescing.load(Ordering::Acquire) {
-                break;
-            }
-            // Raced the start of a quiesce: step back out and wait.
-            self.inner.active.fetch_sub(1, Ordering::AcqRel);
-        }
+        // Routing migrations never pause intake — a submission racing a
+        // carve routes under whichever table version it reads, and the
+        // workers' epoch-gated ownership check forwards anything that
+        // lands on a stale owner. Only shutdown rejects.
+        self.inner.active.fetch_add(1, Ordering::AcqRel);
         if !self.inner.accepting.load(Ordering::Acquire) {
             self.inner.active.fetch_sub(1, Ordering::AcqRel);
             let _ = reply_tx.send(TxnOutcome::Aborted {
@@ -428,13 +655,17 @@ impl DoraEngine {
             secondary_retries: c.secondary_retries.load(Ordering::Relaxed),
             secondary_parked: c.secondary_parked.load(Ordering::Relaxed),
             log_io_errors: c.log_io_errors.load(Ordering::Relaxed),
+            migrations: c.migrations.load(Ordering::Relaxed),
+            forwarded: c.forwarded.load(Ordering::Relaxed),
             workers: self
                 .inner
                 .partitions
                 .iter()
-                .map(|p| PartitionStatsSnapshot {
+                .zip(&self.inner.mailboxes)
+                .map(|(p, mailbox)| PartitionStatsSnapshot {
                     executed: p.executed.load(Ordering::Relaxed),
                     busy_ns: p.busy_ns.load(Ordering::Relaxed),
+                    queue_depth: mailbox.len() as u64,
                     locks: LocalLockStats {
                         acquired: p.lock_acquired.load(Ordering::Relaxed),
                         conflicts: p.lock_conflicts.load(Ordering::Relaxed),
@@ -524,6 +755,23 @@ struct WorkerState {
     outbox: Vec<Vec<WorkerMsg>>,
     /// Partitions with a non-empty outbox buffer.
     outbox_dirty: Vec<usize>,
+    /// Range barriers installed by in-flight migrations targeting this
+    /// partition. Fresh arrivals for a barricaded range are held here
+    /// until the source's seal token delivers the range's lock state.
+    /// Empty except during a migration — the hot path pays one
+    /// `is_empty()` check.
+    barriers: Vec<RangeBarrier>,
+    /// Worker-local per-key execution counts while key sampling is on;
+    /// flushed into the shared per-partition map on stats export.
+    key_counts: HashMap<(TableId, i64), u64>,
+}
+
+/// A destination-side hold on one migrating key range: actions for
+/// `[ticket.lo, ticket.hi)` of `ticket.table` arriving between the
+/// routing carve and the seal token park here in arrival order.
+struct RangeBarrier {
+    ticket: Arc<MigrationTicket>,
+    held: VecDeque<ActionEnvelope>,
 }
 
 impl WorkerState {
@@ -542,6 +790,8 @@ impl WorkerState {
             inline_depth: 0,
             outbox: (0..workers).map(|_| Vec::new()).collect(),
             outbox_dirty: Vec::new(),
+            barriers: Vec::new(),
+            key_counts: HashMap::new(),
         }
     }
 
@@ -763,6 +1013,17 @@ fn finalize(
                 {
                     st.stats_dirty = true;
                 }
+                // A migration may have moved some of these keys' lock
+                // entries to another partition after this worker acquired
+                // them (the local release above is a no-op for those).
+                // Forward a Finish to the current owner so the transferred
+                // entries are released too.
+                if inner.migration_epoch.load(Ordering::Relaxed) > 0 {
+                    for (owner, keys) in foreign_keys(inner, st.id, keys) {
+                        inner.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                        st.send_later(owner, WorkerMsg::Finish { txn: ctx.txn, keys });
+                    }
+                }
             }
             // A transaction completing here is a natural transition point
             // to publish this worker's counters — when any moved. A worker
@@ -804,6 +1065,12 @@ fn finalize(
     inner.active.fetch_sub(1, Ordering::AcqRel);
 }
 
+/// Bounded scheduler-yield spin a worker performs on an empty mailbox
+/// before committing to the futex park. Sized to a handful of quanta: an
+/// idle partition still parks (and burns no CPU), while a partition in a
+/// steady message flow rides publication-to-publication without syscalls.
+const PARK_SPIN_YIELDS: u32 = 32;
+
 /// The partition worker ("micro-engine") main loop.
 ///
 /// Event-driven: the worker parks on its mailbox when it has nothing
@@ -830,7 +1097,22 @@ fn worker_loop(inner: Arc<Inner>, id: usize) {
             if st.stats_dirty {
                 export_stats(&inner, &mut st);
             }
-            mailbox.park(st.waiting.next_deadline(inner.config.lock_timeout));
+            // Yield-spin before the futex park: under continuous load the
+            // next message typically lands within a few scheduler yields
+            // (on an oversubscribed box the yield hands the quantum to the
+            // producer directly), so the park handshake — two futex
+            // syscalls plus a context switch per message — is paid only by
+            // genuinely idle partitions. This is what keeps a *balanced*
+            // partition spread from losing to a single hot worker whose
+            // never-empty queue amortizes the wakeups away.
+            let mut spins = 0;
+            while spins < PARK_SPIN_YIELDS && !mailbox.has_pending() && !mailbox.is_closed() {
+                std::thread::yield_now();
+                spins += 1;
+            }
+            if !mailbox.has_pending() {
+                mailbox.park(st.waiting.next_deadline(inner.config.lock_timeout));
+            }
         }
         if mailbox.is_closed() {
             break;
@@ -897,6 +1179,11 @@ fn worker_loop(inner: Arc<Inner>, id: usize) {
         mailbox.free_fresh_slot();
     }
     leftovers.extend(st.waiting.drain());
+    // Barrier-held arrivals are stranded too: their seal token will never
+    // come (the source worker is shutting down with everyone else).
+    for barrier in st.barriers.drain(..) {
+        leftovers.extend(barrier.held);
+    }
     for envelope in leftovers {
         complete(
             &inner,
@@ -922,19 +1209,33 @@ fn collect_leftover_actions(msg: WorkerMsg, out: &mut Vec<ActionEnvelope>) {
                 collect_leftover_actions(msg, out);
             }
         }
+        // Dropping a migration ticket unblocks the coordinator with a
+        // `Shutdown` error; a seal token's transferred actions are
+        // leftovers to abort like any other stranded envelope.
+        WorkerMsg::RangeBegin { .. } | WorkerMsg::RangeDrain { .. } => {}
+        WorkerMsg::RangeSealed { parked, .. } => out.extend(parked),
         WorkerMsg::Finish { .. } | WorkerMsg::Probe { .. } => {}
     }
 }
 
 /// Applies one incoming priority-lane message: finishes release their
 /// keys immediately (queueing targeted wakeups), later-phase actions join
-/// the priority lane, batches unpack (they are never nested).
+/// the priority lane, batches unpack (they are never nested). Migration
+/// messages drive the range-handoff protocol (see
+/// [`DoraEngine::migrate_range`]).
 fn intake(inner: &Arc<Inner>, st: &mut WorkerState, msg: WorkerMsg) {
     match msg {
         WorkerMsg::Action(envelope) => st.priority.push_back(envelope),
         WorkerMsg::Finish { txn, keys } => {
             if st.locks.release_keys_into(txn, &keys, &mut st.pending_wake) > 0 {
                 st.stats_dirty = true;
+            }
+            // Keys a migration moved away release at their current owner.
+            if inner.migration_epoch.load(Ordering::Relaxed) > 0 {
+                for (owner, keys) in foreign_keys(inner, st.id, &keys) {
+                    inner.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                    st.send_later(owner, WorkerMsg::Finish { txn, keys });
+                }
             }
         }
         WorkerMsg::Probe { txn } => probe_txn(inner, st, txn),
@@ -943,7 +1244,131 @@ fn intake(inner: &Arc<Inner>, st: &mut WorkerState, msg: WorkerMsg) {
                 intake(inner, st, msg);
             }
         }
+        // Destination side, step 1: barricade the incoming range, then ack
+        // so the coordinator may carve the routing table.
+        WorkerMsg::RangeBegin { ticket } => {
+            st.barriers.push(RangeBarrier {
+                ticket: ticket.clone(),
+                held: VecDeque::new(),
+            });
+            let _ = ticket.installed.send(());
+        }
+        // Source side, step 3: extract the range's lock entries and parked
+        // actions and ship them. Parked actions whose key set straddles
+        // the range boundary cannot move atomically — abort them with a
+        // retryable error (their resubmission routes cleanly).
+        WorkerMsg::RangeDrain { ticket } => {
+            let locks = st.locks.extract_range(ticket.table, ticket.lo, ticket.hi);
+            let taken = st.waiting.take_range(ticket.table, ticket.lo, ticket.hi);
+            let mut parked = Vec::new();
+            let mut straddlers = Vec::new();
+            for envelope in taken {
+                let fits = envelope
+                    .keys
+                    .iter()
+                    .all(|&(key, _)| key >= ticket.lo && key < ticket.hi);
+                if fits {
+                    parked.push(envelope);
+                } else {
+                    straddlers.push(envelope);
+                }
+            }
+            st.stats_dirty = true;
+            let dst = ticket.dst;
+            let aborted_straddlers = straddlers.len();
+            // Seal before completing straddlers: a straddler's abort can
+            // emit a Finish for already-extracted keys toward `dst`, and
+            // the outbox preserves per-target order — the seal (carrying
+            // those entries) must land first or the release would no-op.
+            st.send_later(
+                dst,
+                WorkerMsg::RangeSealed {
+                    ticket,
+                    locks,
+                    parked,
+                    aborted_straddlers,
+                },
+            );
+            for envelope in straddlers {
+                complete(
+                    inner,
+                    st,
+                    envelope,
+                    Err(StorageError::Aborted(
+                        "parked action split by a range migration; retry".into(),
+                    )),
+                );
+            }
+            sync_deferred(inner, st);
+        }
+        // Destination side: absorb the transferred lock state, re-admit
+        // transferred parked actions then barrier-held arrivals (in that
+        // order — the transferred ones parked first at the source), and
+        // ack the migration.
+        WorkerMsg::RangeSealed {
+            ticket,
+            locks,
+            parked,
+            aborted_straddlers,
+        } => {
+            let moved_locks = locks.len();
+            if moved_locks > 0 {
+                st.locks.absorb(locks);
+                st.stats_dirty = true;
+            }
+            let moved_parked = parked.len();
+            let idx = st
+                .barriers
+                .iter()
+                .position(|b| Arc::ptr_eq(&b.ticket, &ticket));
+            let held = match idx {
+                Some(i) => st.barriers.remove(i).held,
+                None => VecDeque::new(),
+            };
+            let barrier_held = held.len();
+            // Re-admit through `handle_action`, not a direct park: a
+            // transferred action whose blocker finished before the
+            // extraction must run now — nothing will ever wake it again.
+            for envelope in parked {
+                handle_action(inner, st, envelope);
+            }
+            for envelope in held {
+                handle_action(inner, st, envelope);
+            }
+            inner.counters.migrations.fetch_add(1, Ordering::Relaxed);
+            let _ = ticket.done.send(SealStats {
+                moved_locks,
+                moved_parked,
+                barrier_held,
+                aborted_straddlers,
+            });
+            sync_deferred(inner, st);
+        }
     }
+}
+
+/// Groups `keys` the current routing assigns to a partition other than
+/// `local` by their owning partition (for post-migration forwarding).
+/// Returns an empty vec in the common all-local case without allocating.
+fn foreign_keys(
+    inner: &Arc<Inner>,
+    local: usize,
+    keys: &[(TableId, i64)],
+) -> Vec<(usize, Vec<(TableId, i64)>)> {
+    let workers = inner.config.workers.max(1);
+    let mut grouped: Vec<(usize, Vec<(TableId, i64)>)> = Vec::new();
+    let routing = inner.routing.read();
+    for &(table, key) in keys {
+        let owner = routing.owner_of(table, key) % workers;
+        if owner == local {
+            continue;
+        }
+        match grouped.iter_mut().find(|(p, _)| *p == owner) {
+            Some((_, keys)) => keys.push((table, key)),
+            None => grouped.push((owner, vec![(table, key)])),
+        }
+    }
+    grouped
 }
 
 /// Delivers the outbox: one priority-lane push per target partition,
@@ -1109,7 +1534,73 @@ fn wake_successors(st: &mut WorkerState, seq: u64, envelope: &ActionEnvelope) {
 
 /// Executes one incoming action, parking it in the wait list when its
 /// locks are taken or a parked conflicting action is ahead of it.
+///
+/// Two migration checks come first, both free in the steady state. A
+/// barrier hold: while a migration into this partition is in flight,
+/// actions for the moving range wait for its seal token. An ownership
+/// re-check (only once any migration has ever happened): an action whose
+/// keys the current routing assigns to another partition is forwarded
+/// there instead of running on stale authority.
 fn handle_action(inner: &Arc<Inner>, st: &mut WorkerState, envelope: ActionEnvelope) {
+    if !st.barriers.is_empty() {
+        let held = st.barriers.iter().position(|b| {
+            b.ticket.table == envelope.table
+                && envelope
+                    .keys
+                    .iter()
+                    .any(|&(key, _)| key >= b.ticket.lo && key < b.ticket.hi)
+        });
+        if let Some(idx) = held {
+            st.barriers[idx].held.push_back(envelope);
+            return;
+        }
+    }
+    if inner.migration_epoch.load(Ordering::Relaxed) > 0 && !envelope.keys.is_empty() {
+        let owner = {
+            let workers = inner.config.workers.max(1);
+            let routing = inner.routing.read();
+            let mut owners = envelope
+                .keys
+                .iter()
+                .map(|&(key, _)| routing.owner_of(envelope.table, key) % workers);
+            let first = owners.next().expect("keys checked non-empty");
+            if owners.all(|o| o == first) {
+                Some(first)
+            } else {
+                None
+            }
+        };
+        match owner {
+            Some(owner) if owner == st.id => {}
+            Some(owner) => {
+                // Routed before a carve, delivered after the seal: hand it
+                // to the range's current owner. Involvement must follow so
+                // the finish broadcast releases the locks where they will
+                // actually be taken.
+                envelope
+                    .txn
+                    .mark_involved(owner, envelope.table, &envelope.keys);
+                inner.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+                st.send_later(owner, WorkerMsg::Action(envelope));
+                return;
+            }
+            None => {
+                // A migration split this action's key set across owners
+                // mid-flight; it can no longer run on any single
+                // partition's authority. Abort retryably — the
+                // resubmission routes per the current table.
+                complete(
+                    inner,
+                    st,
+                    envelope,
+                    Err(StorageError::Aborted(
+                        "routing changed mid-flight: action keys now span partitions".into(),
+                    )),
+                );
+                return;
+            }
+        }
+    }
     if let Some(envelope) = try_run(inner, st, FRESH_SEQ, envelope) {
         inner.counters.deferrals.fetch_add(1, Ordering::Relaxed);
         if envelope.body.is_retryable() {
@@ -1144,6 +1635,12 @@ fn execute(inner: &Arc<Inner>, st: &mut WorkerState, mut envelope: ActionEnvelop
     counters.executed.fetch_add(1, Ordering::Relaxed);
     counters.busy_ns.fetch_add(elapsed, Ordering::Relaxed);
     inner.counters.actions.fetch_add(1, Ordering::Relaxed);
+    if inner.key_sampling.load(Ordering::Relaxed) {
+        if let Some(&(key, _)) = envelope.keys.first() {
+            *st.key_counts.entry((envelope.table, key)).or_insert(0) += 1;
+            st.stats_dirty = true;
+        }
+    }
     if let Err(StorageError::ReadUncommitted { table, key, .. }) = &result {
         if envelope.body.is_retryable() && !envelope.rvp.failed() {
             let (table, key) = (*table, key.clone());
@@ -1355,6 +1852,12 @@ fn export_stats(inner: &Arc<Inner>, st: &mut WorkerState) {
     let deferred = st.waiting.len() as u64;
     st.exported_deferred = deferred;
     counters.deferred_depth.store(deferred, Ordering::Relaxed);
+    if !st.key_counts.is_empty() {
+        let mut shared = inner.key_loads[st.id].lock();
+        for (key, count) in st.key_counts.drain() {
+            *shared.entry(key).or_insert(0) += count;
+        }
+    }
 }
 
 /// Publishes the deferred depth iff it changed since the last export.
@@ -2179,14 +2682,85 @@ mod tests {
     }
 
     #[test]
-    fn routing_updates_apply_to_new_transactions() {
+    fn migrate_range_moves_ownership_for_new_transactions() {
+        let (db, t, routing) = setup(16, 2);
+        let e = engine(db.clone(), routing, 2);
+        assert_eq!(e.routing().owner_of(t, 12) % 2, 1);
+        let report = e.migrate_range(t, 8, 16, 0).unwrap();
+        assert_eq!((report.from, report.to), (1, 0));
+        assert_eq!(report.moved_locks, 0);
+        assert_eq!(report.moved_parked, 0);
+        assert_eq!(e.routing().owner_of(t, 12) % 2, 0);
+        assert!(e.execute(increment(t, 12)).is_committed());
+        let stats = e.stats();
+        assert_eq!(stats.migrations, 1);
+        // The post-migration increment ran on the new owner.
+        assert_eq!(stats.workers[0].executed, 1);
+        assert_eq!(stats.workers[1].executed, 0);
+        e.shutdown();
+        assert_eq!(read_value(&db, t, 12), 1);
+    }
+
+    #[test]
+    fn migrate_range_rejects_invalid_requests() {
+        let (db, t, routing) = setup(16, 4);
+        let e = engine(db, routing, 4);
+        assert_eq!(e.migrate_range(t, 5, 5, 1), Err(MigrateError::EmptyRange));
+        assert_eq!(
+            e.migrate_range(t, 0, 4, 9),
+            Err(MigrateError::InvalidDestination {
+                dest: 9,
+                workers: 4
+            })
+        );
+        assert_eq!(e.migrate_range(t, 0, 16, 1), Err(MigrateError::SpansOwners));
+        let unrouted: TableId = t + 99;
+        assert_eq!(
+            e.migrate_range(unrouted, 0, 4, 1),
+            Err(MigrateError::UnroutedTable(unrouted))
+        );
+        // Migrating a range onto its current owner is a no-op, not a
+        // counted migration.
+        let report = e.migrate_range(t, 0, 4, 0).unwrap();
+        assert_eq!((report.from, report.to), (0, 0));
+        assert_eq!(e.stats().migrations, 0);
+        e.shutdown();
+    }
+
+    #[test]
+    fn key_sampling_feeds_load_snapshot_and_coalesce_merges_ranges() {
         let (db, t, routing) = setup(16, 2);
         let e = engine(db, routing, 2);
-        e.update_routing(|rt| {
-            rt.rule_mut(t).unwrap().set_boundaries(vec![4]);
-        });
-        assert_eq!(e.routing().rule(t).unwrap().boundaries, vec![4]);
-        assert!(e.execute(increment(t, 12)).is_committed());
+        e.set_key_sampling(true);
+        for _ in 0..5 {
+            assert!(e.execute(increment(t, 3)).is_committed());
+        }
+        assert!(e.execute(increment(t, 9)).is_committed());
+        // Worker-local samples flush on stats export (a transition the
+        // finalize above triggers), so the snapshot catches up promptly.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let loads = e.key_load_snapshot();
+            if loads.get(&(t, 3)) == Some(&5) && loads.get(&(t, 9)) == Some(&1) {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "samples never flushed: {loads:?}"
+            );
+            std::thread::yield_now();
+        }
+        // Migrations fragment the rule; coalesce folds same-owner runs
+        // back together without moving any key.
+        e.migrate_range(t, 0, 4, 1).unwrap();
+        e.migrate_range(t, 4, 8, 1).unwrap();
+        assert!(e.routing().rule(t).unwrap().owners.len() >= 3);
+        assert!(e.coalesce_routing(t) >= 2);
+        // All loaded keys route to partition 1 now; only the phantom
+        // below-range interval still points at partition 0.
+        assert_eq!(e.routing().rule(t).unwrap().owners, vec![0, 1]);
+        assert_eq!(e.routing().owner_of(t, 0) % 2, 1);
+        assert_eq!(e.routing().owner_of(t, 15) % 2, 1);
         e.shutdown();
     }
 
@@ -2233,13 +2807,13 @@ mod tests {
     }
 
     #[test]
-    fn routing_updates_quiesce_under_concurrent_load() {
+    fn range_migrations_preserve_isolation_under_concurrent_load() {
         let (db, t, routing) = setup(16, 4);
         let e = Arc::new(engine(db.clone(), routing, 4));
         // Four clients hammer one key while the "load balancer" keeps
-        // moving boundaries around. Quiescing must keep isolation intact
-        // (the final value equals the number of committed increments) and
-        // submissions racing a re-partition wait it out rather than abort.
+        // moving that key's range between partitions. The quiesce-free
+        // handoff must keep isolation intact: the final value equals the
+        // number of committed increments — no lost or doubled update.
         let mut clients = Vec::new();
         for _ in 0..4 {
             let e = e.clone();
@@ -2256,19 +2830,114 @@ mod tests {
         let balancer = {
             let e = e.clone();
             std::thread::spawn(move || {
-                for round in 0..10 {
-                    e.update_routing(|rt| {
-                        let boundary = 1 + (round % 14);
-                        rt.rule_mut(t).unwrap().set_boundaries(vec![boundary]);
-                    });
+                let mut moves = 0u64;
+                for round in 0..12u64 {
+                    let dest = (round % 4) as usize;
+                    let report = e.migrate_range(t, 4, 8, dest).unwrap();
+                    if report.from != report.to {
+                        moves += 1;
+                    }
                     std::thread::yield_now();
                 }
+                moves
             })
         };
         let committed: i64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
-        balancer.join().unwrap();
+        let moves = balancer.join().unwrap();
         assert_eq!(read_value(&db, t, 7), committed);
         assert!(committed > 0, "some increments must land between moves");
+        assert!(moves > 0, "the balancer thread never actually migrated");
+        assert_eq!(e.stats().migrations, moves);
+    }
+
+    #[test]
+    fn unaffected_ranges_commit_while_a_migration_is_in_flight() {
+        let (db, t, routing) = setup(32, 4);
+        let e = Arc::new(engine(db.clone(), routing, 4));
+        // Wedge worker 0 (owner of [0,8)) inside an action body so the
+        // migration's drain request sits unprocessed in its priority lane:
+        // the handoff stays in flight until the body is released.
+        let (release_tx, release_rx) = crossbeam_channel::bounded::<()>(1);
+        let (ready_tx, ready_rx) = crossbeam_channel::bounded::<()>(1);
+        let wedge = e.submit(FlowGraph::new(
+            "Wedge",
+            vec![ActionSpec::write(t, 0, move |_, _, _| {
+                let _ = ready_tx.send(());
+                let _ = release_rx.recv();
+                Ok(vec![])
+            })],
+        ));
+        ready_rx.recv().unwrap();
+        let migration = {
+            let e = e.clone();
+            std::thread::spawn(move || e.migrate_range(t, 0, 4, 1))
+        };
+        // Wait for the carve to publish (the barrier is installed first).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while e.routing().owner_of(t, 1) % 4 != 1 {
+            assert!(Instant::now() < deadline, "carve never published");
+            std::thread::yield_now();
+        }
+        // Quiesce-free: while the migration is in flight, keys outside
+        // the moving range — including on the destination partition —
+        // commit with no added stall.
+        for key in [9, 17, 25, 12] {
+            let started = Instant::now();
+            assert!(e.execute(increment(t, key)).is_committed());
+            assert!(
+                started.elapsed() < Duration::from_millis(150),
+                "unaffected key {key} stalled during migration: {:?}",
+                started.elapsed()
+            );
+        }
+        // A fresh action for the moving range parks behind the barrier
+        // and completes once the seal token releases it.
+        let parked = e.submit(increment(t, 1));
+        release_tx.send(()).unwrap();
+        let report = migration.join().unwrap().unwrap();
+        assert_eq!((report.from, report.to), (0, 1));
+        assert!(parked.recv().unwrap().is_committed());
+        assert!(wedge.recv().unwrap().is_committed());
+        assert_eq!(read_value(&db, t, 1), 1);
+    }
+
+    #[test]
+    fn migration_transfers_held_locks_and_parked_actions() {
+        let (db, t, routing) = setup(24, 3);
+        // Generous lock timeout: the transferred waiter must survive the
+        // whole handoff without its park deadline firing.
+        let e = DoraEngine::new(
+            db.clone(),
+            routing,
+            DoraEngineConfig {
+                workers: 3,
+                lock_timeout: Duration::from_secs(5),
+                ..Default::default()
+            },
+        );
+        // The holder pins the write lock on key 0 (partition 0) while its
+        // second action blocks on partition 2; a waiter then parks on
+        // key 0's wait list at partition 0.
+        let (holder_rx, release_tx, ready_rx) = holder(&e, t, 0, 16);
+        ready_rx.recv().unwrap();
+        let waiter = e.submit(increment(t, 0));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while e.stats().workers[0].deferred == 0 {
+            assert!(Instant::now() < deadline, "waiter never parked");
+            std::thread::yield_now();
+        }
+        let report = e.migrate_range(t, 0, 8, 1).unwrap();
+        assert_eq!((report.from, report.to), (0, 1));
+        assert!(report.moved_locks >= 1, "{report:?}");
+        assert_eq!(report.moved_parked, 1, "{report:?}");
+        // Releasing the holder must release the *transferred* lock entry
+        // on the new owner (the finish is forwarded there) and wake the
+        // transferred waiter.
+        release_tx.send(()).unwrap();
+        assert!(holder_rx.recv().unwrap().is_committed());
+        assert!(waiter.recv().unwrap().is_committed());
+        assert_eq!(read_value(&db, t, 0), 1);
+        e.shutdown();
     }
 
     #[test]

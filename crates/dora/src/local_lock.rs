@@ -41,6 +41,20 @@ struct KeyState {
     writer: Option<TxnId>,
 }
 
+/// One key's lock holders, detached from its table so a range migration
+/// can carry them to the destination partition inside the seal token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MovedLock {
+    /// Table the key belongs to.
+    pub table: TableId,
+    /// The routing key.
+    pub key: i64,
+    /// Transactions holding the key in read mode.
+    pub readers: Vec<TxnId>,
+    /// Transaction holding the key in write mode, if any.
+    pub writer: Option<TxnId>,
+}
+
 impl KeyState {
     fn is_free(&self) -> bool {
         self.readers.is_empty() && self.writer.is_none()
@@ -201,6 +215,54 @@ impl LocalLockTable {
     /// transaction finishes anyway (waiting would deadlock).
     pub fn holds_any(&self, txn: TxnId, table: TableId, key: i64) -> bool {
         self.holds(txn, table, key, LockClass::Read)
+    }
+
+    /// Removes and returns the lock state of every key of `table` in
+    /// `[lo, hi)`, in ascending key order. This is the source half of a
+    /// range migration's seal token: the holders move to the destination
+    /// partition's table via [`absorb`](Self::absorb), so transactions
+    /// that acquired before the migration release (and wake waiters) at
+    /// the key's *new* owner. Stats are unchanged — ownership moves,
+    /// nothing is granted or released.
+    pub fn extract_range(&mut self, table: TableId, lo: i64, hi: i64) -> Vec<MovedLock> {
+        let mut moved = Vec::new();
+        self.keys.retain(|&(t, key), state| {
+            if t == table && key >= lo && key < hi {
+                moved.push(MovedLock {
+                    table: t,
+                    key,
+                    readers: std::mem::take(&mut state.readers),
+                    writer: state.writer.take(),
+                });
+                false
+            } else {
+                true
+            }
+        });
+        moved.sort_by_key(|m| m.key);
+        moved
+    }
+
+    /// Installs lock state extracted from another partition's table (the
+    /// destination half of a range migration). Holders merge with any
+    /// existing entries; a writer never overwrites one already present
+    /// (the protocol guarantees the destination has no entries for the
+    /// moving range, so in practice the slots are empty).
+    pub fn absorb(&mut self, moved: Vec<MovedLock>) {
+        for m in moved {
+            let state = self.keys.entry((m.table, m.key)).or_default();
+            for r in m.readers {
+                if !state.readers.contains(&r) {
+                    state.readers.push(r);
+                }
+            }
+            if state.writer.is_none() {
+                state.writer = m.writer;
+            }
+            if state.is_free() {
+                self.keys.remove(&(m.table, m.key));
+            }
+        }
     }
 
     /// Number of keys with at least one holder.
@@ -400,6 +462,50 @@ mod tests {
         assert_eq!(b.release_all(1), 2);
         assert_eq!(a.stats().released, b.stats().released);
         assert_eq!(a.locked_keys(), b.locked_keys());
+    }
+
+    #[test]
+    fn extract_range_moves_holders_between_tables() {
+        let mut src = LocalLockTable::new();
+        assert!(src.try_acquire(1, &[(5, 10, LockClass::Write), (5, 20, LockClass::Read)]));
+        assert!(src.try_acquire(2, &[(5, 11, LockClass::Read), (6, 10, LockClass::Write)]));
+        assert!(src.try_acquire(3, &[(5, 11, LockClass::Read)]));
+
+        // Move table 5, keys [10, 15): keys 10 and 11 go, 20 stays, and
+        // table 6's key 10 is untouched.
+        let moved = src.extract_range(5, 10, 15);
+        assert_eq!(moved.len(), 2);
+        assert_eq!(moved[0].key, 10);
+        assert_eq!(moved[0].writer, Some(1));
+        assert_eq!(moved[1].key, 11);
+        assert_eq!(moved[1].readers, vec![2, 3]);
+        assert!(src.holds(1, 5, 20, LockClass::Read));
+        assert!(src.holds(2, 6, 10, LockClass::Write));
+        assert!(!src.holds_any(1, 5, 10));
+
+        let mut dst = LocalLockTable::new();
+        dst.absorb(moved);
+        assert!(dst.holds(1, 5, 10, LockClass::Write));
+        assert!(dst.holds(2, 5, 11, LockClass::Read));
+        assert!(dst.holds(3, 5, 11, LockClass::Read));
+        // Conflicts behave as if the locks were acquired here.
+        assert!(!dst.try_acquire(4, &[(5, 10, LockClass::Read)]));
+        assert!(!dst.try_acquire(4, &[(5, 11, LockClass::Write)]));
+        // And release at the new owner frees them.
+        assert_eq!(dst.release_keys(1, &[(5, 10)]), vec![(5, 10)]);
+        assert!(dst.try_acquire(4, &[(5, 10, LockClass::Read)]));
+    }
+
+    #[test]
+    fn extract_of_empty_range_is_a_noop() {
+        let mut t = LocalLockTable::new();
+        assert!(t.try_acquire(1, &[(5, 10, LockClass::Write)]));
+        assert!(t.extract_range(5, 100, 200).is_empty());
+        assert!(t.extract_range(7, 0, 100).is_empty());
+        assert!(t.holds(1, 5, 10, LockClass::Write));
+        let mut dst = LocalLockTable::new();
+        dst.absorb(Vec::new());
+        assert_eq!(dst.locked_keys(), 0);
     }
 
     #[test]

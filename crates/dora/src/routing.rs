@@ -115,6 +115,49 @@ impl RoutingRule {
         self.boundaries.remove(idx);
         self.owners.remove(idx + 1);
     }
+
+    /// Reassigns every key in `[lo, hi)` to `new_owner`, inserting
+    /// boundaries at `lo` and `hi` where the cut falls inside an existing
+    /// range. Keys outside the interval keep their owner — this is the
+    /// routing-swap half of a range migration.
+    pub fn carve(&mut self, lo: i64, hi: i64, new_owner: PartitionId) {
+        assert!(lo < hi, "carve needs a non-empty interval");
+        let first = self.range_of(lo);
+        let starts_at_lo = first > 0 && self.boundaries[first - 1] == lo;
+        if !starts_at_lo {
+            // Split so the interval's first range begins exactly at `lo`;
+            // the left remainder keeps the old owner.
+            self.split_range(first, lo, self.owners[first]);
+        }
+        let last = self.range_of(hi - 1);
+        let ends_at_hi = self.boundaries.get(last) == Some(&hi);
+        if !ends_at_hi {
+            // Split so the interval's last range ends exactly at `hi`; the
+            // right remainder keeps the old owner.
+            self.split_range(last, hi, self.owners[last]);
+        }
+        for idx in self.range_of(lo)..=self.range_of(hi - 1) {
+            self.owners[idx] = new_owner;
+        }
+    }
+
+    /// Merges every run of adjacent ranges with the same owner into one
+    /// range. Ownership of every key is unchanged, so — unlike a
+    /// migration — this needs no handoff protocol. Returns the number of
+    /// merges performed.
+    pub fn coalesce(&mut self) -> usize {
+        let mut merged = 0;
+        let mut idx = 0;
+        while idx + 1 < self.owners.len() {
+            if self.owners[idx] == self.owners[idx + 1] {
+                self.merge_with_next(idx);
+                merged += 1;
+            } else {
+                idx += 1;
+            }
+        }
+        merged
+    }
 }
 
 /// The complete routing configuration: one rule per routed table.
@@ -221,6 +264,59 @@ mod tests {
         r.merge_with_next(1);
         assert_eq!(r.boundaries, vec![20]);
         assert_eq!(r.owner_of(70), 1);
+    }
+
+    #[test]
+    fn carve_reassigns_exactly_the_interval() {
+        let mut r = RoutingRule::uniform(1, 0, 0, 99, 4, 4);
+        assert_eq!(r.boundaries, vec![25, 50, 75]);
+        // Move [30, 40) — strictly inside worker 1's range — to worker 3.
+        r.carve(30, 40, 3);
+        assert_eq!(r.boundaries, vec![25, 30, 40, 50, 75]);
+        for k in 0..100 {
+            let expected = if (30..40).contains(&k) {
+                3
+            } else {
+                // The pre-carve uniform assignment.
+                RoutingRule::uniform(1, 0, 0, 99, 4, 4).owner_of(k)
+            };
+            assert_eq!(r.owner_of(k), expected, "key {k}");
+        }
+        // Carving along existing boundaries inserts nothing new.
+        r.carve(50, 75, 0);
+        assert_eq!(r.boundaries, vec![25, 30, 40, 50, 75]);
+        assert_eq!(r.owner_of(60), 0);
+        // Carving across several ranges rewrites all of them.
+        r.carve(25, 75, 2);
+        for k in 25..75 {
+            assert_eq!(r.owner_of(k), 2);
+        }
+        assert_eq!(r.owner_of(10), 0);
+        assert_eq!(r.owner_of(80), 3);
+        // Unbounded edges: carve into the first and last ranges.
+        r.carve(-100, 0, 1);
+        assert_eq!(r.owner_of(-50), 1);
+        assert_eq!(r.owner_of(-200), 0, "below the carve keeps old owner");
+        r.carve(90, 200, 1);
+        assert_eq!(r.owner_of(95), 1);
+        assert_eq!(r.owner_of(300), 3, "above the carve keeps old owner");
+    }
+
+    #[test]
+    fn coalesce_merges_same_owner_runs_without_moving_keys() {
+        let mut r = RoutingRule::uniform(1, 0, 0, 99, 4, 4);
+        r.carve(30, 40, 3);
+        r.carve(25, 30, 3);
+        r.carve(40, 50, 3);
+        // Ranges now: [.,25)=0 [25,30)=3 [30,40)=3 [40,50)=3 [50,75)=2 [75,.)=3
+        let before: Vec<(i64, PartitionId)> = (0..100).map(|k| (k, r.owner_of(k))).collect();
+        let merged = r.coalesce();
+        assert_eq!(merged, 2);
+        assert_eq!(r.boundaries, vec![25, 50, 75]);
+        for (k, owner) in before {
+            assert_eq!(r.owner_of(k), owner, "coalesce moved key {k}");
+        }
+        assert_eq!(r.coalesce(), 0, "idempotent");
     }
 
     #[test]

@@ -210,6 +210,30 @@ impl WaitList {
             .collect()
     }
 
+    /// Removes and returns, in park order, every action parked with at
+    /// least one key of `table` in `[lo, hi)` — the source half of a range
+    /// migration's seal token. The caller transfers the returned actions
+    /// to the destination partition (or aborts the rare multi-key action
+    /// straddling the cut); their conflict peers' lock state travels in
+    /// the same token, so relative order is preserved at the new owner.
+    pub fn take_range(&mut self, table: TableId, lo: i64, hi: i64) -> Vec<ActionEnvelope> {
+        let seqs: Vec<u64> = self
+            .parked
+            .iter()
+            .filter(|(_, env)| {
+                env.table == table && env.keys.iter().any(|&(key, _)| key >= lo && key < hi)
+            })
+            .map(|(&seq, _)| seq)
+            .collect();
+        seqs.into_iter()
+            .filter_map(|seq| {
+                let envelope = self.parked.remove(&seq)?;
+                self.unindex(seq, &envelope);
+                Some(envelope)
+            })
+            .collect()
+    }
+
     /// Removes and returns everything (shutdown: the engine aborts what is
     /// still parked).
     pub fn drain(&mut self) -> Vec<ActionEnvelope> {
@@ -326,6 +350,34 @@ mod tests {
         assert!(wl.take_txn(1).is_empty());
         // The index was cleaned: only txn 2's key-10 entry can wake.
         assert_eq!(wl.candidates(&[(7, 10), (7, 11)]).len(), 1);
+    }
+
+    #[test]
+    fn take_range_extracts_only_matching_parked_actions_in_order() {
+        let mut wl = WaitList::new();
+        wl.park(envelope(1, 7, vec![(10, LockClass::Write)]));
+        wl.park(envelope(2, 7, vec![(50, LockClass::Write)]));
+        wl.park(envelope(3, 7, vec![(11, LockClass::Read)]));
+        wl.park(envelope(4, 8, vec![(10, LockClass::Write)]));
+        // A multi-key action with one foot in the range is taken too —
+        // the executor decides whether it can move or must abort.
+        wl.park(envelope(
+            5,
+            7,
+            vec![(12, LockClass::Write), (80, LockClass::Write)],
+        ));
+
+        let taken = wl.take_range(7, 10, 20);
+        let txns: Vec<u64> = taken.iter().map(|e| e.txn.txn).collect();
+        assert_eq!(txns, vec![1, 3, 5], "range waiters only, park order");
+        assert_eq!(wl.len(), 2, "key 50 and table 8 stay parked");
+        // Indexes were cleaned: waking the taken keys finds nothing, the
+        // untouched keys still wake, including the straddler's other key.
+        assert!(wl
+            .candidates(&[(7, 10), (7, 11), (7, 12), (7, 80)])
+            .is_empty());
+        assert_eq!(wl.candidates(&[(7, 50), (8, 10)]).len(), 2);
+        assert!(wl.take_range(7, 0, 100).is_empty());
     }
 
     #[test]

@@ -1,0 +1,192 @@
+//! Property test for the quiesce-free range-migration protocol.
+//!
+//! Random interleavings of submits, finishes, and range migrations must
+//! never lose, duplicate, or reorder actions **per key**: every submitted
+//! action commits exactly once, and because the driver keeps at most one
+//! action outstanding per key, the order in which a key's actions execute
+//! must equal their submission order — across any number of ownership
+//! handoffs happening underneath them.
+//!
+//! Each action appends `(key, seq)` to a shared log from inside the
+//! action body (serialized per key by the partition-local write intent)
+//! and increments the row, so three independent signals must agree at the
+//! end: the log (order + multiplicity), the row values (count), and the
+//! commit outcomes (completeness).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use dora_core::action::{ActionSpec, FlowGraph};
+use dora_core::executor::{DoraEngine, DoraEngineConfig, TxnOutcome, DORA_POLICY};
+use dora_core::oneshot;
+use dora_core::routing::{RoutingRule, RoutingTable};
+use dora_storage::db::Database;
+use dora_storage::error::StorageError;
+use dora_storage::schema::{ColumnDef, TableSchema};
+use dora_storage::types::{DataType, TableId, Value};
+use proptest::prelude::*;
+
+const KEYS: i64 = 16;
+const WORKERS: usize = 4;
+
+fn load_counters(db: &Database) -> TableId {
+    let t = db
+        .create_table(TableSchema::new(
+            "counters",
+            vec![
+                ColumnDef::new("id", DataType::BigInt),
+                ColumnDef::new("value", DataType::BigInt),
+            ],
+            vec![0],
+        ))
+        .unwrap();
+    let txn = db.begin();
+    for i in 0..KEYS {
+        db.insert(
+            txn,
+            t,
+            vec![Value::BigInt(i), Value::BigInt(0)],
+            DORA_POLICY,
+        )
+        .unwrap();
+    }
+    db.commit(txn).unwrap();
+    t
+}
+
+/// An increment that also appends `(key, seq)` to the shared log while
+/// holding the key's write intent.
+fn logged_increment(t: TableId, key: i64, seq: u64, log: Arc<Mutex<Vec<(i64, u64)>>>) -> FlowGraph {
+    FlowGraph::new(
+        "LoggedIncrement",
+        vec![ActionSpec::write(t, key, move |db, txn, _ctx| {
+            let row = db
+                .get(txn, t, &[Value::BigInt(key)], DORA_POLICY)?
+                .ok_or(StorageError::NotFound)?;
+            let v = row[1].as_i64().unwrap();
+            db.update(
+                txn,
+                t,
+                &[Value::BigInt(key)],
+                &[(1, Value::BigInt(v + 1))],
+                DORA_POLICY,
+            )?;
+            log.lock().unwrap().push((key, seq));
+            Ok(vec![])
+        })],
+    )
+}
+
+fn wait_commit(rx: &oneshot::Receiver<TxnOutcome>, key: i64, seq: u64) {
+    match rx.recv_timeout(Duration::from_secs(20)) {
+        Ok(outcome) => assert!(
+            outcome.is_committed(),
+            "single-key action (key {key}, seq {seq}) must commit: {outcome:?}"
+        ),
+        Err(e) => panic!("no outcome for key {key} seq {seq}: {e:?}"),
+    }
+}
+
+proptest! {
+    /// See the module docs. Ops are drawn as `(kind, key, dest)`: most
+    /// submit an action on `key`, some reap the oldest outstanding
+    /// outcome, and the rest migrate the 4-key block around `key` (or
+    /// just `key` when carving fragmented the block across owners) to
+    /// worker `dest` — while actions on that very key may be queued,
+    /// parked, or in flight.
+    #[test]
+    fn interleaved_migrations_never_lose_duplicate_or_reorder(
+        ops in proptest::collection::vec(
+            (0u64..10, 0i64..KEYS, 0usize..WORKERS), 20..120)) {
+        let db = Arc::new(Database::default());
+        let t = load_counters(&db);
+        let mut routing = RoutingTable::new();
+        routing.set_rule(RoutingRule::uniform(t, 0, 0, KEYS - 1, WORKERS, WORKERS));
+        let engine = DoraEngine::new(
+            db.clone(),
+            routing,
+            DoraEngineConfig {
+                workers: WORKERS,
+                lock_timeout: Duration::from_secs(20),
+                ..Default::default()
+            },
+        );
+        let log = Arc::new(Mutex::new(Vec::new()));
+
+        // Per-key submission sequence and outstanding outcome (at most
+        // one per key, so per-key submission order is well-defined).
+        let mut next_seq = [0u64; KEYS as usize];
+        let mut pending: HashMap<i64, oneshot::Receiver<TxnOutcome>> = HashMap::new();
+        let mut pending_order: VecDeque<i64> = VecDeque::new();
+        let mut migrations = 0u64;
+
+        for (kind, key, dest) in ops {
+            match kind {
+                // Submit an action on `key` (reaping the previous one
+                // first so only one is ever outstanding per key).
+                0..=6 => {
+                    if let Some(rx) = pending.remove(&key) {
+                        pending_order.retain(|&k| k != key);
+                        wait_commit(&rx, key, next_seq[key as usize] - 1);
+                    }
+                    let seq = next_seq[key as usize];
+                    next_seq[key as usize] += 1;
+                    let rx = engine.submit(logged_increment(t, key, seq, log.clone()));
+                    pending.insert(key, rx);
+                    pending_order.push_back(key);
+                }
+                // Reap the oldest outstanding outcome.
+                7 => {
+                    if let Some(k) = pending_order.pop_front() {
+                        let rx = pending.remove(&k).expect("tracked");
+                        wait_commit(&rx, k, next_seq[k as usize] - 1);
+                    }
+                }
+                // Migrate the block around `key` under live traffic;
+                // after earlier carves the block may span owners, in
+                // which case the single key still has one owner.
+                _ => {
+                    let lo = key - key % 4;
+                    let moved = engine
+                        .migrate_range(t, lo, lo + 4, dest)
+                        .or_else(|_| engine.migrate_range(t, key, key + 1, dest));
+                    let report = moved.expect("single-key range has a single owner");
+                    if report.from != report.to {
+                        migrations += 1;
+                    }
+                }
+            }
+        }
+        for k in pending_order {
+            let rx = pending.remove(&k).expect("tracked");
+            wait_commit(&rx, k, next_seq[k as usize] - 1);
+        }
+        engine.shutdown();
+
+        // The log must hold, per key, exactly the sequence 0..n in
+        // submission order: nothing lost, duplicated, or reordered.
+        let log = log.lock().unwrap();
+        let mut per_key: HashMap<i64, Vec<u64>> = HashMap::new();
+        for &(key, seq) in log.iter() {
+            per_key.entry(key).or_default().push(seq);
+        }
+        for key in 0..KEYS {
+            let expect: Vec<u64> = (0..next_seq[key as usize]).collect();
+            let got = per_key.remove(&key).unwrap_or_default();
+            prop_assert_eq!(
+                &got, &expect,
+                "key {} executed out of submission order across {} migrations",
+                key, migrations
+            );
+            // The row agrees with the log.
+            let txn = db.begin();
+            let row = db
+                .get(txn, t, &[Value::BigInt(key)], DORA_POLICY)
+                .unwrap()
+                .unwrap();
+            db.commit(txn).unwrap();
+            prop_assert_eq!(row[1].as_i64().unwrap(), expect.len() as i64);
+        }
+    }
+}

@@ -1224,6 +1224,11 @@ pub struct TatpMix {
     cumulative: [u64; 7],
     zipf: Option<Zipf>,
     handoff: Option<HandoffCfg>,
+    /// Subscriber draws made so far (drives the skew shift).
+    drawn: u64,
+    /// After this many subscriber draws, the hot set jumps to the middle
+    /// of the key space (see [`TatpMix::with_skew_shift`]).
+    shift_after: Option<u64>,
 }
 
 impl TatpMix {
@@ -1247,6 +1252,8 @@ impl TatpMix {
             cumulative,
             zipf: None,
             handoff: None,
+            drawn: 0,
+            shift_after: None,
         }
     }
 
@@ -1270,6 +1277,18 @@ impl TatpMix {
         if theta > 0.0 {
             mix.zipf = Some(Zipf::new((mix.hi - mix.lo + 1) as u64, theta));
         }
+        mix
+    }
+
+    /// Like [`TatpMix::with_skew`], but after `shift_after` subscriber
+    /// draws the hot set jumps to the middle of the key space: a draw of
+    /// Zipf rank `r` maps to key `(r + span/2) mod span` instead of `r`.
+    /// This is the mid-run hotspot move of the `load_balancing_skew`
+    /// bench's skew-shift scenario — a balancer that adapted to the
+    /// initial hot range must notice and re-adapt under live traffic.
+    pub fn with_skew_shift(subscribers: i64, seed: u64, theta: f64, shift_after: u64) -> Self {
+        let mut mix = Self::with_skew(subscribers, seed, theta);
+        mix.shift_after = Some(shift_after);
         mix
     }
 
@@ -1312,13 +1331,21 @@ impl TatpMix {
 
     fn next_s_id(&mut self) -> i64 {
         let span = (self.hi - self.lo + 1) as u64;
-        if self.zipf.is_some() {
+        self.drawn += 1;
+        let rank = if self.zipf.is_some() {
             let u = self.next_f64();
             let zipf = self.zipf.as_ref().expect("checked above");
-            self.lo + zipf.sample(u) as i64
+            zipf.sample(u)
         } else {
-            self.lo + (self.next_u64() % span) as i64
-        }
+            self.next_u64() % span
+        };
+        let rank = match self.shift_after {
+            // Hotspot moved: rotate the rank-to-key mapping by half the
+            // key space (a no-op distributionally for uniform draws).
+            Some(after) if self.drawn > after => (rank + span / 2) % span,
+            _ => rank,
+        };
+        self.lo + rank as i64
     }
 
     /// The uniform-rule block containing `key`, matching the boundaries
@@ -1630,6 +1657,41 @@ mod tests {
         // Determinism holds for the skewed draw too.
         let mut a = TatpMix::with_skew(1_000, 6, 0.8);
         let mut b = TatpMix::with_skew(1_000, 6, 0.8);
+        for _ in 0..128 {
+            assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    #[test]
+    fn skew_shift_moves_the_hot_set_mid_stream() {
+        let mut mix = TatpMix::with_skew_shift(1_000, 5, 1.2, 2_000);
+        let hot_prefix =
+            |mix: &mut TatpMix, n: usize| (0..n).filter(|_| mix.next_op().s_id() < 100).count();
+        let hot_middle = |mix: &mut TatpMix, n: usize| {
+            (0..n)
+                .filter(|_| (500..600).contains(&mix.next_op().s_id()))
+                .count()
+        };
+        // Before the shift: hot set at the low end of the key space.
+        let before = hot_prefix(&mut mix, 1_000);
+        assert!(before > 300, "pre-shift hot prefix too cold: {before}");
+        // Burn past the shift point, then the hot set sits mid-space.
+        while mix.drawn <= 2_000 {
+            mix.next_op();
+        }
+        let after_mid = hot_middle(&mut mix, 1_000);
+        let after_prefix = hot_prefix(&mut mix, 1_000);
+        assert!(
+            after_mid > 300,
+            "post-shift hot middle too cold: {after_mid}"
+        );
+        assert!(
+            after_prefix < before / 2,
+            "old hotspot should cool off: {after_prefix} vs {before}"
+        );
+        // Determinism holds across the shift.
+        let mut a = TatpMix::with_skew_shift(1_000, 6, 0.8, 50);
+        let mut b = TatpMix::with_skew_shift(1_000, 6, 0.8, 50);
         for _ in 0..128 {
             assert_eq!(a.next_op(), b.next_op());
         }

@@ -232,6 +232,153 @@ fn oracle_per_txn_equivalence_disjoint_streams() {
     }
 }
 
+/// The equivalence oracle with **rebalances injected mid-stream**: a
+/// migrator thread keeps carving subscriber and call-forwarding ranges
+/// between workers while the clients run, so transactions are routed,
+/// parked, transferred, and forwarded across live ownership handoffs —
+/// and the three executors must still agree per transaction, the three
+/// databases must end identical, and TATP referential integrity must
+/// hold. TATP actions carry a single `(table, s_id)` key each, so no
+/// migration may ever abort one; a retry loop guards the two retryable
+/// migration abort classes and the oracle asserts it stayed cold.
+#[test]
+fn oracle_per_txn_equivalence_with_mid_stream_rebalances() {
+    let total = (stream_total() / 4).max(4_000);
+    let subscribers: i64 = 400;
+    let wl = TatpWorkload {
+        subscribers,
+        seed: 57,
+    };
+
+    let dora_db = Arc::new(Database::default());
+    let conv_db = Arc::new(Database::default());
+    let model_db = Database::default();
+    let dt = wl.load(&dora_db);
+    let ct = wl.load(&conv_db);
+    let mt = wl.load(&model_db);
+
+    let dora = DoraEngine::new(
+        dora_db.clone(),
+        wl.routing(dt, WORKERS),
+        DoraEngineConfig {
+            workers: WORKERS,
+            ..Default::default()
+        },
+    );
+    let conv = ConvEngine::new(
+        conv_db.clone(),
+        ConvEngineConfig {
+            workers: WORKERS,
+            max_retries: 20,
+        },
+    );
+
+    let block = subscribers / CLIENTS as i64;
+    let done = AtomicBool::new(false);
+    let migrated = AtomicU64::new(0);
+    let retried = AtomicU64::new(0);
+    let finished = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let (dora, conv) = (&dora, &conv);
+            let model_db = &model_db;
+            let (retried, finished) = (&retried, &finished);
+            let per_client = total / CLIENTS;
+            s.spawn(move || {
+                let lo = client as i64 * block;
+                let mut mix = TatpMix::new(subscribers, 5_000 + client as u64)
+                    .with_key_block(lo, lo + block - 1);
+                for i in 0..per_client {
+                    let op = mix.next_op();
+                    let (d, sink_d) = loop {
+                        let sink = ResultSink::new();
+                        let outcome = dora.execute(flow_of(dt, &op, Some(sink.clone())));
+                        match &outcome {
+                            TxnOutcome::Aborted { reason }
+                                if reason.contains("range migration")
+                                    || reason.contains("routing changed") =>
+                            {
+                                retried.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => break (outcome, sink),
+                        }
+                    };
+                    let sink_c = ResultSink::new();
+                    let c = conv.execute(request_of(ct, &op, Some(sink_c.clone())));
+                    let m = tatp::apply_model(model_db, mt, &op);
+                    assert_eq!(
+                        d.is_committed(),
+                        m.is_ok(),
+                        "client {client} txn {i}: dora vs model for {op:?} ({d:?} vs {m:?})"
+                    );
+                    assert_eq!(
+                        c.is_committed(),
+                        m.is_ok(),
+                        "client {client} txn {i}: conv vs model for {op:?} ({c:?} vs {m:?})"
+                    );
+                    if let Ok(digest) = m {
+                        assert_eq!(sink_d.take(), digest, "dora digest for {op:?}");
+                        assert_eq!(sink_c.take(), digest, "conv digest for {op:?}");
+                    }
+                }
+                finished.fetch_add(1, Ordering::Release);
+            });
+        }
+        // The migrator: sweep 25-key blocks of both routed-hot tables
+        // across workers, rotating the destination each round, until
+        // every client is done. Lost races (a block fragmented across
+        // owners by an earlier carve) are skipped, not retried.
+        let (dora, done, migrated) = (&dora, &done, &migrated);
+        let finished = &finished;
+        s.spawn(move || {
+            let mut round = 0usize;
+            while !done.load(Ordering::Acquire) {
+                for chunk in 0..(subscribers / 25) as usize {
+                    let lo = chunk as i64 * 25;
+                    for table in [dt.subscriber, dt.call_forwarding] {
+                        let dest = (chunk + round) % WORKERS;
+                        if let Ok(r) = dora.migrate_range(table, lo, lo + 25, dest) {
+                            if r.from != r.to {
+                                migrated.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+                round += 1;
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        });
+        s.spawn(move || {
+            while finished.load(Ordering::Acquire) < CLIENTS as u64 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            done.store(true, Ordering::Release);
+        });
+    });
+
+    let moved = migrated.load(Ordering::Relaxed);
+    assert!(moved > 0, "the migrator must land real handoffs");
+    assert_eq!(
+        dora.stats().migrations,
+        moved,
+        "engine migration counter tracks the migrator"
+    );
+    assert_eq!(
+        retried.load(Ordering::Relaxed),
+        0,
+        "single-key TATP actions can never straddle a moved boundary"
+    );
+    dora.shutdown();
+    conv.shutdown();
+
+    assert_eq!(all_sorted(&dora_db, dt), all_sorted(&model_db, mt));
+    assert_eq!(all_sorted(&conv_db, ct), all_sorted(&model_db, mt));
+    for (db, t) in [(&*dora_db, dt), (&*conv_db, ct), (&model_db, mt)] {
+        TatpWorkload::check_integrity(db, t).expect("TATP integrity after rebalances");
+    }
+}
+
 /// Drives `per_client * CLIENTS` transactions from one overlapping key
 /// range through `execute`, with a concurrent integrity auditor, and
 /// checks invariants at quiescence. Returns (committed, aborted).

@@ -1,0 +1,143 @@
+//! Rebalance-under-traffic stress: eight clients hammer one overlapping
+//! TATP key range while a migrator thread issues a range migration every
+//! `MIGRATE_EVERY` committed transactions — ownership of the hot tables
+//! keeps moving under full contention for the entire run. At quiescence
+//! TATP referential integrity must hold and every abort must belong to a
+//! known contention class (the two retryable migration classes included,
+//! though single-key TATP actions should never hit them).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dora_workloads::dora_core::executor::{DoraEngine, DoraEngineConfig, TxnOutcome};
+use dora_workloads::dora_storage::db::Database;
+use dora_workloads::tatp::{flow_of, TatpMix, TatpWorkload, MISS};
+
+const WORKERS: usize = 4;
+const CLIENTS: usize = 8;
+const SUBSCRIBERS: i64 = 256;
+const MIGRATE_EVERY: u64 = 250;
+
+fn allowed_abort(reason: &str) -> bool {
+    reason.contains(MISS)
+        || reason.contains("lock")
+        || reason.contains("deadlock")
+        || reason.contains("uncommitted")
+        || reason.contains("timeout")
+        || reason.contains("timed out")
+        || reason.contains("range migration")
+        || reason.contains("routing changed")
+}
+
+#[test]
+fn rebalance_under_contended_tatp_traffic_keeps_integrity() {
+    let total: u64 = std::env::var("TATP_STRESS_TOTAL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if cfg!(debug_assertions) {
+            8_000
+        } else {
+            40_000
+        });
+    let per_client = total / CLIENTS as u64;
+    let wl = TatpWorkload {
+        subscribers: SUBSCRIBERS,
+        seed: 73,
+    };
+    let db = Arc::new(Database::default());
+    let t = wl.load(&db);
+    let engine = DoraEngine::new(
+        db.clone(),
+        wl.routing(t, WORKERS),
+        DoraEngineConfig {
+            workers: WORKERS,
+            ..Default::default()
+        },
+    );
+
+    let committed = AtomicU64::new(0);
+    let aborted = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let migrated = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let engine = &engine;
+            let (committed, aborted) = (&committed, &aborted);
+            s.spawn(move || {
+                // Zipf skew concentrates contention — and migrations —
+                // on the same hot keys.
+                let mut mix = TatpMix::with_skew(SUBSCRIBERS, 9_000 + client as u64, 0.8);
+                for _ in 0..per_client {
+                    let op = mix.next_op();
+                    match engine.execute(flow_of(t, &op, None)) {
+                        TxnOutcome::Committed => {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        TxnOutcome::Aborted { reason } => {
+                            aborted.fetch_add(1, Ordering::Relaxed);
+                            assert!(
+                                allowed_abort(&reason),
+                                "unexpected abort under rebalancing: {op:?} -> {reason}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+        // The migrator: one migration per MIGRATE_EVERY committed
+        // transactions, rotating through 16-key blocks of all four
+        // routed tables and all destinations. Blocks fragmented across
+        // owners by earlier carves are skipped.
+        let engine = &engine;
+        let (committed_m, done_m, migrated) = (&committed, &done, &migrated);
+        s.spawn(move || {
+            let (committed, done, migrated) = (committed_m, done_m, migrated);
+            let mut due: u64 = MIGRATE_EVERY;
+            let mut turn = 0usize;
+            while !done.load(Ordering::Acquire) {
+                if committed.load(Ordering::Relaxed) < due {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                    continue;
+                }
+                due += MIGRATE_EVERY;
+                let tables = [
+                    t.subscriber,
+                    t.access_info,
+                    t.special_facility,
+                    t.call_forwarding,
+                ];
+                let table = tables[turn % tables.len()];
+                let lo = ((turn / tables.len()) as i64 * 16) % SUBSCRIBERS;
+                let dest = turn % WORKERS;
+                if let Ok(r) = engine.migrate_range(table, lo, lo + 16, dest) {
+                    if r.from != r.to {
+                        migrated.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                turn += 1;
+            }
+        });
+        let (committed, aborted, done) = (&committed, &aborted, &done);
+        s.spawn(move || {
+            let expect = per_client * CLIENTS as u64;
+            while committed.load(Ordering::Relaxed) + aborted.load(Ordering::Relaxed) < expect {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            done.store(true, Ordering::Release);
+        });
+    });
+
+    engine.shutdown();
+    TatpWorkload::check_integrity(&db, t).expect("TATP integrity after rebalance stress");
+    let (c, a, m) = (
+        committed.load(Ordering::Relaxed),
+        aborted.load(Ordering::Relaxed),
+        migrated.load(Ordering::Relaxed),
+    );
+    assert!(c > total / 2, "most transactions must commit: {c}/{total}");
+    assert!(
+        m > 0,
+        "the migrator must land real handoffs: {c} committed, {a} aborted"
+    );
+}
