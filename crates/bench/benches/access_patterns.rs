@@ -17,7 +17,9 @@
 //! `scenario: "remote=<pct>"` keys (schema v4), so the quick sweep is a
 //! subset of the full sweep's scenarios, not a conflicting grid.
 
-use dora_bench::driver::{run_tatp_best_of, BenchArgs, EngineKind, TatpMixKind, TatpRun};
+use dora_bench::driver::{
+    run_tatp_best_of, BenchArgs, EngineKind, StorageKind, TatpMixKind, TatpRun,
+};
 use dora_bench::report::{workspace_root, BenchReport};
 use dora_workloads::tatp::TatpWorkload;
 
@@ -65,6 +67,7 @@ fn main() {
                     mix: TatpMixKind::Handoff { remote_pct },
                     balancer: false,
                     client_retries: 10,
+                    storage: StorageKind::InMemory,
                 },
                 repeats,
             );

@@ -34,7 +34,9 @@
 //! the quick sweep is a subset of the full sweep's scenarios, not a
 //! conflicting grid.
 
-use dora_bench::driver::{run_tatp_best_of, BenchArgs, EngineKind, TatpMixKind, TatpRun};
+use dora_bench::driver::{
+    run_tatp_best_of, BenchArgs, EngineKind, StorageKind, TatpMixKind, TatpRun,
+};
 use dora_bench::report::{workspace_root, BenchReport};
 use dora_workloads::tatp::TatpWorkload;
 
@@ -103,6 +105,7 @@ fn main() {
                     mix,
                     balancer,
                     client_retries: 10,
+                    storage: StorageKind::InMemory,
                 },
                 repeats,
             );

@@ -153,6 +153,11 @@ fn main() {
             txn_acquisitions: 0,
             queue_peak: 0,
             busy_ns: stats.workers.iter().map(|w| w.busy_ns).sum(),
+            buffer_hits: 0,
+            buffer_misses: 0,
+            buffer_evictions: 0,
+            buffer_table_waits: 0,
+            buffer_latch_waits: 0,
             elapsed_secs: elapsed.as_secs_f64(),
             critical_sections: 0,
             extra,

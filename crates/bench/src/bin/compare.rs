@@ -79,6 +79,17 @@ struct Row {
     queue_peak: u64,
     /// Summed worker busy nanoseconds (schema v5; absent → 0).
     busy_ns: u64,
+    /// Buffer-pool page-table hits in the window (schema v6; absent → 0).
+    buffer_hits: u64,
+    /// Buffer-pool misses — page loads from the store (v6; absent → 0).
+    buffer_misses: u64,
+    /// Frames evicted to admit misses (v6; absent → 0).
+    buffer_evictions: u64,
+    /// Contended page-table shard acquisitions (v6; absent → 0). Gated:
+    /// the decentralized pool's whole point is that this stays ~0/txn.
+    buffer_table_waits: u64,
+    /// Contended frame-latch acquisitions (v6; absent → 0). Gated.
+    buffer_latch_waits: u64,
 }
 
 /// Extracts the top-level `runs` rows from a `BENCH_*.json` document.
@@ -111,6 +122,11 @@ fn parse_rows(text: &str) -> Vec<Row> {
                 txn_table_acquisitions: 0,
                 queue_peak: 0,
                 busy_ns: 0,
+                buffer_hits: 0,
+                buffer_misses: 0,
+                buffer_evictions: 0,
+                buffer_table_waits: 0,
+                buffer_latch_waits: 0,
             });
         } else if let Some(row) = current.as_mut() {
             if let Some(value) = line.strip_prefix("\"scenario\": ") {
@@ -133,6 +149,16 @@ fn parse_rows(text: &str) -> Vec<Row> {
                 row.queue_peak = value.parse().unwrap_or(0);
             } else if let Some(value) = line.strip_prefix("\"busy_ns\": ") {
                 row.busy_ns = value.parse().unwrap_or(0);
+            } else if let Some(value) = line.strip_prefix("\"buffer_hits\": ") {
+                row.buffer_hits = value.parse().unwrap_or(0);
+            } else if let Some(value) = line.strip_prefix("\"buffer_misses\": ") {
+                row.buffer_misses = value.parse().unwrap_or(0);
+            } else if let Some(value) = line.strip_prefix("\"buffer_evictions\": ") {
+                row.buffer_evictions = value.parse().unwrap_or(0);
+            } else if let Some(value) = line.strip_prefix("\"buffer_table_waits\": ") {
+                row.buffer_table_waits = value.parse().unwrap_or(0);
+            } else if let Some(value) = line.strip_prefix("\"buffer_latch_waits\": ") {
+                row.buffer_latch_waits = value.parse().unwrap_or(0);
             } else if let Some(value) = line.strip_prefix("\"throughput_tps\": ") {
                 row.tps = value.parse().unwrap_or(0.0);
                 rows.push(current.take().expect("row in progress"));
@@ -527,6 +553,127 @@ fn gate_lock_free_counters(
     out
 }
 
+/// Gates the schema-v6 buffer-pool contention counters: per-transaction
+/// `buffer_table_waits` and `buffer_latch_waits` rates must not exceed
+/// the baseline's by more than the threshold (plus the same absolute
+/// epsilon as the lock-free gate — the rates sit near zero by design).
+/// The decentralized pool's claim is precisely that a buffer hit takes
+/// no contended shared latch, so a change that funnels hits back through
+/// a contended structure fails CI before throughput visibly collapses.
+/// Requires **both** documents at v6 for the same reason the v3 gate
+/// does: an older candidate's absent counters must not read as proof.
+fn gate_buffer_counters(
+    candidate: &[Row],
+    baseline: &[Row],
+    candidate_version: u64,
+    baseline_version: u64,
+    threshold_pct: f64,
+) -> Outcome {
+    /// One extra contended wait per ~20 transactions is scheduler noise.
+    const EPSILON: f64 = 0.05;
+    let mut out = Outcome::default();
+    if baseline_version < 6 {
+        eprintln!(
+            "WARNING: baseline is schema v{baseline_version} (< 6): buffer_table_waits / \
+             buffer_latch_waits not gated — re-baseline to arm the gate"
+        );
+        out.skipped = candidate.len();
+        return out;
+    }
+    if candidate_version < 6 {
+        eprintln!(
+            "WARNING: candidate is schema v{candidate_version} (< 6): its missing \
+             buffer counters would read as zeros, not as proof — SKIPPED, not gated"
+        );
+        out.skipped = candidate.len();
+        return out;
+    }
+    let base_scenarios = scenario_keys(baseline);
+    for row in candidate {
+        let base = baseline.iter().find(|b| {
+            b.engine == row.engine
+                && b.scenario == row.scenario
+                && b.workers == row.workers
+                && b.clients == row.clients
+        });
+        let Some(base) = base else {
+            out.skip(!base_scenarios.contains(row.scenario.as_str()));
+            eprintln!(
+                "WARNING: {} {}: no baseline row for buffer \
+                 counters — SKIPPED, not gated",
+                row.engine,
+                cfg_label(&row.scenario, row.workers, row.clients)
+            );
+            continue;
+        };
+        if row.committed == 0 || base.committed == 0 {
+            out.skipped += 1;
+            eprintln!(
+                "WARNING: {} {}: zero committed transactions — \
+                 buffer counters SKIPPED, not gated",
+                row.engine,
+                cfg_label(&row.scenario, row.workers, row.clients)
+            );
+            continue;
+        }
+        out.compared += 1;
+        for (what, cand_count, base_count) in [
+            (
+                "buffer_table_waits",
+                row.buffer_table_waits,
+                base.buffer_table_waits,
+            ),
+            (
+                "buffer_latch_waits",
+                row.buffer_latch_waits,
+                base.buffer_latch_waits,
+            ),
+        ] {
+            let cand_rate = cand_count as f64 / row.committed as f64;
+            let base_rate = base_count as f64 / base.committed as f64;
+            let ceiling = base_rate * (1.0 + threshold_pct / 100.0) + EPSILON;
+            let verdict = if cand_rate > ceiling {
+                out.regressed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "{} {}: {what}/txn {cand_rate:.3} vs baseline \
+                 {base_rate:.3} (ceiling {ceiling:.3}) — {verdict}",
+                row.engine,
+                cfg_label(&row.scenario, row.workers, row.clients)
+            );
+        }
+    }
+    out
+}
+
+/// Buffer-pool residency telemetry (schema v6): hit rate and eviction
+/// count per row that actually exercised the pool. Informational — the
+/// buffer_pool sweep *means* to run at low residency, so the hit rate is
+/// a plotted variable there, not a health gate. Returns rows noted.
+fn note_buffer_pool(rows: &[Row]) -> usize {
+    let mut noted = 0;
+    for row in rows {
+        let touches = row.buffer_hits + row.buffer_misses;
+        if row.buffer_misses == 0 {
+            continue;
+        }
+        noted += 1;
+        println!(
+            "{} {}: buffer hit rate {:.1}% ({} hits / {} touches), {} evictions",
+            row.engine,
+            cfg_label(&row.scenario, row.workers, row.clients),
+            row.buffer_hits as f64 / touches as f64 * 100.0,
+            row.buffer_hits,
+            touches,
+            row.buffer_evictions
+        );
+    }
+    noted
+}
+
 fn main() -> ExitCode {
     let mut candidate = None;
     let mut baseline = None;
@@ -591,8 +738,19 @@ fn main() -> ExitCode {
         threshold_pct,
     );
     outcome.regressed |= lock_free.regressed;
+    // Same rationale one layer down: a change that funnels buffer hits
+    // back through a contended table or latch fails here first.
+    let buffer = gate_buffer_counters(
+        &cand_rows,
+        &base_rows,
+        parse_schema_version(&cand_text),
+        parse_schema_version(&base_text),
+        threshold_pct,
+    );
+    outcome.regressed |= buffer.regressed;
     warn_secondary_retry_rate(&cand_rows);
     note_load_balance(&cand_rows);
+    note_buffer_pool(&cand_rows);
     if outcome.compared == 0 {
         eprintln!("no comparable configurations between the two reports");
         return ExitCode::FAILURE;
@@ -670,6 +828,11 @@ mod tests {
                         txn_acquisitions: 0,
                         queue_peak: 0,
                         busy_ns: 0,
+                        buffer_hits: 0,
+                        buffer_misses: 0,
+                        buffer_evictions: 0,
+                        buffer_table_waits: 0,
+                        buffer_latch_waits: 0,
                         elapsed_secs: 1.0,
                         critical_sections: 0,
                         extra: vec![],
@@ -701,6 +864,11 @@ mod tests {
                 txn_acquisitions: 0,
                 queue_peak: 0,
                 busy_ns: 0,
+                buffer_hits: 0,
+                buffer_misses: 0,
+                buffer_evictions: 0,
+                buffer_table_waits: 0,
+                buffer_latch_waits: 0,
                 elapsed_secs: 1.0,
                 critical_sections: 9,
                 extra: vec![],
@@ -787,6 +955,11 @@ mod tests {
                 txn_acquisitions: 0,
                 queue_peak: 0,
                 busy_ns: 0,
+                buffer_hits: 0,
+                buffer_misses: 0,
+                buffer_evictions: 0,
+                buffer_table_waits: 0,
+                buffer_latch_waits: 0,
                 elapsed_secs: 1.0,
                 critical_sections: 0,
                 extra: vec![],
@@ -849,6 +1022,11 @@ mod tests {
                 txn_acquisitions,
                 queue_peak: 7,
                 busy_ns: 1_500_000_000,
+                buffer_hits: 9_000,
+                buffer_misses: 1_000,
+                buffer_evictions: 800,
+                buffer_table_waits: 5,
+                buffer_latch_waits: 3,
                 elapsed_secs: 1.0,
                 critical_sections: 0,
                 extra: vec![],
@@ -858,16 +1036,22 @@ mod tests {
     }
 
     #[test]
-    fn v5_counters_round_trip_and_version_is_parsed() {
+    fn v6_counters_round_trip_and_version_is_parsed() {
         let json = counter_report(1000, 900, 4000);
-        assert_eq!(parse_schema_version(&json), 5);
+        assert_eq!(parse_schema_version(&json), 6);
         let rows = parse_rows(&json);
         assert_eq!(rows[0].committed, 1000);
         assert_eq!(rows[0].log_waits, 900);
         assert_eq!(rows[0].txn_table_acquisitions, 4000);
         assert_eq!(rows[0].queue_peak, 7);
         assert_eq!(rows[0].busy_ns, 1_500_000_000);
+        assert_eq!(rows[0].buffer_hits, 9_000);
+        assert_eq!(rows[0].buffer_misses, 1_000);
+        assert_eq!(rows[0].buffer_evictions, 800);
+        assert_eq!(rows[0].buffer_table_waits, 5);
+        assert_eq!(rows[0].buffer_latch_waits, 3);
         assert_eq!(note_load_balance(&rows), 1);
+        assert_eq!(note_buffer_pool(&rows), 1);
         // The embedded baseline's version must not shadow the report's.
         let v1 = "{\n  \"bench\": \"x\",\n  \"schema_version\": 1,\n  \"runs\": []\n}\n";
         assert_eq!(parse_schema_version(v1), 1);
@@ -879,7 +1063,7 @@ mod tests {
             runs: vec![],
         }
         .to_json(Some(v1));
-        assert_eq!(parse_schema_version(&nested), 5);
+        assert_eq!(parse_schema_version(&nested), 6);
     }
 
     #[test]
@@ -1008,5 +1192,49 @@ mod tests {
         let out = gate_lock_free_counters(&zero, &base, 3, 3, 10.0);
         assert_eq!(out.compared, 0);
         assert_eq!(out.skipped, 1);
+    }
+
+    #[test]
+    fn buffer_counter_gate_flags_contended_pools() {
+        // Baseline: 5 contended table waits and 3 latch waits per 1000
+        // transactions — the decentralized pool's near-zero profile.
+        let base = parse_rows(&counter_report(1000, 900, 4000));
+        // Same profile on a slower host: passes.
+        let same = parse_rows(&counter_report(500, 430, 2000));
+        let out = gate_buffer_counters(&same, &base, 6, 6, 10.0);
+        assert_eq!(out.compared, 1);
+        assert!(!out.regressed);
+        // A global lock back on the hit path: table waits per txn blow up.
+        let mut locked = parse_rows(&counter_report(1000, 900, 4000));
+        locked[0].buffer_table_waits = 2_000;
+        let out = gate_buffer_counters(&locked, &base, 6, 6, 10.0);
+        assert!(out.regressed);
+        // Frame-latch thrash is caught independently.
+        let mut thrash = parse_rows(&counter_report(1000, 900, 4000));
+        thrash[0].buffer_latch_waits = 1_000;
+        let out = gate_buffer_counters(&thrash, &base, 6, 6, 10.0);
+        assert!(out.regressed);
+        // Near-zero rates need the absolute epsilon: 6 waits in 1000
+        // txns against the 5-wait baseline is noise, not a regression.
+        let mut near = parse_rows(&counter_report(1000, 900, 4000));
+        near[0].buffer_table_waits = 6;
+        let out = gate_buffer_counters(&near, &base, 6, 6, 10.0);
+        assert!(!out.regressed);
+    }
+
+    #[test]
+    fn buffer_counter_gate_skips_pre_v6_documents() {
+        let cand = parse_rows(&counter_report(1000, 900, 4000));
+        let base = parse_rows(&counter_report(1000, 900, 4000));
+        // A pre-v6 baseline cannot gate; a pre-v6 CANDIDATE must not
+        // pass as a clean zero — absent counters are not proof.
+        let out = gate_buffer_counters(&cand, &base, 6, 5, 10.0);
+        assert_eq!(out.compared, 0);
+        assert_eq!(out.skipped, 1);
+        assert!(!out.regressed);
+        let out = gate_buffer_counters(&cand, &base, 5, 6, 10.0);
+        assert_eq!(out.compared, 0);
+        assert_eq!(out.skipped, 1);
+        assert!(!out.regressed);
     }
 }

@@ -18,13 +18,16 @@
 //! routing-aware flows via `transfer_flow_routed`, which is exactly the
 //! designer knowledge the conventional engine cannot exploit).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use dora_core::executor::{DoraEngine, DoraEngineConfig};
 use dora_engine_conv::{ConvEngine, ConvEngineConfig};
-use dora_storage::db::Database;
+use dora_storage::buffer::FilePageStore;
+use dora_storage::db::{Database, DatabaseConfig};
+use dora_storage::io::StdFs;
 use dora_workloads::tatp::{flow_of, request_of, TatpMix, TatpTables, TatpWorkload, MISS};
 use dora_workloads::transfer::{
     audit_flow, audit_request, transfer_flow_routed, transfer_request, TransferMix, TransferOp,
@@ -40,6 +43,64 @@ pub enum EngineKind {
     Dora,
     /// The conventional thread-to-transaction baseline.
     Conventional,
+}
+
+/// Where a scenario's pages live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageKind {
+    /// Buffer pool over the in-memory page store, sized so the working
+    /// set always fits — the historical configuration every committed
+    /// pre-v6 baseline was recorded with.
+    #[default]
+    InMemory,
+    /// Buffer pool over a file-backed page store with a bounded frame
+    /// count. Sizing `frames` below the working set forces the run
+    /// through the miss / eviction / background-writeback path — the
+    /// `buffer_pool` sweep's knob.
+    Disk {
+        /// Buffer-pool capacity in frames.
+        frames: usize,
+    },
+}
+
+/// Deletes a disk run's scratch directory when the scenario finishes;
+/// held alive for the duration of the measurement.
+struct DiskDirGuard(PathBuf);
+
+impl Drop for DiskDirGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Scratch directories get a process-unique suffix so repeated disk
+/// scenarios in one bench invocation never collide on a page file.
+static DISK_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Builds the database a scenario runs against. Disk runs get a
+/// file-backed page store in a scratch directory (removed when the
+/// returned guard drops) and a pool capped at `frames`.
+fn build_db(storage: StorageKind) -> (Arc<Database>, Option<DiskDirGuard>) {
+    match storage {
+        StorageKind::InMemory => (Arc::new(Database::default()), None),
+        StorageKind::Disk { frames } => {
+            let dir = std::env::temp_dir().join(format!(
+                "dora-bench-pages-{}-{}",
+                std::process::id(),
+                DISK_DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let store = FilePageStore::open(&StdFs, &dir).expect("open bench page file");
+            let db = Database::with_store(
+                DatabaseConfig {
+                    buffer_frames: frames,
+                    ..Default::default()
+                },
+                Arc::new(store),
+            );
+            (Arc::new(db), Some(DiskDirGuard(dir)))
+        }
+    }
 }
 
 /// One engine × worker-count measurement of the transfer workload.
@@ -192,6 +253,7 @@ fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
     let validated_before = db.counters();
     let log_before = db.log_stats();
     let txn_before = db.txn_stats();
+    let buf_before = db.buffer_stats();
     let busy_before: u64 = engine.stats().workers.iter().map(|w| w.busy_ns).sum();
     let started = Instant::now();
     go.wait();
@@ -201,6 +263,7 @@ fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
     let stats = engine.stats();
     let log_after = db.log_stats();
     let txn_after = db.txn_stats();
+    let buf_after = db.buffer_stats();
     let extra = vec![
         ("deferrals", stats.deferrals as f64),
         (
@@ -251,6 +314,11 @@ fn run_dora(wl: &TransferWorkload, run: TransferRun) -> Scenario {
             .map(|w| w.busy_ns)
             .sum::<u64>()
             .saturating_sub(busy_before),
+        buffer_hits: buf_after.hits - buf_before.hits,
+        buffer_misses: buf_after.misses - buf_before.misses,
+        buffer_evictions: buf_after.evictions - buf_before.evictions,
+        buffer_table_waits: buf_after.table_waits - buf_before.table_waits,
+        buffer_latch_waits: buf_after.latch_waits - buf_before.latch_waits,
         elapsed_secs: elapsed.as_secs_f64(),
         critical_sections: crit,
         extra,
@@ -325,6 +393,7 @@ fn run_conv(wl: &TransferWorkload, run: TransferRun) -> Scenario {
     let validated_before = db.counters();
     let log_before = db.log_stats();
     let txn_before = db.txn_stats();
+    let buf_before = db.buffer_stats();
     let started = Instant::now();
     go.wait();
     let (committed, aborted) = join_clients(clients);
@@ -333,6 +402,7 @@ fn run_conv(wl: &TransferWorkload, run: TransferRun) -> Scenario {
     let stats = engine.stats();
     let log_after = db.log_stats();
     let txn_after = db.txn_stats();
+    let buf_after = db.buffer_stats();
     let extra = vec![
         ("retries", stats.retries as f64),
         (
@@ -360,6 +430,11 @@ fn run_conv(wl: &TransferWorkload, run: TransferRun) -> Scenario {
         txn_acquisitions: txn_after.stripe_acquisitions - txn_before.stripe_acquisitions,
         queue_peak: 0,
         busy_ns: 0,
+        buffer_hits: buf_after.hits - buf_before.hits,
+        buffer_misses: buf_after.misses - buf_before.misses,
+        buffer_evictions: buf_after.evictions - buf_before.evictions,
+        buffer_table_waits: buf_after.table_waits - buf_before.table_waits,
+        buffer_latch_waits: buf_after.latch_waits - buf_before.latch_waits,
         elapsed_secs: elapsed.as_secs_f64(),
         critical_sections: crit,
         extra,
@@ -452,6 +527,9 @@ pub struct TatpRun {
     /// TATP's spec misses (absent subscriber, absent call-forwarding row,
     /// duplicate insert) are *expected* outcomes, never retried.
     pub client_retries: u32,
+    /// Where pages live: in-memory (the historical configuration) or a
+    /// file-backed store with a bounded pool (the `buffer_pool` sweep).
+    pub storage: StorageKind,
 }
 
 impl TatpRun {
@@ -515,7 +593,7 @@ const PARTITION_ACTION_KEYS: [&str; 8] = [
 ];
 
 fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
-    let db = Arc::new(Database::default());
+    let (db, _disk) = build_db(run.storage);
     let tables = wl.load(&db);
     let engine = Arc::new(DoraEngine::new(
         db.clone(),
@@ -608,6 +686,7 @@ fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
     let cf_before = db
         .row_count(tables.call_forwarding)
         .expect("call_forwarding count") as i64;
+    let buf_before = db.buffer_stats();
     let stats_before = engine.stats();
     let busy_before: u64 = stats_before.workers.iter().map(|w| w.busy_ns).sum();
     let executed_before: Vec<u64> = stats_before.workers.iter().map(|w| w.executed).collect();
@@ -644,6 +723,7 @@ fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
     let stats = engine.stats();
     let log_after = db.log_stats();
     let txn_after = db.txn_stats();
+    let buf_after = db.buffer_stats();
     let mut extra = vec![
         ("missed", tally.missed as f64),
         ("deferrals", stats.deferrals as f64),
@@ -721,6 +801,18 @@ fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
         extra.push(("balancer_straddler_aborts", b.aborted_straddlers as f64));
         extra.push(("balancer_last_imbalance", b.last_imbalance));
     }
+    // Background-writeback telemetry rides `extra`: the five gated
+    // buffer counters have report fields, but the writer split (evictor
+    // emergency writes vs. cleaner writebacks) is what the buffer_pool
+    // sweep plots to show eviction mostly finds pre-cleaned victims.
+    extra.push((
+        "buffer_writebacks",
+        (buf_after.writebacks - buf_before.writebacks) as f64,
+    ));
+    extra.push((
+        "buffer_eviction_writes",
+        (buf_after.eviction_writes - buf_before.eviction_writes) as f64,
+    ));
     let crit = db.lock_stats().critical_sections - crit_before;
     let validated = db.counters();
     check_tatp_consistency(&db, tables, cf_before, &tally, "DORA");
@@ -742,6 +834,11 @@ fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
             .map(|w| w.busy_ns)
             .sum::<u64>()
             .saturating_sub(busy_before),
+        buffer_hits: buf_after.hits - buf_before.hits,
+        buffer_misses: buf_after.misses - buf_before.misses,
+        buffer_evictions: buf_after.evictions - buf_before.evictions,
+        buffer_table_waits: buf_after.table_waits - buf_before.table_waits,
+        buffer_latch_waits: buf_after.latch_waits - buf_before.latch_waits,
         elapsed_secs: elapsed.as_secs_f64(),
         critical_sections: crit,
         extra,
@@ -749,7 +846,7 @@ fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
 }
 
 fn run_tatp_conv(wl: &TatpWorkload, run: TatpRun) -> Scenario {
-    let db = Arc::new(Database::default());
+    let (db, _disk) = build_db(run.storage);
     let tables = wl.load(&db);
     let engine = Arc::new(ConvEngine::new(
         db.clone(),
@@ -812,6 +909,7 @@ fn run_tatp_conv(wl: &TatpWorkload, run: TatpRun) -> Scenario {
     let cf_before = db
         .row_count(tables.call_forwarding)
         .expect("call_forwarding count") as i64;
+    let buf_before = db.buffer_stats();
     let started = Instant::now();
     go.wait();
     let tally = join_tatp_clients(clients);
@@ -820,12 +918,21 @@ fn run_tatp_conv(wl: &TatpWorkload, run: TatpRun) -> Scenario {
     let stats = engine.stats();
     let log_after = db.log_stats();
     let txn_after = db.txn_stats();
+    let buf_after = db.buffer_stats();
     let extra = vec![
         ("missed", tally.missed as f64),
         ("retries", stats.retries as f64),
         (
             "log_group_commits",
             (log_after.group_commits - log_before.group_commits) as f64,
+        ),
+        (
+            "buffer_writebacks",
+            (buf_after.writebacks - buf_before.writebacks) as f64,
+        ),
+        (
+            "buffer_eviction_writes",
+            (buf_after.eviction_writes - buf_before.eviction_writes) as f64,
         ),
     ];
     let crit = db.lock_stats().critical_sections - crit_before;
@@ -844,6 +951,11 @@ fn run_tatp_conv(wl: &TatpWorkload, run: TatpRun) -> Scenario {
         txn_acquisitions: txn_after.stripe_acquisitions - txn_before.stripe_acquisitions,
         queue_peak: 0,
         busy_ns: 0,
+        buffer_hits: buf_after.hits - buf_before.hits,
+        buffer_misses: buf_after.misses - buf_before.misses,
+        buffer_evictions: buf_after.evictions - buf_before.evictions,
+        buffer_table_waits: buf_after.table_waits - buf_before.table_waits,
+        buffer_latch_waits: buf_after.latch_waits - buf_before.latch_waits,
         elapsed_secs: elapsed.as_secs_f64(),
         critical_sections: crit,
         extra,
@@ -1019,6 +1131,7 @@ mod tests {
                         mix,
                         balancer: false,
                         client_retries: 10,
+                        storage: StorageKind::InMemory,
                     },
                 );
                 assert_eq!(s.committed + s.aborted, 40, "{engine:?} {mix:?}");
@@ -1078,6 +1191,7 @@ mod tests {
                 },
                 balancer: true,
                 client_retries: 10,
+                storage: StorageKind::InMemory,
             },
         );
         assert_eq!(s.committed + s.aborted, 100);
@@ -1088,6 +1202,47 @@ mod tests {
             assert!(
                 s.extra.iter().any(|&(k, _)| k == key),
                 "balancer run must export {key}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_tatp_disk_run_exercises_miss_and_eviction_path() {
+        // A pool far smaller than the TATP working set over a file-backed
+        // store: the run must survive the miss/eviction/writeback path on
+        // both engines, keep integrity (checked inside run_tatp), and
+        // report the v6 buffer counters it exists to measure.
+        let wl = TatpWorkload {
+            subscribers: 256,
+            seed: 7,
+        };
+        for engine in [EngineKind::Dora, EngineKind::Conventional] {
+            let s = run_tatp(
+                &wl,
+                TatpRun {
+                    engine,
+                    workers: 2,
+                    clients: 2,
+                    per_client: 25,
+                    mix: TatpMixKind::Skewed { theta: 0.0 },
+                    balancer: false,
+                    client_retries: 10,
+                    storage: StorageKind::Disk { frames: 8 },
+                },
+            );
+            assert_eq!(s.committed + s.aborted, 50, "{engine:?}");
+            assert!(s.committed > 0, "{engine:?}");
+            assert!(
+                s.buffer_misses > 0,
+                "{engine:?}: a larger-than-pool run must take misses"
+            );
+            assert!(
+                s.buffer_evictions > 0,
+                "{engine:?}: a full pool must evict to admit misses"
+            );
+            assert!(
+                s.buffer_hits > 0,
+                "{engine:?}: uniform TATP still re-touches resident pages"
             );
         }
     }

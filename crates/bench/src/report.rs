@@ -6,12 +6,12 @@
 //! `BENCH_<name>.json` at the workspace root (plus a human-readable table
 //! on stdout).
 //!
-//! # Schema (`schema_version` 5)
+//! # Schema (`schema_version` 6)
 //!
 //! ```json
 //! {
 //!   "bench": "throughput_vs_cores",
-//!   "schema_version": 5,
+//!   "schema_version": 6,
 //!   "workload": "transfer accounts=1024 ...",
 //!   "physical_cores": 1,
 //!   "quick": false,
@@ -34,6 +34,11 @@
 //!                                    // sampled during the run (DORA only)
 //!       "busy_ns": 812345678,        // summed worker busy time (ns spent
 //!                                    // executing actions, DORA only)
+//!       "buffer_hits": 160000,       // buffer-pool pins served resident
+//!       "buffer_misses": 2048,       // pins that read the page store
+//!       "buffer_evictions": 1800,    // pages displaced from frames
+//!       "buffer_table_waits": 0,     // contended page-table shard locks
+//!       "buffer_latch_waits": 12,    // contended frame-latch acquisitions
 //!       "elapsed_secs": 1.25,
 //!       "throughput_tps": 3200.0,    // committed / elapsed_secs
 //!       "critical_sections": 0,      // centralized lock-manager entries
@@ -70,7 +75,15 @@
 //! adaptive repartitioner (peak sampled mailbox depth across partitions,
 //! and total worker busy time). Conventional-engine rows report 0 for
 //! both; readers treat the absent fields as 0 so pre-v5 baselines keep
-//! gating unchanged.
+//! gating unchanged. **v6** added the buffer-pool counters
+//! `buffer_hits` / `buffer_misses` / `buffer_evictions` /
+//! `buffer_table_waits` / `buffer_latch_waits` — the global page-table
+//! mutex and the always-exclusive frame latch were replaced by a sharded
+//! table with reader/writer latches, and the wait counters prove the
+//! buffer hit path stays uncontended (`compare.rs` gates them like the
+//! v3 lock-free counters, only when both documents are ≥ v6). Readers
+//! treat the absent fields as 0, so pre-v6 baselines keep gating
+//! unchanged.
 //!
 //! `baseline` lets a bench run carry its own before/after story: pass
 //! `--compare <path>` and the referenced report (typically a committed
@@ -122,6 +135,20 @@ pub struct Scenario {
     /// partitions of time spent executing actions. 0 for conventional
     /// rows.
     pub busy_ns: u64,
+    /// Buffer-pool pins served from a resident frame during the measured
+    /// window (schema v6).
+    pub buffer_hits: u64,
+    /// Buffer-pool pins that had to read the page store (schema v6).
+    pub buffer_misses: u64,
+    /// Pages displaced from buffer frames during the window (schema v6).
+    pub buffer_evictions: u64,
+    /// Contended page-table shard acquisitions (schema v6) — the
+    /// decentralized pool's analogue of a global-table critical section;
+    /// ≈ 0 proves the buffer hit path takes no contended shared lock.
+    pub buffer_table_waits: u64,
+    /// Contended frame-latch acquisitions (schema v6): pin collisions on
+    /// the same page, the workload-inherent residue.
+    pub buffer_latch_waits: u64,
     /// Wall-clock seconds for the measured window.
     pub elapsed_secs: f64,
     /// Centralized lock-manager critical sections entered during the run.
@@ -192,7 +219,7 @@ impl BenchReport {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"bench\": \"{}\",", escape_json(self.bench));
-        let _ = writeln!(out, "  \"schema_version\": 5,");
+        let _ = writeln!(out, "  \"schema_version\": 6,");
         let _ = writeln!(out, "  \"workload\": \"{}\",", escape_json(&self.workload));
         let _ = writeln!(out, "  \"physical_cores\": {},", self.physical_cores);
         let _ = writeln!(out, "  \"quick\": {},", self.quick);
@@ -223,6 +250,19 @@ impl BenchReport {
             );
             let _ = writeln!(out, "      \"queue_peak\": {},", run.queue_peak);
             let _ = writeln!(out, "      \"busy_ns\": {},", run.busy_ns);
+            let _ = writeln!(out, "      \"buffer_hits\": {},", run.buffer_hits);
+            let _ = writeln!(out, "      \"buffer_misses\": {},", run.buffer_misses);
+            let _ = writeln!(out, "      \"buffer_evictions\": {},", run.buffer_evictions);
+            let _ = writeln!(
+                out,
+                "      \"buffer_table_waits\": {},",
+                run.buffer_table_waits
+            );
+            let _ = writeln!(
+                out,
+                "      \"buffer_latch_waits\": {},",
+                run.buffer_latch_waits
+            );
             let _ = writeln!(
                 out,
                 "      \"elapsed_secs\": {},",
@@ -343,6 +383,11 @@ mod tests {
                     txn_acquisitions: 420,
                     queue_peak: 37,
                     busy_ns: 812_345,
+                    buffer_hits: 160_000,
+                    buffer_misses: 2_048,
+                    buffer_evictions: 1_800,
+                    buffer_table_waits: 0,
+                    buffer_latch_waits: 12,
                     elapsed_secs: 0.5,
                     critical_sections: 0,
                     extra: vec![("deferrals", 3.0)],
@@ -360,6 +405,11 @@ mod tests {
                     txn_acquisitions: 0,
                     queue_peak: 0,
                     busy_ns: 0,
+                    buffer_hits: 0,
+                    buffer_misses: 0,
+                    buffer_evictions: 0,
+                    buffer_table_waits: 0,
+                    buffer_latch_waits: 0,
                     elapsed_secs: 0.5,
                     critical_sections: 1234,
                     extra: vec![],
@@ -372,7 +422,7 @@ mod tests {
     fn json_has_schema_fields_and_computed_throughput() {
         let json = sample().to_json(None);
         assert!(json.contains("\"bench\": \"throughput_vs_cores\""));
-        assert!(json.contains("\"schema_version\": 5"));
+        assert!(json.contains("\"schema_version\": 6"));
         assert!(json.contains("\"scenario\": \"remote=50\""));
         assert!(json.contains("\"scenario\": \"\""));
         assert!(json.contains("\"secondary_reads\": 640"));
@@ -381,6 +431,11 @@ mod tests {
         assert!(json.contains("\"txn_table_acquisitions\": 420"));
         assert!(json.contains("\"queue_peak\": 37"));
         assert!(json.contains("\"busy_ns\": 812345"));
+        assert!(json.contains("\"buffer_hits\": 160000"));
+        assert!(json.contains("\"buffer_misses\": 2048"));
+        assert!(json.contains("\"buffer_evictions\": 1800"));
+        assert!(json.contains("\"buffer_table_waits\": 0"));
+        assert!(json.contains("\"buffer_latch_waits\": 12"));
         assert!(json.contains("\"throughput_tps\": 200.000"));
         assert!(json.contains("\"critical_sections\": 1234"));
         assert!(json.contains("\"deferrals\": 3.000"));
@@ -393,7 +448,7 @@ mod tests {
         let base = sample().to_json(None);
         let json = sample().to_json(Some(&base));
         assert!(json.contains("\"baseline\": {"));
-        assert_eq!(json.matches("\"schema_version\": 5").count(), 2);
+        assert_eq!(json.matches("\"schema_version\": 6").count(), 2);
     }
 
     #[test]

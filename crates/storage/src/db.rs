@@ -53,7 +53,7 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 
 use crate::btree::BPlusTree;
-use crate::buffer::BufferPool;
+use crate::buffer::{BufferPool, BufferStatsSnapshot, MemStore, PageStore};
 use crate::error::{StorageError, StorageResult};
 use crate::heap::{HeapFile, UpdateOutcome};
 use crate::lock::{LockManager, LockMode, LockStatsSnapshot, LockTarget};
@@ -288,20 +288,35 @@ impl Default for Database {
 }
 
 impl Database {
-    /// Creates an empty database.
+    /// Creates an empty database over an in-memory page store.
     pub fn new(config: DatabaseConfig) -> Self {
+        Self::with_store(config, Arc::new(MemStore::new()))
+    }
+
+    /// Creates an empty database whose buffer pool runs over `store`
+    /// (e.g. a [`crate::buffer::FilePageStore`] for larger-than-memory
+    /// workloads). The pool is wired to the log's WAL-before-data gate:
+    /// a dirty page is never written to the store before the log is
+    /// durable past the page's last-mutation LSN.
+    pub fn with_store(config: DatabaseConfig, store: Arc<dyn PageStore>) -> Self {
+        let log = Arc::new(LogManager::new());
+        let gate: Arc<dyn crate::buffer::WalGate> = log.clone();
         Database {
             catalog: RwLock::new(Catalog::new()),
             snapshot: SnapshotCell::new(CatalogSnapshot {
                 tables: HashMap::new(),
                 indexes: HashMap::new(),
             }),
-            buffer: Arc::new(BufferPool::in_memory(config.buffer_frames)),
+            buffer: Arc::new(BufferPool::with_gate(
+                store,
+                config.buffer_frames,
+                Some(gate),
+            )),
             lock_mgr: Arc::new(LockManager::with_config(
                 config.lock_buckets,
                 config.lock_timeout,
             )),
-            log: Arc::new(LogManager::new()),
+            log,
             txns: TxnManager::new(),
             wal_cfg: Mutex::new(None),
             write_gate: WriteGate::new(),
@@ -1171,7 +1186,12 @@ impl Database {
         let image = recovery::load_latest_checkpoint_image(&cfg, &replay.records);
         let mut report = recovery::recover_with_snapshot(self, &replay.records, image.as_ref())?;
         report.torn_tail = replay.torn;
-        let writer = crate::segment::SegmentWriter::new(cfg.clone(), replay.next_seq);
+        // Seed the writer with the surviving segments: a checkpoint taken
+        // by *this* incarnation must be able to truncate files written by
+        // the previous one, or the directory accumulates an LSN gap that
+        // the next replay would read as a torn log.
+        let writer =
+            crate::segment::SegmentWriter::recovered(cfg.clone(), replay.next_seq, replay.sealed);
         self.log.install_writer(writer, replay.last_lsn)?;
         *self.wal_cfg.lock() = Some(cfg);
         Ok(report)
@@ -1219,7 +1239,7 @@ impl Database {
                 },
             );
             self.log.force(lsn)?;
-            self.buffer.flush_all();
+            self.buffer.flush_all()?;
             return Ok(lsn);
         };
         let image = self.checkpoint_image(base_lsn, keep_from)?;
@@ -1237,7 +1257,7 @@ impl Database {
         // segments and older images go away.
         self.log.truncate_below(keep_from);
         remove_superseded_images(cfg, base_lsn);
-        self.buffer.flush_all();
+        self.buffer.flush_all()?;
         Ok(lsn)
     }
 
@@ -1291,6 +1311,23 @@ impl Database {
     /// Transaction-table statistics (stripe acquisitions, begin waits).
     pub fn txn_stats(&self) -> TxnStatsSnapshot {
         self.txns.stats()
+    }
+
+    /// Buffer-pool statistics (hits, misses, evictions, latch waits).
+    pub fn buffer_stats(&self) -> BufferStatsSnapshot {
+        self.buffer.stats().snapshot()
+    }
+
+    /// Pages allocated in the pool's backing store.
+    pub fn allocated_pages(&self) -> u64 {
+        self.buffer.allocated_pages()
+    }
+
+    /// Flushes every dirty buffered page to the page store (WAL first)
+    /// and syncs the store. Exposed for recovery and shutdown paths that
+    /// want the page file caught up without a full checkpoint.
+    pub fn flush_pages(&self) -> StorageResult<()> {
+        self.buffer.flush_all()
     }
 
     /// Operation counters.

@@ -47,6 +47,11 @@ pub enum StorageError {
     PageFull,
     /// The buffer pool could not find an evictable frame.
     BufferPoolFull,
+    /// A page-store I/O operation failed (read, write, or checkpoint
+    /// fsync of the data file). The page's buffered copy is left intact
+    /// and dirty, so the operation may be retried; recovery can always
+    /// rebuild lost page writes from the log.
+    PageIo(String),
     /// The write-ahead log or recovery subsystem found corrupt data.
     LogCorrupt(String),
     /// A transient log I/O failure: the failed step wrote nothing (e.g.
@@ -87,6 +92,7 @@ impl fmt::Display for StorageError {
             ),
             StorageError::PageFull => write!(f, "page full"),
             StorageError::BufferPoolFull => write!(f, "buffer pool full"),
+            StorageError::PageIo(m) => write!(f, "page store I/O failure: {m}"),
             StorageError::LogCorrupt(m) => write!(f, "log corrupt: {m}"),
             StorageError::LogIo(m) => write!(f, "log I/O failure (retryable): {m}"),
             StorageError::LogPoisoned(m) => write!(f, "log poisoned by I/O failure: {m}"),

@@ -9,9 +9,10 @@
 //! [`HeapFile::get_for_update`] reads a record and stamps it
 //! write-in-progress under a single page latch.
 
+use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 
 use crate::buffer::BufferPool;
 use crate::error::{StorageError, StorageResult};
@@ -28,12 +29,58 @@ pub enum UpdateOutcome {
     Moved(RecordId),
 }
 
+/// Arc-swap cell over the heap's page list, the same retained-snapshot
+/// idiom as the catalog's `SnapshotCell` in `db.rs`: readers (every
+/// record access and every scan) do one `Acquire` pointer load — no
+/// lock, no reference-count traffic — and the writer (page allocation,
+/// once per ~8 KiB of inserted data) publishes a new list and retains
+/// the superseded one for the heap's lifetime so loaded borrows never
+/// dangle. Retention cost is one superseded list per allocated page —
+/// quadratic in page count with a word-sized constant, and allocation
+/// is off the hot path.
+struct PageList {
+    current: AtomicPtr<Vec<PageId>>,
+    // Boxing keeps `current`'s pointee at a stable address when the
+    // history vector reallocates.
+    #[allow(clippy::vec_box)]
+    history: Mutex<Vec<Box<Vec<PageId>>>>,
+}
+
+impl PageList {
+    fn new() -> Self {
+        let cell = PageList {
+            current: AtomicPtr::new(std::ptr::null_mut()),
+            history: Mutex::new(Vec::new()),
+        };
+        let mut history = cell.history.lock();
+        cell.publish_locked(&mut history, Vec::new());
+        drop(history);
+        cell
+    }
+
+    fn load(&self) -> &[PageId] {
+        // SAFETY: `current` always points at a box owned by `history`,
+        // which only grows; the list outlives any `&self` borrow.
+        unsafe { &*self.current.load(Ordering::Acquire) }
+    }
+
+    #[allow(clippy::vec_box)] // see `history`: boxes pin the pointee's address
+    fn publish_locked(&self, history: &mut Vec<Box<Vec<PageId>>>, pages: Vec<PageId>) {
+        let boxed = Box::new(pages);
+        let ptr = &*boxed as *const Vec<PageId> as *mut Vec<PageId>;
+        // Retain before the swap so no reader can ever observe a pointer
+        // whose box is not yet (or no longer) owned.
+        history.push(boxed);
+        self.current.store(ptr, Ordering::Release);
+    }
+}
+
 /// A heap file for one table.
 pub struct HeapFile {
     table: TableId,
     buffer: Arc<BufferPool>,
     /// Pages belonging to this heap, in allocation order.
-    pages: RwLock<Vec<PageId>>,
+    pages: PageList,
 }
 
 impl HeapFile {
@@ -42,7 +89,7 @@ impl HeapFile {
         HeapFile {
             table,
             buffer,
-            pages: RwLock::new(Vec::new()),
+            pages: PageList::new(),
         }
     }
 
@@ -53,7 +100,7 @@ impl HeapFile {
 
     /// Number of pages currently in the heap.
     pub fn page_count(&self) -> usize {
-        self.pages.read().len()
+        self.pages.load().len()
     }
 
     /// Inserts a record and returns its new id.
@@ -61,30 +108,39 @@ impl HeapFile {
     /// Insertion first tries the last page (append-mostly workloads such as
     /// TPC-C order lines benefit), then allocates a new page.
     pub fn insert(&self, record: &[u8]) -> StorageResult<RecordId> {
-        // Fast path: try the last page without holding the pages lock
-        // across the page access.
-        let last = { self.pages.read().last().copied() };
-        if let Some(pid) = last {
+        loop {
+            // Fast path: one atomic load of the page-list snapshot, no
+            // lock.
+            if let Some(&pid) = self.pages.load().last() {
+                if let Some(slot) = self.buffer.with_page(pid, |p| (p.insert(record), true))? {
+                    return Ok(RecordId::new(pid, slot));
+                }
+            }
+            // Slow path: allocate a new page. The history mutex doubles
+            // as the allocation lock so concurrent inserters don't
+            // allocate a page each for the same overflow.
+            let mut history = self.pages.history.lock();
+            let snapshot = self.pages.load();
+            if let Some(&pid) = snapshot.last() {
+                if let Some(slot) = self.buffer.with_page(pid, |p| (p.insert(record), true))? {
+                    return Ok(RecordId::new(pid, slot));
+                }
+            }
+            let pid = self.buffer.allocate_page()?;
+            let mut next = snapshot.to_vec();
+            next.push(pid);
+            self.pages.publish_locked(&mut history, next);
+            drop(history);
             if let Some(slot) = self.buffer.with_page(pid, |p| (p.insert(record), true))? {
                 return Ok(RecordId::new(pid, slot));
             }
-        }
-        // Slow path: allocate a new page. Hold the write lock so concurrent
-        // inserters don't allocate a page each for the same overflow.
-        let mut pages = self.pages.write();
-        if let Some(&pid) = pages.last() {
-            if let Some(slot) = self.buffer.with_page(pid, |p| (p.insert(record), true))? {
-                return Ok(RecordId::new(pid, slot));
+            // Concurrent inserters filled our fresh page before we got
+            // to it. If the record can never fit even in an empty page,
+            // fail; otherwise go around again.
+            if crate::page::SlottedPage::new().insert(record).is_none() {
+                return Err(StorageError::PageFull);
             }
         }
-        let pid = self.buffer.allocate_page();
-        pages.push(pid);
-        drop(pages);
-        let slot = self
-            .buffer
-            .with_page(pid, |p| (p.insert(record), true))?
-            .ok_or(StorageError::PageFull)?;
-        Ok(RecordId::new(pid, slot))
     }
 
     /// Reads the record at `rid`.
@@ -190,9 +246,8 @@ impl HeapFile {
     /// table loaders, recovery verification and the (rare) unindexed paths
     /// of the workloads.
     pub fn scan(&self) -> StorageResult<Vec<(RecordId, Vec<u8>)>> {
-        let pages = self.pages.read().clone();
         let mut out = Vec::new();
-        for pid in pages {
+        for &pid in self.pages.load() {
             self.buffer.read_page(pid, |p| {
                 for (slot, rec) in p.iter() {
                     out.push((RecordId::new(pid, slot), rec.to_vec()));

@@ -12,13 +12,24 @@
 //!   crash-at-failpoint semantics where everything not yet fsynced is
 //!   lost except a seed-chosen torn prefix.
 //!
-//! The trait is deliberately append-only: the WAL never seeks, never
-//! rewrites, and never memory-maps, so the whole contract is "append
-//! bytes, fsync, read back after a crash". The fault model mirrors
-//! that: an `append` error means *an arbitrary prefix of the buffer may
-//! have reached the file*, and a `sync` error means *previously
-//! appended but unsynced bytes may be gone*. [`crate::segment`] builds
-//! its poisoning policy directly on those two contracts.
+//! The WAL surface ([`WalFile`]) is deliberately append-only: the log
+//! never seeks, never rewrites, and never memory-maps, so the whole
+//! contract is "append bytes, fsync, read back after a crash". The
+//! fault model mirrors that: an `append` error means *an arbitrary
+//! prefix of the buffer may have reached the file*, and a `sync` error
+//! means *previously appended but unsynced bytes may be gone*.
+//! [`crate::segment`] builds its poisoning policy directly on those two
+//! contracts.
+//!
+//! The page store is the one component that does rewrite in place, so
+//! it gets its own surface: [`PageFile`] is a positioned read/write
+//! handle over a fixed-size-page file. Its fault model is
+//! page-cache-shaped: a `write_at` lands in an unsynced pending set,
+//! `sync` makes the pending writes durable, and a crash keeps only a
+//! seed-chosen prefix of the pending writes (each page write is atomic
+//! — present in full or absent — because recovery never reads data
+//! pages; the WAL-before-data gate in the buffer pool is what makes
+//! losing them safe).
 
 use std::collections::BTreeMap;
 use std::io;
@@ -44,6 +55,31 @@ pub trait WalFile: Send {
     fn sync(&mut self) -> io::Result<()>;
 }
 
+/// A positioned read/write handle over a fixed-size-page file.
+///
+/// Writes land in an OS-page-cache-like pending set until [`sync`]
+/// makes them durable; a simulated crash drops pending writes (each one
+/// atomically — a page write is present in full or absent). Offsets are
+/// byte offsets; the buffer pool always works in whole [`crate::page::PAGE_SIZE`]
+/// units.
+///
+/// [`sync`]: PageFile::sync
+pub trait PageFile: Send + Sync {
+    /// Reads exactly `buf.len()` bytes at `offset`. Reading past the
+    /// current end of file is an error (the page store checks
+    /// [`byte_len`](PageFile::byte_len) first).
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+    /// Writes `buf` at `offset`, extending the file (zero-filled gap)
+    /// if `offset` is past the current end.
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<()>;
+    /// Current file length in bytes (including unsynced writes).
+    fn byte_len(&self) -> io::Result<u64>;
+    /// Forces every write so far to stable storage. On error, unsynced
+    /// page writes may have been dropped — callers must treat the
+    /// affected pages as dirty again.
+    fn sync(&self) -> io::Result<()>;
+}
+
 /// Minimal file-system surface the durable log needs.
 pub trait WalFs: Send + Sync {
     /// Creates `dir` (and parents) if missing.
@@ -61,6 +97,9 @@ pub trait WalFs: Send + Sync {
     /// Fsyncs the directory itself so created/renamed entries survive a
     /// crash.
     fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+    /// Opens (creating if missing, **never** truncating) a positioned
+    /// page file for the page store.
+    fn open_page_file(&self, path: &Path) -> io::Result<Box<dyn PageFile>>;
 }
 
 // ---------------------------------------------------------------------------
@@ -81,6 +120,38 @@ impl WalFile for StdFile {
 
     fn sync(&mut self) -> io::Result<()> {
         self.0.sync_all()
+    }
+}
+
+/// Positioned I/O via seek-then-read/write under a mutex: portable
+/// (`std::fs` only, no `pread`/`pwrite` platform extensions) and the
+/// buffer pool already serializes per-frame I/O, so the mutex is not a
+/// hot-path lock.
+struct StdPageFile(std::sync::Mutex<std::fs::File>);
+
+impl PageFile for StdPageFile {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(buf)
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut file = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(buf)
+    }
+
+    fn byte_len(&self) -> io::Result<u64> {
+        let file = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        Ok(file.metadata()?.len())
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        let file = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        file.sync_all()
     }
 }
 
@@ -127,6 +198,16 @@ impl WalFs for StdFs {
         // durable; opening read-only suffices on Linux.
         std::fs::File::open(dir)?.sync_all()
     }
+
+    fn open_page_file(&self, path: &Path) -> io::Result<Box<dyn PageFile>> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .read(true)
+            .write(true)
+            .open(path)?;
+        Ok(Box::new(StdPageFile(std::sync::Mutex::new(file))))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -149,6 +230,13 @@ pub struct FaultPlan {
     /// the whole file system crashes (see [`SimFs::crash`]) using the
     /// given tear seed.
     pub crash_after_append: Option<(u64, u64)>,
+    /// The nth page-file `write_at` fails with `EIO` before any bytes
+    /// land (the write never reaches the pending set).
+    pub fail_page_write: Option<u64>,
+    /// The nth page-file `sync` fails with `EIO` **and drops the
+    /// pending page writes** of that file, modelling a kernel that
+    /// discarded the dirty page cache.
+    pub fail_page_sync: Option<u64>,
 }
 
 #[derive(Default)]
@@ -159,14 +247,45 @@ struct SimFile {
     pending: Vec<u8>,
 }
 
+/// A positioned page file: durable image plus an ordered pending-write
+/// set (the simulated OS page cache).
+#[derive(Default)]
+struct SimPage {
+    durable: Vec<u8>,
+    pending: Vec<(u64, Vec<u8>)>,
+}
+
+impl SimPage {
+    /// The file as readers see it pre-crash: durable image with every
+    /// pending write applied in order.
+    fn view(&self) -> Vec<u8> {
+        let mut bytes = self.durable.clone();
+        for (off, buf) in &self.pending {
+            apply_write(&mut bytes, *off, buf);
+        }
+        bytes
+    }
+}
+
+fn apply_write(bytes: &mut Vec<u8>, off: u64, buf: &[u8]) {
+    let end = off as usize + buf.len();
+    if bytes.len() < end {
+        bytes.resize(end, 0);
+    }
+    bytes[off as usize..end].copy_from_slice(buf);
+}
+
 #[derive(Default)]
 struct SimState {
     files: BTreeMap<PathBuf, SimFile>,
+    pages: BTreeMap<PathBuf, SimPage>,
     dirs: Vec<PathBuf>,
     plan: FaultPlan,
     appends: u64,
     syncs: u64,
     creates: u64,
+    page_writes: u64,
+    page_syncs: u64,
     /// Bumped by [`SimFs::crash`]; handles from before the crash fail.
     epoch: u64,
 }
@@ -216,6 +335,21 @@ impl SimFs {
             file.durable.extend_from_slice(&torn);
             file.pending.clear();
         }
+        for page in st.pages.values_mut() {
+            // Page writes tear at write granularity: a seed-chosen
+            // prefix of the pending writes survives, each in full
+            // (recovery never reads data pages, so whole-page atomicity
+            // is the interesting model — the WAL-before-data invariant
+            // is what a crash here must not be able to break).
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let keep = (rng as usize) % (page.pending.len() + 1);
+            let survivors: Vec<(u64, Vec<u8>)> = page.pending.drain(..).take(keep).collect();
+            for (off, buf) in survivors {
+                apply_write(&mut page.durable, off, &buf);
+            }
+        }
         st.epoch += 1;
     }
 
@@ -224,6 +358,13 @@ impl SimFs {
     pub fn op_counts(&self) -> (u64, u64, u64) {
         let st = self.state.lock();
         (st.appends, st.syncs, st.creates)
+    }
+
+    /// Global `(page_writes, page_syncs)` operation counts for the
+    /// positioned page-file surface.
+    pub fn page_op_counts(&self) -> (u64, u64) {
+        let st = self.state.lock();
+        (st.page_writes, st.page_syncs)
     }
 
     /// The current full contents (synced + unsynced) of a file, for
@@ -322,6 +463,75 @@ impl WalFile for SimHandle {
     }
 }
 
+struct SimPageHandle {
+    state: Arc<Mutex<SimState>>,
+    path: PathBuf,
+    epoch: u64,
+}
+
+impl PageFile for SimPageHandle {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let st = self.state.lock();
+        SimHandle::check_epoch(&st, self.epoch)?;
+        let page = st
+            .pages
+            .get(&self.path)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such sim page file"))?;
+        let view = page.view();
+        let end = offset as usize + buf.len();
+        if view.len() < end {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "read past end of sim page file",
+            ));
+        }
+        buf.copy_from_slice(&view[offset as usize..end]);
+        Ok(())
+    }
+
+    fn write_at(&self, offset: u64, buf: &[u8]) -> io::Result<()> {
+        let mut st = self.state.lock();
+        SimHandle::check_epoch(&st, self.epoch)?;
+        st.page_writes += 1;
+        let n = st.page_writes;
+        if matches!(st.plan.fail_page_write, Some(at) if n == at) {
+            return Err(io::Error::other("injected page write failure"));
+        }
+        let page = st.pages.entry(self.path.clone()).or_default();
+        page.pending.push((offset, buf.to_vec()));
+        Ok(())
+    }
+
+    fn byte_len(&self) -> io::Result<u64> {
+        let st = self.state.lock();
+        SimHandle::check_epoch(&st, self.epoch)?;
+        Ok(st
+            .pages
+            .get(&self.path)
+            .map_or(0, |p| p.view().len() as u64))
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        let mut st = self.state.lock();
+        SimHandle::check_epoch(&st, self.epoch)?;
+        st.page_syncs += 1;
+        let n = st.page_syncs;
+        let drop_pending = matches!(st.plan.fail_page_sync, Some(at) if n == at);
+        let page = st.pages.entry(self.path.clone()).or_default();
+        if drop_pending {
+            page.pending.clear();
+            return Err(io::Error::other(
+                "injected page fsync failure (dirty pages dropped)",
+            ));
+        }
+        let pending = std::mem::take(&mut page.pending);
+        for (off, buf) in pending {
+            apply_write(&mut page.durable, off, &buf);
+        }
+        Ok(())
+    }
+}
+
 impl WalFs for SimFs {
     fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
         let mut st = self.state.lock();
@@ -396,6 +606,18 @@ impl WalFs for SimFs {
 
     fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
         Ok(())
+    }
+
+    fn open_page_file(&self, path: &Path) -> io::Result<Box<dyn PageFile>> {
+        let mut st = self.state.lock();
+        st.pages.entry(path.to_path_buf()).or_default();
+        let epoch = st.epoch;
+        drop(st);
+        Ok(Box::new(SimPageHandle {
+            state: self.state.clone(),
+            path: path.to_path_buf(),
+            epoch,
+        }))
     }
 }
 
@@ -485,6 +707,118 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::StorageFull);
         // The schedule names one operation; the next create succeeds.
         assert!(fs.create(&p("a")).is_ok());
+    }
+
+    #[test]
+    fn sim_page_file_round_trips_and_sync_promotes() {
+        let fs = SimFs::new();
+        let f = fs.open_page_file(&p("pages.db")).unwrap();
+        f.write_at(0, b"AAAA").unwrap();
+        f.write_at(8, b"BBBB").unwrap();
+        assert_eq!(f.byte_len().unwrap(), 12);
+        let mut buf = [0u8; 4];
+        f.read_at(8, &mut buf).unwrap();
+        assert_eq!(&buf, b"BBBB");
+        // The zero-filled gap between the two writes reads as zeros.
+        f.read_at(4, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 4]);
+        f.sync().unwrap();
+        f.write_at(0, b"CCCC").unwrap();
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"CCCC", "pre-crash reads see pending writes");
+        assert_eq!(fs.page_op_counts(), (3, 1));
+    }
+
+    #[test]
+    fn sim_page_file_crash_drops_unsynced_writes() {
+        let mut dropped = false;
+        // Spread the seeds: the xorshift parity that picks the survivor
+        // count keys off high bits, so consecutive small seeds all fall
+        // on the same side.
+        for seed in (0..32).map(|i| i * 17) {
+            let fs = SimFs::new();
+            let f = fs.open_page_file(&p("pages.db")).unwrap();
+            f.write_at(0, b"OLD!").unwrap();
+            f.sync().unwrap();
+            f.write_at(0, b"NEW!").unwrap();
+            fs.crash(seed);
+            assert!(f.read_at(0, &mut [0u8; 4]).is_err(), "stale handle fails");
+            let f2 = fs.open_page_file(&p("pages.db")).unwrap();
+            let mut buf = [0u8; 4];
+            f2.read_at(0, &mut buf).unwrap();
+            // Each write is atomic: the page is wholly old or wholly new.
+            assert!(&buf == b"OLD!" || &buf == b"NEW!", "torn page: {buf:?}");
+            dropped |= &buf == b"OLD!";
+        }
+        assert!(dropped, "some seed must drop the unsynced write");
+    }
+
+    #[test]
+    fn sim_page_file_crash_keeps_a_seeded_prefix_of_writes() {
+        let mut survivor_counts = std::collections::BTreeSet::new();
+        for seed in 0..32 {
+            let fs = SimFs::new();
+            let f = fs.open_page_file(&p("pages.db")).unwrap();
+            f.write_at(0, b"1").unwrap();
+            f.write_at(1, b"2").unwrap();
+            f.write_at(2, b"3").unwrap();
+            fs.crash(seed);
+            let f2 = fs.open_page_file(&p("pages.db")).unwrap();
+            survivor_counts.insert(f2.byte_len().unwrap());
+        }
+        // 4 possible outcomes (0..=3 surviving writes); the seeds must
+        // reach more than one of them.
+        assert!(survivor_counts.len() >= 2, "seen: {survivor_counts:?}");
+    }
+
+    #[test]
+    fn injected_page_sync_failure_drops_pending_writes() {
+        let fs = SimFs::with_faults(FaultPlan {
+            fail_page_sync: Some(1),
+            ..FaultPlan::default()
+        });
+        let f = fs.open_page_file(&p("pages.db")).unwrap();
+        f.write_at(0, b"doomed").unwrap();
+        assert!(f.sync().is_err());
+        assert_eq!(f.byte_len().unwrap(), 0, "dropped writes stay dropped");
+        f.write_at(0, b"later!").unwrap();
+        f.sync().unwrap();
+        let mut buf = [0u8; 6];
+        f.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"later!");
+    }
+
+    #[test]
+    fn injected_page_write_failure_leaves_no_bytes() {
+        let fs = SimFs::with_faults(FaultPlan {
+            fail_page_write: Some(2),
+            ..FaultPlan::default()
+        });
+        let f = fs.open_page_file(&p("pages.db")).unwrap();
+        f.write_at(0, b"ok").unwrap();
+        assert!(f.write_at(2, b"no").is_err());
+        assert_eq!(f.byte_len().unwrap(), 2);
+    }
+
+    #[test]
+    fn std_page_file_round_trips() {
+        let dir = std::env::temp_dir().join(format!("dora-pagefile-test-{}", std::process::id()));
+        let fs = StdFs;
+        fs.create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        let f = fs.open_page_file(&path).unwrap();
+        f.write_at(16, b"positioned").unwrap();
+        f.sync().unwrap();
+        let mut buf = [0u8; 10];
+        f.read_at(16, &mut buf).unwrap();
+        assert_eq!(&buf, b"positioned");
+        assert_eq!(f.byte_len().unwrap(), 26);
+        drop(f);
+        // Re-open must not truncate.
+        let f2 = fs.open_page_file(&path).unwrap();
+        assert_eq!(f2.byte_len().unwrap(), 26);
+        drop(f2);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

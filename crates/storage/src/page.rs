@@ -4,23 +4,29 @@
 //! layout used by Shore-MT and most disk-based storage managers:
 //!
 //! ```text
-//! +--------------+------------------+---------------....----+-----------+
-//! | header (6 B) | slot directory → |        free space     | ← records |
-//! +--------------+------------------+---------------....----+-----------+
+//! +---------------+------------------+---------------....----+-----------+
+//! | header (16 B) | slot directory → |        free space     | ← records |
+//! +---------------+------------------+---------------....----+-----------+
 //! ```
 //!
 //! * header: `slot_count: u16`, `free_start: u16` (end of slot directory),
-//!   `free_end: u16` (start of record area, grows downwards)
+//!   `free_end: u16` (start of record area, grows downwards), 2 pad bytes,
+//!   `page_lsn: u64` — the LSN of the WAL record covering the page's most
+//!   recent mutation. The buffer pool stamps it when a page is dirtied and
+//!   the eviction/writeback paths enforce WAL-before-data against it: page
+//!   bytes never reach the page store before the log covering them is
+//!   durable.
 //! * each slot: `offset: u16`, `len: u16`; `offset == 0xFFFF` marks a
 //!   deleted/free slot (page offsets never reach 0xFFFF because the page is
 //!   smaller than 64 KiB).
 
-use crate::types::SlotId;
+use crate::types::{Lsn, SlotId};
 
 /// Size of every page in bytes.
 pub const PAGE_SIZE: usize = 8192;
 
-const HEADER_SIZE: usize = 6;
+const HEADER_SIZE: usize = 16;
+const LSN_OFFSET: usize = 8;
 const SLOT_SIZE: usize = 4;
 const FREE_SLOT: u16 = u16::MAX;
 
@@ -95,6 +101,20 @@ impl SlottedPage {
 
     fn set_free_end(&mut self, v: u16) {
         self.write_u16(4, v);
+    }
+
+    /// LSN of the WAL record covering this page's most recent mutation
+    /// (0 when the page has never been mutated under a WAL).
+    pub fn lsn(&self) -> Lsn {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.data[LSN_OFFSET..LSN_OFFSET + 8]);
+        u64::from_le_bytes(b)
+    }
+
+    /// Stamps the page LSN. Called by the buffer pool when a mutation
+    /// dirties the page; LSNs only move forward.
+    pub fn set_lsn(&mut self, lsn: Lsn) {
+        self.data[LSN_OFFSET..LSN_OFFSET + 8].copy_from_slice(&lsn.to_le_bytes());
     }
 
     fn slot_offset(&self, slot: SlotId) -> usize {
@@ -318,7 +338,8 @@ mod tests {
         while p.insert(&rec).is_some() {
             n += 1;
         }
-        // 8192-byte page, 1004 bytes per record+slot => 8 records fit.
+        // 8192-byte page with a 16-byte header, 1004 bytes per
+        // record+slot => 8 records fit.
         assert_eq!(n, 8);
         assert!(!p.fits(1000));
         assert!(p.fits(10));
@@ -334,9 +355,24 @@ mod tests {
     fn bytes_roundtrip() {
         let mut p = SlottedPage::new();
         let s = p.insert(b"persisted").unwrap();
+        p.set_lsn(42);
         let copy = SlottedPage::from_bytes(p.as_bytes());
         assert_eq!(copy.get(s).unwrap(), b"persisted");
         assert_eq!(copy.slot_count(), p.slot_count());
+        assert_eq!(copy.lsn(), 42);
+    }
+
+    #[test]
+    fn page_lsn_defaults_to_zero_and_survives_mutation() {
+        let mut p = SlottedPage::new();
+        assert_eq!(p.lsn(), 0);
+        p.set_lsn(7);
+        let s = p.insert(b"record").unwrap();
+        assert!(p.update(s, b"record2"));
+        assert_eq!(p.lsn(), 7, "slot ops must not clobber the LSN field");
+        p.set_lsn(9);
+        assert_eq!(p.lsn(), 9);
+        assert_eq!(p.get(s).unwrap(), b"record2");
     }
 
     #[test]

@@ -243,6 +243,14 @@ pub fn recover_with_snapshot(
             _ => {}
         }
     }
+    // Recovery rebuilt every page image from the checkpoint + log (it
+    // never *reads* data pages), so the page store may be arbitrarily
+    // stale. Push the rebuilt pages down now: a subsequent crash before
+    // the first checkpoint then recovers over a store no older than this
+    // one, and the pool starts clean. At this point nothing has been
+    // appended to the fresh log, so pages carry stamp 0 and the flush
+    // needs no WAL force.
+    db.flush_pages()?;
     Ok(report)
 }
 

@@ -226,10 +226,20 @@ impl SegmentWriter {
     /// A writer that will create its first segment at sequence number
     /// `next_seq` on the first flush. No I/O happens here.
     pub fn new(cfg: WalConfig, next_seq: u64) -> Self {
+        Self::recovered(cfg, next_seq, Vec::new())
+    }
+
+    /// A writer attached over a directory that already holds segments
+    /// (recovery). Registering the surviving segments matters: a later
+    /// [`truncate_below`](Self::truncate_below) can only remove files it
+    /// knows about, and a checkpoint that removed *new* segments while
+    /// leaking pre-crash ones would leave an LSN gap in the directory
+    /// that the next replay reads as a torn log.
+    pub fn recovered(cfg: WalConfig, next_seq: u64, sealed: Vec<SealedSegment>) -> Self {
         SegmentWriter {
             cfg,
             next_seq,
-            sealed: Vec::new(),
+            sealed,
             current: None,
             current_meta: None,
             pending: VecDeque::new(),
@@ -413,14 +423,28 @@ pub struct ReplaySet {
     pub last_lsn: Lsn,
     /// Sequence number the next created segment must use.
     pub next_seq: u64,
-    /// Why (and that) the tail was cut, when it was.
+    /// Why (and that) the tail was cut, when it was. `None` when every
+    /// record in the directory made it into the prefix — including runs
+    /// where a *stale* tear (a previous crash's garbage that an earlier
+    /// recovery already skipped) was resumed past.
     pub torn: Option<String>,
+    /// Every segment that contributed records (oldest first), with the
+    /// contributed LSN range. Seed [`SegmentWriter::recovered`] with
+    /// this so checkpoint truncation can remove pre-crash files.
+    pub sealed: Vec<SealedSegment>,
 }
 
-/// Replays every segment in `cfg.dir`, tolerating a torn tail: the scan
-/// stops cleanly at the first invalid header, short frame, CRC mismatch,
-/// undecodable payload, or LSN discontinuity. I/O errors (listing or
-/// reading a file) are real errors; corrupt *content* never is.
+/// Replays every segment in `cfg.dir`, tolerating torn content: a
+/// segment scan stops at the first invalid header, short frame, CRC
+/// mismatch, undecodable payload, or LSN discontinuity. The chain then
+/// *resumes* at a later segment only if that segment's first record
+/// carries exactly the next expected LSN — which happens when the cut
+/// bytes were a previous crash's stale tail that the recovery in
+/// between already skipped (its writer restarted the LSN right after
+/// the clean prefix, in a fresh segment). Anything else ends the
+/// prefix: CRC-valid, LSN-contiguous records cannot be forged by
+/// corruption. I/O errors (listing or reading a file) are real errors;
+/// corrupt *content* never is.
 pub fn read_log(cfg: &WalConfig) -> StorageResult<ReplaySet> {
     let names = cfg
         .fs
@@ -433,28 +457,24 @@ pub fn read_log(cfg: &WalConfig) -> StorageResult<ReplaySet> {
     segs.sort();
     let next_seq = segs.iter().map(|(s, _, _)| s + 1).max().unwrap_or(1);
 
-    let mut records = Vec::new();
-    let mut torn: Option<String> = None;
+    let mut records: Vec<LogRecord> = Vec::new();
+    let mut sealed: Vec<SealedSegment> = Vec::new();
+    // The most recent cut that no later segment has resumed past. If it
+    // is still set when the scan finishes, the tail really is torn.
+    let mut cut: Option<String> = None;
     let mut expected_lsn: Option<Lsn> = None;
-    let mut expected_seq: Option<u64> = None;
-    'segments: for (seq, name_lsn, name) in segs {
-        if let Some(prev) = expected_seq {
-            if seq != prev {
-                torn = Some(format!(
-                    "segment chain gap: expected seq {prev}, found {seq} ({name})"
-                ));
-                break;
-            }
-        }
-        expected_seq = Some(seq + 1);
+    for (seq, name_lsn, name) in segs {
         let path = cfg.dir.join(&name);
         let bytes = cfg
             .fs
             .read(&path)
             .map_err(|e| StorageError::LogIo(format!("read {}: {e}", path.display())))?;
         if bytes.len() < SEGMENT_HEADER_BYTES {
-            torn = Some(format!("{name}: short header ({} bytes)", bytes.len()));
-            break;
+            cut = Some(format!("{name}: short header ({} bytes)", bytes.len()));
+            if expected_lsn.is_none() {
+                break; // no prefix to resume onto
+            }
+            continue;
         }
         let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("sliced"));
         let version = u32::from_le_bytes(bytes[4..8].try_into().expect("sliced"));
@@ -465,59 +485,83 @@ pub fn read_log(cfg: &WalConfig) -> StorageResult<ReplaySet> {
             || hdr_seq != seq
             || hdr_lsn != name_lsn
         {
-            torn = Some(format!("{name}: invalid or torn header"));
-            break;
+            cut = Some(format!("{name}: invalid or torn header"));
+            if expected_lsn.is_none() {
+                break; // no prefix to resume onto
+            }
+            continue;
         }
+        // A whole segment whose records do not continue the prefix is
+        // skipped without consuming anything: it is either garbage past
+        // a real tear, or (if it *does* continue) the resumption point.
+        if let (Some(want), true) = (expected_lsn, cut.is_some()) {
+            if hdr_lsn != want {
+                continue;
+            }
+        }
+        let mut seg_first: Option<Lsn> = None;
+        let mut seg_last: Lsn = 0;
         let mut pos = SEGMENT_HEADER_BYTES;
         while pos < bytes.len() {
             if pos + RECORD_FRAME_BYTES > bytes.len() {
-                torn = Some(format!("{name}: torn frame prefix at offset {pos}"));
-                break 'segments;
+                cut = Some(format!("{name}: torn frame prefix at offset {pos}"));
+                break;
             }
             let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("sliced")) as usize;
             let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("sliced"));
             let start = pos + RECORD_FRAME_BYTES;
             if len > MAX_RECORD_BYTES || start + len > bytes.len() {
-                torn = Some(format!(
+                cut = Some(format!(
                     "{name}: record length {len} overruns file at {pos}"
                 ));
-                break 'segments;
+                break;
             }
             let payload = &bytes[start..start + len];
             if crc32(payload) != crc {
-                torn = Some(format!("{name}: CRC mismatch at offset {pos}"));
-                break 'segments;
+                cut = Some(format!("{name}: CRC mismatch at offset {pos}"));
+                break;
             }
             let rec = match crate::wal::decode_record(payload, &mut 0) {
                 Ok(r) => r,
                 Err(e) => {
-                    torn = Some(format!("{name}: undecodable payload at offset {pos}: {e}"));
-                    break 'segments;
+                    cut = Some(format!("{name}: undecodable payload at offset {pos}: {e}"));
+                    break;
                 }
             };
-            match expected_lsn {
-                None => {
-                    if rec.lsn != hdr_lsn {
-                        torn = Some(format!(
-                            "{name}: first record lsn {} does not match header {hdr_lsn}",
-                            rec.lsn
-                        ));
-                        break 'segments;
-                    }
-                }
-                Some(want) => {
-                    if rec.lsn != want {
-                        torn = Some(format!(
-                            "{name}: lsn discontinuity: expected {want}, found {}",
-                            rec.lsn
-                        ));
-                        break 'segments;
-                    }
-                }
+            let want = match expected_lsn {
+                None => hdr_lsn,
+                Some(want) => want,
+            };
+            if rec.lsn != want {
+                cut = Some(format!(
+                    "{name}: lsn discontinuity: expected {want}, found {}",
+                    rec.lsn
+                ));
+                break;
             }
+            // This record extends the contiguous prefix: any earlier
+            // cut was a stale tear that is now proven harmless.
+            cut = None;
             expected_lsn = Some(rec.lsn + 1);
+            seg_first.get_or_insert(rec.lsn);
+            seg_last = rec.lsn;
             records.push(rec);
             pos = start + len;
+        }
+        // Register the contributed range (or, for a record-less but
+        // validly-headed segment, an empty range just below its header
+        // LSN) so a later checkpoint can truncate the file.
+        sealed.push(SealedSegment {
+            seq,
+            first_lsn: seg_first.unwrap_or(hdr_lsn),
+            last_lsn: if seg_first.is_some() {
+                seg_last
+            } else {
+                hdr_lsn.saturating_sub(1)
+            },
+        });
+        if cut.is_some() && expected_lsn.is_none() {
+            break; // corruption before any record: nothing to resume onto
         }
     }
     let last_lsn = records.last().map(|r| r.lsn).unwrap_or(0);
@@ -525,7 +569,8 @@ pub fn read_log(cfg: &WalConfig) -> StorageResult<ReplaySet> {
         records,
         last_lsn,
         next_seq,
-        torn,
+        torn: cut,
+        sealed,
     })
 }
 
@@ -560,6 +605,66 @@ mod tests {
         }
         w.flush().expect("flush");
         w
+    }
+
+    #[test]
+    fn replay_resumes_past_a_stale_tear_left_by_a_prior_recovery() {
+        let fs = SimFs::new();
+        write_records(&fs, 10);
+        // Tear the newest segment's tail the way a crash mid-append
+        // would: a few garbage bytes past the last clean record.
+        let names = fs.list_dir(Path::new("/wal")).unwrap();
+        let newest = Path::new("/wal").join(names.last().unwrap());
+        let mut bytes = fs.snapshot(&newest).unwrap();
+        bytes.extend_from_slice(&[0xde, 0xad, 0xbe]);
+        fs.install(&newest, bytes);
+
+        let replay = read_log(&cfg(&fs)).unwrap();
+        assert!(replay.torn.is_some(), "tear must be detected");
+        assert_eq!(replay.last_lsn, 10);
+
+        // The recovery that observed the tear restarts appends at lsn 11
+        // in a fresh segment — the torn bytes stay on disk.
+        let mut w = SegmentWriter::recovered(cfg(&fs), replay.next_seq, replay.sealed);
+        for lsn in 11..=15 {
+            w.buffer(&rec(lsn, lsn, lsn as i64));
+        }
+        w.flush().expect("flush after recovery");
+
+        // A later replay must not stop at the stale tear: the next
+        // segment resumes the LSN chain exactly, proving nothing between
+        // was lost.
+        let replay2 = read_log(&cfg(&fs)).unwrap();
+        assert!(replay2.torn.is_none(), "torn: {:?}", replay2.torn);
+        assert_eq!(replay2.last_lsn, 15);
+        for (i, r) in replay2.records.iter().enumerate() {
+            assert_eq!(r.lsn, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn recovered_writer_truncates_segments_from_before_the_restart() {
+        let fs = SimFs::new();
+        write_records(&fs, 20); // prior incarnation dies here
+        let files_before = fs.list_dir(Path::new("/wal")).unwrap().len();
+
+        let replay = read_log(&cfg(&fs)).unwrap();
+        assert_eq!(replay.sealed.len(), files_before, "every file registered");
+        let mut w = SegmentWriter::recovered(cfg(&fs), replay.next_seq, replay.sealed);
+        for lsn in 21..=25 {
+            w.buffer(&rec(lsn, lsn, lsn as i64));
+        }
+        w.flush().expect("flush after recovery");
+
+        // A checkpoint at lsn 21 must be able to drop every pre-restart
+        // file — leaking them would leave an LSN gap after the next
+        // truncation-plus-crash cycle.
+        let removed = w.truncate_below(21);
+        assert_eq!(removed, files_before);
+        let replay2 = read_log(&cfg(&fs)).unwrap();
+        assert!(replay2.torn.is_none(), "torn: {:?}", replay2.torn);
+        assert_eq!(replay2.records.first().map(|r| r.lsn), Some(21));
+        assert_eq!(replay2.last_lsn, 25);
     }
 
     #[test]

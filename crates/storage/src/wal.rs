@@ -554,6 +554,16 @@ impl LogManager {
         self.next_lsn.load(Ordering::Acquire)
     }
 
+    /// Forces the log through `lsn` if it is not already durable.
+    /// In-memory mode (no segment writer) treats every published record
+    /// as durable, so this is a no-op there — matching `force`.
+    fn force_through(&self, lsn: Lsn) -> StorageResult<()> {
+        if self.flushed_lsn() >= lsn {
+            return Ok(());
+        }
+        self.force(lsn)
+    }
+
     /// Log activity counters.
     pub fn stats(&self) -> LogStatsSnapshot {
         LogStatsSnapshot {
@@ -589,6 +599,23 @@ impl LogManager {
             records.push(decode_record(bytes, &mut pos)?);
         }
         Ok(records)
+    }
+}
+
+/// The buffer pool's WAL-before-data gate, implemented directly by the
+/// log: a dirty page stamped with LSN `L` may reach the page store only
+/// once `flushed_lsn() >= L`, and eviction forces the log when it must.
+impl crate::buffer::WalGate for LogManager {
+    fn current_lsn(&self) -> Lsn {
+        self.last_reserved_lsn()
+    }
+
+    fn flushed_lsn(&self) -> Lsn {
+        LogManager::flushed_lsn(self)
+    }
+
+    fn force_lsn(&self, lsn: Lsn) -> StorageResult<()> {
+        self.force_through(lsn)
     }
 }
 

@@ -51,8 +51,36 @@ struct Harness {
 
 /// Opens (or re-opens) the database over the WAL directory, recovering
 /// whatever the previous incarnation made durable.
+///
+/// `CRASH_POOL_FRAMES` swaps the default in-memory store (4096 frames,
+/// never evicts at this table size) for a real file-backed page store
+/// under `root` with that many frames: CI runs one pass at 64 frames so
+/// kills land while eviction and background writeback are churning
+/// pages into a `pages.db` that *survives* the SIGKILL — recovery must
+/// overwrite whatever stale or half-flushed pages the dead pool left
+/// behind, not merely rebuild from scratch (children inherit the
+/// parent's environment).
 fn open(root: &Path) -> Harness {
-    let db = Database::default();
+    let db = match std::env::var("CRASH_POOL_FRAMES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(frames) => {
+            let store = dora_storage::buffer::FilePageStore::open(
+                &dora_storage::io::StdFs,
+                &root.join("pages"),
+            )
+            .expect("open file-backed page store");
+            Database::with_store(
+                dora_storage::db::DatabaseConfig {
+                    buffer_frames: frames,
+                    ..Default::default()
+                },
+                std::sync::Arc::new(store),
+            )
+        }
+        None => Database::default(),
+    };
     let accounts = db
         .create_table(TableSchema::new(
             "accounts",
