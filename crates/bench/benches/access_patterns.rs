@@ -68,6 +68,7 @@ fn main() {
                     balancer: false,
                     client_retries: 10,
                     storage: StorageKind::InMemory,
+                    kill: None,
                 },
                 repeats,
             );

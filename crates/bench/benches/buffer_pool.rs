@@ -99,6 +99,7 @@ fn main() {
                     balancer: false,
                     client_retries: 10,
                     storage,
+                    kill: None,
                 },
                 repeats,
             );

@@ -106,6 +106,7 @@ fn main() {
                     balancer,
                     client_retries: 10,
                     storage: StorageKind::InMemory,
+                    kill: None,
                 },
                 repeats,
             );

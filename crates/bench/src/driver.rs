@@ -506,6 +506,16 @@ impl TatpMixKind {
     }
 }
 
+/// Mid-run worker-kill schedule for the availability scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct KillSpec {
+    /// Distinct worker kills injected over the measurement window.
+    pub count: u32,
+    /// Commits (measured from the quiet point) before the first kill;
+    /// subsequent kills fire at the same spacing.
+    pub after_committed: u64,
+}
+
 /// One engine × configuration measurement of the TATP workload.
 #[derive(Debug, Clone, Copy)]
 pub struct TatpRun {
@@ -530,6 +540,10 @@ pub struct TatpRun {
     /// Where pages live: in-memory (the historical configuration) or a
     /// file-backed store with a bounded pool (the `buffer_pool` sweep).
     pub storage: StorageKind,
+    /// Mid-run worker kills (DORA only — the conventional engine has no
+    /// partition workers to kill, so it serves as the no-fault control
+    /// under the same scenario key). `None` disables injection.
+    pub kill: Option<KillSpec>,
 }
 
 impl TatpRun {
@@ -545,6 +559,11 @@ struct TatpTally {
     aborted: u64,
     /// Spec-expected misses (a subset of `aborted`).
     missed: u64,
+    /// Retryable infrastructure aborts observed (a partition worker died
+    /// mid-flight) — counted per attempt, including attempts that later
+    /// retried to success, so recovery noise never books as workload
+    /// contention.
+    infra: u64,
     /// Net call-forwarding rows added by this client's *committed*
     /// inserts/deletes — the conservation check's ledger.
     cf_delta: i64,
@@ -636,12 +655,21 @@ fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
             let operation = |mix: &mut TatpMix, tally: Option<&mut TatpTally>| {
                 let op = mix.next_op();
                 let mut attempts = 0;
+                let mut infra_hits = 0u64;
                 let outcome = loop {
                     match engine.execute(flow_of(tables, &op, None)) {
                         o if o.is_committed() => break Ok(()),
                         dora_core::executor::TxnOutcome::Aborted { reason } => {
                             if reason.contains(MISS) {
                                 break Err(true);
+                            }
+                            // Infrastructure aborts (a partition worker
+                            // died mid-flight) are retryable like lock
+                            // timeouts, but tallied apart: the
+                            // availability report must separate recovery
+                            // noise from workload contention.
+                            if reason.contains("partition worker unavailable") {
+                                infra_hits += 1;
                             }
                             attempts += 1;
                             if attempts > run.client_retries {
@@ -652,6 +680,7 @@ fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
                     }
                 };
                 if let Some(tally) = tally {
+                    tally.infra += infra_hits;
                     match outcome {
                         Ok(()) => {
                             tally.committed += 1;
@@ -711,10 +740,55 @@ fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
             (peaks, history)
         })
     };
+    // The availability scenario's fault injection: a killer thread that
+    // polls the commit counter and fires `WorkerMsg::Die` at partition
+    // workers once the run is warm, so the dip and the recovery land
+    // inside the sampled window. Commit-count triggers (not wall-clock)
+    // keep the kill point proportional under `--quick`.
+    let stop_killer = Arc::new(AtomicBool::new(false));
+    let committed_base = engine.stats().committed;
+    let killer = run.kill.map(|spec| {
+        let engine = engine.clone();
+        let stop = stop_killer.clone();
+        let workers = run.workers;
+        std::thread::spawn(move || {
+            let mut fired = 0u32;
+            while !stop.load(Ordering::Relaxed) && fired < spec.count {
+                let done = engine.stats().committed - committed_base;
+                if done >= spec.after_committed * (u64::from(fired) + 1) {
+                    let victim = (workers / 2 + fired as usize) % workers;
+                    engine.kill_worker(victim);
+                    fired += 1;
+                } else {
+                    // Fine-grained poll: the commit counter races the
+                    // clients, and a `--quick` run can drain in a few
+                    // milliseconds — a coarse sleep would miss the run.
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            }
+            fired
+        })
+    });
     let started = Instant::now();
     go.wait();
     let tally = join_tatp_clients(clients);
     let elapsed = started.elapsed();
+    stop_killer.store(true, Ordering::Relaxed);
+    let kills_fired = killer.map(|h| h.join().expect("killer thread"));
+    // Let every fired kill finish recovering before sampling final stats
+    // and auditing integrity: MTTR must cover the whole schedule, and the
+    // consistency gate must see salvage aborts rolled back.
+    if let Some(fired) = kills_fired {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while engine.stats().worker_restarts < u64::from(fired) {
+            assert!(
+                Instant::now() < deadline,
+                "worker kills not recovered: {:?}",
+                engine.stats()
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
     stop_sampler.store(true, Ordering::Relaxed);
     let (queue_peaks, executed_history) = sampler.join().expect("sampler thread");
     stop_balancer.store(true, Ordering::Relaxed);
@@ -800,6 +874,47 @@ fn run_tatp_dora(wl: &TatpWorkload, run: TatpRun) -> Scenario {
         extra.push(("rebalance_pause_mean_us", mean_us));
         extra.push(("balancer_straddler_aborts", b.aborted_straddlers as f64));
         extra.push(("balancer_last_imbalance", b.last_imbalance));
+    }
+    // Availability telemetry (the self-healing scenario): every DORA run
+    // exports the supervision counters; a run with fault injection adds
+    // MTTR and the throughput-dip shape mined from the 10ms samples.
+    extra.push(("infra_aborts", tally.infra as f64));
+    extra.push(("worker_kills", stats.chaos_kills as f64));
+    extra.push(("worker_restarts", stats.worker_restarts as f64));
+    extra.push(("orphan_aborts", stats.orphan_aborts as f64));
+    if stats.worker_restarts > 0 {
+        extra.push((
+            "mttr_restart_us",
+            stats.restart_pause_us as f64 / stats.worker_restarts as f64,
+        ));
+    }
+    if run.kill.is_some() && executed_history.len() >= 2 {
+        let totals: Vec<u64> = executed_history
+            .iter()
+            .map(|h| h.iter().sum::<u64>())
+            .collect();
+        let deltas: Vec<f64> = totals
+            .windows(2)
+            .map(|w| w[1].saturating_sub(w[0]) as f64)
+            .collect();
+        // Trim the flat head and tail (before `go` released / after the
+        // clients drained) so min() finds a genuine mid-run stall, not
+        // the idle edges of the sampling window.
+        let live: &[f64] = match (
+            deltas.iter().position(|&d| d > 0.0),
+            deltas.iter().rposition(|&d| d > 0.0),
+        ) {
+            (Some(a), Some(b)) if b > a => &deltas[a..=b],
+            _ => &[],
+        };
+        if !live.is_empty() {
+            let mean = live.iter().sum::<f64>() / live.len() as f64;
+            if mean > 0.0 {
+                let floor = live.iter().copied().fold(f64::INFINITY, f64::min);
+                extra.push(("dip_depth", 1.0 - floor / mean));
+                extra.push(("dip_floor_tps", floor / 0.010));
+            }
+        }
     }
     // Background-writeback telemetry rides `extra`: the five gated
     // buffer counters have report fields, but the writer split (evictor
@@ -969,6 +1084,7 @@ fn join_tatp_clients(clients: Vec<std::thread::JoinHandle<TatpTally>>) -> TatpTa
             committed: acc.committed + t.committed,
             aborted: acc.aborted + t.aborted,
             missed: acc.missed + t.missed,
+            infra: acc.infra + t.infra,
             cf_delta: acc.cf_delta + t.cf_delta,
         }
     })
@@ -1132,6 +1248,7 @@ mod tests {
                         balancer: false,
                         client_retries: 10,
                         storage: StorageKind::InMemory,
+                        kill: None,
                     },
                 );
                 assert_eq!(s.committed + s.aborted, 40, "{engine:?} {mix:?}");
@@ -1192,6 +1309,7 @@ mod tests {
                 balancer: true,
                 client_retries: 10,
                 storage: StorageKind::InMemory,
+                kill: None,
             },
         );
         assert_eq!(s.committed + s.aborted, 100);
@@ -1204,6 +1322,54 @@ mod tests {
                 "balancer run must export {key}"
             );
         }
+    }
+
+    #[test]
+    fn availability_run_kills_a_worker_and_reports_recovery_metrics() {
+        // The self-healing scenario end to end, tiny: a mid-run worker
+        // kill must be detected and recovered, the run must still pass
+        // the integrity gate (checked inside run_tatp), and the report
+        // must carry the supervision telemetry the availability bench
+        // plots.
+        let wl = TatpWorkload {
+            subscribers: 64,
+            seed: 7,
+        };
+        let s = run_tatp(
+            &wl,
+            TatpRun {
+                engine: EngineKind::Dora,
+                workers: 2,
+                clients: 2,
+                per_client: 60,
+                mix: TatpMixKind::Skewed { theta: 0.8 },
+                balancer: false,
+                client_retries: 10,
+                storage: StorageKind::InMemory,
+                kill: Some(KillSpec {
+                    count: 1,
+                    after_committed: 20,
+                }),
+            },
+        );
+        assert_eq!(s.committed + s.aborted, 120);
+        assert!(s.committed > 0, "engine must keep committing past a kill");
+        let get = |key: &str| {
+            s.extra
+                .iter()
+                .find(|&&(k, _)| k == key)
+                .map(|&(_, v)| v)
+                .unwrap_or_else(|| panic!("availability run must export {key}"))
+        };
+        assert_eq!(get("worker_kills"), 1.0);
+        assert_eq!(get("worker_restarts"), 1.0);
+        assert!(get("mttr_restart_us") > 0.0);
+        // The dip metrics exist whenever the sampled window is non-empty;
+        // a tiny run can finish between samples, so only presence of the
+        // counters (not the shape) is asserted here — the real bench runs
+        // long enough for the shape to mean something.
+        assert!(get("infra_aborts") >= 0.0);
+        assert!(get("orphan_aborts") >= 0.0);
     }
 
     #[test]
@@ -1228,6 +1394,7 @@ mod tests {
                     balancer: false,
                     client_retries: 10,
                     storage: StorageKind::Disk { frames: 8 },
+                    kill: None,
                 },
             );
             assert_eq!(s.committed + s.aborted, 50, "{engine:?}");

@@ -1,0 +1,248 @@
+//! Deterministic, seeded chaos injection for the partition executor.
+//!
+//! Mirrors the shape of the storage layer's `SimFs` `FaultPlan`: a
+//! [`ChaosPlan`] names, ahead of time and reproducibly from a seed, the
+//! exact points where faults land — a worker panic at its Nth dequeue, a
+//! delivery delay on every Nth outbox flush, a forced admission failure
+//! on every Nth client-side fresh push. The executor consults the
+//! installed plan through three hooks ([`ChaosState::should_kill`],
+//! [`ChaosState::delivery_delay`], [`ChaosState::forced_admission_failure`])
+//! that are compiled **only** under `cfg(any(test, feature = "chaos"))`;
+//! a release build without the `chaos` feature contains no trace of this
+//! module.
+//!
+//! Counting is per-site and monotonic (every worker counts its own
+//! dequeues; flushes and admissions count engine-wide), so a plan
+//! replays the same fault points whenever the per-site operation
+//! sequence is the same — the same determinism contract `FaultPlan`
+//! gives the durability tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A seeded xorshift64* generator — the same tiny PRNG the workloads and
+/// `SimFs` use, so chaos schedules are reproducible from one `u64`.
+#[derive(Debug, Clone)]
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// One scheduled worker kill: the named worker panics (as if a stray
+/// panic escaped the action-body guard) immediately before processing
+/// its `at_dequeue`-th dequeued action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KillPoint {
+    /// Worker (= partition) the kill lands on.
+    pub worker: usize,
+    /// 1-based dequeue count at which the worker dies.
+    pub at_dequeue: u64,
+}
+
+/// A deterministic schedule of executor-level faults.
+#[derive(Debug, Clone)]
+pub struct ChaosPlan {
+    /// Seed the plan was derived from (for reporting).
+    pub seed: u64,
+    /// Scheduled worker kills.
+    pub kills: Vec<KillPoint>,
+    /// Every `delay_every`-th outbox flush (engine-wide count) sleeps
+    /// for [`ChaosPlan::delay_us`] before delivering. 0 disables delays.
+    pub delay_every: u64,
+    /// Microseconds each injected delivery delay lasts.
+    pub delay_us: u64,
+    /// Every `admission_every`-th client-side fresh-lane push (engine-wide
+    /// count) is forced to fail as if the ring were full, exercising the
+    /// admission back-pressure abort path. 0 disables forced pressure.
+    pub admission_every: u64,
+}
+
+impl ChaosPlan {
+    /// Derives a reproducible plan from a seed: 1–3 worker kills within
+    /// the first `horizon` dequeues, plus (seed-dependent) delivery
+    /// delays and admission pressure.
+    pub fn seeded(seed: u64, workers: usize, horizon: u64) -> Self {
+        let mut rng = XorShift::new(seed);
+        let mut kills = Vec::new();
+        let n_kills = rng.range(1, 4) as usize;
+        for _ in 0..n_kills {
+            let point = KillPoint {
+                worker: rng.range(0, workers.max(1) as u64) as usize,
+                at_dequeue: rng.range(1, horizon.max(2)),
+            };
+            // Two kills on the same worker keep only the earlier one —
+            // the worker dies once per schedule entry anyway.
+            if !kills.iter().any(|k: &KillPoint| k.worker == point.worker) {
+                kills.push(point);
+            }
+        }
+        let delay_every = if rng.next().is_multiple_of(2) {
+            rng.range(4, 32)
+        } else {
+            0
+        };
+        let admission_every = if rng.next().is_multiple_of(2) {
+            rng.range(16, 64)
+        } else {
+            0
+        };
+        ChaosPlan {
+            seed,
+            kills,
+            delay_every,
+            delay_us: rng.range(50, 500),
+            admission_every,
+        }
+    }
+
+    /// A plan that injects nothing (useful as a baseline control).
+    pub fn quiet() -> Self {
+        ChaosPlan {
+            seed: 0,
+            kills: Vec::new(),
+            delay_every: 0,
+            delay_us: 0,
+            admission_every: 0,
+        }
+    }
+}
+
+/// Runtime counters pairing a [`ChaosPlan`] with the per-site operation
+/// counts that decide when its faults fire. Shared by all workers of one
+/// engine; all methods are lock-free.
+#[derive(Debug)]
+pub struct ChaosState {
+    plan: ChaosPlan,
+    dequeues: Vec<AtomicU64>,
+    flushes: AtomicU64,
+    admissions: AtomicU64,
+}
+
+impl ChaosState {
+    /// Arms `plan` for an engine with `workers` partition workers.
+    pub fn new(plan: ChaosPlan, workers: usize) -> Self {
+        ChaosState {
+            plan,
+            dequeues: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            flushes: AtomicU64::new(0),
+            admissions: AtomicU64::new(0),
+        }
+    }
+
+    /// The armed plan.
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    /// Counts one dequeue on `worker` and reports whether the plan kills
+    /// it here. Fires at most once per kill point: the count is strictly
+    /// monotonic, so only one increment observes the scheduled value.
+    pub fn should_kill(&self, worker: usize) -> bool {
+        let nth = self.dequeues[worker].fetch_add(1, Ordering::Relaxed) + 1;
+        self.plan
+            .kills
+            .iter()
+            .any(|k| k.worker == worker && k.at_dequeue == nth)
+    }
+
+    /// Counts one outbox flush and returns the delay to inject before
+    /// delivering, if this flush is scheduled to stall.
+    pub fn delivery_delay(&self) -> Option<Duration> {
+        if self.plan.delay_every == 0 {
+            return None;
+        }
+        let nth = self.flushes.fetch_add(1, Ordering::Relaxed) + 1;
+        nth.is_multiple_of(self.plan.delay_every)
+            .then(|| Duration::from_micros(self.plan.delay_us))
+    }
+
+    /// Counts one client-side fresh-lane push attempt and reports whether
+    /// the plan forces it to fail as admission pressure.
+    pub fn forced_admission_failure(&self) -> bool {
+        if self.plan.admission_every == 0 {
+            return false;
+        }
+        let nth = self.admissions.fetch_add(1, Ordering::Relaxed) + 1;
+        nth.is_multiple_of(self.plan.admission_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_distinct() {
+        let a = ChaosPlan::seeded(7, 4, 100);
+        let b = ChaosPlan::seeded(7, 4, 100);
+        assert_eq!(a.kills, b.kills);
+        assert_eq!(a.delay_every, b.delay_every);
+        assert_eq!(a.admission_every, b.admission_every);
+        assert!(!a.kills.is_empty() && a.kills.len() <= 3);
+        for k in &a.kills {
+            assert!(k.worker < 4);
+            assert!(k.at_dequeue >= 1 && k.at_dequeue < 100);
+        }
+        // Different seeds almost surely differ somewhere in the schedule.
+        let c = ChaosPlan::seeded(8, 4, 100);
+        assert!(a.kills != c.kills || a.delay_every != c.delay_every);
+    }
+
+    #[test]
+    fn kill_fires_exactly_once_at_the_scheduled_dequeue() {
+        let plan = ChaosPlan {
+            seed: 1,
+            kills: vec![KillPoint {
+                worker: 1,
+                at_dequeue: 3,
+            }],
+            delay_every: 0,
+            delay_us: 0,
+            admission_every: 0,
+        };
+        let state = ChaosState::new(plan, 2);
+        assert!(!state.should_kill(1));
+        assert!(!state.should_kill(0));
+        assert!(!state.should_kill(1));
+        assert!(state.should_kill(1), "third dequeue on worker 1 dies");
+        assert!(!state.should_kill(1), "never fires twice");
+    }
+
+    #[test]
+    fn delay_and_admission_fire_on_schedule() {
+        let plan = ChaosPlan {
+            seed: 1,
+            kills: Vec::new(),
+            delay_every: 2,
+            delay_us: 123,
+            admission_every: 3,
+        };
+        let state = ChaosState::new(plan, 1);
+        assert_eq!(state.delivery_delay(), None);
+        assert_eq!(state.delivery_delay(), Some(Duration::from_micros(123)));
+        assert!(!state.forced_admission_failure());
+        assert!(!state.forced_admission_failure());
+        assert!(state.forced_admission_failure());
+        let quiet = ChaosState::new(ChaosPlan::quiet(), 1);
+        assert_eq!(quiet.delivery_delay(), None);
+        assert!(!quiet.forced_admission_failure());
+        assert!(!quiet.should_kill(0));
+    }
+}

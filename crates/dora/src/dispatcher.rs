@@ -12,7 +12,7 @@
 //! thread: enqueue the next phase, or decide commit/abort.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -95,6 +95,13 @@ pub enum WorkerMsg {
         /// The transaction whose phase failed.
         txn: TxnId,
     },
+    /// Kill token ([`crate::executor::DoraEngine::kill_worker`] and the
+    /// chaos injector): the receiving worker panics at its next dequeue
+    /// point, exactly as if a stray panic escaped the user-body guard, and
+    /// the supervisor recovers the partition. Intake only sets a flag —
+    /// a worker must never unwind inside a mailbox drain callback, or the
+    /// rest of the drained batch would be lost with it.
+    Die,
     /// Several messages for the same partition coalesced into one mailbox
     /// push: a worker's drain batch can produce multiple sends to one
     /// target (next-phase actions plus finishes), and its outbox folds
@@ -154,6 +161,16 @@ pub struct TxnCtx {
     pub involved: Mutex<InvolvedKeys>,
     /// One-shot cell the final [`TxnOutcome`] is delivered on.
     pub reply: oneshot::Sender<TxnOutcome>,
+    /// Set by the supervisor when a partition worker holding state of
+    /// this transaction died: the transaction must abort (retryably)
+    /// instead of executing further actions, because the dead worker's
+    /// volatile lock/wait state can no longer vouch for its isolation.
+    doomed: AtomicBool,
+    /// Claimed (exactly once) by whichever thread finalizes the
+    /// transaction — the RVP terminal on the normal path, or the
+    /// supervisor when it reaps a transaction stranded by a worker
+    /// crash. Protects against a double commit/abort/reply.
+    finalized: AtomicBool,
 }
 
 impl TxnCtx {
@@ -170,7 +187,30 @@ impl TxnCtx {
             phases: Mutex::new(phases.into()),
             involved: Mutex::new(Vec::new()),
             reply,
+            doomed: AtomicBool::new(false),
+            finalized: AtomicBool::new(false),
         }
+    }
+
+    /// Marks the transaction as doomed by a worker crash. Idempotent.
+    pub fn doom(&self) {
+        self.doomed.store(true, Ordering::Release);
+    }
+
+    /// Whether a worker crash doomed this transaction. Workers check this
+    /// before executing or granting locks to an action so doomed work
+    /// aborts promptly instead of waiting out a lock timeout.
+    pub fn is_doomed(&self) -> bool {
+        self.doomed.load(Ordering::Acquire)
+    }
+
+    /// Claims the right to finalize (commit/abort + reply). Returns `true`
+    /// to exactly one caller; everyone else must leave the transaction
+    /// alone.
+    pub fn try_finalize(&self) -> bool {
+        self.finalized
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
     }
 
     /// Records that `partition` runs an action of this transaction

@@ -75,6 +75,8 @@
 #![warn(missing_docs)]
 
 pub mod action;
+#[cfg(any(test, feature = "chaos"))]
+pub mod chaos;
 pub mod dispatcher;
 pub mod executor;
 pub mod local_lock;

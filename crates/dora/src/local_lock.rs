@@ -265,6 +265,31 @@ impl LocalLockTable {
         }
     }
 
+    /// Removes and returns the lock state of **every** key in the table,
+    /// in deterministic `(table, key)` order. This is the supervisor's
+    /// crash-salvage path: when a partition worker dies, every holder in
+    /// its table belongs to a transaction that must abort (the dead
+    /// worker's isolation state can no longer be trusted), but the
+    /// entries themselves are seeded into the replacement worker's table
+    /// via [`absorb`](Self::absorb) so the keys stay covered until those
+    /// doomed transactions finalize and release them through the normal
+    /// `Finish` broadcast. Stats are unchanged — ownership moves, nothing
+    /// is granted or released.
+    pub fn take_all(&mut self) -> Vec<MovedLock> {
+        let mut moved: Vec<MovedLock> = self
+            .keys
+            .drain()
+            .map(|((table, key), mut state)| MovedLock {
+                table,
+                key,
+                readers: std::mem::take(&mut state.readers),
+                writer: state.writer.take(),
+            })
+            .collect();
+        moved.sort_by_key(|m| (m.table, m.key));
+        moved
+    }
+
     /// Number of keys with at least one holder.
     pub fn locked_keys(&self) -> usize {
         self.keys.len()
@@ -506,6 +531,27 @@ mod tests {
         let mut dst = LocalLockTable::new();
         dst.absorb(Vec::new());
         assert_eq!(dst.locked_keys(), 0);
+    }
+
+    #[test]
+    fn take_all_drains_every_holder_in_deterministic_order() {
+        let mut t = LocalLockTable::new();
+        assert!(t.try_acquire(1, &[(5, 10, LockClass::Write), (5, 20, LockClass::Read)]));
+        assert!(t.try_acquire(2, &[(4, 7, LockClass::Read)]));
+        let moved = t.take_all();
+        assert_eq!(t.locked_keys(), 0);
+        assert_eq!(
+            moved.iter().map(|m| (m.table, m.key)).collect::<Vec<_>>(),
+            vec![(4, 7), (5, 10), (5, 20)]
+        );
+        // Absorbing the salvage into a fresh table preserves conflicts…
+        let mut fresh = LocalLockTable::new();
+        fresh.absorb(moved);
+        assert!(!fresh.try_acquire(3, &[(5, 10, LockClass::Read)]));
+        // …until the holder's finish releases them.
+        assert_eq!(fresh.release_keys(1, &[(5, 10)]), vec![(5, 10)]);
+        assert!(fresh.try_acquire(3, &[(5, 10, LockClass::Read)]));
+        assert!(t.take_all().is_empty());
     }
 
     #[test]

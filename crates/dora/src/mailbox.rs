@@ -514,6 +514,31 @@ impl<T> Mailbox<T> {
         n
     }
 
+    /// The complete shutdown drain of a **closed** mailbox, used by a
+    /// worker's shutdown tail and by the supervisor when a worker died
+    /// after the close (no replacement will ever drain it): seals the
+    /// priority lane — making the drain final, nothing can slip in behind
+    /// the sealing swap — then loops the fresh ring to quiescence, since a
+    /// producer that claimed its slot before the close may still be
+    /// mid-publication on the first pass. Fresh admission slots are freed
+    /// here (the messages will never be "taken up for processing" — they
+    /// are aborted wholesale). Appends every salvaged message to `out`.
+    /// Consumer-only; idempotent.
+    pub fn drain_closed_into(&self, out: &mut Vec<T>) {
+        debug_assert!(self.is_closed(), "final drain is only defined after close");
+        self.seal_priority_into(out);
+        loop {
+            let drained = self.drain_fresh_into(out);
+            for _ in 0..drained {
+                self.free_fresh_slot();
+            }
+            if self.fresh_is_quiescent() {
+                break;
+            }
+            std::thread::yield_now();
+        }
+    }
+
     /// Frees one fresh-lane admission slot — called by the consumer when
     /// it takes a drained fresh message up for processing (or aborts it
     /// at shutdown). One release store; blocked producers are only

@@ -234,8 +234,12 @@ impl WaitList {
             .collect()
     }
 
-    /// Removes and returns everything (shutdown: the engine aborts what is
-    /// still parked).
+    /// Removes and returns everything. Two callers: engine shutdown
+    /// (aborting what is still parked), and the supervisor's worker
+    /// recovery — a dead worker's parked actions cannot survive into the
+    /// replacement (the locks they waited on belong to doomed holders),
+    /// so the supervisor drains them and completes each with a retryable
+    /// `WorkerUnavailable` abort.
     pub fn drain(&mut self) -> Vec<ActionEnvelope> {
         self.by_key.clear();
         self.deadlines.clear();

@@ -66,6 +66,15 @@ pub enum StorageError {
     /// than silently retrying over possibly-lost data. Read-only traffic
     /// is unaffected.
     LogPoisoned(String),
+    /// The partition worker that owned part of the transaction's data
+    /// died (panic, chaos kill) before the transaction could finish, or
+    /// the supervisor reaped the transaction while rebuilding the dead
+    /// worker's volatile state. The transaction's effects were rolled
+    /// back and the partition is being respawned, so the request is
+    /// safe — and expected — to retry. Distinct from a generic timeout so
+    /// clients can account infrastructure aborts separately from
+    /// workload-inherent conflicts.
+    WorkerUnavailable(String),
     /// Catch-all for internal invariant violations.
     Internal(String),
 }
@@ -96,6 +105,9 @@ impl fmt::Display for StorageError {
             StorageError::LogCorrupt(m) => write!(f, "log corrupt: {m}"),
             StorageError::LogIo(m) => write!(f, "log I/O failure (retryable): {m}"),
             StorageError::LogPoisoned(m) => write!(f, "log poisoned by I/O failure: {m}"),
+            StorageError::WorkerUnavailable(m) => {
+                write!(f, "partition worker unavailable (retryable): {m}")
+            }
             StorageError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -109,9 +121,10 @@ pub type StorageResult<T> = Result<T, StorageError>;
 impl StorageError {
     /// Returns `true` when the error is one the execution engine should
     /// respond to by aborting and retrying the transaction (deadlock, lock
-    /// timeout, a validated read blocked on an in-flight writer, or a
-    /// transient log I/O failure that wrote nothing), as opposed to a
-    /// genuine application error, an application-requested abort, or a
+    /// timeout, a validated read blocked on an in-flight writer, a
+    /// transient log I/O failure that wrote nothing, or a partition
+    /// worker that died mid-flight and is being respawned), as opposed to
+    /// a genuine application error, an application-requested abort, or a
     /// poisoned log (which no retry can fix).
     pub fn is_retryable(&self) -> bool {
         matches!(
@@ -120,6 +133,7 @@ impl StorageError {
                 | StorageError::LockTimeout(_)
                 | StorageError::ReadUncommitted { .. }
                 | StorageError::LogIo(_)
+                | StorageError::WorkerUnavailable(_)
         )
     }
 }
@@ -147,6 +161,7 @@ mod tests {
         }
         .is_retryable());
         assert!(StorageError::LogIo("segment create: ENOSPC".into()).is_retryable());
+        assert!(StorageError::WorkerUnavailable("partition 3 respawning".into()).is_retryable());
         assert!(!StorageError::LogPoisoned("fsync failed".into()).is_retryable());
         assert!(!StorageError::Aborted("x".into()).is_retryable());
         assert!(!StorageError::NotFound.is_retryable());

@@ -1,0 +1,312 @@
+//! The TATP **chaos oracle**: the contended differential oracle re-run
+//! with partition workers being killed underneath it.
+//!
+//! The self-healing supervisor's contract (see `docs/architecture.md`,
+//! "Supervision & chaos") is availability without anomalies: a dead
+//! partition worker is detected, every in-flight transaction whose lock
+//! state it held aborts **retryably** (`WorkerUnavailable`), the
+//! partition's queues are salvaged, and a replacement worker resumes
+//! serving — while unaffected partitions keep committing and no acked
+//! commit is ever lost. This suite drives that contract three ways:
+//!
+//! * [`chaos_schedules_preserve_acked_commits_and_integrity`] — a
+//!   proptest drawing random [`ChaosPlan`] seeds: each case runs a
+//!   contended TATP stream under a fresh seeded plan (worker kills at
+//!   the Nth dequeue, delivery delays, forced admission pressure) and
+//!   asserts the invariants below.
+//! * [`chaos_campaign_under_seeded_kill_schedules`] — the CI campaign:
+//!   `CHAOS_SCHEDULES` consecutive seeds (25+ in CI, release), each a
+//!   full-size stream where at least one kill must actually fire and be
+//!   recovered.
+//! * [`contended_oracle_with_mid_stream_worker_kill`] — the engine's
+//!   public `kill_worker` fault injection fired once mid-stream, i.e.
+//!   the availability bench's scenario under the oracle's microscope.
+//!
+//! Invariants, every run: every abort belongs to an allowed retryable
+//! class (expected TATP misses, lock/validation artifacts, admission
+//! back-pressure, or the dead-worker taxonomy), TATP referential
+//! integrity holds at quiescence, the call-forwarding row count equals
+//! the acked insert/delete ledger exactly (acked commits survive the
+//! kill; unacked work leaves no trace), every fired kill is matched by a
+//! worker restart, and every partition serves fresh transactions after
+//! the chaos ends.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dora_workloads::dora_core::chaos::ChaosPlan;
+use dora_workloads::dora_core::executor::{DoraEngine, DoraEngineConfig, TxnOutcome};
+use dora_workloads::dora_storage::db::Database;
+use dora_workloads::tatp::{self, flow_of, integrity_audit_flow, TatpMix, TatpWorkload, MISS};
+
+use proptest::prelude::*;
+
+const WORKERS: usize = 4;
+const CLIENTS: usize = 4;
+const SUBSCRIBERS: i64 = 64; // small and hot: plenty of key overlap
+
+/// Seeded schedules the campaign test runs (CI pins 25+ in release).
+fn schedules() -> u64 {
+    std::env::var("CHAOS_SCHEDULES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if cfg!(debug_assertions) { 3 } else { 8 })
+}
+
+/// Transactions per campaign schedule.
+fn campaign_total() -> usize {
+    if cfg!(debug_assertions) {
+        400
+    } else {
+        2_000
+    }
+}
+
+/// An abort reason a chaos run is allowed to produce: everything the
+/// plain contended oracle allows, plus the dead-worker taxonomy
+/// (`WorkerUnavailable` renders as "partition worker unavailable
+/// (retryable): ...") and admission back-pressure from the forced
+/// admission-failure hook.
+fn allowed_chaos_abort(reason: &str) -> bool {
+    reason.contains(MISS)
+        || reason.contains("lock")
+        || reason.contains("deadlock")
+        || reason.contains("uncommitted")
+        || reason.contains("timed out")
+        || reason.contains("timeout")
+        || reason.contains("worker unavailable")
+        || reason.contains("back-pressure")
+}
+
+/// One contended TATP stream against a DORA engine with chaos installed
+/// (or a deliberate kill fired by `kill_at_half`). Asserts the full
+/// oracle contract; returns (committed, aborted, kills_fired).
+fn chaos_contended_run(
+    plan: Option<ChaosPlan>,
+    total: usize,
+    kill_at_half: bool,
+) -> (u64, u64, u64) {
+    let wl = TatpWorkload {
+        subscribers: SUBSCRIBERS,
+        seed: 31,
+    };
+    let db = Arc::new(Database::default());
+    let t = wl.load(&db);
+    let engine = DoraEngine::new(
+        db.clone(),
+        wl.routing(t, WORKERS),
+        DoraEngineConfig {
+            workers: WORKERS,
+            // Short enough that a lock parked behind a doomed holder
+            // resolves quickly even if a probe is lost to the chaos
+            // delivery delays; long enough not to thrash.
+            lock_timeout: std::time::Duration::from_millis(500),
+            submit_timeout: std::time::Duration::from_millis(500),
+            ..Default::default()
+        },
+    );
+    if let Some(plan) = plan {
+        engine.install_chaos(plan);
+    }
+
+    let cf_initial = db.row_count(t.call_forwarding).expect("cf count") as i64;
+    let cf_delta = AtomicI64::new(0);
+    let committed = AtomicU64::new(0);
+    let aborted = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    let per_client = total / CLIENTS;
+    let expect = (per_client * CLIENTS) as u64;
+
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let engine = &engine;
+            let (committed, aborted, cf_delta) = (&committed, &aborted, &cf_delta);
+            s.spawn(move || {
+                let mut mix = TatpMix::new(SUBSCRIBERS, 7_000 + client as u64);
+                for _ in 0..per_client {
+                    let op = mix.next_op();
+                    match engine.execute(flow_of(t, &op, None)) {
+                        TxnOutcome::Committed => {
+                            committed.fetch_add(1, Ordering::Relaxed);
+                            cf_delta.fetch_add(op.cf_delta(), Ordering::Relaxed);
+                        }
+                        TxnOutcome::Aborted { reason } => {
+                            aborted.fetch_add(1, Ordering::Relaxed);
+                            assert!(
+                                allowed_chaos_abort(&reason),
+                                "unexpected abort class under chaos: {op:?} -> {reason}"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+        // Concurrent integrity auditor: referential integrity must hold
+        // at every instant, including while a partition is mid-recovery.
+        let (engine, done) = (&engine, &done);
+        s.spawn(move || {
+            let mut audits = 0u32;
+            while !done.load(Ordering::Acquire) {
+                if let TxnOutcome::Aborted { reason } =
+                    engine.execute(integrity_audit_flow(t, SUBSCRIBERS - 1))
+                {
+                    assert!(
+                        !reason.contains("no special_facility parent"),
+                        "integrity audit found orphans mid-chaos: {reason}"
+                    );
+                    assert!(allowed_chaos_abort(&reason), "audit abort: {reason}");
+                }
+                audits += 1;
+                std::thread::yield_now();
+            }
+            assert!(audits > 0);
+        });
+        // The deliberate mid-stream kill (the availability scenario): one
+        // worker dies once the stream is half done.
+        let (committed, aborted) = (&committed, &aborted);
+        s.spawn(move || {
+            let mut killed = !kill_at_half;
+            loop {
+                let so_far = committed.load(Ordering::Relaxed) + aborted.load(Ordering::Relaxed);
+                if !killed && so_far >= expect / 2 {
+                    assert!(engine.kill_worker(1), "mid-stream kill must be accepted");
+                    killed = true;
+                }
+                if so_far >= expect {
+                    done.store(true, Ordering::Release);
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        });
+    });
+
+    // Every kill that fired must be matched by a detected death and a
+    // restarted worker before the oracle audits the remains.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    let kills = loop {
+        let stats = engine.stats();
+        if stats.worker_restarts >= stats.chaos_kills {
+            break stats.chaos_kills;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "kills were never recovered: {stats:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    };
+
+    // Convergence: every partition must serve and commit fresh work after
+    // the chaos (their cf churn joins the conservation ledger).
+    let block = SUBSCRIBERS / WORKERS as i64;
+    for p in 0..WORKERS {
+        let lo = p as i64 * block;
+        let mut mix =
+            TatpMix::new(SUBSCRIBERS, 9_000 + p as u64).with_key_block(lo, lo + block - 1);
+        let mut served = false;
+        for _ in 0..50 {
+            let op = mix.next_op();
+            match engine.execute(flow_of(t, &op, None)) {
+                TxnOutcome::Committed => {
+                    cf_delta.fetch_add(op.cf_delta(), Ordering::Relaxed);
+                    served = true;
+                    break;
+                }
+                TxnOutcome::Aborted { reason } => {
+                    assert!(allowed_chaos_abort(&reason), "post-chaos abort: {reason}");
+                }
+            }
+        }
+        assert!(served, "partition {p} did not resume serving after chaos");
+    }
+
+    // Quiescent audit: integrity plus exact call-forwarding conservation
+    // against the ACKED ledger — an acked commit that vanished or an
+    // unacked one that leaked both show up as a count mismatch.
+    TatpWorkload::check_integrity(&db, t).expect("TATP integrity after chaos");
+    assert_eq!(
+        db.row_count(t.call_forwarding).expect("cf count") as i64,
+        cf_initial + cf_delta.load(Ordering::Relaxed),
+        "call-forwarding rows conserved across worker kills"
+    );
+    let stranded = engine.shutdown();
+    assert_eq!(stranded, 0, "no transaction may be stranded at shutdown");
+    (
+        committed.load(Ordering::Relaxed),
+        aborted.load(Ordering::Relaxed),
+        kills,
+    )
+}
+
+proptest! {
+    /// Random chaos plans (any seed) over short contended streams: the
+    /// oracle contract must hold whether or not the drawn plan's kills
+    /// fire inside so small a window. 128 deterministic cases.
+    #[test]
+    fn chaos_schedules_preserve_acked_commits_and_integrity(seed in any::<u64>()) {
+        let total = if cfg!(debug_assertions) { 96 } else { 160 };
+        let horizon = (total / 8).max(20) as u64;
+        let (committed, _, _) =
+            chaos_contended_run(Some(ChaosPlan::seeded(seed, WORKERS, horizon)), total, false);
+        prop_assert!(committed > 0, "stream must make progress under chaos");
+    }
+}
+
+/// The CI campaign: `CHAOS_SCHEDULES` consecutive seeds, full-size
+/// streams, and the additional demand that the injected kills really
+/// fired (a campaign that never killed anyone proves nothing).
+#[test]
+fn chaos_campaign_under_seeded_kill_schedules() {
+    let n = schedules();
+    let total = campaign_total();
+    let horizon = (total / 8).max(50) as u64;
+    let mut kills_fired = 0u64;
+    for i in 0..n {
+        let seed = 0xC0FFEE ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let (committed, aborted, kills) = chaos_contended_run(
+            Some(ChaosPlan::seeded(seed, WORKERS, horizon)),
+            total,
+            false,
+        );
+        assert_eq!(
+            committed + aborted,
+            total as u64,
+            "schedule {i}: every transaction must reach a definite outcome"
+        );
+        kills_fired += kills;
+    }
+    assert!(
+        kills_fired > 0,
+        "campaign of {n} schedules never fired a kill — horizon too large?"
+    );
+    eprintln!("chaos campaign: {n} schedules, {kills_fired} worker kills recovered");
+}
+
+/// The availability bench's exact scenario under the oracle: a deliberate
+/// `kill_worker` halfway through a contended stream. The kill must be
+/// detected and recovered, and the stream's invariants must survive it.
+#[test]
+fn contended_oracle_with_mid_stream_worker_kill() {
+    let total = if cfg!(debug_assertions) { 800 } else { 4_000 };
+    let (committed, aborted, kills) = chaos_contended_run(None, total, true);
+    assert_eq!(committed + aborted, total as u64);
+    assert_eq!(kills, 1, "exactly the one deliberate kill");
+    assert!(
+        committed > total as u64 / 2,
+        "the engine must keep committing through a worker death: \
+         {committed}/{total}"
+    );
+}
+
+/// `tatp` module smoke for the chaos feature plumbing: the re-exported
+/// engine exposes the chaos API to integration tests (this line failing
+/// to compile means the `chaos` feature fell off the dev-dependency).
+#[test]
+fn chaos_api_is_reachable_through_the_reexport() {
+    let plan = ChaosPlan::seeded(7, WORKERS, 100);
+    assert!(
+        !plan.kills.is_empty(),
+        "a seeded plan always schedules kills"
+    );
+    let _ = tatp::STANDARD_MIX_PCT;
+}
